@@ -1,0 +1,59 @@
+"""Ablation benches for the design choices the paper discusses in text.
+
+* detection delay 3 vs 100 cycles (Section 6.2),
+* the last-arriving-operand filter (Section 5.4.2),
+* independent MOPs (Section 5.4.1),
+* the MOP formation scope (Section 4.2).
+"""
+
+from benchmarks.conftest import bench_insts, bench_set
+from repro.experiments.ablations import (
+    detection_delay_ablation,
+    independent_mops_ablation,
+    last_arrival_filter_ablation,
+    scope_sweep,
+)
+
+
+def test_detection_delay(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: detection_delay_ablation(benchmarks=bench_set(),
+                                         num_insts=bench_insts()),
+        rounds=1, iterations=1,
+    )
+    experiment_recorder("ablation_detection_delay", result)
+    for name, row in result.rows.items():
+        # Paper: average 0.22% loss, worst 0.76%; allow slack for the
+        # short synthetic samples.
+        assert row["delay100_rel"] >= 0.90, name
+
+
+def test_last_arriving_filter(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: last_arrival_filter_ablation(benchmarks=bench_set(),
+                                             num_insts=bench_insts()),
+        rounds=1, iterations=1,
+    )
+    experiment_recorder("ablation_last_arrival", result)
+
+
+def test_independent_mops(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: independent_mops_ablation(benchmarks=bench_set(),
+                                          num_insts=bench_insts()),
+        rounds=1, iterations=1,
+    )
+    experiment_recorder("ablation_independent_mops", result)
+    for name, row in result.rows.items():
+        assert row["on_grouped_%"] >= row["off_grouped_%"] - 1e-9, name
+
+
+def test_scope_sweep(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: scope_sweep(benchmarks=bench_set(),
+                            num_insts=bench_insts()),
+        rounds=1, iterations=1,
+    )
+    experiment_recorder("ablation_scope", result)
+    for name, row in result.rows.items():
+        assert row["scope8_%"] >= row["scope4_%"], name

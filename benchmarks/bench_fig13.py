@@ -1,0 +1,20 @@
+"""Figure 13: instructions grouped by the macro-op pipeline.
+
+Regenerates Figure 13: per benchmark and wakeup style (CAM 2-source vs
+wired-OR), the fraction of committed instructions grouped into dependent
+(value-generating / non-value-generating) and independent MOPs, plus the
+scheduler-insert reduction the paper reports as 16.2% on average.
+"""
+
+from benchmarks.conftest import bench_insts, bench_set
+from repro.experiments import figure13
+
+
+def test_figure13(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: figure13(benchmarks=bench_set(), num_insts=bench_insts()),
+        rounds=1, iterations=1,
+    )
+    experiment_recorder("figure13", result)
+    for row in result.rows.values():
+        assert 0.0 <= row["wired-OR_grouped_%"] <= 100.0

@@ -1,0 +1,23 @@
+"""Figure 16: pipelined scheduling logic comparison.
+
+Regenerates Figure 16: select-free scheduling (Brown et al.) in its
+squash-dep and scoreboard configurations against macro-op scheduling
+(wired-OR, one extra formation stage), all with the 32-entry issue queue,
+normalized to base scheduling.  The paper's shape: squash-dep comparable or
+slightly worse than macro-op, scoreboard noticeably worse, and select-free
+never beating the baseline.
+"""
+
+from benchmarks.conftest import bench_insts, bench_set
+from repro.experiments import figure16
+
+
+def test_figure16(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: figure16(benchmarks=bench_set(), num_insts=bench_insts()),
+        rounds=1, iterations=1,
+    )
+    experiment_recorder("figure16", result)
+    for name, row in result.rows.items():
+        assert row["select-free-scoreboard"] <= 1.02, name
+        assert row["select-free-squash-dep"] <= 1.02, name

@@ -1,0 +1,19 @@
+"""Figure 6: dependence-edge distance characterization (machine-independent).
+
+Regenerates the stacked bars of Figure 6: for each benchmark, the fate of
+every value-generating candidate's value — nearest dependent candidate at
+distance 1–3 / 4–7 / 8+, dependent-but-not-candidate, or dynamically dead —
+plus the "% total insts" row.
+"""
+
+from benchmarks.conftest import bench_insts, bench_set
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: figure6(benchmarks=bench_set(), num_insts=bench_insts()),
+        rounds=1, iterations=1,
+    )
+    text = experiment_recorder("figure6", result)
+    assert "gap" in text or bench_set() is not None

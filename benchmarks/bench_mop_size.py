@@ -1,0 +1,58 @@
+"""Extension bench: MOP sizes beyond two (Section 4.3 future work).
+
+The paper's Figure 7 characterizes how many instructions *could* be
+grouped into up-to-8-instruction MOPs but evaluates only pairs.  This
+bench runs the pipeline with the larger-MOP extension — pointer chains at
+formation — sweeping MOP size 2/3/4 under the paper's 2-cycle loop, and
+pairing size 4 with a 4-cycle scheduling loop (the deeper-pipelining
+scenario Section 4.3 motivates).
+"""
+
+from benchmarks.conftest import archive, bench_insts, bench_set
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle
+from repro.experiments.runner import ExperimentResult, run_configs
+
+
+def mop_size_sweep(benchmarks=None, num_insts=6000):
+    configs = {
+        "base": MachineConfig.paper_default(scheduler=SchedulerKind.BASE),
+    }
+    for size in (2, 3, 4):
+        configs[f"size{size}"] = MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.WIRED_OR, mop_size=size)
+    configs["size4_depth4"] = MachineConfig.paper_default(
+        scheduler=SchedulerKind.MACRO_OP,
+        wakeup_style=WakeupStyle.WIRED_OR, mop_size=4, sched_loop_depth=4)
+    stats = run_configs(configs, benchmarks, num_insts)
+    result = ExperimentResult(
+        name="Extension: MOP size sweep",
+        description=("IPC relative to base and insert reduction for MOP "
+                     "sizes 2/3/4 (2-cycle loop) and size 4 under a "
+                     "4-cycle scheduling loop"),
+        ratio_columns=("size2", "size3", "size4", "size4_depth4"),
+        notes="Section 4.3: larger MOPs further reduce queue pressure and "
+              "let the scheduling loop span more cycles",
+    )
+    for name, by_config in stats.items():
+        base = by_config["base"].ipc
+        row = {}
+        for label, s in by_config.items():
+            if label == "base":
+                continue
+            row[label] = s.ipc / base
+            row[f"{label}_insred_%"] = 100.0 * s.insert_reduction
+        result.rows[name] = row
+    return result
+
+
+def test_mop_size_sweep(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: mop_size_sweep(benchmarks=bench_set(),
+                               num_insts=bench_insts()),
+        rounds=1, iterations=1,
+    )
+    experiment_recorder("extension_mop_size", result)
+    for name, row in result.rows.items():
+        # Bigger MOPs never increase queue pressure.
+        assert row["size4_insred_%"] >= row["size2_insred_%"] - 0.5, name

@@ -1,0 +1,33 @@
+"""Sweep benches: scalability curves beyond the paper's two data points.
+
+``queue_size_sweep`` fills in the IPC-vs-queue-size curve for base /
+2-cycle / macro-op scheduling; ``rob_size_sweep`` isolates window-capacity
+effects with the unrestricted queue.
+"""
+
+from benchmarks.conftest import bench_insts, bench_set
+from repro.experiments.sweeps import queue_size_sweep, rob_size_sweep
+
+
+def test_queue_size_sweep(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: queue_size_sweep(benchmarks=bench_set(),
+                                 num_insts=bench_insts(),
+                                 sizes=(8, 16, 32, 64)),
+        rounds=1, iterations=1,
+    )
+    experiment_recorder("sweep_queue_size", result)
+    for name, row in result.rows.items():
+        assert row["base@8"] <= row["base@64"] * 1.02, name
+
+
+def test_rob_size_sweep(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: rob_size_sweep(benchmarks=bench_set(),
+                               num_insts=bench_insts(),
+                               sizes=(32, 64, 128)),
+        rounds=1, iterations=1,
+    )
+    experiment_recorder("sweep_rob_size", result)
+    for name, row in result.rows.items():
+        assert row["rob32"] <= row["rob128"] * 1.02, name

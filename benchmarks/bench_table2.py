@@ -1,0 +1,21 @@
+"""Table 2: benchmarks and base IPCs.
+
+Regenerates the base-scheduler IPC columns of Table 2 (32-entry and
+unrestricted issue queues) next to the paper's measured values.  Absolute
+IPC equality is not expected — the substrate is a synthetic workload, not
+the authors' SPEC/Alpha binaries — but the per-benchmark ordering and the
+32-vs-unrestricted direction should hold.
+"""
+
+from benchmarks.conftest import bench_insts, bench_set
+from repro.experiments import table2
+
+
+def test_table2(benchmark, experiment_recorder):
+    result = benchmark.pedantic(
+        lambda: table2(benchmarks=bench_set(), num_insts=bench_insts()),
+        rounds=1, iterations=1,
+    )
+    experiment_recorder("table2", result)
+    for name, row in result.rows.items():
+        assert row["IPC_unrestricted"] >= row["IPC_32"] - 0.02, name

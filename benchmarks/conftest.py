@@ -1,0 +1,51 @@
+"""Benchmark-harness plumbing.
+
+Every bench target regenerates one of the paper's tables/figures, prints
+the rendered rows (run pytest with ``-s`` to see them live), and archives
+them under ``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+
+Environment knobs:
+
+* ``REPRO_BENCH_INSTS`` — committed instructions per benchmark run
+  (default 6000; the paper's shapes are stable from a few thousand).
+* ``REPRO_BENCH_SET`` — comma-separated benchmark subset (default: all 12).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_insts() -> int:
+    return int(os.environ.get("REPRO_BENCH_INSTS", "6000"))
+
+
+def bench_set():
+    names = os.environ.get("REPRO_BENCH_SET", "")
+    if not names:
+        return None
+    return [name.strip() for name in names.split(",") if name.strip()]
+
+
+def archive(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def experiment_recorder():
+    """Print and archive a rendered experiment result."""
+
+    def record(name: str, result) -> str:
+        text = result.render()
+        print()
+        print(text)
+        archive(name, text)
+        return text
+
+    return record

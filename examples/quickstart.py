@@ -1,0 +1,52 @@
+"""Quickstart: macro-op scheduling in five minutes.
+
+Runs one small program (a dependent accumulate loop — the paper's Figure 4
+scenario) through three scheduler models and shows the headline effect:
+
+* *base*: ideally pipelined atomic scheduling — dependent single-cycle ops
+  execute back to back;
+* *2-cycle*: pipelined wakeup/select — one bubble per dependent pair;
+* *macro-op*: pipelined 2-cycle scheduling that fuses dependent pairs into
+  2-cycle macro-ops, winning the bubble back.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.workloads.kernels import kernel_trace
+
+
+def main() -> None:
+    trace = kernel_trace("vector_sum")
+    print(trace.summary())
+    print()
+
+    configs = {
+        "base (atomic)": MachineConfig.unrestricted_queue(
+            scheduler=SchedulerKind.BASE),
+        "2-cycle pipelined": MachineConfig.unrestricted_queue(
+            scheduler=SchedulerKind.TWO_CYCLE),
+        "macro-op (wired-OR)": MachineConfig.unrestricted_queue(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.WIRED_OR),
+    }
+
+    base_cycles = None
+    print(f"{'scheduler':22s} {'cycles':>7s} {'IPC':>6s} {'rel':>6s}"
+          f" {'MOPs':>5s}")
+    for name, config in configs.items():
+        stats = simulate(trace, config)
+        if base_cycles is None:
+            base_cycles = stats.cycles
+        rel = base_cycles / stats.cycles
+        print(f"{name:22s} {stats.cycles:7d} {stats.ipc:6.3f} {rel:6.3f}"
+              f" {stats.mops_formed:5d}")
+
+    print()
+    print("2-cycle scheduling pays one bubble per dependent single-cycle")
+    print("pair; macro-op scheduling fuses those pairs and recovers most")
+    print("of the loss while the scheduling loop stays pipelined.")
+
+
+if __name__ == "__main__":
+    main()

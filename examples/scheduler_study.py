@@ -1,0 +1,65 @@
+"""Scheduler design-space study on a SPEC-like workload.
+
+Reproduces the paper's core comparison on one benchmark profile: every
+scheduling discipline (base, 2-cycle, macro-op with both wakeup styles,
+select-free squash-dep and scoreboard) under both issue-queue regimes
+(32-entry and unrestricted), normalized to base scheduling — i.e., one
+benchmark's slice of Figures 14, 15, and 16.
+
+Run:  python examples/scheduler_study.py [benchmark] [num_insts]
+      (defaults: gap 8000 — the paper's most scheduling-sensitive program)
+"""
+
+import sys
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.workloads import generate_trace, get_profile
+
+
+def study(benchmark: str, num_insts: int) -> None:
+    profile = get_profile(benchmark)
+    trace = generate_trace(profile, num_insts)
+    print(f"benchmark {benchmark}: {num_insts} instructions "
+          f"(paper base IPC {profile.paper_ipc_32:.2f} / "
+          f"{profile.paper_ipc_unrestricted:.2f})")
+    print()
+
+    schedulers = [
+        ("base", SchedulerKind.BASE, None),
+        ("2-cycle", SchedulerKind.TWO_CYCLE, None),
+        ("MOP 2-src", SchedulerKind.MACRO_OP, WakeupStyle.CAM_2SRC),
+        ("MOP wired-OR", SchedulerKind.MACRO_OP, WakeupStyle.WIRED_OR),
+        ("sel-free squash", SchedulerKind.SELECT_FREE_SQUASH, None),
+        ("sel-free scoreboard", SchedulerKind.SELECT_FREE_SCOREBOARD, None),
+    ]
+
+    for queue_label, factory in (("32-entry issue queue",
+                                  MachineConfig.paper_default),
+                                 ("unrestricted issue queue",
+                                  MachineConfig.unrestricted_queue)):
+        print(queue_label)
+        base_ipc = None
+        for name, kind, style in schedulers:
+            kwargs = {"scheduler": kind}
+            if style is not None:
+                kwargs["wakeup_style"] = style
+            stats = simulate(trace, factory(**kwargs))
+            if base_ipc is None:
+                base_ipc = stats.ipc
+            extra = ""
+            if stats.mops_formed:
+                extra = (f"  grouped={100 * stats.grouped_fraction:4.1f}%"
+                         f" insert_red={100 * stats.insert_reduction:4.1f}%")
+            print(f"  {name:20s} IPC={stats.ipc:6.3f}"
+                  f"  rel={stats.ipc / base_ipc:6.3f}{extra}")
+        print()
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gap"
+    num_insts = int(sys.argv[2]) if len(sys.argv) > 2 else 8000
+    study(benchmark, num_insts)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — a full-system reproduction of macro-op scheduling.
+
+Kim & Lipasti, "Macro-op Scheduling: Relaxing Scheduling Loop
+Constraints", MICRO-36, 2003.
+
+Public API tour:
+
+>>> from repro import MachineConfig, SchedulerKind, simulate, generate_trace
+>>> from repro.workloads import get_profile
+>>> trace = generate_trace(get_profile("gap"), 5_000)
+>>> stats = simulate(trace, MachineConfig.paper_default(
+...     scheduler=SchedulerKind.MACRO_OP))
+>>> stats.ipc > 0
+True
+
+Subpackages:
+
+* :mod:`repro.isa` — micro-ISA, assembler, functional interpreter
+* :mod:`repro.workloads` — SPEC CINT2000-like profiles, generator, kernels
+* :mod:`repro.branch`, :mod:`repro.memory` — predictor and cache substrates
+* :mod:`repro.core` — the out-of-order pipeline and scheduler disciplines
+* :mod:`repro.mop` — macro-op detection, pointers, formation
+* :mod:`repro.analysis` — machine-independent characterizations
+* :mod:`repro.experiments` — one regeneration function per table/figure
+"""
+
+from repro.core import (
+    MachineConfig,
+    SchedulerKind,
+    SimStats,
+    WakeupStyle,
+)
+from repro.workloads import Trace, generate_trace, get_profile, profile_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "SchedulerKind",
+    "WakeupStyle",
+    "SimStats",
+    "simulate",
+    "Processor",
+    "Trace",
+    "generate_trace",
+    "get_profile",
+    "profile_names",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # simulate/Processor re-exported lazily via repro.core (see its note on
+    # the core ↔ mop import cycle).
+    if name in ("simulate", "Processor"):
+        from repro import core
+        return getattr(core, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,24 @@
+"""Machine-independent workload characterization (Section 4).
+
+These analyses reproduce the data of Figures 6 and 7, which the paper
+emphasizes are *program* properties, independent of machine configuration:
+
+* :mod:`repro.analysis.depdist` — dependence-edge distance between macro-op
+  candidate pairs (Figure 6),
+* :mod:`repro.analysis.groupability` — how many instructions fit in 2x/8x
+  MOPs within the 8-instruction scope (Figure 7),
+* :mod:`repro.analysis.reporting` — plain-text table rendering shared by
+  the experiment harness.
+"""
+
+from repro.analysis.depdist import DistanceBuckets, characterize_distances
+from repro.analysis.groupability import GroupabilityResult, characterize_groupability
+from repro.analysis.reporting import render_table
+
+__all__ = [
+    "DistanceBuckets",
+    "characterize_distances",
+    "GroupabilityResult",
+    "characterize_groupability",
+    "render_table",
+]

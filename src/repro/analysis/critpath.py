@@ -1,0 +1,91 @@
+"""Dataflow critical-path analysis.
+
+Computes the dependence-graph critical path of a trace under a configurable
+cost model for single-cycle edges — the quantity that explains, before any
+simulation, how much a workload can lose to pipelined scheduling:
+
+* with single-cycle edges costing 1 (atomic scheduling), ``N / CP`` bounds
+  the dataflow IPC;
+* with single-cycle edges costing 2 (2-cycle scheduling), the *ratio* of
+  the two critical paths bounds the achievable 2-cycle slowdown when the
+  machine is dataflow-limited;
+* macro-op scheduling's opportunity is exactly the single-cycle edges that
+  grouping can collapse back to cost 1.
+
+Used by the calibration tooling and exposed as a public analysis because it
+is the fastest way to predict where a new workload lands in Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.workloads.trace import Trace
+
+#: Memory-access latency assumed for load edges (agen + DL1 hit).
+LOAD_EDGE = 3
+
+
+@dataclass
+class CriticalPathResult:
+    """Critical-path statistics for one trace under one edge-cost model."""
+
+    name: str
+    ops: int
+    critical_path: int
+    single_cycle_edge: int
+
+    @property
+    def dataflow_ilp(self) -> float:
+        """Operations per critical-path cycle — the dataflow IPC bound."""
+        return self.ops / self.critical_path if self.critical_path else 0.0
+
+
+def critical_path(trace: Trace, single_cycle_edge: int = 1
+                  ) -> CriticalPathResult:
+    """Longest register-dataflow path with the given 1-cycle edge cost.
+
+    Loads contribute :data:`LOAD_EDGE` cycles (address generation plus the
+    assumed DL1 hit); other multi-cycle operations contribute their
+    functional-unit latency; single-cycle operations contribute
+    *single_cycle_edge* — 1 models atomic scheduling, 2 models the 2-cycle
+    pipelined loop.
+    """
+    last: Dict[int, Tuple[int, int]] = {}   # reg → (depth, edge cost)
+    critical = 1
+    for op in trace.ops:
+        depth = 0
+        for src in op.srcs:
+            producer = last.get(src)
+            if producer is not None:
+                depth = max(depth, producer[0] + producer[1])
+        if op.dest is not None:
+            if op.is_load:
+                cost = LOAD_EDGE
+            elif op.latency > 1:
+                cost = op.latency
+            else:
+                cost = single_cycle_edge
+            last[op.dest] = (depth, cost)
+        critical = max(critical, depth + 1)
+    return CriticalPathResult(
+        name=trace.name,
+        ops=len(trace.ops),
+        critical_path=critical,
+        single_cycle_edge=single_cycle_edge,
+    )
+
+
+def two_cycle_exposure(trace: Trace) -> float:
+    """Upper bound on the fraction of performance 2-cycle scheduling can
+    cost this workload when dataflow-limited: ``1 - CP(1) / CP(2)``.
+
+    0 means the critical path is dominated by multi-cycle edges (vortex,
+    mcf); values toward 0.5 mean dense single-cycle chains (gap).
+    """
+    atomic = critical_path(trace, 1).critical_path
+    pipelined = critical_path(trace, 2).critical_path
+    if pipelined == 0:
+        return 0.0
+    return 1.0 - atomic / pipelined

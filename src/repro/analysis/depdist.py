@@ -1,0 +1,141 @@
+"""Dependence-edge distance characterization (Figure 6).
+
+For every *value-generating candidate* instruction (potential MOP head) in
+a dynamic trace, find its nearest dependent instruction — the first later
+instruction that reads the produced register before it is overwritten — and
+classify the head:
+
+* ``d1_3`` / ``d4_7`` / ``d8p``: nearest dependent is itself a macro-op
+  candidate, at the given distance in *instructions* (stores count once),
+* ``noncand``: nearest dependent exists but is not a candidate (a load's
+  address is the classic case),
+* ``dead``: the value is overwritten or never read — dynamically dead.
+
+The paper stresses this is a program property, independent of machine
+configuration; correspondingly this module never touches the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.isa.instruction import DynInst
+from repro.workloads.trace import Trace
+
+#: Nearest-consumer searches stop after this many instructions; a value
+#: unread for this long is classified as it stands at trace end.
+_HORIZON = 64
+
+
+@dataclass
+class DistanceBuckets:
+    """Figure 6 classification counts for one workload."""
+
+    name: str = ""
+    total_insts: int = 0
+    valuegen_heads: int = 0
+    d1_3: int = 0
+    d4_7: int = 0
+    d8p: int = 0
+    noncand: int = 0
+    dead: int = 0
+
+    @property
+    def valuegen_fraction(self) -> float:
+        """The "% total insts" row of Figure 6."""
+        if not self.total_insts:
+            return 0.0
+        return self.valuegen_heads / self.total_insts
+
+    def fraction(self, bucket: str) -> float:
+        """Share of value-generating heads in *bucket*."""
+        if not self.valuegen_heads:
+            return 0.0
+        return getattr(self, bucket) / self.valuegen_heads
+
+    @property
+    def within_scope(self) -> float:
+        """Heads whose nearest tail falls in the 8-instruction scope."""
+        return self.fraction("d1_3") + self.fraction("d4_7")
+
+    @property
+    def has_tail(self) -> float:
+        """Heads with at least one potential tail (the paper reports an
+        average of 73% across benchmarks)."""
+        return (self.fraction("d1_3") + self.fraction("d4_7")
+                + self.fraction("d8p"))
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "valuegen_%insts": 100.0 * self.valuegen_fraction,
+            "1~3": 100.0 * self.fraction("d1_3"),
+            "4~7": 100.0 * self.fraction("d4_7"),
+            "8+": 100.0 * self.fraction("d8p"),
+            "not_candidate": 100.0 * self.fraction("noncand"),
+            "dead": 100.0 * self.fraction("dead"),
+        }
+
+
+class _PendingValue:
+    """A produced value awaiting its first reader."""
+
+    __slots__ = ("inst_index", "reg")
+
+    def __init__(self, inst_index: int, reg: int) -> None:
+        self.inst_index = inst_index
+        self.reg = reg
+
+
+def characterize_distances(trace: Trace) -> DistanceBuckets:
+    """Run the Figure 6 characterization over *trace*."""
+    buckets = DistanceBuckets(name=trace.name)
+    live: Dict[int, _PendingValue] = {}
+    inst_index = 0
+
+    def classify(value: _PendingValue,
+                 consumer: Optional[DynInst]) -> None:
+        if consumer is None:
+            buckets.dead += 1
+            return
+        if not consumer.is_mop_candidate:
+            buckets.noncand += 1
+            return
+        distance = inst_index - value.inst_index
+        if distance <= 3:
+            buckets.d1_3 += 1
+        elif distance <= 7:
+            buckets.d4_7 += 1
+        else:
+            buckets.d8p += 1
+
+    for op in trace.ops:
+        if op.counts_as_inst:
+            inst_index += 1
+            buckets.total_insts += 1
+
+        for src in op.srcs:
+            value = live.get(src)
+            if value is not None:
+                del live[src]
+                classify(value, op)
+
+        dest = op.dest
+        if dest is not None:
+            stale = live.pop(dest, None)
+            if stale is not None:
+                classify(stale, None)   # overwritten unread: dead
+            if op.is_valuegen_candidate:
+                buckets.valuegen_heads += 1
+                live[dest] = _PendingValue(inst_index, dest)
+
+        if inst_index % 1024 == 0 and live:
+            # Garbage-collect values far past the horizon as dead.
+            expired = [reg for reg, value in live.items()
+                       if inst_index - value.inst_index > _HORIZON]
+            for reg in expired:
+                classify(live.pop(reg), None)
+
+    for value in live.values():
+        classify(value, None)
+    return buckets

@@ -1,0 +1,153 @@
+"""MOP-size groupability characterization (Figure 7).
+
+Given the 8-instruction scope chosen in Section 4.2, how many instructions
+can be grouped into MOPs of at most 2 (``2x``) or at most 8 (``8x``)
+instructions?  The paper reports 32.9% / 35.4% of instructions grouped on
+average, and 2.2–3.0 instructions per 8x MOP.
+
+The grouping model is the paper's idealized (machine-independent) one:
+
+* a MOP is a set of candidate instructions within an 8-instruction window
+  anchored at its first member,
+* every member after the first depends (directly, register-wise) on an
+  earlier member — a dependence chain/tree collapsed into one unit,
+* each instruction joins at most one MOP; groups are formed greedily in
+  program order (earlier heads win, matching the priority-decoder spirit).
+
+Store address generations and branches participate as (non-value-
+generating) members; loads/multiplies/FP are not candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.workloads.trace import Trace
+
+#: MOP formation scope, in instructions (Section 4.2).
+SCOPE = 8
+
+
+@dataclass
+class GroupabilityResult:
+    """Figure 7 numbers for one workload and one MOP size limit."""
+
+    name: str
+    mop_limit: int
+    total_insts: int = 0
+    candidates: int = 0
+    grouped_valuegen: int = 0
+    grouped_nonvaluegen: int = 0
+    mops: int = 0
+
+    @property
+    def grouped(self) -> int:
+        return self.grouped_valuegen + self.grouped_nonvaluegen
+
+    @property
+    def grouped_fraction(self) -> float:
+        return self.grouped / self.total_insts if self.total_insts else 0.0
+
+    @property
+    def candidate_fraction(self) -> float:
+        return self.candidates / self.total_insts if self.total_insts else 0.0
+
+    @property
+    def avg_mop_size(self) -> float:
+        return self.grouped / self.mops if self.mops else 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "candidates_%": 100.0 * self.candidate_fraction,
+            "grouped_%": 100.0 * self.grouped_fraction,
+            "valuegen_%": 100.0 * self.grouped_valuegen / self.total_insts
+            if self.total_insts else 0.0,
+            "avg_mop_size": self.avg_mop_size,
+        }
+
+
+class _Window:
+    """Sliding window of recent instructions with register dataflow."""
+
+    __slots__ = ("items",)
+
+    def __init__(self) -> None:
+        self.items: List[dict] = []
+
+    def trim(self, inst_index: int) -> None:
+        while self.items and inst_index - self.items[0]["index"] >= SCOPE:
+            self.items.pop(0)
+
+
+def characterize_groupability(trace: Trace, mop_limit: int = 2
+                              ) -> GroupabilityResult:
+    """Run the Figure 7 characterization with the given MOP size limit."""
+    result = GroupabilityResult(name=trace.name, mop_limit=mop_limit)
+    window = _Window()
+    last_writer: Dict[int, dict] = {}
+    inst_index = 0
+
+    for op in trace.ops:
+        if not op.counts_as_inst:
+            continue
+        inst_index += 1
+        result.total_insts += 1
+        window.trim(inst_index)
+
+        record = {
+            "index": inst_index,
+            "candidate": op.is_mop_candidate,
+            "valuegen": op.is_valuegen_candidate,
+            "group": None,       # the MOP record this inst joined
+        }
+        if op.is_mop_candidate:
+            result.candidates += 1
+
+        if op.is_mop_candidate:
+            producers = [last_writer.get(src) for src in op.srcs]
+            joined = _try_join(producers, record, result, mop_limit,
+                               inst_index)
+            if not joined and op.is_valuegen_candidate:
+                # This instruction opens its own (so far singleton) group.
+                record["group"] = {"members": 1, "anchor": inst_index,
+                                   "open": True}
+
+        if op.dest is not None:
+            last_writer[op.dest] = record
+        window.items.append(record)
+
+    return result
+
+
+def _try_join(producers, record, result: GroupabilityResult,
+              mop_limit: int, inst_index: int) -> bool:
+    """Try to add *record* to a producer's group (earliest producer wins)."""
+    for producer in producers:
+        if producer is None or not producer.get("candidate"):
+            continue
+        group = producer.get("group")
+        if group is None or not group.get("open"):
+            continue
+        if inst_index - group["anchor"] >= SCOPE:
+            group["open"] = False
+            continue
+        if group["members"] >= mop_limit:
+            continue
+        # Join: the producer's group gains this instruction.
+        was_singleton = group["members"] == 1
+        group["members"] += 1
+        record["group"] = group
+        if was_singleton:
+            # The group becomes a real MOP: count the head too.
+            result.mops += 1
+            if producer["valuegen"]:
+                result.grouped_valuegen += 1
+            else:
+                result.grouped_nonvaluegen += 1
+        if record["valuegen"]:
+            result.grouped_valuegen += 1
+        else:
+            result.grouped_nonvaluegen += 1
+        return True
+    return False

@@ -1,0 +1,88 @@
+"""Plain-text table rendering for characterizations and experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def render_table(
+    title: str,
+    rows: Sequence[Dict[str, Number]],
+    row_names: Sequence[str],
+    precision: int = 2,
+) -> str:
+    """Render rows of {column: value} as an aligned text table.
+
+    All rows must share the same columns.  Numeric values are formatted
+    with *precision* decimals; integers are printed as integers.
+    """
+    if not rows:
+        return f"{title}\n(no data)"
+    columns = list(rows[0].keys())
+    name_width = max(len("bench"), max(len(n) for n in row_names))
+
+    def fmt(value: Number) -> str:
+        if isinstance(value, int):
+            return str(value)
+        return f"{value:.{precision}f}"
+
+    widths = {
+        col: max(len(col), max(len(fmt(row[col])) for row in rows))
+        for col in columns
+    }
+    lines = [title]
+    header = " ".join([f"{'bench':<{name_width}}"]
+                      + [f"{col:>{widths[col]}}" for col in columns])
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in zip(row_names, rows):
+        cells = " ".join([f"{name:<{name_width}}"]
+                         + [f"{fmt(row[col]):>{widths[col]}}"
+                            for col in columns])
+        lines.append(cells)
+    return "\n".join(lines)
+
+
+def render_bars(
+    title: str,
+    values: Dict[str, float],
+    width: int = 50,
+    reference: Optional[float] = None,
+    precision: int = 3,
+) -> str:
+    """Horizontal ASCII bar chart, one row per named value.
+
+    With *reference* set (e.g. 1.0 for normalized IPC), a ``|`` marker is
+    drawn at the reference position — Figure 14's "how far below base"
+    becomes visible at a glance in a terminal.
+    """
+    if not values:
+        return f"{title}\n(no data)"
+    peak = max(max(values.values()), reference or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    name_width = max(len(name) for name in values)
+    lines = [title]
+    ref_col = (round(width * reference / peak)
+               if reference is not None else None)
+    for name, value in values.items():
+        filled = round(width * value / peak)
+        bar = ["█"] * filled + [" "] * (width - filled)
+        if ref_col is not None and 0 <= ref_col < width:
+            bar[ref_col] = "|" if ref_col >= filled else "┃"
+        lines.append(f"{name:<{name_width}} "
+                     f"{''.join(bar)} {value:.{precision}f}")
+    return "\n".join(lines)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, the conventional summary for normalized IPCs."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

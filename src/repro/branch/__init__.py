@@ -1,0 +1,25 @@
+"""Branch prediction substrate.
+
+Implements the paper's Table 1 configuration: a combined predictor made of a
+4k-entry bimodal table and a 4k-entry gshare, arbitrated by a 4k-entry
+selector; a 1k-entry 4-way BTB; and a 16-entry return address stack.
+
+The timing model uses these predictors for execution-driven (kernel) traces.
+Synthetic SPEC-like traces instead carry pre-resolved misprediction hints
+(profile rates), because the synthetic branch outcomes are random draws and
+would not exhibit the real benchmark's predictability structure.
+"""
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+from repro.branch.combined import CombinedPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+
+__all__ = [
+    "BimodalPredictor",
+    "GsharePredictor",
+    "CombinedPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+]

@@ -1,0 +1,38 @@
+"""Bimodal branch predictor: a table of 2-bit saturating counters."""
+
+from __future__ import annotations
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit saturating counters.
+
+    Counters start weakly-taken-biased per classic SimpleScalar behaviour
+    (initial value 1, i.e. weakly not-taken); ``predict`` returns the
+    direction, ``update`` trains toward the resolved outcome.
+    """
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self.entries = entries
+        self.table = [1] * entries
+
+    def _index(self, pc: int) -> int:
+        return pc & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at *pc*."""
+        return self.table[self._index(pc)] >= 2
+
+    def counter(self, pc: int) -> int:
+        """Expose the raw counter (used by the combined selector)."""
+        return self.table[self._index(pc)]
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter at *pc* toward the resolved direction."""
+        idx = self._index(pc)
+        value = self.table[idx]
+        if taken:
+            self.table[idx] = min(3, value + 1)
+        else:
+            self.table[idx] = max(0, value - 1)

@@ -1,0 +1,45 @@
+"""Branch target buffer: set-associative PC → target cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with LRU replacement (Table 1: 1k-entry 4-way).
+
+    A taken-predicted branch whose target misses in the BTB cannot redirect
+    fetch that cycle; the frontend treats it as a (cheap) fetch bubble.
+    """
+
+    def __init__(self, entries: int = 1024, assoc: int = 4) -> None:
+        if entries % assoc:
+            raise ValueError("entries must be divisible by associativity")
+        self.sets = entries // assoc
+        if self.sets & (self.sets - 1):
+            raise ValueError("set count must be a power of two")
+        self.assoc = assoc
+        self._sets: list = [OrderedDict() for _ in range(self.sets)]
+
+    def _set_for(self, pc: int) -> OrderedDict:
+        return self._sets[pc & (self.sets - 1)]
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Return the cached target for *pc*, updating LRU, or ``None``."""
+        entry_set = self._set_for(pc)
+        if pc in entry_set:
+            entry_set.move_to_end(pc)
+            return entry_set[pc]
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        """Insert or refresh the mapping pc → target."""
+        entry_set = self._set_for(pc)
+        if pc in entry_set:
+            entry_set.move_to_end(pc)
+            entry_set[pc] = target
+            return
+        if len(entry_set) >= self.assoc:
+            entry_set.popitem(last=False)
+        entry_set[pc] = target

@@ -1,0 +1,79 @@
+"""Combined (tournament) predictor: bimodal + gshare with a selector.
+
+Table 1: "Combined bimodal (4k entries) / gshare (4k entries) with a
+selector (4k entries)".  The selector is a table of 2-bit counters trained
+toward whichever component predicted correctly, as in the Alpha 21264-style
+tournament scheme SimpleScalar models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+
+
+@dataclass
+class BranchPrediction:
+    """Everything the frontend needs to act on and later train from."""
+
+    taken: bool
+    bimodal_taken: bool
+    gshare_taken: bool
+    chose_gshare: bool
+    history_checkpoint: int
+
+
+class CombinedPredictor:
+    """Tournament of a bimodal and a gshare predictor.
+
+    ``predict`` returns a :class:`BranchPrediction` carrying the component
+    predictions and the gshare history checkpoint; ``update`` consumes it
+    together with the resolved direction to train all three tables and, on a
+    misprediction, repair the speculative history.
+    """
+
+    def __init__(
+        self,
+        bimodal_entries: int = 4096,
+        gshare_entries: int = 4096,
+        selector_entries: int = 4096,
+    ) -> None:
+        self.bimodal = BimodalPredictor(bimodal_entries)
+        self.gshare = GsharePredictor(gshare_entries)
+        if selector_entries <= 0 or selector_entries & (selector_entries - 1):
+            raise ValueError("selector entries must be a power of two")
+        self.selector = [1] * selector_entries
+        self._selector_mask = selector_entries - 1
+
+    def predict(self, pc: int) -> BranchPrediction:
+        """Predict the branch at *pc* and speculate gshare history."""
+        bimodal_taken = self.bimodal.predict(pc)
+        gshare_taken = self.gshare.predict(pc)
+        chose_gshare = self.selector[pc & self._selector_mask] >= 2
+        taken = gshare_taken if chose_gshare else bimodal_taken
+        checkpoint = self.gshare.speculate(taken)
+        return BranchPrediction(
+            taken=taken,
+            bimodal_taken=bimodal_taken,
+            gshare_taken=gshare_taken,
+            chose_gshare=chose_gshare,
+            history_checkpoint=checkpoint,
+        )
+
+    def update(self, pc: int, prediction: BranchPrediction, taken: bool) -> None:
+        """Train components and selector; repair history on mispredicts."""
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, prediction.history_checkpoint, taken)
+
+        bimodal_right = prediction.bimodal_taken == taken
+        gshare_right = prediction.gshare_taken == taken
+        idx = pc & self._selector_mask
+        if gshare_right and not bimodal_right:
+            self.selector[idx] = min(3, self.selector[idx] + 1)
+        elif bimodal_right and not gshare_right:
+            self.selector[idx] = max(0, self.selector[idx] - 1)
+
+        if prediction.taken != taken:
+            self.gshare.repair_history(prediction.history_checkpoint, taken)

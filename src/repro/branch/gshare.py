@@ -1,0 +1,56 @@
+"""Gshare branch predictor: global history XOR PC indexing."""
+
+from __future__ import annotations
+
+
+class GsharePredictor:
+    """2-bit counter table indexed by PC XOR global branch history.
+
+    The speculative history register is updated at predict time and repaired
+    on mispredictions by the recovery path (``repair_history``), matching
+    how real frontends checkpoint history.
+    """
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self.entries = entries
+        self.history_bits = entries.bit_length() - 1
+        self.table = [1] * entries
+        self.history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predict direction using the current speculative history."""
+        return self.table[self._index(pc)] >= 2
+
+    def counter(self, pc: int) -> int:
+        """Raw counter for the current (pc, history) pair."""
+        return self.table[self._index(pc)]
+
+    def speculate(self, taken: bool) -> int:
+        """Shift the predicted direction into the speculative history.
+
+        Returns the history value *before* the shift so callers can
+        checkpoint it for misprediction repair.
+        """
+        checkpoint = self.history
+        mask = (1 << self.history_bits) - 1
+        self.history = ((self.history << 1) | int(taken)) & mask
+        return checkpoint
+
+    def repair_history(self, checkpoint: int, taken: bool) -> None:
+        """Restore history to *checkpoint* then shift the real outcome."""
+        mask = (1 << self.history_bits) - 1
+        self.history = ((checkpoint << 1) | int(taken)) & mask
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        """Train the counter for the (pc, history-at-predict) pair."""
+        idx = (pc ^ history) & (self.entries - 1)
+        value = self.table[idx]
+        if taken:
+            self.table[idx] = min(3, value + 1)
+        else:
+            self.table[idx] = max(0, value - 1)

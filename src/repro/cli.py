@@ -1,0 +1,153 @@
+"""Command-line driver: run simulations and regenerate paper results.
+
+Installed as ``repro-sim`` (see pyproject).  Examples::
+
+    repro-sim run gap --scheduler macro-op --insts 10000
+    repro-sim run vector_sum --scheduler 2-cycle     # kernels work too
+    repro-sim figure 14 --insts 8000
+    repro-sim figure 6 --benchmarks gap,vortex
+    repro-sim table 2
+    repro-sim list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.workloads import generate_trace, get_profile, profile_names
+from repro.workloads.kernels import KERNELS, kernel_trace
+
+_SCHEDULERS = {kind.value: kind for kind in SchedulerKind}
+_FIGURES = {}
+
+
+def _load_figures():
+    if not _FIGURES:
+        from repro.experiments import (figure6, figure7, figure13, figure14,
+                                       figure15, figure16, table2)
+        _FIGURES.update({
+            "6": figure6, "7": figure7, "13": figure13, "14": figure14,
+            "15": figure15, "16": figure16, "table2": table2,
+        })
+    return _FIGURES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Macro-op scheduling (MICRO-36 2003) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload",
+                     help="benchmark profile name or kernel name")
+    run.add_argument("--scheduler", default="macro-op",
+                     choices=sorted(_SCHEDULERS))
+    run.add_argument("--wakeup", default="wired-OR",
+                     choices=[w.value for w in WakeupStyle])
+    run.add_argument("--insts", type=int, default=10_000)
+    run.add_argument("--iq-size", type=int, default=32,
+                     help="issue queue entries; 0 = unrestricted")
+    run.add_argument("--mop-size", type=int, default=2)
+    run.add_argument("--seed", type=int, default=1)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", choices=["6", "7", "13", "14", "15", "16"])
+    fig.add_argument("--insts", type=int, default=6_000)
+    fig.add_argument("--benchmarks", default="",
+                     help="comma-separated subset (default: all 12)")
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", choices=["2"])
+    table.add_argument("--insts", type=int, default=6_000)
+    table.add_argument("--benchmarks", default="")
+
+    report = sub.add_parser(
+        "report", help="run the whole evaluation and print one document")
+    report.add_argument("--insts", type=int, default=6_000)
+    report.add_argument("--benchmarks", default="")
+    report.add_argument("--sections", default="",
+                        help="comma-separated section prefixes, e.g. "
+                             "'figure 14,table 2'")
+
+    sub.add_parser("list", help="list benchmarks and kernels")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    if args.workload in KERNELS:
+        trace = kernel_trace(args.workload)
+    else:
+        trace = generate_trace(get_profile(args.workload), args.insts,
+                               seed=args.seed)
+    config = MachineConfig(
+        scheduler=_SCHEDULERS[args.scheduler],
+        wakeup_style=WakeupStyle(args.wakeup),
+        iq_size=None if args.iq_size == 0 else args.iq_size,
+        mop_size=args.mop_size,
+    )
+    stats = simulate(trace, config)
+    print(trace.summary())
+    print(stats.summary())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    benchmarks = ([b.strip() for b in args.benchmarks.split(",") if b]
+                  or None)
+    result = _load_figures()[args.number](benchmarks=benchmarks,
+                                          num_insts=args.insts)
+    print(result.render())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    benchmarks = ([b.strip() for b in args.benchmarks.split(",") if b]
+                  or None)
+    result = _load_figures()["table2"](benchmarks=benchmarks,
+                                       num_insts=args.insts)
+    print(result.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import full_report
+    benchmarks = ([b.strip() for b in args.benchmarks.split(",") if b]
+                  or None)
+    sections = ([s.strip() for s in args.sections.split(",") if s]
+                or None)
+    print(full_report(benchmarks=benchmarks, num_insts=args.insts,
+                      sections=sections))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("benchmark profiles (synthetic SPEC CINT2000):")
+    for name in profile_names():
+        profile = get_profile(name)
+        print(f"  {name:8s} paper base IPC {profile.paper_ipc_32:.2f}"
+              f" / {profile.paper_ipc_unrestricted:.2f}")
+    print("kernels (execution-driven):")
+    for name in sorted(KERNELS):
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "table": _cmd_table,
+        "report": _cmd_report,
+        "list": _cmd_list,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

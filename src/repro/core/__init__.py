@@ -1,0 +1,37 @@
+"""The out-of-order core: pipeline, issue queue, schedulers.
+
+This package implements the machine model of Section 2: a 13-stage, 4-wide
+out-of-order superscalar with speculative scheduling and selective replay,
+parameterized by a *scheduling discipline* (base / 2-cycle / macro-op /
+select-free) and, for macro-op scheduling, by the wakeup-array style
+(CAM-style with two source comparators, or wired-OR dependence vectors).
+
+Public entry points:
+
+* :class:`repro.core.config.MachineConfig` — Table 1 in code form,
+* :class:`repro.core.pipeline.Processor` — the timing model,
+* :func:`repro.core.pipeline.simulate` — run a trace, get statistics.
+
+``Processor``/``simulate`` are exported lazily: the pipeline imports the
+macro-op machinery, which imports this package's config module, and eager
+re-export would close that cycle.
+"""
+
+from repro.core.config import MachineConfig, SchedulerKind, WakeupStyle
+from repro.core.stats import SimStats
+
+__all__ = [
+    "MachineConfig",
+    "SchedulerKind",
+    "WakeupStyle",
+    "Processor",
+    "simulate",
+    "SimStats",
+]
+
+
+def __getattr__(name):
+    if name in ("Processor", "simulate"):
+        from repro.core import pipeline
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,187 @@
+"""Machine configuration — Table 1 of the paper, in code form."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class SchedulerKind(str, enum.Enum):
+    """The scheduling disciplines evaluated in Section 6."""
+
+    #: Ideally pipelined atomic scheduling — the normalization target.
+    BASE = "base"
+    #: Pipelined wakeup/select: one bubble between dependent 1-cycle ops.
+    TWO_CYCLE = "2-cycle"
+    #: Pipelined 2-cycle scheduling plus macro-op grouping.
+    MACRO_OP = "macro-op"
+    #: Select-free scheduling, Squash Dep configuration (Brown et al.).
+    SELECT_FREE_SQUASH = "select-free-squash-dep"
+    #: Select-free scheduling, Scoreboard configuration (Brown et al.).
+    SELECT_FREE_SCOREBOARD = "select-free-scoreboard"
+
+
+class WakeupStyle(str, enum.Enum):
+    """Wakeup-array styles studied for macro-op scheduling (Section 2.2)."""
+
+    #: CAM-style with two source-tag comparators per entry: MOP detection
+    #: refuses pairs whose merged source set exceeds two tags.
+    CAM_2SRC = "2-src"
+    #: Wired-OR dependence vectors: unlimited merged sources.
+    WIRED_OR = "wired-OR"
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """All machine parameters.  Defaults reproduce Table 1.
+
+    ``iq_size=None`` models the paper's "unrestricted" issue queue (bounded
+    only by the ROB), used in Figure 14 and the right column of Table 2.
+    """
+
+    # -- out-of-order execution (Table 1 row 1) ----------------------------
+    width: int = 4                      # fetch/issue/commit width
+    rob_size: int = 128
+    iq_size: Optional[int] = 32
+    replay_penalty: int = 2             # selective-replay penalty, cycles
+
+    # -- functional units (Table 1 row 2) ----------------------------------
+    int_alu_count: int = 4
+    fp_alu_count: int = 2
+    int_mult_count: int = 2
+    fp_mult_count: int = 2
+    mem_port_count: int = 2
+
+    # -- branch prediction (Table 1 row 3) ----------------------------------
+    bimodal_entries: int = 4096
+    gshare_entries: int = 4096
+    selector_entries: int = 4096
+    ras_depth: int = 16
+    btb_entries: int = 1024
+    btb_assoc: int = 4
+
+    # -- memory system (Table 1 row 4) ---------------------------------------
+    il1_size: int = 16 * 1024
+    il1_assoc: int = 2
+    il1_line: int = 64
+    il1_latency: int = 2
+    dl1_size: int = 16 * 1024
+    dl1_assoc: int = 4
+    dl1_line: int = 64
+    dl1_latency: int = 2
+    l2_size: int = 256 * 1024
+    l2_assoc: int = 4
+    l2_line: int = 128
+    l2_latency: int = 8
+    memory_latency: int = 100
+
+    # -- pipeline depths (Figure 2: 13 stages) --------------------------------
+    #: stages between fetch and issue-queue insert (Decode, Rename, Rename,
+    #: Queue), before any extra macro-op formation stages.
+    frontend_depth: int = 4
+    #: stages between select and execute (Disp, Disp, RF, RF).
+    dispatch_depth: int = 5
+    #: minimum misprediction recovery, enforced as a fetch-redirect floor.
+    min_mispredict_penalty: int = 14
+    #: pre-touch the instruction-side caches with the trace's PCs before
+    #: simulating.  The paper measures long runs (billions of instructions)
+    #: where compulsory instruction misses are noise; our short samples
+    #: would otherwise be dominated by them.
+    warm_caches: bool = True
+
+    # -- scheduler selection ---------------------------------------------------
+    scheduler: SchedulerKind = SchedulerKind.BASE
+    wakeup_style: WakeupStyle = WakeupStyle.WIRED_OR
+
+    # -- macro-op machinery (Sections 4 and 5) ---------------------------------
+    #: extra pipeline stages charged for MOP formation (Figure 15 sweep).
+    extra_mop_stages: int = 0
+    #: detection scope in insert groups (2 groups × width = 8 instructions).
+    mop_scope_groups: int = 2
+    #: cycles from observing a PC to its MOP pointer becoming usable.
+    mop_detection_delay: int = 3
+    #: group pairs of independent instructions with identical sources
+    #: (Section 5.4.1).
+    independent_mops: bool = True
+    #: delete pointers whose MOP tail owns the last-arriving operand
+    #: (Section 5.4.2).
+    last_arrival_filter: bool = True
+    #: maximum instructions per MOP.  The paper evaluates 2 and leaves
+    #: larger sizes as future work (Section 4.3); sizes 3..8 are supported
+    #: here as that extension, formed by chaining per-instruction pointers
+    #: at formation time.
+    mop_size: int = 2
+    #: pipelined scheduling-loop depth in cycles for the 2-cycle and
+    #: macro-op disciplines (the paper's is 2; deeper loops pair with
+    #: larger MOP sizes, per the Section 4.3 discussion).
+    sched_loop_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        if self.rob_size <= 0:
+            raise ValueError("rob_size must be positive")
+        if self.iq_size is not None and self.iq_size <= 0:
+            raise ValueError("iq_size must be positive or None (unrestricted)")
+        if self.extra_mop_stages not in (0, 1, 2):
+            raise ValueError("extra_mop_stages must be 0, 1, or 2")
+        if not 2 <= self.mop_size <= 8:
+            raise ValueError("mop_size must be between 2 (the paper's "
+                             "configuration) and 8 (the detection scope)")
+        if self.sched_loop_depth < 1:
+            raise ValueError("sched_loop_depth must be at least 1")
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def uses_macro_ops(self) -> bool:
+        return self.scheduler is SchedulerKind.MACRO_OP
+
+    @property
+    def assumed_load_latency(self) -> int:
+        """Latency the speculative scheduler assumes for loads (agen + DL1
+        hit), per Section 2.1."""
+        return 1 + self.dl1_latency
+
+    @property
+    def effective_frontend_depth(self) -> int:
+        """Frontend stages after fetch, including extra MOP stages."""
+        extra = self.extra_mop_stages if self.uses_macro_ops else 0
+        return self.frontend_depth + extra
+
+    @property
+    def mop_scope_ops(self) -> int:
+        """Detection scope in operations (2 groups on a 4-wide machine = 8)."""
+        return self.mop_scope_groups * self.width
+
+    @property
+    def max_mop_sources(self) -> Optional[int]:
+        """Merged-source limit a MOP pair must respect (None = unlimited)."""
+        if self.wakeup_style is WakeupStyle.CAM_2SRC:
+            return 2
+        return None
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def paper_default(cls, **overrides) -> "MachineConfig":
+        """Table 1 configuration (32-entry issue queue)."""
+        return cls(**overrides)
+
+    @classmethod
+    def unrestricted_queue(cls, **overrides) -> "MachineConfig":
+        """Table 1 with the unrestricted issue queue (Figure 14)."""
+        overrides.setdefault("iq_size", None)
+        return cls(**overrides)
+
+    def with_scheduler(
+        self,
+        scheduler: SchedulerKind,
+        wakeup_style: Optional[WakeupStyle] = None,
+    ) -> "MachineConfig":
+        """Return a copy running a different scheduling discipline."""
+        kwargs = {"scheduler": scheduler}
+        if wakeup_style is not None:
+            kwargs["wakeup_style"] = wakeup_style
+        return replace(self, **kwargs)

@@ -1,0 +1,155 @@
+"""Frontend: fetch from a trace with branch prediction and IL1 timing.
+
+Trace-driven conventions: the trace is the committed (correct) path, so
+wrong-path operations are not injected.  A mispredicted branch instead
+*stalls fetch* from the cycle it is fetched until it resolves, which charges
+the same recovery bubble a wrong-path squash would (the paper's "at least 14
+cycles for misprediction recovery" is enforced as a floor).
+
+Branch outcomes come from two sources:
+
+* synthetic SPEC-like traces carry ``mispred_hint`` flags pre-drawn at the
+  profile's misprediction rate;
+* execution-driven kernel traces leave the hint unset, and the real
+  combined predictor + BTB decide (and are trained at branch resolution).
+
+Fetch follows Table 1's rule: it stops at the first taken branch in a
+cycle.  No-ops are filtered at decode without consuming pipeline slots,
+matching the paper's treatment of Alpha no-ops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch import BranchTargetBuffer, CombinedPredictor
+from repro.core.config import MachineConfig
+from repro.core.stats import SimStats
+from repro.core.uop import Uop
+from repro.isa.opcodes import OpClass
+from repro.memory import MemoryHierarchy
+from repro.workloads.trace import Trace
+
+
+class Frontend:
+    """Fetches up to ``width`` operations per cycle from a trace."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        trace: Trace,
+        hierarchy: MemoryHierarchy,
+        stats: SimStats,
+    ) -> None:
+        self.config = config
+        self.ops = trace.ops
+        self.pos = 0
+        self.hierarchy = hierarchy
+        self.stats = stats
+        self.predictor = CombinedPredictor(
+            config.bimodal_entries,
+            config.gshare_entries,
+            config.selector_entries,
+        )
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_assoc)
+        self.stalled_until = 0
+        #: the in-flight mispredicted branch fetch is waiting on, if any.
+        self.waiting_branch: Optional[Uop] = None
+        self._il1_charged_pos = -1
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.ops)
+
+    # ------------------------------------------------------------------
+
+    def fetch_group(self, now: int) -> List[Uop]:
+        """Fetch one group; empty when stalled or out of trace."""
+        if self.exhausted or self.waiting_branch is not None:
+            if self.waiting_branch is not None:
+                self.stats.fetch_stall_cycles += 1
+            return []
+        if now < self.stalled_until:
+            self.stats.fetch_stall_cycles += 1
+            return []
+
+        # Instruction-cache access for this fetch group (charged once).
+        if self._il1_charged_pos != self.pos:
+            latency = self.hierarchy.fetch_latency(self.ops[self.pos].pc)
+            self._il1_charged_pos = self.pos
+            extra = latency - self.config.il1_latency
+            if extra > 0:
+                self.stalled_until = now + extra
+                self.stats.fetch_stall_cycles += 1
+                return []
+
+        group: List[Uop] = []
+        while len(group) < self.config.width and not self.exhausted:
+            inst = self.ops[self.pos]
+            if inst.op_class is OpClass.NOP:
+                self.pos += 1          # decoded away, no pipeline slot
+                continue
+            uop = Uop(inst, fetch_cycle=now)
+            self.pos += 1
+            group.append(uop)
+            if inst.is_branch:
+                self.stats.branches += 1
+                stop = self._handle_branch(uop, now)
+                if stop:
+                    break
+        return group
+
+    # ------------------------------------------------------------------
+
+    def _handle_branch(self, uop: Uop, now: int) -> bool:
+        """Predict *uop*; returns True when fetch must stop after it."""
+        inst = uop.inst
+        if inst.mispred_hint is not None:
+            # Synthetic trace: outcome pre-resolved at the profile rate.
+            uop.mispredicted = inst.mispred_hint
+        else:
+            uop.mispredicted = self._predict_real(uop, now)
+
+        if uop.mispredicted:
+            self.stats.mispredicted_branches += 1
+            self.waiting_branch = uop
+            return True
+        # Correctly predicted: a taken branch still ends this fetch group.
+        return inst.taken
+
+    def _predict_real(self, uop: Uop, now: int) -> bool:
+        """Run the combined predictor + BTB; True on misprediction."""
+        inst = uop.inst
+        if inst.op_class is OpClass.JUMP:
+            # Direct jump: direction is static; only the target can miss.
+            if self.btb.lookup(inst.pc) is None:
+                self.btb.install(inst.pc, inst.next_pc)
+                self.stalled_until = max(self.stalled_until, now + 1)
+            return False
+        if inst.op_class is OpClass.JUMP_INDIRECT:
+            predicted_target = self.btb.lookup(inst.pc)
+            self.btb.install(inst.pc, inst.next_pc)
+            return predicted_target != inst.next_pc
+        prediction = self.predictor.predict(inst.pc)
+        uop.prediction = prediction
+        if prediction.taken and self.btb.lookup(inst.pc) is None:
+            # Predicted taken but no target: one-cycle fetch bubble.
+            self.btb.install(inst.pc, inst.next_pc)
+            self.stalled_until = max(self.stalled_until, now + 1)
+        return prediction.taken != inst.taken
+
+    # ------------------------------------------------------------------
+
+    def on_branch_resolved(self, uop: Uop, now: int) -> None:
+        """Train the predictor; restart fetch after a misprediction."""
+        if uop.prediction is not None:
+            self.predictor.update(uop.inst.pc, uop.prediction,
+                                  uop.inst.taken)
+            self.btb.install(uop.inst.pc, uop.inst.next_pc)
+        if self.waiting_branch is uop:
+            self.waiting_branch = None
+            resume = max(
+                now + 1,
+                uop.fetch_cycle + self.config.min_mispredict_penalty,
+            )
+            self.stalled_until = max(self.stalled_until, resume)

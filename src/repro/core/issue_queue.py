@@ -1,0 +1,187 @@
+"""Issue-queue entries and occupancy management.
+
+An :class:`IQEntry` is one scheduler-visible unit: a single operation, or a
+macro-op holding two operations that share the entry (Section 3.1 — "an
+issue queue entry can logically hold multiple original instructions").
+
+Dependence tracking uses producer *entry references* — the in-code
+equivalent of the paper's MOP-ID name space (Section 5.2.2): when two
+operations are grouped, both of their destination registers map to the one
+entry, so consumers of either wake on the entry's single tag broadcast,
+exactly as a shared MOP ID would behave in wired-OR wakeup logic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.uop import MOP_HEAD, MOP_TAIL, SOLO, Uop
+
+# Entry states.
+WAITING = 0
+READY = 1
+ISSUED = 2
+DONE = 3
+
+
+class IQEntry:
+    """One issue-queue entry (an instruction or a macro-op)."""
+
+    __slots__ = (
+        "eid",
+        "seq",
+        "uops",
+        "src_producers",
+        "src_ready",
+        "src_ready_cycle",
+        "src_is_tail_only",
+        "state",
+        "pending_tail",
+        "pending_expect",
+        "issue_cycle",
+        "ready_cycle",
+        "broadcast_cycle",
+        "spec_broadcast_cycle",
+        "gen",
+        "consumers",
+        "is_mop",
+        "mop_kind",
+        "sched_latency",
+        "lockout_until",
+        "replay_count",
+        "collided",
+    )
+
+    _next_eid = 0
+
+    def __init__(self, uop: Uop, sched_latency: int) -> None:
+        IQEntry._next_eid += 1
+        self.eid = IQEntry._next_eid
+        self.seq = uop.seq
+        self.uops: List[Uop] = [uop]
+        uop.entry = self
+        # Per-source-operand parallel lists.
+        self.src_producers: List[Optional["IQEntry"]] = []
+        self.src_ready: List[bool] = []
+        self.src_ready_cycle: List[Optional[int]] = []
+        self.src_is_tail_only: List[bool] = []
+        self.state = WAITING
+        self.pending_tail = False
+        self.pending_expect: Optional[Tuple] = None
+        self.issue_cycle: Optional[int] = None
+        self.ready_cycle: Optional[int] = None
+        self.broadcast_cycle: Optional[int] = None
+        self.spec_broadcast_cycle: Optional[int] = None
+        self.gen = 0
+        self.consumers: List[Tuple["IQEntry", int]] = []
+        self.is_mop = False
+        self.mop_kind: Optional[str] = None  # "dependent" | "independent"
+        self.sched_latency = sched_latency
+        self.lockout_until = 0
+        self.replay_count = 0
+        self.collided = False
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def head(self) -> Uop:
+        return self.uops[0]
+
+    @property
+    def tail(self) -> Optional[Uop]:
+        return self.uops[1] if len(self.uops) > 1 else None
+
+    def add_operand(
+        self,
+        producer: Optional["IQEntry"],
+        ready: bool,
+        tail_only: bool,
+        ready_cycle: Optional[int] = None,
+    ) -> int:
+        """Append a source operand; returns its index."""
+        self.src_producers.append(producer)
+        self.src_ready.append(ready)
+        self.src_ready_cycle.append(ready_cycle)
+        self.src_is_tail_only.append(tail_only)
+        return len(self.src_producers) - 1
+
+    def attach_tail(self, uop: Uop) -> None:
+        """Complete a pending macro-op by attaching its tail operation."""
+        assert self.pending_tail and self.tail is None
+        self.uops.append(uop)
+        uop.entry = self
+        uop.role = MOP_TAIL
+        self.head.role = MOP_HEAD
+        self.is_mop = True
+        self.pending_tail = False
+        self.pending_expect = None
+
+    # -- readiness -----------------------------------------------------------
+
+    def all_sources_ready(self) -> bool:
+        return all(self.src_ready) and not self.pending_tail
+
+    def external_source_count(self) -> int:
+        return len(self.src_producers)
+
+    def last_arriving_is_tail_only(self) -> bool:
+        """True when the operand that triggered issue belongs only to the
+        MOP tail — the harmful pattern of Section 5.4.2 (Figure 12)."""
+        if not self.is_mop or self.mop_kind != "dependent":
+            return False
+        cycles = [c for c in self.src_ready_cycle if c is not None]
+        if not cycles:
+            return False
+        last = max(cycles)
+        head_last = max(
+            (c for c, tail_only in zip(self.src_ready_cycle,
+                                       self.src_is_tail_only)
+             if c is not None and not tail_only),
+            default=-1,
+        )
+        tail_last = max(
+            (c for c, tail_only in zip(self.src_ready_cycle,
+                                       self.src_is_tail_only)
+             if c is not None and tail_only),
+            default=-1,
+        )
+        return tail_last == last and tail_last > head_last
+
+    def __repr__(self) -> str:
+        ops = "+".join(u.inst.mnemonic for u in self.uops)
+        return f"IQEntry(eid={self.eid}, seq={self.seq}, {ops}, st={self.state})"
+
+
+class IssueQueue:
+    """Occupancy tracker for the unified issue queue.
+
+    ``capacity=None`` models the paper's unrestricted queue (Figure 14): the
+    ROB becomes the only in-flight bound.
+    """
+
+    def __init__(self, capacity: Optional[int]) -> None:
+        self.capacity = capacity
+        self.occupied = 0
+        self.entries: set = set()
+
+    def has_space(self, count: int = 1) -> bool:
+        if self.capacity is None:
+            return True
+        return self.occupied + count <= self.capacity
+
+    def allocate(self, entry: IQEntry, force: bool = False) -> None:
+        """Claim an entry slot.  ``force`` admits one entry past capacity —
+        used only by the macro-op split recovery path, mirroring how a
+        hardware split would reuse the squashed tail's payload slot."""
+        if not force and not self.has_space():
+            raise RuntimeError("issue queue overflow")
+        self.entries.add(entry)
+        self.occupied += 1
+
+    def release(self, entry: IQEntry) -> None:
+        if entry in self.entries:
+            self.entries.remove(entry)
+            self.occupied -= 1
+
+    def __len__(self) -> int:
+        return self.occupied

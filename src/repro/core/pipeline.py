@@ -1,0 +1,799 @@
+"""The cycle-level out-of-order pipeline (Figure 2).
+
+The model is event-assisted but cycle-driven: each cycle processes, in
+order —
+
+1. **events** due this cycle: execution completions (which also resolve
+   branches and free issue-queue entries), load-miss discoveries (which
+   trigger the selective-replay rescind/invalidate cascade), and tag
+   broadcasts (which wake consumers);
+2. **pending-bit timeouts** for macro-op heads whose tails never arrived
+   (the trace-driven stand-in for wrong-path tail squash, Section 5.3.2);
+3. **select**: oldest-first among ready entries, bounded by issue width,
+   functional units, and issue slots still sequencing macro-op tails;
+   select-free disciplines additionally detect collisions here;
+4. **insert** (the queue stage): macro-op formation directives are executed,
+   operands are renamed onto producer entries, and the detection logic
+   observes the renamed group;
+5. **fetch** into the frontend pipeline;
+6. **commit** of completed operations in program order.
+
+Scheduling timing law: an entry selected at cycle *t* makes its consumers
+selectable at ``t + discipline.broadcast_offset(sched_latency)`` — the
+single function that distinguishes base, 2-cycle, macro-op, and select-free
+scheduling (Figure 5).  Execution itself starts ``dispatch_depth`` stages
+after select, which fixes branch-resolution and load-miss-discovery timing
+without affecting dependent-issue spacing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.frontend import Frontend
+from repro.core.issue_queue import (
+    DONE,
+    ISSUED,
+    READY,
+    WAITING,
+    IQEntry,
+    IssueQueue,
+)
+from repro.core.scheduler import make_discipline
+from repro.core.scheduler.base import (
+    COLLISION_SCOREBOARD,
+    COLLISION_SQUASH,
+)
+from repro.core.stats import SimStats
+from repro.core.uop import (
+    FU_NONE,
+    KIND_CANDIDATE_UNGROUPED,
+    KIND_INDEPENDENT_MOP,
+    KIND_MOP_NONVALUEGEN,
+    KIND_MOP_VALUEGEN,
+    KIND_NOT_CANDIDATE,
+    MOP_HEAD,
+    MOP_TAIL,
+    SOLO as ROLE_SOLO,
+    Uop,
+)
+from repro.isa.opcodes import OpClass
+from repro.memory import MemoryHierarchy
+from repro.memory.cache import Cache
+from repro.mop.formation import (
+    ATTACH,
+    MOP,
+    PENDING,
+    SOLO,
+    FormationDirective,
+    MopFormation,
+)
+from repro.mop.detection import MopDetector
+from repro.mop.pointers import INDEPENDENT, PointerCache
+from repro.workloads.trace import Trace
+
+# Event kinds, in same-cycle processing priority order.
+EVENT_COMPLETE = 0
+EVENT_MISS = 1
+EVENT_BROADCAST = 2
+
+#: cycles a pending macro-op head waits for its tail before running solo.
+PENDING_TIMEOUT = 2
+
+#: issue-drought length after which the oldest waiting macro-op is split
+#: (hang recovery; see _split_stuck_mop).
+MOP_SPLIT_TIMEOUT = 200
+
+#: watchdog: abort if nothing commits for this many cycles.
+WATCHDOG_CYCLES = 50_000
+
+
+class DeadlockError(RuntimeError):
+    """The pipeline stopped making forward progress."""
+
+
+class Processor:
+    """One simulated machine bound to one trace."""
+
+    def __init__(self, config: MachineConfig, trace: Trace) -> None:
+        self.config = config
+        self.discipline = make_discipline(config)
+        self.stats = SimStats()
+        self.hierarchy = self._build_hierarchy(config)
+        if config.warm_caches:
+            self._warm_instruction_caches(trace)
+        self.frontend = Frontend(config, trace, self.hierarchy, self.stats)
+        self.iq = IssueQueue(config.iq_size)
+        self.rob: deque = deque()
+        self.now = 0
+
+        self._events: Dict[int, List[tuple]] = {}
+        self._ready_heap: List[Tuple[int, int, IQEntry]] = []
+        self._last_writer: Dict[int, Uop] = {}
+        self._group_buffer: deque = deque()
+        self._insert_queue: deque = deque()
+        self._pending_entries: List[IQEntry] = []
+        self._pending_deadline: Dict[int, int] = {}
+
+        self._fu_limits = {
+            "int_alu": config.int_alu_count,
+            "fp_alu": config.fp_alu_count,
+            "int_mult": config.int_mult_count,
+            "fp_mult": config.fp_mult_count,
+            "mem_port": config.mem_port_count,
+        }
+        # Future-cycle reservations made by multi-op (macro-op) issues:
+        # the k-th grouped operation sequences through the same issue slot
+        # k cycles later and needs its functional unit then (Section 5.3.1).
+        self._fu_reserved_future: Dict[int, Dict[str, int]] = {}
+        self._sequencing_future: Dict[int, int] = {}
+
+        if self.discipline.uses_macro_ops:
+            self.pointers = PointerCache(config.mop_detection_delay)
+            self.formation = MopFormation(config, self.pointers)
+            self.detector = MopDetector(config, self.pointers)
+        else:
+            self.pointers = None
+            self.formation = None
+            self.detector = None
+
+        self._last_commit_cycle = 0
+        self._last_issue_cycle = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _warm_instruction_caches(self, trace: Trace) -> None:
+        """Install every trace PC's line in IL1/L2 (post-fast-forward
+        state); compulsory instruction misses would otherwise dominate
+        short trace samples."""
+        seen = set()
+        for op in trace.ops:
+            if op.pc not in seen:
+                seen.add(op.pc)
+                addr = op.pc * 4
+                self.hierarchy.l2.access(addr)
+                self.hierarchy.il1.access(addr)
+
+    @staticmethod
+    def _build_hierarchy(config: MachineConfig) -> MemoryHierarchy:
+        return MemoryHierarchy(
+            il1=Cache("IL1", config.il1_size, config.il1_assoc,
+                      config.il1_line, config.il1_latency),
+            dl1=Cache("DL1", config.dl1_size, config.dl1_assoc,
+                      config.dl1_line, config.dl1_latency),
+            l2=Cache("L2", config.l2_size, config.l2_assoc,
+                     config.l2_line, config.l2_latency),
+            memory_latency=config.memory_latency,
+        )
+
+    # ------------------------------------------------------------------
+    # Top-level run loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> SimStats:
+        """Simulate until the trace drains (or *max_cycles*)."""
+        while not self._finished():
+            self._cycle()
+            if max_cycles is not None and self.now >= max_cycles:
+                break
+            if self.now - self._last_commit_cycle > WATCHDOG_CYCLES:
+                raise DeadlockError(
+                    f"no commit for {WATCHDOG_CYCLES} cycles at cycle "
+                    f"{self.now}; rob={len(self.rob)} iq={len(self.iq)} "
+                    f"head={self.rob[0] if self.rob else None}"
+                )
+        self.stats.cycles = self.now
+        return self.stats
+
+    def _finished(self) -> bool:
+        return (self.frontend.exhausted
+                and not self.frontend.waiting_branch
+                and not self._group_buffer
+                and not self._insert_queue
+                and not self.rob)
+
+    # ------------------------------------------------------------------
+    # One cycle
+    # ------------------------------------------------------------------
+
+    def _cycle(self) -> None:
+        self.now += 1
+        now = self.now
+
+        fu_avail = dict(self._fu_limits)
+        for fu, count in self._fu_reserved_future.pop(now, {}).items():
+            fu_avail[fu] = fu_avail.get(fu, 0) - count
+        slots = self.config.width - self._sequencing_future.pop(now, 0)
+
+        for event in sorted(self._events.pop(now, []), key=lambda e: e[0]):
+            kind = event[0]
+            if kind == EVENT_COMPLETE:
+                self._on_complete(event[1], event[2])
+            elif kind == EVENT_MISS:
+                self._on_load_miss(event[1], event[2], event[3])
+            else:
+                self._on_broadcast(event[1], event[2])
+
+        self._expire_pending(now)
+        if (now - self._last_issue_cycle > MOP_SPLIT_TIMEOUT
+                and len(self.iq)):
+            self._split_stuck_mop(now)
+        self._select(now, slots, fu_avail)
+        self._insert(now)
+        self._fetch(now)
+        self._commit(now)
+
+    def _push_event(self, cycle: int, event: tuple) -> None:
+        self._events.setdefault(cycle, []).append(event)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def _on_complete(self, entry: IQEntry, gen: int) -> None:
+        if entry.gen != gen or entry.state != ISSUED:
+            return
+        entry.state = DONE
+        self.iq.release(entry)
+        for uop in entry.uops:
+            uop.completed = True
+            uop.completion_cycle = self.now
+            if uop.inst.is_branch:
+                self.frontend.on_branch_resolved(uop, self.now)
+
+    def _on_load_miss(self, entry: IQEntry, gen: int, new_bt: int) -> None:
+        """DL1 miss discovered: reschedule the broadcast, replay the shadow."""
+        if entry.gen != gen or entry.state != ISSUED:
+            return
+        entry.broadcast_cycle = new_bt
+        self._push_event(new_bt, (EVENT_BROADCAST, entry, new_bt))
+        self._rescind(entry, self.now)
+
+    def _on_broadcast(self, entry: IQEntry, bt: int) -> None:
+        if entry.broadcast_cycle != bt:
+            return  # rescinded or rescheduled
+        for consumer, idx in entry.consumers:
+            if consumer.src_producers[idx] is not entry:
+                continue
+            if consumer.src_ready[idx]:
+                continue
+            consumer.src_ready[idx] = True
+            consumer.src_ready_cycle[idx] = bt
+            if (consumer.state == WAITING
+                    and consumer.all_sources_ready()):
+                self._make_ready(consumer, self.now)
+
+    # ------------------------------------------------------------------
+    # Selective replay (Section 2.1)
+    # ------------------------------------------------------------------
+
+    def _rescind(self, entry: IQEntry, now: int) -> None:
+        """Un-wake every consumer woken by *entry*'s premature broadcast."""
+        for consumer, idx in entry.consumers:
+            if consumer.src_producers[idx] is not entry:
+                continue
+            if not consumer.src_ready[idx]:
+                continue
+            consumer.src_ready[idx] = False
+            consumer.src_ready_cycle[idx] = None
+            if consumer.state == READY:
+                consumer.state = WAITING
+            elif consumer.state == ISSUED:
+                self._invalidate(consumer, now)
+
+    def _invalidate(self, entry: IQEntry, now: int) -> None:
+        """Selectively invalidate an issued entry; it will replay."""
+        if entry.state != ISSUED:
+            return
+        entry.gen += 1                      # cancels in-flight events
+        entry.state = WAITING
+        entry.issue_cycle = None
+        entry.lockout_until = max(entry.lockout_until,
+                                  now + self.config.replay_penalty)
+        entry.replay_count += 1
+        self.stats.replayed_ops += len(entry.uops)
+        entry.broadcast_cycle = None        # its own broadcast was premature
+        self._rescind(entry, now)
+        if entry.all_sources_ready():
+            # Only the replay lockout delays it (e.g. scoreboard pileups).
+            self._make_ready(entry, now)
+
+    # ------------------------------------------------------------------
+    # Readiness and select
+    # ------------------------------------------------------------------
+
+    def _make_ready(
+        self,
+        entry: IQEntry,
+        now: int,
+        earliest_select: Optional[int] = None,
+    ) -> None:
+        entry.state = READY
+        entry.ready_cycle = earliest_select if earliest_select is not None \
+            else now
+        heapq.heappush(self._ready_heap, (entry.seq, entry.eid, entry))
+        if self.discipline.speculative_wakeup:
+            bt = entry.ready_cycle + self.discipline.broadcast_offset(
+                entry.sched_latency)
+            entry.broadcast_cycle = bt
+            entry.spec_broadcast_cycle = bt
+            self._push_event(bt, (EVENT_BROADCAST, entry, bt))
+
+    def _select(self, now: int, slots: int, fu_avail: Dict[str, int]) -> None:
+        heap = self._ready_heap
+        requeue: List[IQEntry] = []
+        while slots > 0 and heap:
+            _seq, _eid, entry = heapq.heappop(heap)
+            if entry.state != READY or entry.pending_tail:
+                continue
+            if entry.ready_cycle > now or entry.lockout_until > now:
+                requeue.append(entry)
+                continue
+            fu = entry.head.fu_class
+            if fu != FU_NONE and fu_avail.get(fu, 0) <= 0:
+                requeue.append(entry)
+                continue
+            if (self.discipline.collision_mode == COLLISION_SCOREBOARD
+                    and not self._operands_truly_ready(entry, now)):
+                # Pileup victim: burns the issue slot, then replays.
+                slots -= 1
+                self.stats.pileup_victims += 1
+                self._pileup_replay(entry, now)
+                continue
+            self._issue(entry, now, fu_avail)
+            slots -= 1
+        for entry in requeue:
+            heapq.heappush(heap, (entry.seq, entry.eid, entry))
+        if self.discipline.speculative_wakeup:
+            self._handle_collisions(now)
+
+    def _operands_truly_ready(self, entry: IQEntry, now: int) -> bool:
+        """Scoreboard check: did every producer really deliver by now?"""
+        offset = self.discipline.broadcast_offset
+        for idx, producer in enumerate(entry.src_producers):
+            if producer is None or producer.state == DONE:
+                continue
+            if producer.state != ISSUED:
+                return False
+            if producer.issue_cycle is None:
+                return False
+            if producer.issue_cycle + offset(producer.sched_latency) > now:
+                return False
+        return True
+
+    def _pileup_replay(self, entry: IQEntry, now: int) -> None:
+        """A scoreboard pileup victim: reset and wait for real broadcasts.
+
+        The scoreboard sits in the register-file stage, so the victim has
+        already traversed dispatch before the missing operand is noticed —
+        it holds its resources for ``dispatch_depth`` cycles and then pays
+        the replay penalty, which is what makes this configuration lose
+        noticeably more than squash-dep (Section 6.5).
+        """
+        offset = self.discipline.broadcast_offset
+        entry.state = WAITING
+        entry.lockout_until = max(entry.lockout_until,
+                                  now + self.config.dispatch_depth)
+        entry.replay_count += 1
+        self.stats.replayed_ops += len(entry.uops)
+        for idx, producer in enumerate(entry.src_producers):
+            if producer is None or producer.state == DONE:
+                continue
+            issued_in_time = (
+                producer.state == ISSUED
+                and producer.issue_cycle is not None
+                and producer.issue_cycle + offset(producer.sched_latency)
+                <= now
+            )
+            if not issued_in_time:
+                entry.src_ready[idx] = False
+                entry.src_ready_cycle[idx] = None
+
+    def _handle_collisions(self, now: int) -> None:
+        """Select-free: entries ready this cycle but not selected."""
+        for _seq, _eid, entry in self._ready_heap:
+            if (entry.state != READY or entry.pending_tail
+                    or entry.ready_cycle > now
+                    or entry.lockout_until > now):
+                continue
+            if entry.collided:
+                continue
+            entry.collided = True
+            self.stats.select_collisions += 1
+            if self.discipline.collision_mode == COLLISION_SQUASH:
+                # Rescind the speculative broadcast before any dependent
+                # can issue: no pileup victims exist in this configuration.
+                entry.broadcast_cycle = None
+                entry.spec_broadcast_cycle = None
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+
+    def _issue(self, entry: IQEntry, now: int,
+               fu_avail: Dict[str, int]) -> None:
+        entry.state = ISSUED
+        entry.issue_cycle = now
+        entry.gen += 1
+        gen = entry.gen
+        self.stats.issued_entries += 1
+        self.stats.issued_ops += len(entry.uops)
+        self._last_issue_cycle = now
+
+        head = entry.head
+        tail = entry.tail
+        if head.fu_class != FU_NONE:
+            fu_avail[head.fu_class] -= 1
+        for k, member in enumerate(entry.uops[1:], start=1):
+            # Each grouped tail sequences through the same issue slot k
+            # cycles later (Section 5.3.1): reserve its FU and the slot.
+            if member.fu_class != FU_NONE:
+                reserved = self._fu_reserved_future.setdefault(now + k, {})
+                reserved[member.fu_class] = (
+                    reserved.get(member.fu_class, 0) + 1)
+            self._sequencing_future[now + k] = (
+                self._sequencing_future.get(now + k, 0) + 1)
+
+        self._schedule_broadcast(entry, now)
+        self._apply_last_arrival_filter(entry)
+
+        dispatch = self.config.dispatch_depth
+        if head.inst.is_load:
+            latency, level = self.hierarchy.load_latency(
+                head.inst.mem_addr, head.inst.mem_hint)
+            self.stats.loads += 1
+            if level >= 1:
+                self.stats.dl1_load_misses += 1
+            if level >= 2:
+                self.stats.l2_load_misses += 1
+            completion = now + dispatch + 1 + latency
+            if latency > self.config.dl1_latency:
+                discovery = now + dispatch + self.config.assumed_load_latency
+                new_bt = now + 1 + latency
+                self._push_event(discovery,
+                                 (EVENT_MISS, entry, gen, new_bt))
+        else:
+            completion = max(
+                now + dispatch + k + member.inst.latency
+                for k, member in enumerate(entry.uops)
+            )
+        self._push_event(completion, (EVENT_COMPLETE, entry, gen))
+
+    def _schedule_broadcast(self, entry: IQEntry, now: int) -> None:
+        offset = self.discipline.broadcast_offset(entry.sched_latency)
+        bt = now + offset
+        if self.discipline.speculative_wakeup:
+            if entry.collided:
+                if self.discipline.collision_mode == COLLISION_SQUASH:
+                    bt += self.discipline.squash_rewakeup_penalty
+                entry.collided = False
+            if entry.broadcast_cycle == bt:
+                return  # the speculative broadcast already stands
+        entry.broadcast_cycle = bt
+        self._push_event(bt, (EVENT_BROADCAST, entry, bt))
+
+    def _apply_last_arrival_filter(self, entry: IQEntry) -> None:
+        if (self.pointers is None
+                or not self.config.last_arrival_filter
+                or not entry.is_mop
+                or entry.mop_kind != "dependent"):
+            return
+        if entry.last_arriving_is_tail_only():
+            self.pointers.delete(entry.head.inst.pc)
+            self.stats.mop_pointers_deleted += 1
+
+    # ------------------------------------------------------------------
+    # Insert (queue stage) and macro-op formation
+    # ------------------------------------------------------------------
+
+    def _insert(self, now: int) -> None:
+        while self._group_buffer and self._group_buffer[0][0] <= now:
+            _ready, group = self._group_buffer.popleft()
+            if self.formation is not None:
+                directives = self.formation.process_group(group, now)
+                for head in self.formation.last_abandoned:
+                    self._abandon_pending(head)
+                self._tag_directives(directives)
+                self.detector.observe_group(group, now)
+                self.stats.mop_pointers_created = self.pointers.created
+            else:
+                directives = [FormationDirective(verb=SOLO, uop=uop)
+                              for uop in group]
+            self._insert_queue.extend(directives)
+
+        inserted_ops = 0
+        while self._insert_queue and inserted_ops < self.config.width:
+            directive = self._insert_queue[0]
+            cost = self._directive_cost(directive)
+            if len(self.rob) + cost["rob"] > self.config.rob_size:
+                self.stats.rob_full_stall_cycles += 1
+                break
+            if cost["iq"] and not self.iq.has_space(cost["iq"]):
+                self.stats.iq_full_stall_cycles += 1
+                break
+            self._insert_queue.popleft()
+            inserted_ops += self._execute_directive(directive, now)
+
+    @staticmethod
+    def _directive_cost(directive) -> Dict[str, int]:
+        if directive.verb == MOP:
+            return {"iq": 1, "rob": 2 + len(directive.extra_tails)}
+        if directive.verb == ATTACH:
+            # Worst case: the pending entry timed out and the tail needs
+            # its own entry.
+            return {"iq": 1, "rob": 1}
+        return {"iq": 1, "rob": 1}
+
+    def _tag_directives(self, directives) -> None:
+        """Set macro-op roles and Figure 13 categories at formation time."""
+        for directive in directives:
+            if directive.verb == MOP:
+                head, tail = directive.uop, directive.tail
+                head.role, tail.role = MOP_HEAD, MOP_TAIL
+                kind = directive.pointer.kind
+                head.group_kind = self._group_kind(head, kind)
+                tail.group_kind = self._group_kind(tail, kind)
+                for extra in directive.extra_tails:
+                    extra.role = MOP_TAIL
+                    extra.group_kind = self._group_kind(extra, kind)
+            elif directive.verb == PENDING:
+                directive.uop.role = MOP_HEAD
+                directive.uop.group_kind = self._group_kind(
+                    directive.uop, directive.pointer.kind)
+            elif directive.verb == ATTACH:
+                directive.uop.role = MOP_TAIL
+                directive.uop.group_kind = self._group_kind(
+                    directive.uop, directive.pointer.kind)
+
+    @staticmethod
+    def _group_kind(uop: Uop, pointer_kind: str) -> str:
+        if pointer_kind == INDEPENDENT:
+            return KIND_INDEPENDENT_MOP
+        if uop.inst.is_valuegen_candidate:
+            return KIND_MOP_VALUEGEN
+        return KIND_MOP_NONVALUEGEN
+
+    def _execute_directive(self, directive, now: int) -> int:
+        verb = directive.verb
+        if verb == SOLO:
+            self._insert_solo(directive.uop, now)
+            return 1
+        if verb == MOP:
+            self._insert_mop(directive.uop, directive.tail,
+                             directive.pointer, now,
+                             extras=directive.extra_tails)
+            return 2 + len(directive.extra_tails)
+        if verb == PENDING:
+            self._insert_pending(directive.uop, directive.pointer, now)
+            return 1
+        if verb == ATTACH:
+            self._attach_tail(directive, now)
+            return 1
+        raise ValueError(f"unknown directive verb {verb!r}")
+
+    def _sched_latency_for(self, uop: Uop) -> int:
+        if uop.inst.is_load:
+            return self.config.assumed_load_latency
+        return uop.inst.latency
+
+    def _insert_solo(self, uop: Uop, now: int) -> None:
+        if uop.group_kind is None:
+            uop.group_kind = (KIND_CANDIDATE_UNGROUPED
+                              if uop.inst.is_mop_candidate
+                              else KIND_NOT_CANDIDATE)
+        entry = IQEntry(uop, self._sched_latency_for(uop))
+        self._register_sources(entry, uop, tail_only=False, now=now)
+        self._finish_insert(entry, uop, now)
+        if entry.all_sources_ready():
+            self._make_ready(entry, now, earliest_select=now + 1)
+
+    def _insert_mop(self, head: Uop, tail: Uop, pointer, now: int,
+                    extras=()) -> None:
+        members = [tail, *extras]
+        entry = IQEntry(head, sched_latency=max(2, 1 + len(members)))
+        entry.is_mop = True
+        entry.mop_kind = pointer.kind
+        for member in members:
+            entry.uops.append(member)
+            member.entry = entry
+        self.stats.mops_formed += 1
+        self._register_sources(entry, head, tail_only=False, now=now)
+        self._finish_insert(entry, head, now)
+        for member in members:
+            self._register_sources(entry, member, tail_only=True, now=now)
+            self._record_writer(member)
+            self.rob.append(member)
+        if entry.all_sources_ready():
+            self._make_ready(entry, now, earliest_select=now + 1)
+
+    def _insert_pending(self, head: Uop, pointer, now: int) -> None:
+        entry = IQEntry(head, sched_latency=2)
+        entry.is_mop = True
+        entry.mop_kind = pointer.kind
+        entry.pending_tail = True
+        self._register_sources(entry, head, tail_only=False, now=now)
+        self._finish_insert(entry, head, now)
+        self._pending_entries.append(entry)
+        self._pending_deadline[entry.eid] = now + PENDING_TIMEOUT
+
+    def _attach_tail(self, directive, now: int) -> None:
+        head = directive.head_uop
+        tail = directive.uop
+        entry = head.entry
+        if entry is None or not entry.pending_tail or entry.state == DONE:
+            # Pending timed out (tail squash model): the tail runs solo.
+            tail.role = ROLE_SOLO
+            tail.group_kind = None
+            self._insert_solo(tail, now)
+            return
+        entry.attach_tail(tail)
+        self.stats.mops_formed += 1
+        self._register_sources(entry, tail, tail_only=True, now=now)
+        self._record_writer(tail)
+        self.rob.append(tail)
+        if entry.all_sources_ready():
+            self._make_ready(entry, now, earliest_select=now + 1)
+
+    def _abandon_pending(self, head: Uop) -> None:
+        """A pending head's tail will never arrive: run it solo."""
+        entry = head.entry
+        if entry is None or not entry.pending_tail:
+            return
+        entry.pending_tail = False
+        entry.is_mop = False
+        entry.mop_kind = None
+        head.role = ROLE_SOLO
+        head.group_kind = (KIND_CANDIDATE_UNGROUPED
+                           if head.inst.is_mop_candidate
+                           else KIND_NOT_CANDIDATE)
+        self.stats.mop_pending_abandoned += 1
+        if entry.state == WAITING and entry.all_sources_ready():
+            self._make_ready(entry, self.now)
+
+    def _split_stuck_mop(self, now: int) -> None:
+        """Hang recovery: split the oldest waiting macro-op.
+
+        MOP pointers are PC-indexed and validated by detection on the path
+        it observed; formation re-checks the Figure 8(c) heuristic on the
+        current path, but a *pair* of stale pointers can still, in rare
+        path-divergent corners, close a dependence cycle across two MOPs.
+        A real machine needs (and the paper's Section 5.3.2 tail-squash
+        machinery provides) a way to decompose a group: the head's
+        tail-only operands are forced ready and the tail becomes its own
+        entry with its original producers.  We trigger that decomposition
+        whenever nothing has issued for a long stretch.
+        """
+        candidates = [entry for entry in self.iq.entries
+                      if entry.state == WAITING and entry.is_mop
+                      and entry.tail is not None]
+        if not candidates:
+            return
+        entry = min(candidates, key=lambda e: e.seq)
+        tail = entry.uops.pop()
+        head = entry.head
+        head.role = ROLE_SOLO
+        entry.is_mop = False
+        entry.mop_kind = None
+        new_entry = IQEntry(tail, self._sched_latency_for(tail))
+        tail.role = ROLE_SOLO
+        tail.entry = new_entry
+        # Move the tail-only operands: force them ready on the old entry
+        # (the paper's squash behaviour) and re-register them, with their
+        # original producers, on the tail's new entry.
+        for idx, producer in enumerate(entry.src_producers):
+            if not entry.src_is_tail_only[idx]:
+                continue
+            if not entry.src_ready[idx]:
+                new_idx = new_entry.add_operand(
+                    producer,
+                    ready=False,
+                    tail_only=False,
+                )
+                if producer is not None:
+                    producer.consumers.append((new_entry, new_idx))
+            entry.src_ready[idx] = True
+        self.iq.allocate(new_entry, force=True)
+        self.stats.iq_inserts += 1
+        if entry.state == WAITING and entry.all_sources_ready():
+            self._make_ready(entry, now)
+        if new_entry.all_sources_ready():
+            self._make_ready(new_entry, now)
+
+    def _expire_pending(self, now: int) -> None:
+        if not self._pending_entries:
+            return
+        survivors = []
+        for entry in self._pending_entries:
+            if not entry.pending_tail:
+                self._pending_deadline.pop(entry.eid, None)
+                continue
+            if now >= self._pending_deadline.get(entry.eid, now):
+                self._abandon_pending(entry.head)
+                self._pending_deadline.pop(entry.eid, None)
+            else:
+                survivors.append(entry)
+        self._pending_entries = survivors
+
+    # -- operand plumbing ----------------------------------------------------
+
+    def _register_sources(self, entry: IQEntry, uop: Uop,
+                          tail_only: bool, now: int) -> None:
+        for src in uop.inst.srcs:
+            producer_uop = self._last_writer.get(src)
+            if producer_uop is None:
+                continue  # architectural value ready since before the window
+            producer = producer_uop.entry
+            if producer is None or producer is entry:
+                continue  # intra-MOP dependence: no tag needed
+            if producer.state == DONE:
+                continue
+            ready = (producer.broadcast_cycle is not None
+                     and producer.broadcast_cycle <= now)
+            idx = entry.add_operand(
+                producer,
+                ready=ready,
+                tail_only=tail_only,
+                ready_cycle=producer.broadcast_cycle if ready else None,
+            )
+            producer.consumers.append((entry, idx))
+
+    def _finish_insert(self, entry: IQEntry, head: Uop, now: int) -> None:
+        self._record_writer(head)
+        self.rob.append(head)
+        self.iq.allocate(entry)
+        self.stats.iq_inserts += 1
+
+    def _record_writer(self, uop: Uop) -> None:
+        dest = uop.inst.dest
+        if dest is not None:
+            self._last_writer[dest] = uop
+
+    # ------------------------------------------------------------------
+    # Fetch and commit
+    # ------------------------------------------------------------------
+
+    def _fetch(self, now: int) -> None:
+        if len(self._group_buffer) >= self.config.effective_frontend_depth + 4:
+            return
+        group = self.frontend.fetch_group(now)
+        if group:
+            self.stats.fetched_ops += len(group)
+            ready = now + self.config.effective_frontend_depth
+            self._group_buffer.append((ready, group))
+
+    def _commit(self, now: int) -> None:
+        committed = 0
+        while self.rob and committed < self.config.width:
+            uop = self.rob[0]
+            if not uop.completed:
+                break
+            self.rob.popleft()
+            committed += 1
+            self.stats.committed_ops += 1
+            inst = uop.inst
+            if inst.counts_as_inst:
+                self.stats.committed_insts += 1
+                kind = uop.group_kind or (
+                    KIND_CANDIDATE_UNGROUPED if inst.is_mop_candidate
+                    else KIND_NOT_CANDIDATE)
+                setattr(self.stats, kind, getattr(self.stats, kind) + 1)
+            if inst.is_store_data:
+                self.hierarchy.store_commit(inst.mem_addr)
+            self._last_commit_cycle = now
+
+
+def simulate(
+    trace: Trace,
+    config: Optional[MachineConfig] = None,
+    max_cycles: Optional[int] = None,
+) -> SimStats:
+    """Run *trace* through a :class:`Processor` and return its statistics."""
+    if config is None:
+        config = MachineConfig.paper_default()
+    processor = Processor(config, trace)
+    return processor.run(max_cycles=max_cycles)

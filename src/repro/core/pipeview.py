@@ -1,0 +1,177 @@
+"""Per-instruction pipeline timeline recording and rendering.
+
+Attach a :class:`PipeViewer` to a :class:`~repro.core.pipeline.Processor`
+to record, for every operation, the cycles at which it was fetched,
+inserted into the issue queue, issued (each attempt, so replays are
+visible), completed, and committed — then render gem5-O3-style ASCII
+timelines.  Invaluable for seeing macro-op scheduling act: grouped pairs
+issue on the same cycle and their consumers follow back to back.
+
+>>> from repro.core import MachineConfig, SchedulerKind
+>>> from repro.core.pipeline import Processor
+>>> from repro.core.pipeview import PipeViewer
+>>> from repro.workloads.kernels import kernel_trace
+>>> trace = kernel_trace("vector_sum")
+>>> processor = Processor(MachineConfig.paper_default(
+...     scheduler=SchedulerKind.MACRO_OP), trace)
+>>> viewer = PipeViewer.attach(processor)
+>>> _ = processor.run()
+>>> text = viewer.render(start=0, count=8)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import Processor
+from repro.core.uop import MOP_HEAD, MOP_TAIL
+
+
+@dataclass
+class OpTimeline:
+    """Stage timestamps for one dynamic operation."""
+
+    seq: int
+    pc: int
+    mnemonic: str
+    role: str = " "
+    fetch: Optional[int] = None
+    insert: Optional[int] = None
+    issues: List[int] = field(default_factory=list)
+    complete: Optional[int] = None
+    commit: Optional[int] = None
+
+    @property
+    def issue(self) -> Optional[int]:
+        """The final (successful) issue cycle."""
+        return self.issues[-1] if self.issues else None
+
+    @property
+    def replays(self) -> int:
+        return max(0, len(self.issues) - 1)
+
+
+class PipeViewer:
+    """Records per-op stage timing by wrapping Processor hooks."""
+
+    def __init__(self) -> None:
+        self.timelines: Dict[int, OpTimeline] = {}
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, processor: Processor) -> "PipeViewer":
+        """Instrument *processor*; call before ``run()``."""
+        viewer = cls()
+        viewer._wrap(processor)
+        return viewer
+
+    def _timeline(self, uop) -> OpTimeline:
+        timeline = self.timelines.get(uop.seq)
+        if timeline is None:
+            timeline = OpTimeline(seq=uop.seq, pc=uop.inst.pc,
+                                  mnemonic=uop.inst.mnemonic)
+            timeline.fetch = uop.fetch_cycle
+            self.timelines[uop.seq] = timeline
+        if uop.role == MOP_HEAD:
+            timeline.role = "H"
+        elif uop.role == MOP_TAIL:
+            timeline.role = "T"
+        return timeline
+
+    def _wrap(self, processor: Processor) -> None:
+        original_issue = processor._issue
+        original_finish = processor._finish_insert
+        original_commit = processor._commit
+        original_complete = processor._on_complete
+        viewer = self
+
+        def issue(entry, now, fu_avail):
+            for uop in entry.uops:
+                viewer._timeline(uop).issues.append(now)
+            return original_issue(entry, now, fu_avail)
+
+        def finish_insert(entry, head, now):
+            viewer._timeline(head).insert = now
+            return original_finish(entry, head, now)
+
+        def on_complete(entry, gen):
+            result = original_complete(entry, gen)
+            for uop in entry.uops:
+                if uop.completed:
+                    viewer._timeline(uop).complete = uop.completion_cycle
+            return result
+
+        def commit(now):
+            before = processor.stats.committed_ops
+            rob_head = list(processor.rob)[:processor.config.width]
+            result = original_commit(now)
+            committed = processor.stats.committed_ops - before
+            for uop in rob_head[:committed]:
+                viewer._timeline(uop).commit = now
+            return result
+
+        processor._issue = issue
+        processor._finish_insert = finish_insert
+        processor._on_complete = on_complete
+        processor._commit = commit
+
+    # ------------------------------------------------------------------
+
+    def render(self, start: int = 0, count: int = 20,
+               width: int = 64) -> str:
+        """ASCII timelines for ops with seq in [start, start+count).
+
+        Stage letters: ``f`` fetch, ``q`` queue insert, ``i`` issue
+        (lowercase ``r`` for replayed attempts), ``c`` complete,
+        ``C`` commit.  MOP heads/tails carry H/T tags.
+        """
+        selected = [self.timelines[seq]
+                    for seq in sorted(self.timelines)
+                    if start <= seq < start + count]
+        if not selected:
+            return "(no recorded operations in range)"
+        # Anchor at the earliest issue: on a backed-up machine, ops sit in
+        # the queue far longer than the window is wide, and issue-to-commit
+        # is where scheduling disciplines differ.
+        anchors = ([t.issue for t in selected if t.issue is not None]
+                   or [t.insert for t in selected if t.insert is not None]
+                   or [t.fetch for t in selected if t.fetch is not None])
+        t0 = min(anchors)
+        lines = [f"cycle origin: {t0}"]
+        for timeline in selected:
+            row = [" "] * width
+
+            def mark(cycle: Optional[int], char: str) -> None:
+                if cycle is None:
+                    return
+                offset = cycle - t0
+                if 0 <= offset < width:
+                    row[offset] = char
+
+            mark(timeline.fetch, "f")
+            mark(timeline.insert, "q")
+            for attempt in timeline.issues[:-1]:
+                mark(attempt, "r")
+            mark(timeline.issue, "i")
+            mark(timeline.complete, "c")
+            mark(timeline.commit, "C")
+            label = (f"{timeline.seq:5d} {timeline.role}"
+                     f" {timeline.mnemonic:8.8s}")
+            lines.append(f"{label} |{''.join(row)}|")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Aggregate latency breakdown over all recorded operations."""
+        done = [t for t in self.timelines.values()
+                if t.commit is not None and t.fetch is not None]
+        if not done:
+            return "(nothing committed)"
+        total = len(done)
+        avg_lat = sum(t.commit - t.fetch for t in done) / total
+        replays = sum(t.replays for t in done)
+        grouped = sum(1 for t in done if t.role in "HT")
+        return (f"{total} ops committed; avg fetch→commit "
+                f"{avg_lat:.1f} cycles; {replays} replayed issues; "
+                f"{grouped} ops in macro-ops")

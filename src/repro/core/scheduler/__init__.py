@@ -1,0 +1,35 @@
+"""Scheduling disciplines.
+
+A discipline parameterizes the shared wakeup/select engine in
+:mod:`repro.core.pipeline` with the *timing law* of one scheduler design:
+
+* when a producer's tag broadcast becomes visible to consumers, relative to
+  its select cycle (the back-to-back law of Figure 5),
+* whether wakeup is speculative (select-free: broadcast at ready time,
+  before selection is confirmed), and
+* how select collisions are repaired (squash-dep vs. scoreboard).
+"""
+
+from repro.core.scheduler.base import (
+    SchedulingDiscipline,
+    make_discipline,
+)
+from repro.core.scheduler.pipelined import (
+    AtomicDiscipline,
+    TwoCycleDiscipline,
+    MacroOpDiscipline,
+)
+from repro.core.scheduler.selectfree import (
+    SelectFreeScoreboard,
+    SelectFreeSquashDep,
+)
+
+__all__ = [
+    "SchedulingDiscipline",
+    "make_discipline",
+    "AtomicDiscipline",
+    "TwoCycleDiscipline",
+    "MacroOpDiscipline",
+    "SelectFreeSquashDep",
+    "SelectFreeScoreboard",
+]

@@ -1,0 +1,72 @@
+"""Scheduling-discipline interface and factory."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.config import MachineConfig, SchedulerKind
+
+#: Collision-repair modes for speculative (select-free) wakeup.
+COLLISION_NONE = "none"
+COLLISION_SQUASH = "squash"
+COLLISION_SCOREBOARD = "scoreboard"
+
+
+class SchedulingDiscipline(abc.ABC):
+    """The timing law of one scheduler design.
+
+    ``broadcast_offset(latency)`` answers: after an entry with scheduling
+    latency *latency* is selected at cycle *t*, at which cycle ``t + offset``
+    may a consumer whose last operand it supplies be selected?  Figure 5 in
+    one function:
+
+    * atomic (base): ``offset = latency`` — back-to-back for 1-cycle ops,
+    * 2-cycle pipelined: ``offset = max(latency, 2)`` — one bubble for
+      1-cycle ops, hidden for multi-cycle ops,
+    * macro-op: same law, but grouped pairs are 2-cycle units so the bubble
+      disappears for the pair's tail consumers,
+    * select-free: ``offset = latency`` measured from *ready* time
+      (speculative wakeup), repaired on collisions.
+    """
+
+    #: human-readable name used in reports.
+    name: str = "abstract"
+    #: broadcast at ready time (speculative) instead of select time.
+    speculative_wakeup: bool = False
+    #: collision repair: none / squash / scoreboard.
+    collision_mode: str = COLLISION_NONE
+    #: whether MOP formation and detection are active.
+    uses_macro_ops: bool = False
+
+    @abc.abstractmethod
+    def broadcast_offset(self, latency: int) -> int:
+        """Cycles from select (or ready, if speculative) to consumer select."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def make_discipline(config: MachineConfig) -> SchedulingDiscipline:
+    """Instantiate the discipline selected by *config*."""
+    from repro.core.scheduler.pipelined import (
+        AtomicDiscipline,
+        MacroOpDiscipline,
+        TwoCycleDiscipline,
+    )
+    from repro.core.scheduler.selectfree import (
+        SelectFreeScoreboard,
+        SelectFreeSquashDep,
+    )
+
+    kind = config.scheduler
+    if kind is SchedulerKind.BASE:
+        return AtomicDiscipline()
+    if kind is SchedulerKind.TWO_CYCLE:
+        return TwoCycleDiscipline(depth=config.sched_loop_depth)
+    if kind is SchedulerKind.MACRO_OP:
+        return MacroOpDiscipline(depth=config.sched_loop_depth)
+    if kind is SchedulerKind.SELECT_FREE_SQUASH:
+        return SelectFreeSquashDep()
+    if kind is SchedulerKind.SELECT_FREE_SCOREBOARD:
+        return SelectFreeScoreboard()
+    raise ValueError(f"unknown scheduler kind: {kind}")

@@ -1,0 +1,61 @@
+"""Non-speculative disciplines: base (atomic), 2-cycle, and macro-op."""
+
+from __future__ import annotations
+
+from repro.core.scheduler.base import SchedulingDiscipline
+
+
+class AtomicDiscipline(SchedulingDiscipline):
+    """Ideally pipelined atomic scheduling — the paper's *base* model.
+
+    Wakeup and select complete within one cycle, so a consumer can be
+    selected exactly ``latency`` cycles after its producer: dependent
+    single-cycle operations execute back to back.  All performance results
+    in Section 6 are normalized to this discipline.
+    """
+
+    name = "base"
+
+    def broadcast_offset(self, latency: int) -> int:
+        return latency
+
+
+class TwoCycleDiscipline(SchedulingDiscipline):
+    """Pipelined N-cycle scheduling: wakeup and select in separate stages.
+
+    With the paper's depth of two, the scheduling loop spans two cycles and
+    the earliest consumer select is ``max(latency, 2)`` after the producer:
+    a one-cycle bubble between dependent single-cycle operations, fully
+    hidden for multi-cycle operations (Figure 5, middle column).  Deeper
+    loops (the Section 4.3 extension, paired with larger MOPs) generalize
+    the bubble to ``depth - latency`` cycles.
+    """
+
+    name = "2-cycle"
+
+    def __init__(self, depth: int = 2) -> None:
+        self.depth = depth
+        if depth != 2:
+            self.name = f"{depth}-cycle"
+
+    def broadcast_offset(self, latency: int) -> int:
+        return max(latency, self.depth)
+
+
+class MacroOpDiscipline(TwoCycleDiscipline):
+    """Macro-op scheduling: 2-cycle pipelined scheduling over MOPs.
+
+    The timing law is identical to 2-cycle scheduling — the point of the
+    technique is that grouped pairs become non-pipelined 2-cycle units, so
+    ``max(2, 2) = 2`` costs them nothing: the MOP tail executes one cycle
+    after the head and tail consumers proceed back-to-back (Figure 5, right
+    column).  Ungrouped single-cycle instructions behave as in plain 2-cycle
+    scheduling (Section 3.1).
+    """
+
+    name = "macro-op"
+    uses_macro_ops = True
+
+    def __init__(self, depth: int = 2) -> None:
+        super().__init__(depth)
+        self.name = "macro-op" if depth == 2 else f"macro-op-{depth}"

@@ -1,0 +1,114 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Counters collected by one :class:`~repro.core.pipeline.Processor` run.
+
+    The grouping counters mirror Figure 13's categories so the experiment
+    harness can regenerate it directly: every committed operation falls into
+    exactly one of ``mop_valuegen`` (value-generating candidate grouped into
+    a dependent MOP), ``mop_nonvaluegen`` (other candidate grouped into a
+    dependent MOP), ``independent_mop`` (grouped into an independent MOP),
+    ``candidate_ungrouped`` or ``not_candidate``.
+    """
+
+    cycles: int = 0
+    committed_insts: int = 0
+    committed_ops: int = 0
+
+    # -- frontend ------------------------------------------------------------
+    fetched_ops: int = 0
+    branches: int = 0
+    mispredicted_branches: int = 0
+    fetch_stall_cycles: int = 0
+
+    # -- scheduler ------------------------------------------------------------
+    issued_entries: int = 0
+    issued_ops: int = 0
+    iq_inserts: int = 0          # issue-queue entries consumed
+    replayed_ops: int = 0        # ops invalidated by load mis-scheduling
+    select_collisions: int = 0   # select-free: ready-but-not-selected events
+    pileup_victims: int = 0      # select-free scoreboard wasted issues
+    iq_full_stall_cycles: int = 0
+    rob_full_stall_cycles: int = 0
+
+    # -- loads -----------------------------------------------------------------
+    loads: int = 0
+    dl1_load_misses: int = 0
+    l2_load_misses: int = 0
+
+    # -- macro-op grouping (Figure 13 categories, committed ops) ---------------
+    mop_valuegen: int = 0
+    mop_nonvaluegen: int = 0
+    independent_mop: int = 0
+    candidate_ungrouped: int = 0
+    not_candidate: int = 0
+
+    # -- macro-op machinery ------------------------------------------------------
+    mop_pointers_created: int = 0
+    mop_pointers_deleted: int = 0   # last-arriving-operand filter
+    mops_formed: int = 0
+    mop_pending_abandoned: int = 0  # heads whose tail never arrived
+
+    @property
+    def ipc(self) -> float:
+        """Committed architectural instructions per cycle."""
+        return self.committed_insts / self.cycles if self.cycles else 0.0
+
+    @property
+    def uipc(self) -> float:
+        """Committed operations per cycle (stores count twice)."""
+        return self.committed_ops / self.cycles if self.cycles else 0.0
+
+    @property
+    def grouped_ops(self) -> int:
+        """Operations committed as part of any MOP."""
+        return self.mop_valuegen + self.mop_nonvaluegen + self.independent_mop
+
+    @property
+    def grouped_fraction(self) -> float:
+        """Fraction of committed ops grouped into MOPs (Figure 13 y-axis)."""
+        total = self.committed_ops
+        return self.grouped_ops / total if total else 0.0
+
+    @property
+    def insert_reduction(self) -> float:
+        """Relative reduction in scheduler inserts from MOP sharing
+        (the paper reports an average 16.2% reduction)."""
+        if not self.committed_ops:
+            return 0.0
+        return 1.0 - self.iq_inserts / self.committed_ops
+
+    def grouping_breakdown(self) -> Dict[str, float]:
+        """Figure 13 stacked-bar fractions over committed operations."""
+        total = self.committed_ops or 1
+        return {
+            "mop_valuegen": self.mop_valuegen / total,
+            "mop_nonvaluegen": self.mop_nonvaluegen / total,
+            "independent_mop": self.independent_mop / total,
+            "candidate_ungrouped": self.candidate_ungrouped / total,
+            "not_candidate": self.not_candidate / total,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles={self.cycles} insts={self.committed_insts}"
+            f" IPC={self.ipc:.3f}",
+            f"branches={self.branches}"
+            f" mispredicts={self.mispredicted_branches}",
+            f"loads={self.loads} dl1_misses={self.dl1_load_misses}"
+            f" replayed_ops={self.replayed_ops}",
+        ]
+        if self.mops_formed:
+            lines.append(
+                f"mops={self.mops_formed}"
+                f" grouped={100.0 * self.grouped_fraction:.1f}%"
+                f" insert_reduction={100.0 * self.insert_reduction:.1f}%"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Pipeline micro-operation state.
+
+A :class:`Uop` wraps one :class:`~repro.isa.instruction.DynInst` with the
+mutable state the timing model tracks: which issue-queue entry holds it,
+its macro-op role, completion status, and branch-prediction bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+#: Macro-op roles.
+SOLO = 0
+MOP_HEAD = 1
+MOP_TAIL = 2
+
+#: Figure 13 grouping categories (set at insert, counted at commit).
+KIND_NOT_CANDIDATE = "not_candidate"
+KIND_CANDIDATE_UNGROUPED = "candidate_ungrouped"
+KIND_MOP_VALUEGEN = "mop_valuegen"
+KIND_MOP_NONVALUEGEN = "mop_nonvaluegen"
+KIND_INDEPENDENT_MOP = "independent_mop"
+
+
+class Uop:
+    """One in-flight operation."""
+
+    __slots__ = (
+        "inst",
+        "entry",
+        "role",
+        "group_kind",
+        "fetch_cycle",
+        "completed",
+        "completion_cycle",
+        "prediction",
+        "mispredicted",
+        "fu_class",
+    )
+
+    def __init__(self, inst: DynInst, fetch_cycle: int) -> None:
+        self.inst = inst
+        self.entry = None
+        self.role = SOLO
+        self.group_kind: Optional[str] = None
+        self.fetch_cycle = fetch_cycle
+        self.completed = False
+        self.completion_cycle: Optional[int] = None
+        self.prediction = None      # BranchPrediction for real-predictor runs
+        self.mispredicted = False
+        self.fu_class = _fu_class_for(inst.op_class)
+
+    @property
+    def seq(self) -> int:
+        return self.inst.seq
+
+    def __repr__(self) -> str:
+        return f"Uop(seq={self.inst.seq}, {self.inst.mnemonic})"
+
+
+#: Functional-unit pools (keys into the per-cycle availability counters).
+FU_INT_ALU = "int_alu"
+FU_FP_ALU = "fp_alu"
+FU_INT_MULT = "int_mult"
+FU_FP_MULT = "fp_mult"
+FU_MEM_PORT = "mem_port"
+FU_NONE = "none"
+
+_FU_MAP = {
+    OpClass.INT_ALU: FU_INT_ALU,
+    OpClass.BRANCH: FU_INT_ALU,
+    OpClass.JUMP: FU_INT_ALU,
+    OpClass.JUMP_INDIRECT: FU_INT_ALU,
+    OpClass.INT_MULT: FU_INT_MULT,
+    OpClass.INT_DIV: FU_INT_MULT,
+    OpClass.FP_ALU: FU_FP_ALU,
+    OpClass.FP_MULT: FU_FP_MULT,
+    OpClass.FP_DIV: FU_FP_MULT,
+    OpClass.LOAD: FU_MEM_PORT,
+    OpClass.STORE_ADDR: FU_MEM_PORT,
+    OpClass.STORE_DATA: FU_NONE,
+    OpClass.NOP: FU_NONE,
+    OpClass.SYSCALL: FU_NONE,
+}
+
+
+def _fu_class_for(op_class: OpClass) -> str:
+    return _FU_MAP[op_class]

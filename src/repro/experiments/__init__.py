@@ -1,0 +1,36 @@
+"""Experiment harness: one entry point per table/figure in the paper.
+
+Every function in :mod:`repro.experiments.figures` regenerates one piece of
+the paper's evaluation (Section 6) over the synthetic SPEC CINT2000
+workloads and returns an :class:`~repro.experiments.runner.ExperimentResult`
+whose ``render()`` prints the same rows/series the paper plots.  The
+``benchmarks/`` directory wraps these in pytest-benchmark targets.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_configs,
+    workload_trace,
+)
+from repro.experiments.figures import (
+    figure6,
+    figure7,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    table2,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_configs",
+    "workload_trace",
+    "figure6",
+    "figure7",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "table2",
+]

@@ -1,0 +1,170 @@
+"""Ablation experiments for the design choices the paper discusses in text.
+
+* Section 6.2: MOP pointer detection delay (3 vs. 100 cycles) — the paper
+  reports an average 0.22% degradation, worst 0.76% in parser, because
+  pointers in the instruction cache are reused.
+* Section 5.4.2: the last-arriving-operand filter — removing it hurts
+  benchmarks like gap where MOP tails often own the last-arriving operand.
+* Section 5.4.1: independent MOPs — they reduce queue pressure but can
+  serialize timing-critical independent work (eon's slight slowdown).
+* Section 4.2: the MOP formation scope (machine-independent sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis import depdist
+from repro.analysis.depdist import characterize_distances
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle
+from repro.experiments.runner import (
+    DEFAULT_INSTS,
+    ExperimentResult,
+    run_configs,
+    workload_trace,
+)
+from repro.workloads import profile_names
+
+
+def _benchmarks(benchmarks: Optional[Sequence[str]]) -> Sequence[str]:
+    return list(benchmarks) if benchmarks else list(profile_names())
+
+
+def detection_delay_ablation(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_insts: int = DEFAULT_INSTS,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Section 6.2: 3-cycle vs pessimistic 100-cycle detection delay."""
+    configs = {
+        "delay3": MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP, mop_detection_delay=3),
+        "delay100": MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP, mop_detection_delay=100),
+    }
+    stats = run_configs(configs, benchmarks, num_insts, seed)
+    result = ExperimentResult(
+        name="Ablation: detection delay",
+        description="macro-op IPC with 3 vs 100 cycle pointer delay",
+        ratio_columns=("delay100_rel",),
+        notes="paper: average 0.22% loss, worst 0.76% (parser)",
+    )
+    for name, by_config in stats.items():
+        fast = by_config["delay3"].ipc
+        slow = by_config["delay100"].ipc
+        result.rows[name] = {
+            "delay3_IPC": fast,
+            "delay100_IPC": slow,
+            "delay100_rel": slow / fast if fast else 0.0,
+        }
+    return result
+
+
+def last_arrival_filter_ablation(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_insts: int = DEFAULT_INSTS,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Section 5.4.2: the harmful-grouping filter on vs off."""
+    configs = {
+        "filter_on": MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP, last_arrival_filter=True),
+        "filter_off": MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP, last_arrival_filter=False),
+    }
+    stats = run_configs(configs, benchmarks, num_insts, seed)
+    result = ExperimentResult(
+        name="Ablation: last-arriving-operand filter",
+        description=("macro-op IPC with and without deleting pointers "
+                     "whose tails own last-arriving operands"),
+        ratio_columns=("off_rel",),
+        notes="paper: gap loses many edge-shortening opportunities "
+              "without the filter",
+    )
+    for name, by_config in stats.items():
+        on = by_config["filter_on"].ipc
+        off = by_config["filter_off"].ipc
+        result.rows[name] = {
+            "on_IPC": on,
+            "off_IPC": off,
+            "off_rel": off / on if on else 0.0,
+            "pointers_deleted": float(
+                by_config["filter_on"].mop_pointers_deleted),
+        }
+    return result
+
+
+def independent_mops_ablation(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_insts: int = DEFAULT_INSTS,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Section 5.4.1: grouping independent instructions on vs off."""
+    configs = {
+        "indep_on": MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP, independent_mops=True),
+        "indep_off": MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP, independent_mops=False),
+    }
+    stats = run_configs(configs, benchmarks, num_insts, seed)
+    result = ExperimentResult(
+        name="Ablation: independent MOPs",
+        description=("macro-op IPC and grouped fraction with and without "
+                     "independent-instruction grouping"),
+        ratio_columns=("off_rel",),
+        notes="paper: slight negative effect possible on mispredict "
+              "resolution (eon), but queue-pressure benefit elsewhere",
+    )
+    for name, by_config in stats.items():
+        on = by_config["indep_on"].ipc
+        off = by_config["indep_off"].ipc
+        result.rows[name] = {
+            "on_IPC": on,
+            "off_IPC": off,
+            "off_rel": off / on if on else 0.0,
+            "on_grouped_%": 100.0 * by_config["indep_on"].grouped_fraction,
+            "off_grouped_%": 100.0 * by_config["indep_off"].grouped_fraction,
+        }
+    return result
+
+
+def scope_sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_insts: int = DEFAULT_INSTS,
+    seed: int = 1,
+    scopes: Sequence[int] = (2, 4, 8, 16),
+) -> ExperimentResult:
+    """Section 4.2: fraction of heads whose nearest tail fits each scope.
+
+    Machine-independent: re-buckets the Figure 6 distances under different
+    formation scopes to show why the paper settles on 8 instructions.
+    """
+    result = ExperimentResult(
+        name="Ablation: formation scope",
+        description=("% of value-generating heads whose nearest dependent "
+                     "candidate lies within each scope"),
+        notes="paper: the 8-instruction scope captures most pairs",
+    )
+    original_horizon = depdist._HORIZON
+    try:
+        depdist._HORIZON = max(max(scopes) * 4, 64)
+        for name in _benchmarks(benchmarks):
+            trace = workload_trace(name, num_insts, seed)
+            buckets = characterize_distances(trace)
+            row = {}
+            # Distances are bucketed 1-3 / 4-7 / 8+; scopes 4 and 8 map
+            # exactly, other scopes are bounded by the nearest bucket edge.
+            within_4 = buckets.fraction("d1_3")
+            within_8 = within_4 + buckets.fraction("d4_7")
+            has_tail = within_8 + buckets.fraction("d8p")
+            for scope in scopes:
+                if scope <= 4:
+                    row[f"scope{scope}_%"] = 100.0 * within_4
+                elif scope <= 8:
+                    row[f"scope{scope}_%"] = 100.0 * within_8
+                else:
+                    row[f"scope{scope}_%"] = 100.0 * has_tail
+            result.rows[name] = row
+    finally:
+        depdist._HORIZON = original_horizon
+    return result

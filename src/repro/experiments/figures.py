@@ -1,0 +1,270 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each function returns an :class:`~repro.experiments.runner.ExperimentResult`
+with one row per benchmark and the same series the paper plots.  Paper
+reference values, where the text states them exactly, are included in the
+notes so renders double as paper-vs-measured reports (EXPERIMENTS.md holds
+the full comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.depdist import characterize_distances
+from repro.analysis.groupability import characterize_groupability
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle
+from repro.experiments.runner import (
+    DEFAULT_INSTS,
+    ExperimentResult,
+    run_configs,
+    workload_trace,
+)
+from repro.workloads import get_profile, profile_names
+
+
+def _benchmarks(benchmarks: Optional[Sequence[str]]) -> Sequence[str]:
+    return list(benchmarks) if benchmarks else list(profile_names())
+
+
+# ---------------------------------------------------------------------------
+# Machine-independent characterizations
+# ---------------------------------------------------------------------------
+
+def figure6(benchmarks: Optional[Sequence[str]] = None,
+            num_insts: int = DEFAULT_INSTS,
+            seed: int = 1) -> ExperimentResult:
+    """Figure 6: dependence edge distance between candidate pairs."""
+    result = ExperimentResult(
+        name="Figure 6",
+        description=("dependence-edge distance from each value-generating "
+                     "candidate to its nearest dependent candidate "
+                     "(% of such heads; '% total insts' column matches the "
+                     "figure's top row)"),
+        notes=("paper: ~73% of heads have a potential tail on average; "
+               "87% of gap's pairs and 54% of vortex's fall within the "
+               "8-instruction scope"),
+    )
+    for name in _benchmarks(benchmarks):
+        buckets = characterize_distances(workload_trace(name, num_insts,
+                                                        seed))
+        result.rows[name] = buckets.as_row()
+    return result
+
+
+def figure7(benchmarks: Optional[Sequence[str]] = None,
+            num_insts: int = DEFAULT_INSTS,
+            seed: int = 1) -> ExperimentResult:
+    """Figure 7: instructions groupable into 2x and 8x MOPs."""
+    result = ExperimentResult(
+        name="Figure 7",
+        description=("% of committed instructions groupable into MOPs "
+                     "within the 8-instruction scope"),
+        notes=("paper: 53~73% of instructions are candidates; 32.9% (2x) "
+               "and 35.4% (8x) grouped on average; 2.2-3.0 insts per 8x "
+               "MOP"),
+    )
+    for name in _benchmarks(benchmarks):
+        trace = workload_trace(name, num_insts, seed)
+        two = characterize_groupability(trace, mop_limit=2)
+        eight = characterize_groupability(trace, mop_limit=8)
+        result.rows[name] = {
+            "candidates_%": 100.0 * two.candidate_fraction,
+            "grouped_2x_%": 100.0 * two.grouped_fraction,
+            "grouped_8x_%": 100.0 * eight.grouped_fraction,
+            "avg_8x_size": eight.avg_mop_size,
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Timing experiments
+# ---------------------------------------------------------------------------
+
+def figure13(benchmarks: Optional[Sequence[str]] = None,
+             num_insts: int = DEFAULT_INSTS,
+             seed: int = 1) -> ExperimentResult:
+    """Figure 13: grouped instructions under the real pipeline."""
+    configs = {
+        "2-src": MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.CAM_2SRC),
+        "wired-OR": MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.WIRED_OR),
+    }
+    stats = run_configs(configs, benchmarks, num_insts, seed)
+    result = ExperimentResult(
+        name="Figure 13",
+        description=("% of committed instructions grouped into MOPs by the "
+                     "macro-op pipeline (dependent valuegen / nonvaluegen, "
+                     "independent), per wakeup style"),
+        notes=("paper: 28~46% of instructions grouped; average 16.2% "
+               "reduction in scheduler inserts"),
+    )
+    for name, by_config in stats.items():
+        row = {}
+        for label, s in by_config.items():
+            breakdown = s.grouping_breakdown()
+            row[f"{label}_grouped_%"] = 100.0 * s.grouped_fraction
+            row[f"{label}_valuegen_%"] = 100.0 * breakdown["mop_valuegen"]
+            row[f"{label}_indep_%"] = 100.0 * breakdown["independent_mop"]
+            row[f"{label}_insred_%"] = 100.0 * s.insert_reduction
+        result.rows[name] = row
+    return result
+
+
+def figure14(benchmarks: Optional[Sequence[str]] = None,
+             num_insts: int = DEFAULT_INSTS,
+             seed: int = 1) -> ExperimentResult:
+    """Figure 14: vanilla macro-op scheduling performance.
+
+    Unrestricted issue queue, 128 ROB, no extra MOP formation stage — the
+    configuration in which macro-op scheduling gets no queue-contention
+    benefit and must stand on shortened dependence edges alone.
+    """
+    configs = {
+        "base": MachineConfig.unrestricted_queue(
+            scheduler=SchedulerKind.BASE),
+        "2-cycle": MachineConfig.unrestricted_queue(
+            scheduler=SchedulerKind.TWO_CYCLE),
+        "MOP-2src": MachineConfig.unrestricted_queue(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.CAM_2SRC),
+        "MOP-wiredOR": MachineConfig.unrestricted_queue(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.WIRED_OR),
+    }
+    stats = run_configs(configs, benchmarks, num_insts, seed)
+    result = ExperimentResult(
+        name="Figure 14",
+        description=("IPC normalized to base scheduling; unrestricted "
+                     "issue queue / 128 ROB, no extra pipeline stage"),
+        ratio_columns=("2-cycle", "MOP-2src", "MOP-wiredOR"),
+        notes=("paper: 2-cycle loses 1.3% (vortex) ~ 19.1% (gap); "
+               "macro-op achieves 97.2% of base on average"),
+    )
+    for name, by_config in stats.items():
+        base = by_config["base"].ipc
+        result.rows[name] = {
+            "base_IPC": base,
+            "2-cycle": by_config["2-cycle"].ipc / base,
+            "MOP-2src": by_config["MOP-2src"].ipc / base,
+            "MOP-wiredOR": by_config["MOP-wiredOR"].ipc / base,
+        }
+    return result
+
+
+def figure15(benchmarks: Optional[Sequence[str]] = None,
+             num_insts: int = DEFAULT_INSTS,
+             seed: int = 1) -> ExperimentResult:
+    """Figure 15: macro-op scheduling under issue-queue contention.
+
+    32-entry issue queue / 128 ROB.  The solid bars of the paper use one
+    extra MOP-formation stage; the error bars are 0 and 2 extra stages —
+    reported here as separate columns.
+    """
+    configs = {
+        "base": MachineConfig.paper_default(scheduler=SchedulerKind.BASE),
+        "2-cycle": MachineConfig.paper_default(
+            scheduler=SchedulerKind.TWO_CYCLE),
+    }
+    for stages in (0, 1, 2):
+        configs[f"MOP-2src+{stages}"] = MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.CAM_2SRC,
+            extra_mop_stages=stages)
+        configs[f"MOP-wiredOR+{stages}"] = MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.WIRED_OR,
+            extra_mop_stages=stages)
+    stats = run_configs(configs, benchmarks, num_insts, seed)
+    result = ExperimentResult(
+        name="Figure 15",
+        description=("IPC normalized to base scheduling; 32-entry issue "
+                     "queue / 128 ROB; MOP columns give 0/1/2 extra "
+                     "formation stages"),
+        ratio_columns=("2-cycle", "MOP-2src+1", "MOP-wiredOR+1"),
+        notes=("paper: average slowdown 0.5% (2-src) and 0.1% (wired-OR) "
+               "with 1 extra stage; worst case 3.1% (parser); several "
+               "benchmarks beat the baseline"),
+    )
+    for name, by_config in stats.items():
+        base = by_config["base"].ipc
+        row = {"base_IPC": base,
+               "2-cycle": by_config["2-cycle"].ipc / base}
+        for label, s in by_config.items():
+            if label.startswith("MOP"):
+                row[label] = s.ipc / base
+        result.rows[name] = row
+    return result
+
+
+def figure16(benchmarks: Optional[Sequence[str]] = None,
+             num_insts: int = DEFAULT_INSTS,
+             seed: int = 1) -> ExperimentResult:
+    """Figure 16: pipelined scheduling logic comparison.
+
+    Select-free scheduling (squash-dep and scoreboard, Brown et al.) against
+    macro-op scheduling with wired-OR wakeup and one extra formation stage,
+    all on the 32-entry issue queue.
+    """
+    configs = {
+        "base": MachineConfig.paper_default(scheduler=SchedulerKind.BASE),
+        "select-free-squash-dep": MachineConfig.paper_default(
+            scheduler=SchedulerKind.SELECT_FREE_SQUASH),
+        "select-free-scoreboard": MachineConfig.paper_default(
+            scheduler=SchedulerKind.SELECT_FREE_SCOREBOARD),
+        "MOP-wiredOR": MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.WIRED_OR,
+            extra_mop_stages=1),
+    }
+    stats = run_configs(configs, benchmarks, num_insts, seed)
+    result = ExperimentResult(
+        name="Figure 16",
+        description=("IPC normalized to base scheduling; 32-entry issue "
+                     "queue; select-free vs macro-op"),
+        ratio_columns=("select-free-squash-dep", "select-free-scoreboard",
+                       "MOP-wiredOR"),
+        notes=("paper: squash-dep comparable or slightly worse than "
+               "macro-op; scoreboard noticeably worse; select-free never "
+               "beats the baseline"),
+    )
+    for name, by_config in stats.items():
+        base = by_config["base"].ipc
+        result.rows[name] = {
+            "base_IPC": base,
+            "select-free-squash-dep":
+                by_config["select-free-squash-dep"].ipc / base,
+            "select-free-scoreboard":
+                by_config["select-free-scoreboard"].ipc / base,
+            "MOP-wiredOR": by_config["MOP-wiredOR"].ipc / base,
+        }
+    return result
+
+
+def table2(benchmarks: Optional[Sequence[str]] = None,
+           num_insts: int = DEFAULT_INSTS,
+           seed: int = 1) -> ExperimentResult:
+    """Table 2: base IPC with 32-entry and unrestricted issue queues."""
+    configs = {
+        "base32": MachineConfig.paper_default(scheduler=SchedulerKind.BASE),
+        "baseU": MachineConfig.unrestricted_queue(
+            scheduler=SchedulerKind.BASE),
+    }
+    stats = run_configs(configs, benchmarks, num_insts, seed)
+    result = ExperimentResult(
+        name="Table 2",
+        description=("base-scheduler IPC, 32-entry / unrestricted issue "
+                     "queue, with the paper's measured values"),
+    )
+    for name, by_config in stats.items():
+        profile = get_profile(name)
+        result.rows[name] = {
+            "IPC_32": by_config["base32"].ipc,
+            "paper_32": profile.paper_ipc_32,
+            "IPC_unrestricted": by_config["baseU"].ipc,
+            "paper_unrestricted": profile.paper_ipc_unrestricted,
+        }
+    return result

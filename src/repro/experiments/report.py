@@ -1,0 +1,73 @@
+"""One-shot reproduction report: every table and figure, one document.
+
+:func:`full_report` runs the complete evaluation (characterizations,
+timing figures, ablations) and returns a single text document — what the
+CLI's ``repro-sim report`` prints and what a CI job would archive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.ablations import (
+    detection_delay_ablation,
+    independent_mops_ablation,
+    last_arrival_filter_ablation,
+    scope_sweep,
+)
+from repro.experiments.figures import (
+    figure6,
+    figure7,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    table2,
+)
+from repro.experiments.runner import DEFAULT_INSTS
+
+#: The full evaluation, in the paper's presentation order.
+_SECTIONS = (
+    ("Table 2", table2),
+    ("Figure 6", figure6),
+    ("Figure 7", figure7),
+    ("Figure 13", figure13),
+    ("Figure 14", figure14),
+    ("Figure 15", figure15),
+    ("Figure 16", figure16),
+    ("Ablation: detection delay", detection_delay_ablation),
+    ("Ablation: last-arrival filter", last_arrival_filter_ablation),
+    ("Ablation: independent MOPs", independent_mops_ablation),
+    ("Ablation: formation scope", scope_sweep),
+)
+
+
+def full_report(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_insts: int = DEFAULT_INSTS,
+    seed: int = 1,
+    sections: Optional[Sequence[str]] = None,
+) -> str:
+    """Run the whole evaluation and render it as one document.
+
+    *sections*, if given, selects by section title prefix (case-
+    insensitive), e.g. ``["figure 14", "table 2"]``.
+    """
+    wanted = None
+    if sections:
+        wanted = [s.lower() for s in sections]
+    parts: List[str] = [
+        "Macro-op Scheduling (MICRO-36 2003) — reproduction report",
+        f"workloads: {', '.join(benchmarks) if benchmarks else 'all 12'}"
+        f"; {num_insts} committed instructions each; seed {seed}",
+        "=" * 72,
+    ]
+    for title, runner in _SECTIONS:
+        if wanted is not None and not any(
+                title.lower().startswith(w) for w in wanted):
+            continue
+        result = runner(benchmarks=benchmarks, num_insts=num_insts,
+                        seed=seed)
+        parts.append(result.render())
+        parts.append("-" * 72)
+    return "\n".join(parts)

@@ -1,0 +1,96 @@
+"""Shared experiment plumbing: trace caching, config sweeps, result tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import geomean, render_table
+from repro.core import MachineConfig, SimStats, simulate
+from repro.workloads import generate_trace, get_profile, profile_names
+from repro.workloads.trace import Trace
+
+#: Default dynamic instruction budget per benchmark.  Small enough for a
+#: pure-Python cycle simulator, large enough that the scheduler shapes are
+#: stable (the paper simulates billions on native hardware; we match
+#: shapes, not absolute counts).
+DEFAULT_INSTS = 10_000
+
+_trace_cache: Dict[Tuple[str, int, int], Trace] = {}
+
+
+def workload_trace(benchmark: str, num_insts: int = DEFAULT_INSTS,
+                   seed: int = 1) -> Trace:
+    """Return (and cache) the synthetic trace for *benchmark*."""
+    key = (benchmark, num_insts, seed)
+    if key not in _trace_cache:
+        _trace_cache[key] = generate_trace(
+            get_profile(benchmark), num_insts, seed=seed)
+    return _trace_cache[key]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    ``rows`` maps benchmark → {column: value}; ``render()`` prints the
+    aligned table with a geometric-mean summary row for ratio columns.
+    """
+
+    name: str
+    description: str
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    ratio_columns: Tuple[str, ...] = ()
+    notes: str = ""
+
+    def render(self, precision: int = 3) -> str:
+        names = list(self.rows)
+        table = render_table(
+            f"{self.name} — {self.description}",
+            [self.rows[n] for n in names],
+            names,
+            precision=precision,
+        )
+        if self.ratio_columns and self.rows:
+            means = {
+                col: geomean(self.rows[n][col] for n in names)
+                for col in self.ratio_columns
+            }
+            summary = "  ".join(f"{col}={means[col]:.3f}"
+                                for col in self.ratio_columns)
+            table += f"\ngeomean: {summary}"
+        if self.notes:
+            table += f"\n{self.notes}"
+        return table
+
+    def column(self, column: str) -> Dict[str, float]:
+        return {name: row[column] for name, row in self.rows.items()}
+
+    def render_bars(self, column: str, reference: Optional[float] = 1.0
+                    ) -> str:
+        """ASCII bar chart of one column across benchmarks (the visual
+        form of the paper's per-benchmark bar figures)."""
+        from repro.analysis.reporting import render_bars
+        return render_bars(f"{self.name} — {column}",
+                           self.column(column), reference=reference)
+
+
+def run_configs(
+    configs: Dict[str, MachineConfig],
+    benchmarks: Optional[Sequence[str]] = None,
+    num_insts: int = DEFAULT_INSTS,
+    seed: int = 1,
+) -> Dict[str, Dict[str, SimStats]]:
+    """Simulate every benchmark under every named configuration.
+
+    Returns ``{benchmark: {config_label: SimStats}}``.
+    """
+    benchmarks = list(benchmarks) if benchmarks else list(profile_names())
+    results: Dict[str, Dict[str, SimStats]] = {}
+    for benchmark in benchmarks:
+        trace = workload_trace(benchmark, num_insts, seed)
+        results[benchmark] = {
+            label: simulate(trace, config)
+            for label, config in configs.items()
+        }
+    return results

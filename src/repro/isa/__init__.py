@@ -1,0 +1,49 @@
+"""Alpha-like micro-ISA used by the timing model.
+
+The paper evaluates macro-op scheduling on the Alpha AXP ISA via a
+SimpleScalar-derived simulator.  This package provides the minimal ISA
+abstractions the timing model needs:
+
+* :mod:`repro.isa.opcodes` — operation classes, execution latencies and the
+  macro-op candidate classification of Section 4.1,
+* :mod:`repro.isa.registers` — architectural register conventions,
+* :mod:`repro.isa.instruction` — static and dynamic instruction records,
+* :mod:`repro.isa.assembler` — a small text assembler for writing kernels,
+* :mod:`repro.isa.interpreter` — a functional executor that turns a program
+  into a dynamic instruction trace.
+"""
+
+from repro.isa.opcodes import (
+    OpClass,
+    execution_latency,
+    is_control,
+    is_mop_candidate,
+    is_single_cycle,
+    is_value_generating_candidate,
+)
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    ZERO_REG,
+    reg_name,
+)
+from repro.isa.instruction import DynInst, StaticInst
+
+__all__ = [
+    "OpClass",
+    "execution_latency",
+    "is_control",
+    "is_mop_candidate",
+    "is_single_cycle",
+    "is_value_generating_candidate",
+    "StaticInst",
+    "DynInst",
+    "NUM_ARCH_REGS",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "FP_REG_BASE",
+    "ZERO_REG",
+    "reg_name",
+]

@@ -1,0 +1,213 @@
+"""A small text assembler for the micro-ISA.
+
+The assembler exists so that examples and tests can run *real programs*
+through the timing model (execution-driven), complementing the synthetic
+SPEC-like workload generators.  The language is deliberately tiny::
+
+    # three-operand ALU:    add rd, rs, rt        (also sub/and/or/xor/
+    #                                              nor/sll/srl/sra/slt)
+    # immediate ALU:        addi rd, rs, imm      (also subi/andi/ori/
+    #                                              xori/slti/slli/srli)
+    # moves:                li rd, imm  /  mov rd, rs  /  not rd, rs
+    # multiply/divide:      mul rd, rs, rt  /  div rd, rs, rt
+    # floating point:       fadd fd, fs, ft  (also fsub/fmul/fdiv/fmov)
+    # memory:               lw rd, imm(rs)   /  sw rv, imm(ra)
+    #                       flw fd, imm(rs)  /  fsw fv, imm(ra)
+    # control:              beq rs, rt, label   bne/blt/bge
+    #                       bez rs, label       bnz
+    #                       jmp label           jr rs         halt
+    # misc:                 nop
+
+Labels are ``name:`` on their own line or before an instruction.  ``#``
+starts a comment.  The assembler resolves labels to instruction indices
+(the PC unit is one instruction, as in SimpleScalar traces).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import parse_reg
+
+
+class AsmError(ValueError):
+    """Raised on a malformed assembly line, with line number context."""
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions plus the label map."""
+
+    insts: List[StaticInst] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __getitem__(self, pc: int) -> StaticInst:
+        return self.insts[pc]
+
+    def disassemble(self) -> str:
+        """Render the program with label annotations, for debugging."""
+        by_pc: Dict[int, List[str]] = {}
+        for name, pc in self.labels.items():
+            by_pc.setdefault(pc, []).append(name)
+        lines = []
+        for pc, inst in enumerate(self.insts):
+            for name in by_pc.get(pc, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {pc:4d}: {inst}")
+        return "\n".join(lines)
+
+
+_R3_OPS = {
+    "add", "sub", "and", "or", "xor", "nor",
+    "sll", "srl", "sra", "slt", "sltu",
+}
+_RI_OPS = {"addi", "subi", "andi", "ori", "xori", "slti", "slli", "srli"}
+_FP3_OPS = {"fadd": OpClass.FP_ALU, "fsub": OpClass.FP_ALU,
+            "fmul": OpClass.FP_MULT, "fdiv": OpClass.FP_DIV}
+_BR2_OPS = {"beq", "bne", "blt", "bge"}
+_BR1_OPS = {"bez", "bnz"}
+
+_MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*(\w+)\s*\)$")
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [p.strip() for p in rest.split(",") if p.strip()] if rest else []
+
+
+def _parse_imm(tok: str, lineno: int) -> int:
+    try:
+        return int(tok, 0)
+    except ValueError as exc:
+        raise AsmError(f"line {lineno}: bad immediate {tok!r}") from exc
+
+
+def _parse_mem(tok: str, lineno: int) -> Tuple[int, int]:
+    """Parse ``imm(rs)`` into (imm, base register)."""
+    match = _MEM_RE.match(tok)
+    if not match:
+        raise AsmError(f"line {lineno}: bad memory operand {tok!r}")
+    return _parse_imm(match.group(1), lineno), parse_reg(match.group(2))
+
+
+def assemble(text: str) -> Program:
+    """Assemble *text* into a :class:`Program`.
+
+    Runs two passes: the first collects labels and raw operand strings, the
+    second resolves label references into instruction indices.
+    """
+    raw: List[Tuple[int, str, List[str]]] = []  # (lineno, mnemonic, operands)
+    labels: Dict[str, int] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, line = line.split(":", 1)
+            label = label.strip()
+            if not label.isidentifier():
+                raise AsmError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AsmError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(raw)
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        raw.append((lineno, mnemonic, operands))
+
+    def resolve(tok: str, lineno: int) -> int:
+        if tok in labels:
+            return labels[tok]
+        return _parse_imm(tok, lineno)
+
+    insts: List[StaticInst] = []
+    for lineno, mn, ops in raw:
+        insts.append(_encode(mn, ops, lineno, resolve))
+    return Program(insts=insts, labels=labels)
+
+
+def _encode(mn: str, ops: List[str], lineno: int, resolve) -> StaticInst:
+    """Encode one instruction; *resolve* maps a label/immediate token."""
+    if mn in _R3_OPS:
+        _expect(ops, 3, mn, lineno)
+        return StaticInst(mn, OpClass.INT_ALU, dest=parse_reg(ops[0]),
+                          srcs=(parse_reg(ops[1]), parse_reg(ops[2])))
+    if mn in _RI_OPS:
+        _expect(ops, 3, mn, lineno)
+        return StaticInst(mn, OpClass.INT_ALU, dest=parse_reg(ops[0]),
+                          srcs=(parse_reg(ops[1]),),
+                          imm=_parse_imm(ops[2], lineno))
+    if mn == "li":
+        _expect(ops, 2, mn, lineno)
+        return StaticInst(mn, OpClass.INT_ALU, dest=parse_reg(ops[0]),
+                          imm=_parse_imm(ops[1], lineno))
+    if mn in ("mov", "not"):
+        _expect(ops, 2, mn, lineno)
+        return StaticInst(mn, OpClass.INT_ALU, dest=parse_reg(ops[0]),
+                          srcs=(parse_reg(ops[1]),))
+    if mn == "mul":
+        _expect(ops, 3, mn, lineno)
+        return StaticInst(mn, OpClass.INT_MULT, dest=parse_reg(ops[0]),
+                          srcs=(parse_reg(ops[1]), parse_reg(ops[2])))
+    if mn == "div":
+        _expect(ops, 3, mn, lineno)
+        return StaticInst(mn, OpClass.INT_DIV, dest=parse_reg(ops[0]),
+                          srcs=(parse_reg(ops[1]), parse_reg(ops[2])))
+    if mn in _FP3_OPS:
+        _expect(ops, 3, mn, lineno)
+        return StaticInst(mn, _FP3_OPS[mn], dest=parse_reg(ops[0]),
+                          srcs=(parse_reg(ops[1]), parse_reg(ops[2])))
+    if mn == "fmov":
+        _expect(ops, 2, mn, lineno)
+        return StaticInst(mn, OpClass.FP_ALU, dest=parse_reg(ops[0]),
+                          srcs=(parse_reg(ops[1]),))
+    if mn in ("lw", "flw"):
+        _expect(ops, 2, mn, lineno)
+        imm, base = _parse_mem(ops[1], lineno)
+        return StaticInst(mn, OpClass.LOAD, dest=parse_reg(ops[0]),
+                          srcs=(base,), imm=imm)
+    if mn in ("sw", "fsw"):
+        _expect(ops, 2, mn, lineno)
+        imm, base = _parse_mem(ops[1], lineno)
+        return StaticInst(mn, OpClass.STORE_ADDR, srcs=(base,), imm=imm,
+                          store_src=parse_reg(ops[0]))
+    if mn in _BR2_OPS:
+        _expect(ops, 3, mn, lineno)
+        return StaticInst(mn, OpClass.BRANCH,
+                          srcs=(parse_reg(ops[0]), parse_reg(ops[1])),
+                          target=resolve(ops[2], lineno))
+    if mn in _BR1_OPS:
+        _expect(ops, 2, mn, lineno)
+        return StaticInst(mn, OpClass.BRANCH, srcs=(parse_reg(ops[0]),),
+                          target=resolve(ops[1], lineno))
+    if mn == "jmp":
+        _expect(ops, 1, mn, lineno)
+        return StaticInst(mn, OpClass.JUMP, target=resolve(ops[0], lineno))
+    if mn == "jr":
+        _expect(ops, 1, mn, lineno)
+        return StaticInst(mn, OpClass.JUMP_INDIRECT,
+                          srcs=(parse_reg(ops[0]),))
+    if mn == "nop":
+        _expect(ops, 0, mn, lineno)
+        return StaticInst(mn, OpClass.NOP)
+    if mn == "halt":
+        _expect(ops, 0, mn, lineno)
+        return StaticInst(mn, OpClass.SYSCALL)
+    raise AsmError(f"line {lineno}: unknown mnemonic {mn!r}")
+
+
+def _expect(ops: List[str], count: int, mn: str, lineno: int) -> None:
+    if len(ops) != count:
+        raise AsmError(
+            f"line {lineno}: {mn} expects {count} operand(s), got {len(ops)}"
+        )

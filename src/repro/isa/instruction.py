@@ -1,0 +1,223 @@
+"""Static and dynamic instruction records.
+
+A :class:`StaticInst` is one instruction of a program: opcode, register
+operands, immediate, and (for control flow) a target.  A :class:`DynInst` is
+one *executed instance* of a static instruction: it carries the dynamic
+sequence number, PC, the resolved control-flow outcome and memory address.
+The timing model consumes streams of ``DynInst`` (from the functional
+interpreter or from a synthetic workload generator) — this is the classic
+trace-driven structure of SimpleScalar-style studies.
+
+Stores are represented *cracked*: the decoder (or trace generator) emits a
+``STORE_ADDR`` operation (the effective-address generation, a macro-op
+candidate per Section 4.1) followed by a ``STORE_DATA`` operation that
+retires the data at commit, mirroring the paper's Pentium 4–style store
+split.  Only the ``STORE_ADDR`` half increments the committed instruction
+count, so IPC remains in units of architectural instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import (
+    OpClass,
+    execution_latency,
+    is_control,
+    is_mop_candidate,
+    is_value_generating_candidate,
+)
+from repro.isa.registers import is_zero_reg, reg_name
+
+
+@dataclass(frozen=True)
+class StaticInst:
+    """One instruction of a static program.
+
+    Attributes:
+        mnemonic: assembly mnemonic (``add``, ``lw``, ``beq``, ...).
+        op_class: coarse operation class used by the timing model.
+        dest: destination architectural register, or ``None``.
+        srcs: source architectural registers (zero register included as
+            written; dependence analysis filters it).
+        imm: immediate operand, if any.
+        target: static branch/jump target (instruction index), if any.
+        store_src: for stores, the register holding the data to store; the
+            decoder cracks it into the ``STORE_DATA`` operation.
+    """
+
+    mnemonic: str
+    op_class: OpClass
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: int = 0
+    target: Optional[int] = None
+    store_src: Optional[int] = None
+
+    def __str__(self) -> str:
+        parts = [self.mnemonic]
+        ops = []
+        if self.dest is not None:
+            ops.append(reg_name(self.dest))
+        ops.extend(reg_name(s) for s in self.srcs)
+        if self.store_src is not None:
+            ops.append(reg_name(self.store_src))
+        if self.target is not None:
+            ops.append(f"@{self.target}")
+        elif self.imm:
+            ops.append(str(self.imm))
+        if ops:
+            parts.append(", ".join(ops))
+        return " ".join(parts)
+
+
+class DynInst:
+    """One dynamically executed operation, as seen by the timing model.
+
+    ``DynInst`` uses ``__slots__`` because timing runs create one per
+    executed operation (tens of thousands per simulation).
+    """
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "op_class",
+        "dest",
+        "srcs",
+        "taken",
+        "target_pc",
+        "fallthrough_pc",
+        "mem_addr",
+        "counts_as_inst",
+        "mnemonic",
+        "mispred_hint",
+        "mem_hint",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        op_class: OpClass,
+        dest: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        taken: bool = False,
+        target_pc: Optional[int] = None,
+        fallthrough_pc: Optional[int] = None,
+        mem_addr: Optional[int] = None,
+        counts_as_inst: bool = True,
+        mnemonic: str = "",
+        mispred_hint: Optional[bool] = None,
+        mem_hint: Optional[int] = None,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.op_class = op_class
+        self.dest = dest if dest is None or not is_zero_reg(dest) else None
+        self.srcs = tuple(s for s in srcs if not is_zero_reg(s))
+        self.taken = taken
+        self.target_pc = target_pc
+        self.fallthrough_pc = fallthrough_pc if fallthrough_pc is not None else pc + 1
+        self.mem_addr = mem_addr
+        self.counts_as_inst = counts_as_inst
+        self.mnemonic = mnemonic or op_class.name.lower()
+        # Synthetic-workload annotations.  ``mispred_hint`` pre-resolves
+        # whether the frontend mispredicts this branch (None → ask the real
+        # branch predictor); ``mem_hint`` pre-resolves the memory level a
+        # load hits (0=DL1, 1=L2, 2=memory; None → ask the real caches).
+        self.mispred_hint = mispred_hint
+        self.mem_hint = mem_hint
+
+    # -- classification helpers -------------------------------------------
+
+    @property
+    def has_dest(self) -> bool:
+        return self.dest is not None
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store_addr(self) -> bool:
+        return self.op_class is OpClass.STORE_ADDR
+
+    @property
+    def is_store_data(self) -> bool:
+        return self.op_class is OpClass.STORE_DATA
+
+    @property
+    def is_branch(self) -> bool:
+        return is_control(self.op_class)
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_mop_candidate(self) -> bool:
+        """Macro-op candidate per Section 4.1."""
+        return is_mop_candidate(self.op_class)
+
+    @property
+    def is_valuegen_candidate(self) -> bool:
+        """Value-generating candidate (potential MOP head) per Section 4.1."""
+        return is_value_generating_candidate(self.op_class, self.has_dest)
+
+    @property
+    def latency(self) -> int:
+        """Functional-unit latency (memory access latency excluded)."""
+        return execution_latency(self.op_class)
+
+    @property
+    def next_pc(self) -> int:
+        """The architecturally correct next PC."""
+        if self.taken and self.target_pc is not None:
+            return self.target_pc
+        return self.fallthrough_pc
+
+    def __repr__(self) -> str:
+        return (
+            f"DynInst(seq={self.seq}, pc={self.pc}, {self.mnemonic},"
+            f" dest={self.dest}, srcs={self.srcs})"
+        )
+
+
+def crack_store(
+    seq: int,
+    pc: int,
+    addr_srcs: Tuple[int, ...],
+    data_src: int,
+    mem_addr: Optional[int] = None,
+    fallthrough_pc: Optional[int] = None,
+) -> Tuple[DynInst, DynInst]:
+    """Crack a store into its ``STORE_ADDR`` + ``STORE_DATA`` operations.
+
+    The address-generation half carries the committed-instruction count; the
+    data half is the bookkeeping operation that writes memory at commit.
+    Both share the store's PC so MOP pointers indexed by PC see one slot.
+    """
+    addr_op = DynInst(
+        seq=seq,
+        pc=pc,
+        op_class=OpClass.STORE_ADDR,
+        dest=None,
+        srcs=addr_srcs,
+        mem_addr=mem_addr,
+        fallthrough_pc=fallthrough_pc,
+        counts_as_inst=True,
+        mnemonic="st.addr",
+    )
+    data_op = DynInst(
+        seq=seq + 1,
+        pc=pc,
+        op_class=OpClass.STORE_DATA,
+        dest=None,
+        srcs=(data_src,),
+        mem_addr=mem_addr,
+        fallthrough_pc=fallthrough_pc,
+        counts_as_inst=False,
+        mnemonic="st.data",
+    )
+    return addr_op, data_op

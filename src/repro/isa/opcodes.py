@@ -1,0 +1,129 @@
+"""Operation classes, latencies, and macro-op candidate classification.
+
+Latencies follow Table 1 of the paper:
+
+======================  =======
+functional unit         latency
+======================  =======
+integer ALU             1
+FP ALU                  2
+integer multiply        3
+integer divide          20
+FP multiply             4
+FP divide               24
+======================  =======
+
+Loads perform a 1-cycle address generation and then access the memory
+hierarchy (DL1 hit latency 2 in the paper's configuration).  Stores are
+decoded into two operations — an effective-address generation and the actual
+store-data operation — mirroring the Pentium 4–style split described in
+Section 2.1.
+
+Macro-op *candidates* (Section 4.1) are the single-cycle operations:
+single-cycle integer ALU, store address generation, and control (branch)
+instructions.  Among those, instructions that produce a register value are
+*value-generating* candidates: only they can be MOP heads, because only they
+can have dependent instructions whose issue a pipelined (2-cycle) scheduler
+would delay.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Coarse operation classes distinguished by the timing model."""
+
+    INT_ALU = 0
+    INT_MULT = 1
+    INT_DIV = 2
+    FP_ALU = 3
+    FP_MULT = 4
+    FP_DIV = 5
+    LOAD = 6
+    STORE_ADDR = 7
+    STORE_DATA = 8
+    BRANCH = 9
+    JUMP = 10
+    JUMP_INDIRECT = 11
+    NOP = 12
+    SYSCALL = 13
+
+
+#: Execution latency per op class (Table 1).  ``LOAD`` shows only the
+#: address-generation cycle; the memory access latency is added by the memory
+#: hierarchy model.  ``STORE_DATA`` retires at commit and occupies no
+#: execution latency in the scheduler beyond its single cycle.
+_EXEC_LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MULT: 3,
+    OpClass.INT_DIV: 20,
+    OpClass.FP_ALU: 2,
+    OpClass.FP_MULT: 4,
+    OpClass.FP_DIV: 24,
+    OpClass.LOAD: 1,
+    OpClass.STORE_ADDR: 1,
+    OpClass.STORE_DATA: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.JUMP_INDIRECT: 1,
+    OpClass.NOP: 1,
+    OpClass.SYSCALL: 1,
+}
+
+#: Op classes that are macro-op candidates (Section 4.1): the single-cycle
+#: operations a 1-cycle scheduling loop exists to serve.
+_MOP_CANDIDATES = frozenset(
+    {
+        OpClass.INT_ALU,
+        OpClass.STORE_ADDR,
+        OpClass.BRANCH,
+        OpClass.JUMP,
+        OpClass.JUMP_INDIRECT,
+    }
+)
+
+#: Control-flow op classes.
+_CONTROL = frozenset({OpClass.BRANCH, OpClass.JUMP, OpClass.JUMP_INDIRECT})
+
+
+def execution_latency(op_class: OpClass) -> int:
+    """Return the functional-unit latency for *op_class* (Table 1)."""
+    return _EXEC_LATENCY[op_class]
+
+
+def is_single_cycle(op_class: OpClass) -> bool:
+    """True when *op_class* executes in a single cycle.
+
+    Loads are *not* single-cycle from the scheduler's perspective: their
+    address generation takes one cycle but the memory access adds more, so
+    they never require a 1-cycle scheduling loop (Section 4.1).
+    """
+    return op_class is not OpClass.LOAD and _EXEC_LATENCY[op_class] == 1
+
+
+def is_control(op_class: OpClass) -> bool:
+    """True for branch/jump op classes."""
+    return op_class in _CONTROL
+
+
+def is_mop_candidate(op_class: OpClass) -> bool:
+    """True when *op_class* may participate in a macro-op (Section 4.1).
+
+    Candidates are single-cycle ALU operations, store address generations,
+    and control instructions.  Multi-cycle operations (loads, multiplies,
+    floating point) already tolerate pipelined scheduling and are excluded.
+    """
+    return op_class in _MOP_CANDIDATES
+
+
+def is_value_generating_candidate(op_class: OpClass, has_dest: bool) -> bool:
+    """True when the instruction can be a MOP *head* (Section 4.1).
+
+    A value-generating candidate both is a MOP candidate and writes a
+    register, so dependent instructions exist whose wakeup a 2-cycle
+    scheduler would delay.  Branches and store address generations produce no
+    register value and can only ever be MOP tails.
+    """
+    return has_dest and op_class in _MOP_CANDIDATES

@@ -1,0 +1,61 @@
+"""Architectural register conventions for the micro-ISA.
+
+We use an Alpha-like register file: 32 integer registers ``r0``–``r31`` with
+``r31`` hard-wired to zero, and 32 floating-point registers ``f0``–``f31``.
+Both files share one flat architectural namespace (integer registers occupy
+indices 0–31, floating-point registers 32–63) so the rename stage and the
+MOP translation table can treat all registers uniformly.
+
+Reads of the zero register are never data dependences and writes to it are
+discarded, matching Alpha semantics; the dependence-analysis and rename code
+rely on :func:`is_zero_reg` for this.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Index of the hard-wired integer zero register (Alpha ``r31``).
+ZERO_REG = 31
+
+#: First architectural index of the floating-point file.
+FP_REG_BASE = NUM_INT_REGS
+
+#: Index of the hard-wired floating-point zero register (Alpha ``f31``).
+FP_ZERO_REG = FP_REG_BASE + 31
+
+
+def is_zero_reg(reg: int) -> bool:
+    """True when *reg* is a hard-wired zero register (Alpha r31/f31)."""
+    return reg == ZERO_REG or reg == FP_ZERO_REG
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True when *reg* indexes the floating-point file."""
+    return reg >= FP_REG_BASE
+
+
+def reg_name(reg: int) -> str:
+    """Render an architectural register index as ``rN`` / ``fN``."""
+    if reg < 0 or reg >= NUM_ARCH_REGS:
+        raise ValueError(f"register index out of range: {reg}")
+    if reg < FP_REG_BASE:
+        return f"r{reg}"
+    return f"f{reg - FP_REG_BASE}"
+
+
+def parse_reg(name: str) -> int:
+    """Parse ``rN`` / ``fN`` into an architectural register index."""
+    name = name.strip().lower()
+    if len(name) < 2 or name[0] not in ("r", "f"):
+        raise ValueError(f"bad register name: {name!r}")
+    try:
+        idx = int(name[1:])
+    except ValueError as exc:
+        raise ValueError(f"bad register name: {name!r}") from exc
+    limit = NUM_INT_REGS if name[0] == "r" else NUM_FP_REGS
+    if not 0 <= idx < limit:
+        raise ValueError(f"register index out of range: {name!r}")
+    return idx if name[0] == "r" else FP_REG_BASE + idx

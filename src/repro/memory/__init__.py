@@ -1,0 +1,15 @@
+"""Memory hierarchy substrate (Table 1).
+
+16KB 2-way 64B-line IL1 (2-cycle), 16KB 4-way 64B-line DL1 (2-cycle),
+256KB 4-way 128B-line unified L2 (8-cycle), main memory (100-cycle).
+
+Execution-driven (kernel) traces access the real caches by address;
+synthetic SPEC-like traces carry per-load memory-level hints that
+:meth:`MemoryHierarchy.load_latency` converts into the same latency numbers,
+so both paths exercise the identical replay machinery in the core.
+"""
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLevel
+
+__all__ = ["Cache", "MemoryHierarchy", "MemoryLevel"]

@@ -1,0 +1,79 @@
+"""Set-associative cache with LRU replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative, LRU, line-granular cache model.
+
+    Timing-only: no data is stored, just tags.  ``access`` reports hit/miss
+    and fills the line on a miss (allocate-on-miss for both reads and
+    writes, which is adequate for a scheduler study).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int,
+        latency: int,
+    ) -> None:
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(f"{name}: size must be divisible by way size")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.latency = latency
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: set count must be a power of two")
+        self._sets: list = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int):
+        line = addr // self.line_bytes
+        return self._sets[line & (self.num_sets - 1)], line
+
+    def access(self, addr: int) -> bool:
+        """Access *addr*; return True on hit.  Misses allocate the line."""
+        entry_set, line = self._locate(addr)
+        self.stats.accesses += 1
+        if line in entry_set:
+            entry_set.move_to_end(line)
+            self.stats.hits += 1
+            return True
+        if len(entry_set) >= self.assoc:
+            entry_set.popitem(last=False)
+        entry_set[line] = True
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating LRU or stats."""
+        entry_set, line = self._locate(addr)
+        return line in entry_set
+
+    def flush(self) -> None:
+        """Invalidate all lines (stats preserved)."""
+        for entry_set in self._sets:
+            entry_set.clear()

@@ -1,0 +1,94 @@
+"""Two-level memory hierarchy with the paper's Table 1 latencies."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.memory.cache import Cache
+
+
+class MemoryLevel(enum.IntEnum):
+    """Which level served an access — also the synthetic-trace hint values."""
+
+    DL1 = 0
+    L2 = 1
+    MEMORY = 2
+
+
+class MemoryHierarchy:
+    """IL1 + DL1 + unified L2 + main memory (Table 1).
+
+    ``load_latency`` is the single entry point the core uses for data
+    accesses: given an address (execution-driven) or a pre-resolved hint
+    level (synthetic traces), it returns ``(latency, level)`` where latency
+    counts from the start of the cache access.
+    """
+
+    def __init__(
+        self,
+        il1: Optional[Cache] = None,
+        dl1: Optional[Cache] = None,
+        l2: Optional[Cache] = None,
+        memory_latency: int = 100,
+    ) -> None:
+        self.il1 = il1 or Cache("IL1", 16 * 1024, 2, 64, latency=2)
+        self.dl1 = dl1 or Cache("DL1", 16 * 1024, 4, 64, latency=2)
+        self.l2 = l2 or Cache("L2", 256 * 1024, 4, 128, latency=8)
+        self.memory_latency = memory_latency
+
+    # -- data side ----------------------------------------------------------
+
+    def load_latency(
+        self,
+        addr: Optional[int],
+        hint: Optional[int] = None,
+    ) -> tuple:
+        """Resolve a load's memory latency.
+
+        Synthetic traces provide *hint* (a :class:`MemoryLevel` value) and
+        may omit the address; execution-driven traces provide *addr* and the
+        caches decide.  Returns ``(latency_cycles, MemoryLevel)``.
+        """
+        if hint is not None:
+            level = MemoryLevel(hint)
+            return self._latency_for(level), level
+        if addr is None:
+            return self.dl1.latency, MemoryLevel.DL1
+        if self.dl1.access(addr):
+            return self.dl1.latency, MemoryLevel.DL1
+        if self.l2.access(addr):
+            return self.dl1.latency + self.l2.latency, MemoryLevel.L2
+        return (
+            self.dl1.latency + self.l2.latency + self.memory_latency,
+            MemoryLevel.MEMORY,
+        )
+
+    def store_commit(self, addr: Optional[int]) -> None:
+        """Install a committed store's line (write-allocate, no timing)."""
+        if addr is not None:
+            if not self.dl1.access(addr):
+                self.l2.access(addr)
+
+    def _latency_for(self, level: MemoryLevel) -> int:
+        if level is MemoryLevel.DL1:
+            return self.dl1.latency
+        if level is MemoryLevel.L2:
+            return self.dl1.latency + self.l2.latency
+        return self.dl1.latency + self.l2.latency + self.memory_latency
+
+    @property
+    def dl1_hit_latency(self) -> int:
+        """The latency the speculative scheduler assumes for loads."""
+        return self.dl1.latency
+
+    # -- instruction side ----------------------------------------------------
+
+    def fetch_latency(self, pc: int) -> int:
+        """IL1 access for a fetch group starting at *pc* (word PCs)."""
+        addr = pc * 4  # 4-byte instruction words
+        if self.il1.access(addr):
+            return self.il1.latency
+        if self.l2.access(addr):
+            return self.il1.latency + self.l2.latency
+        return self.il1.latency + self.l2.latency + self.memory_latency

@@ -1,0 +1,25 @@
+"""Macro-op machinery: detection, pointers, and formation (Section 5).
+
+* :mod:`repro.mop.pointers` — MOP pointers (4 bits in hardware: one
+  control-flow bit plus a 3-bit forward offset) cached alongside the
+  instruction cache, with the detection-delay and deletion (zero-pointer)
+  semantics of Sections 5.1.3 and 5.4.2.
+* :mod:`repro.mop.detection` — the dependence-matrix detection algorithm of
+  Figure 9, including the conservative cycle heuristic of Figure 8(c) and
+  the independent-MOP pass of Section 5.4.1.
+* :mod:`repro.mop.formation` — MOP formation at the rename/queue boundary:
+  control-flow checking, pair location, and the insertion policy with
+  pending bits across consecutive insert groups (Figure 11).
+"""
+
+from repro.mop.pointers import MopPointer, PointerCache
+from repro.mop.detection import MopDetector
+from repro.mop.formation import FormationDirective, MopFormation
+
+__all__ = [
+    "MopPointer",
+    "PointerCache",
+    "MopDetector",
+    "MopFormation",
+    "FormationDirective",
+]

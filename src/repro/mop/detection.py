@@ -1,0 +1,264 @@
+"""MOP detection: the dependence-matrix algorithm of Figure 9.
+
+The detection logic sits off the critical path, watching the renamed
+operation stream one group (machine width) per cycle.  Its scope is the
+current group plus the previous one — a 2-cycle scope capturing up to 8
+operations on the 4-wide machine (Section 6.2).
+
+For every potential MOP head (a value-generating candidate not already
+claimed), the detector scans the head's *column* — the operations after it,
+inside the scope, that depend on it — in program order and applies the
+conservative cycle heuristic of Figure 8(c), encoded exactly as the paper's
+"1"/"2" dependence marks:
+
+* a consumer whose dependence mark is "1" (it has a single source operand,
+  hence no incoming edge besides the head) may always be selected;
+* a consumer marked "2" (two source operands — an incoming edge exists) may
+  be selected only when it is the *first* mark in the column, because a mark
+  above it means the head also has an outgoing edge to an instruction
+  preceding the tail — the potential-cycle pattern of Figure 8.
+
+A priority decoder resolves tails claimed by multiple heads in favour of the
+earliest head.  After the dependent pass, the independent-MOP pass of
+Section 5.4.1 pairs remaining unclaimed candidates with identical source
+dependences.  Winning pairs become :class:`~repro.mop.pointers.MopPointer`
+records installed in the pointer cache with the detection delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.uop import MOP_TAIL, SOLO, Uop
+from repro.isa.opcodes import OpClass, is_control
+from repro.mop.pointers import DEPENDENT, INDEPENDENT, MopPointer, PointerCache
+
+
+class _Record:
+    """Detection-window view of one renamed operation."""
+
+    __slots__ = ("uop", "pc", "dest", "srcs", "candidate", "valuegen",
+                 "taken_control", "marked", "is_tail")
+
+    def __init__(self, uop: Uop) -> None:
+        inst = uop.inst
+        self.uop = uop
+        self.pc = inst.pc
+        self.dest = inst.dest
+        self.srcs = inst.srcs
+        self.candidate = inst.is_mop_candidate
+        self.valuegen = inst.is_valuegen_candidate
+        self.taken_control = inst.is_branch and inst.taken
+        # Operations already grouped by formation are not re-examined.
+        self.marked = uop.role != SOLO
+        self.is_tail = uop.role == MOP_TAIL
+
+
+class MopDetector:
+    """Streaming MOP detection over renamed operation groups."""
+
+    def __init__(self, config: MachineConfig, pointers: PointerCache) -> None:
+        self.config = config
+        self.pointers = pointers
+        self._prev: List[_Record] = []
+        self.pairs_found = 0
+        self.independent_found = 0
+
+    def observe_group(self, group: Sequence[Uop], now: int) -> None:
+        """Feed one renamed group; may install pointers for later use."""
+        records = [_Record(uop) for uop in group]
+        window = self._prev + records
+        if len(window) >= 2:
+            self._detect(window, now)
+        self._prev = records
+
+    # ------------------------------------------------------------------
+
+    def _detect(self, window: List[_Record], now: int) -> None:
+        producers = self._dependences(window)
+        consumers = self._columns(window, producers)
+        claimed: set = set()
+
+        # Dependent-MOP pass: heads in program order (priority decoder).
+        # With the larger-MOP extension (mop_size > 2), an instruction
+        # already claimed as a tail may still publish its *own* pointer:
+        # formation chains pointers tail-to-tail to grow the group.
+        chaining = self.config.mop_size > 2
+        for h, head in enumerate(window):
+            if not head.valuegen:
+                continue
+            if head.marked and not (chaining and head.is_tail):
+                continue
+            if self.pointers.has_pointer(head.pc):
+                continue
+            tail_idx = self._select_tail(window, consumers.get(h, ()), head,
+                                         h, claimed)
+            if tail_idx is None:
+                continue
+            tail = window[tail_idx]
+            pointer = MopPointer(
+                head_pc=head.pc,
+                tail_pc=tail.pc,
+                offset=tail_idx - h,
+                control_bit=self._taken_between(window, h, tail_idx),
+                kind=DEPENDENT,
+            )
+            if self.pointers.install(pointer, now):
+                head.marked = True
+                tail.marked = True
+                tail.is_tail = True
+                claimed.add(h)
+                claimed.add(tail_idx)
+                self.pairs_found += 1
+
+        if self.config.independent_mops:
+            self._detect_independent(window, producers, claimed, now)
+
+    def _dependences(
+        self, window: List[_Record]
+    ) -> Dict[Tuple[int, int], int]:
+        """Map (consumer index, src position) → producer index in window."""
+        last_writer: Dict[int, int] = {}
+        deps: Dict[Tuple[int, int], int] = {}
+        for j, record in enumerate(window):
+            for pos, src in enumerate(record.srcs):
+                if src in last_writer:
+                    deps[(j, pos)] = last_writer[src]
+            if record.dest is not None:
+                last_writer[record.dest] = j
+        return deps
+
+    def _columns(
+        self,
+        window: List[_Record],
+        deps: Dict[Tuple[int, int], int],
+    ) -> Dict[int, List[int]]:
+        """Invert dependences: producer index → consumer indices, in order."""
+        columns: Dict[int, List[int]] = {}
+        for (j, _pos), i in sorted(deps.items()):
+            column = columns.setdefault(i, [])
+            if not column or column[-1] != j:
+                column.append(j)
+        return columns
+
+    def _select_tail(
+        self,
+        window: List[_Record],
+        column: Sequence[int],
+        head: _Record,
+        h: int,
+        claimed: set,
+    ) -> Optional[int]:
+        """Scan the head's column for the first selectable tail."""
+        for position, j in enumerate(column):
+            tail = window[j]
+            distance = j - h
+            if distance > 7:
+                break  # beyond the 3-bit offset reach
+            if not tail.candidate or tail.marked or j in claimed:
+                continue
+            if self.pointers.is_blacklisted(head.pc, tail.pc):
+                continue
+            # Cycle heuristic: a "2" mark (tail with 2 source operands)
+            # cannot be chosen across other marks (Figure 9).
+            if len(tail.srcs) >= 2 and position > 0:
+                continue
+            if not self._control_flow_ok(window, h, j):
+                continue
+            if not self._source_limit_ok(window, h, j):
+                continue
+            return j
+        return None
+
+    def _taken_between(self, window: List[_Record], h: int, j: int) -> int:
+        return sum(1 for k in range(h + 1, j) if window[k].taken_control)
+
+    def _control_flow_ok(self, window: List[_Record], h: int, j: int) -> bool:
+        """At most one taken direct branch between head and tail; taken
+        indirect jumps forbid grouping (Section 5.1.3)."""
+        taken = 0
+        for k in range(h + 1, j):
+            record = window[k]
+            if not record.taken_control:
+                continue
+            if record.uop.inst.op_class is OpClass.JUMP_INDIRECT:
+                return False
+            taken += 1
+            if taken > 1:
+                return False
+        return True
+
+    def _source_limit_ok(self, window: List[_Record], h: int, j: int) -> bool:
+        """CAM-style wakeup with two comparators limits merged sources."""
+        limit = self.config.max_mop_sources
+        if limit is None:
+            return True
+        head, tail = window[h], window[j]
+        merged = set(head.srcs)
+        for src in tail.srcs:
+            # The tail's dependence on the head is intra-MOP: no tag needed.
+            if src == head.dest:
+                continue
+            merged.add(src)
+        return len(merged) <= limit
+
+    def _detect_independent(
+        self,
+        window: List[_Record],
+        deps: Dict[Tuple[int, int], int],
+        claimed: set,
+        now: int,
+    ) -> None:
+        """Pair unclaimed candidates with identical source dependences.
+
+        Runs after the dependent pass so it never steals a dependent-MOP
+        opportunity (Section 5.4.1).  Two operations qualify when they have
+        no source operands, or identical source *dependences* — the same
+        registers produced by the same in-window writers.
+        """
+
+        def signature(idx: int) -> Optional[frozenset]:
+            record = window[idx]
+            sig = set()
+            for pos, src in enumerate(record.srcs):
+                producer = deps.get((idx, pos))
+                sig.add((src, producer if producer is not None else -1))
+            return frozenset(sig)
+
+        eligible = [
+            i for i, record in enumerate(window)
+            if record.candidate and not record.marked and i not in claimed
+            and not self.pointers.has_pointer(record.pc)
+        ]
+        used: set = set()
+        for a_pos, a in enumerate(eligible):
+            if a in used:
+                continue
+            sig_a = signature(a)
+            for b in eligible[a_pos + 1:]:
+                if b in used or b - a > 7:
+                    continue
+                if self.pointers.is_blacklisted(window[a].pc, window[b].pc):
+                    continue
+                if signature(b) != sig_a:
+                    continue
+                if not self._control_flow_ok(window, a, b):
+                    continue
+                limit = self.config.max_mop_sources
+                if limit is not None and len(window[a].srcs) > limit:
+                    continue
+                pointer = MopPointer(
+                    head_pc=window[a].pc,
+                    tail_pc=window[b].pc,
+                    offset=b - a,
+                    control_bit=self._taken_between(window, a, b),
+                    kind=INDEPENDENT,
+                )
+                if self.pointers.install(pointer, now):
+                    window[a].marked = True
+                    window[b].marked = True
+                    used.add(a)
+                    used.add(b)
+                    self.independent_found += 1
+                break

@@ -1,0 +1,330 @@
+"""MOP formation: locating pairs and the insertion policy (Section 5.2).
+
+Formation runs where the rename stage hands groups to the queue stage.  For
+each operation whose PC carries a usable MOP pointer, it locates the
+expected tail — at the pointer's offset, with the control-flow path (number
+of intervening taken branches) matching the pointer's control bit — and
+emits *directives* the insert stage executes:
+
+* ``solo``   — insert the operation into its own issue-queue entry,
+* ``mop``    — insert head and tail into one shared entry,
+* ``pending``— insert the head with the pending bit set: the tail is
+  expected in the *next* insert group (Figure 11); the scheduler must not
+  select the entry until the tail arrives,
+* ``attach`` — the expected tail arrived: complete the pending entry.
+
+If the tail is not where the pointer says (control flow diverged, fetch gap
+longer than one group, or the slot holds a different instruction), the head
+proceeds ungrouped — the paper's "does not group with an unexpected
+instruction in the fall-through path" (Section 5.1.3), and the pending-bit
+timeout doubles as the branch-squash tail invalidation of Section 5.3.2:
+a head whose tail was squashed runs solo with its tail operands forced
+ready.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.uop import Uop
+from repro.mop.pointers import MopPointer, PointerCache
+
+#: Directive verbs.
+SOLO = "solo"
+MOP = "mop"
+PENDING = "pending"
+ATTACH = "attach"
+
+
+@dataclass
+class FormationDirective:
+    """One insert-stage action, in program order."""
+
+    verb: str
+    uop: Uop
+    tail: Optional[Uop] = None          # for MOP
+    pointer: Optional[MopPointer] = None
+    head_uop: Optional[Uop] = None      # for ATTACH: the pending head
+    #: additional members beyond the first pair, when mop_size > 2 —
+    #: the Section 4.3 larger-MOP extension, formed by chaining each
+    #: member's own pointer.
+    extra_tails: List[Uop] = field(default_factory=list)
+
+
+@dataclass
+class _PendingExpectation:
+    """A head waiting for its tail in the next insert group."""
+
+    head: Uop
+    pointer: MopPointer
+    next_group_index: int   # where in the next group the tail must sit
+    taken_needed: int       # control bit minus taken branches already seen
+    issued_group: int       # group sequence number of the head
+    #: cycle-safety state accumulated over the head's own group:
+    #: did any intervening op read the head's destination, and which
+    #: registers did intervening ops write (see _cycle_safe)?
+    outgoing_seen: bool = False
+    intervening_dests: frozenset = frozenset()
+
+
+class MopFormation:
+    """Stateful formation logic fed one insert group per call."""
+
+    def __init__(self, config: MachineConfig, pointers: PointerCache) -> None:
+        self.config = config
+        self.pointers = pointers
+        self._pending: List[_PendingExpectation] = []
+        self._group_counter = 0
+        self.pairs_formed = 0
+        self.pending_abandoned = 0
+        #: heads whose pending expectation was abandoned by the last call;
+        #: the pipeline clears their entries' pending bits (Section 5.3.2).
+        self.last_abandoned: List[Uop] = []
+
+    def process_group(
+        self, group: Sequence[Uop], now: int
+    ) -> List[FormationDirective]:
+        """Turn one arriving insert group into insert directives."""
+        self._group_counter += 1
+        group_no = self._group_counter
+        directives: List[FormationDirective] = []
+        claimed = [False] * len(group)
+
+        # Resolve pending heads from the previous group first: their tails,
+        # if present, sit at known positions of this group.
+        directives_for_attach, abandoned = self._resolve_pending(
+            group, claimed, group_no
+        )
+        self.pending_abandoned += abandoned
+
+        attach_at = {d.uop: d for d in directives_for_attach}
+
+        for i, uop in enumerate(group):
+            if claimed[i]:
+                if uop in attach_at:
+                    directives.append(attach_at[uop])
+                continue
+            directive = self._try_group(group, claimed, i, uop, now,
+                                        group_no)
+            directives.append(directive)
+        return directives
+
+    # ------------------------------------------------------------------
+
+    def _resolve_pending(
+        self,
+        group: Sequence[Uop],
+        claimed: List[bool],
+        group_no: int,
+    ) -> Tuple[List[FormationDirective], int]:
+        attaches: List[FormationDirective] = []
+        abandoned = 0
+        self.last_abandoned = []
+        for expectation in self._pending:
+            if group_no != expectation.issued_group + 1:
+                abandoned += 1    # the tail's group never came next
+                self.last_abandoned.append(expectation.head)
+                continue
+            idx = expectation.next_group_index
+            if idx >= len(group) or claimed[idx]:
+                abandoned += 1
+                self.last_abandoned.append(expectation.head)
+                continue
+            tail = group[idx]
+            taken_between = sum(
+                1 for k in range(idx) if group[k].inst.is_branch
+                and group[k].inst.taken
+            )
+            head = expectation.head
+            outgoing, dests = self._scan_between(group, 0, idx,
+                                                 head.inst.dest)
+            outgoing = outgoing or expectation.outgoing_seen
+            dests = dests | set(expectation.intervening_dests)
+            if (tail.inst.pc != expectation.pointer.tail_pc
+                    or taken_between != expectation.taken_needed
+                    or not self._sources_ok(head, tail)
+                    or not self._cycle_safe(head, tail, outgoing, dests)):
+                abandoned += 1
+                self.last_abandoned.append(expectation.head)
+                continue
+            claimed[idx] = True
+            attaches.append(FormationDirective(
+                verb=ATTACH,
+                uop=tail,
+                pointer=expectation.pointer,
+                head_uop=expectation.head,
+            ))
+            self.pairs_formed += 1
+        self._pending = []
+        return attaches, abandoned
+
+    # -- safety checks re-applied on the actual dynamic window --------------
+    #
+    # MOP pointers are keyed by PC and validated by the detection logic on
+    # the path it happened to observe.  Formation sees the *current* path,
+    # which may interleave different producers between head and tail, so it
+    # re-applies the two checks that hardware must enforce at this point:
+    # the Figure 8(c) cycle heuristic (a false intra-MOP edge must never
+    # close a dependence cycle through an intervening instruction) and the
+    # wakeup array's physical source-comparator limit.
+
+    def _sources_ok(self, head: Uop, tail: Uop) -> bool:
+        limit = self.config.max_mop_sources
+        if limit is None:
+            return True
+        merged = set(head.inst.srcs)
+        for src in tail.inst.srcs:
+            if src != head.inst.dest:
+                merged.add(src)
+        return len(merged) <= limit
+
+    @staticmethod
+    def _cycle_safe(head: Uop, tail: Uop, outgoing_seen: bool,
+                    intervening_dests) -> bool:
+        """Conservative Figure 8(c) check over the actual path: reject when
+        the head feeds an intervening instruction *and* the tail consumes a
+        value produced between them."""
+        if not outgoing_seen:
+            return True
+        head_dest = head.inst.dest
+        for src in tail.inst.srcs:
+            if src == head_dest:
+                continue
+            if src in intervening_dests:
+                return False
+        return True
+
+    @staticmethod
+    def _scan_between(group: Sequence[Uop], start: int, stop: int,
+                      head_dest) -> Tuple[bool, set]:
+        """Collect (head-dest read?, written registers) over
+        ``group[start:stop]``."""
+        outgoing = False
+        dests = set()
+        for k in range(start, stop):
+            inst = group[k].inst
+            if head_dest is not None and head_dest in inst.srcs:
+                outgoing = True
+            if inst.dest is not None:
+                dests.add(inst.dest)
+        return outgoing, dests
+
+    def _chain_extend(
+        self,
+        group: Sequence[Uop],
+        claimed: List[bool],
+        members: List[Uop],
+        positions: List[int],
+        now: int,
+    ) -> List[Uop]:
+        """Larger-MOP extension (Section 4.3 future work): follow each new
+        member's own pointer to grow the group up to ``mop_size``, within
+        the current insert group, re-applying every formation check at each
+        link."""
+        extras: List[Uop] = []
+        while len(members) < self.config.mop_size:
+            last = members[-1]
+            last_pos = positions[-1]
+            pointer = self.pointers.lookup(last.inst.pc, now)
+            if pointer is None:
+                break
+            next_pos = last_pos + pointer.offset
+            if next_pos >= len(group) or claimed[next_pos]:
+                break
+            nxt = group[next_pos]
+            taken_between = sum(
+                1 for k in range(last_pos + 1, next_pos)
+                if group[k].inst.is_branch and group[k].inst.taken
+            )
+            outgoing, dests = self._scan_between(group, last_pos + 1,
+                                                 next_pos, last.inst.dest)
+            if (nxt.inst.pc != pointer.tail_pc
+                    or taken_between != pointer.control_bit
+                    or not self._merged_sources_ok(members, nxt)
+                    or not self._cycle_safe(last, nxt, outgoing, dests)):
+                break
+            claimed[next_pos] = True
+            members.append(nxt)
+            positions.append(next_pos)
+            extras.append(nxt)
+        return extras
+
+    def _merged_sources_ok(self, members: List[Uop], candidate: Uop) -> bool:
+        """Source-comparator limit over the whole (extended) group."""
+        limit = self.config.max_mop_sources
+        if limit is None:
+            return True
+        dests: set = set()
+        merged: set = set()
+        for member in members + [candidate]:
+            for src in member.inst.srcs:
+                if src not in dests:   # intra-group edges need no tag
+                    merged.add(src)
+            if member.inst.dest is not None:
+                dests.add(member.inst.dest)
+        return len(merged) <= limit
+
+    def _try_group(
+        self,
+        group: Sequence[Uop],
+        claimed: List[bool],
+        i: int,
+        uop: Uop,
+        now: int,
+        group_no: int,
+    ) -> FormationDirective:
+        pointer = self.pointers.lookup(uop.inst.pc, now)
+        if pointer is None or not uop.inst.is_mop_candidate:
+            return FormationDirective(verb=SOLO, uop=uop)
+
+        tail_pos = i + pointer.offset
+        if tail_pos < len(group):
+            tail = group[tail_pos]
+            taken_between = sum(
+                1 for k in range(i + 1, tail_pos)
+                if group[k].inst.is_branch and group[k].inst.taken
+            )
+            outgoing, dests = self._scan_between(group, i + 1, tail_pos,
+                                                 uop.inst.dest)
+            if (claimed[tail_pos]
+                    or tail.inst.pc != pointer.tail_pc
+                    or taken_between != pointer.control_bit
+                    or not self._sources_ok(uop, tail)
+                    or not self._cycle_safe(uop, tail, outgoing, dests)):
+                return FormationDirective(verb=SOLO, uop=uop)
+            claimed[tail_pos] = True
+            claimed[i] = True
+            self.pairs_formed += 1
+            extras = self._chain_extend(group, claimed, [uop, tail],
+                                        [i, tail_pos], now)
+            return FormationDirective(verb=MOP, uop=uop, tail=tail,
+                                      pointer=pointer, extra_tails=extras)
+
+        # Tail expected in the next insert group (Figure 11's pending bit).
+        # Offsets count along the dynamic path, so a fetch-broken (short)
+        # group continues into the next group's slots; the tail-PC and
+        # control-bit checks at attach time catch any divergence.
+        next_index = tail_pos - len(group)
+        if next_index >= self.config.width:
+            return FormationDirective(verb=SOLO, uop=uop)
+        taken_so_far = sum(
+            1 for k in range(i + 1, len(group))
+            if group[k].inst.is_branch and group[k].inst.taken
+        )
+        if taken_so_far > pointer.control_bit:
+            return FormationDirective(verb=SOLO, uop=uop)
+        outgoing, dests = self._scan_between(group, i + 1, len(group),
+                                             uop.inst.dest)
+        claimed[i] = True
+        self._pending.append(_PendingExpectation(
+            head=uop,
+            pointer=pointer,
+            next_group_index=next_index,
+            taken_needed=pointer.control_bit - taken_so_far,
+            issued_group=group_no,
+            outgoing_seen=outgoing,
+            intervening_dests=frozenset(dests),
+        ))
+        return FormationDirective(verb=PENDING, uop=uop, pointer=pointer)

@@ -1,0 +1,109 @@
+"""MOP pointers and the I-cache-side pointer store (Section 5.1.3).
+
+A hardware MOP pointer is four bits — one control bit (does the head→tail
+path cross exactly one taken direct branch/jump?) and a 3-bit offset (the
+forward distance from head to tail, covering the 8-instruction scope).  The
+simulator's :class:`MopPointer` also records the expected tail PC: formation
+hardware would re-identify the tail from offset + control flow alone, and
+the stored PC simply lets the simulator verify the match exactly the way the
+control-flow comparison of Section 5.2.1 would.
+
+Pointers become *usable* only ``detection_delay`` cycles after the detection
+logic observed the pair (Section 6.2 evaluates 3 vs. 100 cycles).  Deleting
+a pointer (the last-arriving-operand filter of Section 5.4.2 "writes a
+zero-value pointer") leaves a tombstone: the pair is blacklisted, and the
+detection logic may later install an *alternative* pair for the same head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+#: Pointer kinds.
+DEPENDENT = "dependent"
+INDEPENDENT = "independent"
+
+
+@dataclass(frozen=True)
+class MopPointer:
+    """One MOP pointer: head → tail grouping directive."""
+
+    head_pc: int
+    tail_pc: int
+    offset: int          # forward distance in operations (1..7)
+    control_bit: int     # taken direct branches crossed (0 or 1)
+    kind: str = DEPENDENT
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.offset <= 7:
+            raise ValueError("pointer offset must fit in 3 bits (1..7)")
+        if self.control_bit not in (0, 1):
+            raise ValueError("control bit must be 0 or 1")
+
+
+class PointerCache:
+    """PC-indexed MOP pointer store with detection delay and blacklisting.
+
+    Capacity is unmodelled: the paper stores pointers in the first-level
+    instruction cache, and every workload here fits its static program in
+    the 16KB IL1, so pointer evictions would not occur anyway.
+    """
+
+    def __init__(self, detection_delay: int = 3) -> None:
+        self.detection_delay = detection_delay
+        self._pointers: Dict[int, Tuple[MopPointer, int]] = {}
+        self._blacklist: Set[Tuple[int, int]] = set()
+        self.created = 0
+        self.deleted = 0
+
+    def install(self, pointer: MopPointer, now: int) -> bool:
+        """Install *pointer*, usable after the detection delay.
+
+        Refuses blacklisted pairs and heads that already carry a live
+        pointer (each instruction has exactly one pointer, Section 5.1.3).
+        Returns True when the pointer was stored.
+        """
+        key = (pointer.head_pc, pointer.tail_pc)
+        if key in self._blacklist:
+            return False
+        if pointer.head_pc in self._pointers:
+            return False
+        self._pointers[pointer.head_pc] = (pointer,
+                                           now + self.detection_delay)
+        self.created += 1
+        return True
+
+    def lookup(self, head_pc: int, now: int) -> Optional[MopPointer]:
+        """Return the usable pointer for *head_pc*, if its delay elapsed."""
+        item = self._pointers.get(head_pc)
+        if item is None:
+            return None
+        pointer, available_at = item
+        if now < available_at:
+            return None
+        return pointer
+
+    def has_pointer(self, head_pc: int) -> bool:
+        """True when *head_pc* has a stored pointer (usable or pending)."""
+        return head_pc in self._pointers
+
+    def delete(self, head_pc: int, blacklist_pair: bool = True) -> None:
+        """Write a zero-value pointer (Section 5.4.2).
+
+        The deleted pair is blacklisted so the detection logic searches for
+        an *alternative* tail instead of re-creating the same pair.
+        """
+        item = self._pointers.pop(head_pc, None)
+        if item is None:
+            return
+        pointer, _ = item
+        if blacklist_pair:
+            self._blacklist.add((pointer.head_pc, pointer.tail_pc))
+        self.deleted += 1
+
+    def is_blacklisted(self, head_pc: int, tail_pc: int) -> bool:
+        return (head_pc, tail_pc) in self._blacklist
+
+    def __len__(self) -> int:
+        return len(self._pointers)

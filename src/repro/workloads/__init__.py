@@ -1,0 +1,38 @@
+"""Workloads: the SPEC CINT2000 substitute used by every experiment.
+
+The paper evaluates on SPEC CINT2000 Alpha binaries compiled with the DEC
+compilers — unavailable here.  Instead, this package provides:
+
+* :mod:`repro.workloads.profiles` — per-benchmark :class:`WorkloadProfile`
+  records that encode each benchmark's *published, machine-independent*
+  characteristics (value-generating candidate fraction and dependence-edge
+  distance distribution from Figure 6, instruction mix, branch and cache
+  behaviour tuned toward Table 2 base IPCs),
+* :mod:`repro.workloads.synthetic` — a seeded generator that builds a
+  synthetic *static* program realizing a profile (loop bodies, register-level
+  dependences, stores, branches) and walks it to produce the dynamic
+  operation trace,
+* :mod:`repro.workloads.kernels` — hand-written assembly kernels executed by
+  the functional interpreter, for execution-driven validation and examples,
+* :mod:`repro.workloads.trace` — the :class:`Trace` container the timing
+  model consumes.
+"""
+
+from repro.workloads.profiles import (
+    SPEC_CINT2000,
+    WorkloadProfile,
+    get_profile,
+    profile_names,
+)
+from repro.workloads.synthetic import SyntheticWorkload, generate_trace
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "WorkloadProfile",
+    "SPEC_CINT2000",
+    "get_profile",
+    "profile_names",
+    "SyntheticWorkload",
+    "generate_trace",
+    "Trace",
+]

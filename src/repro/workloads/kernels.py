@@ -1,0 +1,308 @@
+"""Hand-written assembly kernels for execution-driven runs.
+
+These small programs run through the functional interpreter
+(:mod:`repro.isa.interpreter`) to produce *real* traces — actual control
+flow, actual addresses — used by the examples and by integration tests that
+validate the timing model end to end.  Each kernel is chosen to stress a
+behaviour the paper's mechanisms care about:
+
+* ``vector_sum`` — a tight dependent-accumulate loop: the canonical case
+  where 2-cycle scheduling loses a cycle per iteration and macro-op grouping
+  wins it back (the paper's Figure 4/5 scenario).
+* ``fibonacci`` — a pure serial dependence chain, worst case for any
+  pipelined scheduler.
+* ``pointer_chase`` — a linked-list walk: load-latency bound, insensitive
+  to scheduling atomicity (multi-cycle ops never needed 1-cycle loops).
+* ``dot_product`` — mixed loads + dependent ALU with independent work,
+  giving the scheduler parallel chains to interleave.
+* ``branchy_count`` — data-dependent branches exercising misprediction
+  recovery and MOP-across-branch control bits.
+* ``independent_streams`` — several independent accumulators: plenty of ILP,
+  the case where 2-cycle scheduling barely hurts (the paper's vortex
+  observation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.isa.assembler import Program, assemble
+from repro.isa.interpreter import run_program
+from repro.workloads.trace import Trace
+
+
+def vector_sum(n: int = 64) -> Program:
+    """Sum memory words 0..n-1 into r1 with a dependent accumulate."""
+    return assemble(f"""
+        li   r1, 0          # acc
+        li   r2, 0          # index
+        li   r3, {n}        # limit
+    loop:
+        lw   r4, 0(r2)
+        add  r1, r1, r4     # dependent accumulate (MOP candidate chain)
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        sw   r1, 0(r3)
+        halt
+    """)
+
+
+def fibonacci(n: int = 48) -> Program:
+    """Serial Fibonacci chain: every add depends on the previous one."""
+    return assemble(f"""
+        li   r1, 0
+        li   r2, 1
+        li   r3, 0
+        li   r4, {n}
+    loop:
+        add  r5, r1, r2     # fib step: serial chain of 1-cycle adds
+        mov  r1, r2
+        mov  r2, r5
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        sw   r5, 0(r4)
+        halt
+    """)
+
+
+def pointer_chase(nodes: int = 32, hops: int = 96) -> Program:
+    """Build a circular linked list, then chase it: load-latency bound."""
+    return assemble(f"""
+        # build: node i at address i*2, next pointer at i*2, value at i*2+1
+        li   r1, 0          # i
+        li   r2, {nodes}
+    build:
+        slli r3, r1, 1      # addr = i*2
+        addi r4, r1, 1
+        bne  r4, r2, notwrap
+        li   r4, 0
+    notwrap:
+        slli r5, r4, 1      # next addr
+        sw   r5, 0(r3)
+        sw   r1, 1(r3)
+        addi r1, r1, 1
+        blt  r1, r2, build
+        # chase
+        li   r6, 0          # current node address
+        li   r7, 0          # hop count
+        li   r8, {hops}
+        li   r9, 0          # checksum
+    chase:
+        lw   r10, 1(r6)     # value
+        add  r9, r9, r10
+        lw   r6, 0(r6)      # next pointer: serial load chain
+        addi r7, r7, 1
+        blt  r7, r8, chase
+        sw   r9, 0(r8)
+        halt
+    """)
+
+
+def dot_product(n: int = 48) -> Program:
+    """Dot product: two load streams feeding multiply-accumulate."""
+    return assemble(f"""
+        li   r1, 0          # index
+        li   r2, {n}        # limit
+        li   r3, 0          # acc
+        li   r4, 1000       # base of second vector
+    init:
+        sw   r1, 0(r1)
+        add  r5, r4, r1
+        sw   r1, 0(r5)
+        addi r1, r1, 1
+        blt  r1, r2, init
+        li   r1, 0
+    loop:
+        lw   r6, 0(r1)
+        add  r7, r4, r1
+        lw   r8, 0(r7)
+        mul  r9, r6, r8
+        add  r3, r3, r9
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        sw   r3, 0(r4)
+        halt
+    """)
+
+
+def branchy_count(n: int = 96) -> Program:
+    """Count odd values with a data-dependent branch per iteration."""
+    return assemble(f"""
+        li   r1, 0          # i
+        li   r2, {n}
+        li   r3, 0          # odd count
+        li   r4, 12345      # lcg state
+    loop:
+        mul  r4, r4, r4
+        addi r4, r4, 1013
+        andi r4, r4, 65535  # keep the LCG state bounded
+        andi r5, r4, 1
+        bez  r5, even
+        addi r3, r3, 1
+    even:
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        sw   r3, 0(r2)
+        halt
+    """)
+
+
+def independent_streams(n: int = 64) -> Program:
+    """Four independent accumulator chains: ILP-rich, scheduling-tolerant."""
+    return assemble(f"""
+        li   r1, 0
+        li   r2, 0
+        li   r3, 0
+        li   r4, 0
+        li   r5, 0          # i
+        li   r6, {n}
+    loop:
+        addi r1, r1, 1      # four independent chains
+        addi r2, r2, 2
+        addi r3, r3, 3
+        addi r4, r4, 4
+        addi r5, r5, 1
+        blt  r5, r6, loop
+        add  r7, r1, r2
+        add  r8, r3, r4
+        add  r9, r7, r8
+        sw   r9, 0(r6)
+        halt
+    """)
+
+
+def matrix_multiply(n: int = 6) -> Program:
+    """Naive n×n integer matrix multiply: nested loops, mixed loads/ALU.
+
+    Matrix A at base 0, B at base n*n, C at base 2*n*n, row-major.
+    """
+    nn = n * n
+    return assemble(f"""
+        # initialize A[i]=i, B[i]=i+1
+        li   r1, 0
+        li   r2, {nn}
+    init:
+        sw   r1, 0(r1)
+        addi r3, r1, {nn}
+        addi r4, r1, 1
+        sw   r4, 0(r3)
+        addi r1, r1, 1
+        blt  r1, r2, init
+        li   r10, 0         # i
+    iloop:
+        li   r11, 0         # j
+    jloop:
+        li   r12, 0         # k
+        li   r13, 0         # acc
+    kloop:
+        # A[i][k] = mem[i*n + k]
+        li   r5, {n}
+        mul  r6, r10, r5
+        add  r6, r6, r12
+        lw   r7, 0(r6)
+        # B[k][j] = mem[n*n + k*n + j]
+        mul  r8, r12, r5
+        add  r8, r8, r11
+        lw   r9, {nn}(r8)
+        mul  r14, r7, r9
+        add  r13, r13, r14
+        addi r12, r12, 1
+        blt  r12, r5, kloop
+        # C[i][j] = acc
+        mul  r6, r10, r5
+        add  r6, r6, r11
+        sw   r13, {2 * nn}(r6)
+        addi r11, r11, 1
+        blt  r11, r5, jloop
+        addi r10, r10, 1
+        blt  r10, r5, iloop
+        halt
+    """)
+
+
+def histogram(buckets: int = 8, samples: int = 96) -> Program:
+    """Bucketed counting: data-dependent addresses and read-modify-write."""
+    return assemble(f"""
+        li   r1, 0          # i
+        li   r2, {samples}
+        li   r3, 12345      # prng state
+        li   r4, {buckets - 1}
+    loop:
+        mul  r3, r3, r3
+        addi r3, r3, 7919
+        andi r3, r3, 65535
+        and  r5, r3, r4     # bucket index
+        lw   r6, 100(r5)    # read counter
+        addi r6, r6, 1
+        sw   r6, 100(r5)    # write back
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+    """)
+
+
+def string_match(hay: int = 64, pattern: int = 4) -> Program:
+    """Naive substring search: short inner loop with early exits."""
+    return assemble(f"""
+        # haystack: mem[i] = i mod 7; pattern at 1000: 3,4,5,6
+        li   r1, 0
+        li   r2, {hay}
+    build:
+        li   r4, 7
+        div  r5, r1, r4
+        mul  r5, r5, r4
+        sub  r5, r1, r5     # i mod 7
+        sw   r5, 0(r1)
+        addi r1, r1, 1
+        blt  r1, r2, build
+        li   r1, 0
+    pinit:
+        addi r5, r1, 3
+        sw   r5, 1000(r1)
+        addi r1, r1, 1
+        li   r6, {pattern}
+        blt  r1, r6, pinit
+        # search
+        li   r1, 0          # position
+        li   r9, 0          # match count
+        subi r2, r2, {pattern}
+    outer:
+        li   r7, 0          # offset
+    inner:
+        add  r8, r1, r7
+        lw   r10, 0(r8)
+        lw   r11, 1000(r7)
+        bne  r10, r11, miss
+        addi r7, r7, 1
+        blt  r7, r6, inner
+        addi r9, r9, 1      # full match
+    miss:
+        addi r1, r1, 1
+        blt  r1, r2, outer
+        sw   r9, 2000(r0)
+        halt
+    """)
+
+
+#: Kernel registry: name → zero-argument builder with sensible defaults.
+KERNELS: Dict[str, Callable[[], Program]] = {
+    "vector_sum": vector_sum,
+    "fibonacci": fibonacci,
+    "pointer_chase": pointer_chase,
+    "dot_product": dot_product,
+    "branchy_count": branchy_count,
+    "independent_streams": independent_streams,
+    "matrix_multiply": matrix_multiply,
+    "histogram": histogram,
+    "string_match": string_match,
+}
+
+
+def kernel_trace(name: str, max_ops: int = 1_000_000) -> Trace:
+    """Assemble, execute, and return the dynamic trace of kernel *name*."""
+    try:
+        program = KERNELS[name]()
+    except KeyError as exc:
+        known = ", ".join(KERNELS)
+        raise KeyError(f"unknown kernel {name!r}; known: {known}") from exc
+    return Trace(name, run_program(program, max_ops=max_ops))

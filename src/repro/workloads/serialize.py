@@ -1,0 +1,90 @@
+"""Trace serialization: save and reload dynamic traces.
+
+A compact line-per-op text format so traces can be archived, diffed, and
+shared between runs (or generated once and reused across a parameter
+sweep without paying generator time).  Format, one op per line::
+
+    seq pc opclass dest srcs taken target mispred memhint counts mnemonic
+
+with ``-`` for absent fields and sources comma-separated.  A header line
+carries the format version and trace name.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.workloads.trace import Trace
+
+_FORMAT = "reprotrace-v1"
+
+
+def _encode_optional(value) -> str:
+    return "-" if value is None else str(int(value))
+
+
+def _decode_optional(token: str) -> Optional[int]:
+    return None if token == "-" else int(token)
+
+
+def dump_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write *trace* to *path* in the line format above."""
+    lines = [f"{_FORMAT} {trace.name}"]
+    for op in trace.ops:
+        srcs = ",".join(str(s) for s in op.srcs) if op.srcs else "-"
+        lines.append(" ".join([
+            str(op.seq),
+            str(op.pc),
+            op.op_class.name,
+            _encode_optional(op.dest),
+            srcs,
+            "1" if op.taken else "0",
+            _encode_optional(op.target_pc),
+            _encode_optional(op.mispred_hint),
+            _encode_optional(op.mem_hint),
+            "1" if op.counts_as_inst else "0",
+            op.mnemonic,
+        ]))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`dump_trace`."""
+    text = Path(path).read_text().splitlines()
+    if not text:
+        raise ValueError(f"{path}: empty trace file")
+    header = text[0].split(maxsplit=1)
+    if not header or header[0] != _FORMAT:
+        raise ValueError(f"{path}: not a {_FORMAT} file")
+    name = header[1] if len(header) > 1 else "trace"
+
+    ops: List[DynInst] = []
+    for lineno, line in enumerate(text[1:], start=2):
+        if not line.strip():
+            continue
+        fields = line.split()
+        if len(fields) != 11:
+            raise ValueError(f"{path}:{lineno}: expected 11 fields, "
+                             f"got {len(fields)}")
+        (seq, pc, op_class, dest, srcs, taken, target, mispred,
+         mem_hint, counts, mnemonic) = fields
+        mispred_value = _decode_optional(mispred)
+        ops.append(DynInst(
+            seq=int(seq),
+            pc=int(pc),
+            op_class=OpClass[op_class],
+            dest=_decode_optional(dest),
+            srcs=tuple(int(s) for s in srcs.split(",")) if srcs != "-"
+            else (),
+            taken=taken == "1",
+            target_pc=_decode_optional(target),
+            mispred_hint=None if mispred_value is None
+            else bool(mispred_value),
+            mem_hint=_decode_optional(mem_hint),
+            counts_as_inst=counts == "1",
+            mnemonic=mnemonic,
+        ))
+    return Trace(name, ops)

@@ -1,0 +1,607 @@
+"""Synthetic workload generator.
+
+The generator builds, from a :class:`WorkloadProfile`, a synthetic *static
+program* — loop bodies of slots with concrete register assignments — whose
+dynamic execution realizes the profile's instruction mix and, crucially, its
+Figure 6 dependence-edge distance distribution.  It then *walks* the static
+program to produce the dynamic operation trace: loop-back branches iterate
+with geometric trip counts, interior branches resolve per the profile's
+taken rate, and branch mispredictions and cache-miss levels are pre-resolved
+from the profile rates (the timing model honours these hints).
+
+Why a static program rather than an i.i.d. instruction stream: macro-op
+pointers are stored in the instruction cache and *reused* across dynamic
+executions of the same PC (Section 5.1.3) — the paper's tolerance of a
+100-cycle detection delay depends on this reuse.  A synthetic program with
+stable PCs and loops reproduces that behaviour; an i.i.d. stream cannot.
+
+Two mechanisms control the dependence structure:
+
+* **Obligation scheduling** pins the Figure 6 statistic.  When a slot
+  produces a register value, the builder samples the value's fate from the
+  profile distribution (nearest dependent candidate at distance 1–3 / 4–7 /
+  8+, nearest dependent non-candidate, or dead) and records an obligation at
+  the target slot.  When construction reaches that slot, the obligation
+  forces the slot's class (candidate vs. non-candidate) and makes it read
+  the obligated register.  Registers with unfired obligations are reserved
+  so no intervening slot accidentally shortens the edge, and dead values are
+  never read again.
+
+* **Loop carriers** pin the exploitable ILP.  Each loop body designates
+  ``loop_carriers`` registers (induction variables / accumulators / walked
+  pointers): they are read near the body's start, threaded through the
+  body's dependence chains, and written back near its end, so successive
+  iterations *serialize* through them exactly like real loops.  Without
+  carriers every iteration would be dataflow-independent and the trip count
+  would become free parallelism — no scheduler discipline would ever
+  matter.  A carrier advanced by a load (``carrier_via_load``) models
+  pointer chasing: its loop-carried edge is multi-cycle, which a pipelined
+  scheduler tolerates but the memory system dominates (mcf).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import DynInst, crack_store
+from repro.isa.opcodes import OpClass
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.trace import Trace
+
+#: Integer registers usable by the generator (r0 kept as a stable
+#: "initialized at entry" source, r27–r30 free for future use, r31 is zero).
+_INT_POOL: Tuple[int, ...] = tuple(range(1, 27))
+
+#: Floating-point registers usable by the generator (f0–f29 → 32–61).
+_FP_POOL: Tuple[int, ...] = tuple(range(32, 62))
+
+#: Maximum nearest-tail distance the generator realizes for the "8+" bucket.
+_MAX_DISTANCE = 15
+
+
+@dataclass
+class StaticSlot:
+    """One slot of the synthetic static program."""
+
+    pc: int
+    op_class: OpClass
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    store_data_src: Optional[int] = None
+    taken_prob: float = 0.0
+    target: Optional[int] = None
+    is_loopback: bool = False
+    mnemonic: str = ""
+
+
+class _RegisterAllocator:
+    """Round-robin allocator that respects reserved (pending) registers."""
+
+    def __init__(self, pool: Tuple[int, ...]) -> None:
+        self.pool = pool
+        self.cursor = 0
+        self.reserved: set = set()
+        self.dead: set = set()
+
+    def allocate(self) -> int:
+        """Return the next register not reserved by a pending obligation."""
+        for _ in range(len(self.pool)):
+            reg = self.pool[self.cursor]
+            self.cursor = (self.cursor + 1) % len(self.pool)
+            if reg not in self.reserved:
+                self.dead.discard(reg)
+                return reg
+        raise RuntimeError("register pool exhausted by pending obligations")
+
+
+class _ObligationBook:
+    """Pending consumer obligations, keyed by the slot that must fire them."""
+
+    def __init__(self) -> None:
+        self.by_slot: Dict[int, List[Tuple[int, str]]] = {}
+
+    def schedule(self, slot: int, reg: int, kind: str,
+                 min_slot: int = 0, max_slot: Optional[int] = None) -> bool:
+        """Register that *slot* must consume *reg* with a *kind* consumer.
+
+        At most two obligations fire per slot (a consumer has at most two
+        source operands); extras slide forward, or backward when a
+        ``max_slot`` bound (the loop body's last usable slot) would be
+        crossed.  Returns False when no capacity exists in range.
+        """
+        candidate = slot
+        while max_slot is None or candidate <= max_slot:
+            if len(self.by_slot.get(candidate, [])) < 2:
+                self.by_slot.setdefault(candidate, []).append((reg, kind))
+                return True
+            candidate += 1
+        candidate = min(slot, max_slot) if max_slot is not None else slot
+        while candidate > min_slot:
+            if len(self.by_slot.get(candidate, [])) < 2:
+                self.by_slot.setdefault(candidate, []).append((reg, kind))
+                return True
+            candidate -= 1
+        return False
+
+    def pop(self, slot: int) -> List[Tuple[int, str]]:
+        return self.by_slot.pop(slot, [])
+
+
+@dataclass
+class _BodyState:
+    """Loop-carrier bookkeeping for the body under construction."""
+
+    start: int
+    end: int
+    carriers: List[int] = field(default_factory=list)
+    unread: List[int] = field(default_factory=list)
+    unwritten: List[int] = field(default_factory=list)
+    load_carriers: set = field(default_factory=set)
+    #: DOALL body: no loop-carried chain; iterations are independent.
+    parallel: bool = False
+
+    def in_read_zone(self, idx: int) -> bool:
+        """Early slots of a parallel body must root at entry-ready values
+        so iterations stay independent across the loop-back edge."""
+        return idx - self.start < 8
+
+    def in_write_zone(self, idx: int) -> bool:
+        """The closing slots of the body, where carriers are written back."""
+        return idx >= self.end - max(4, 3 * len(self.unwritten))
+
+    def must_write_now(self, idx: int) -> bool:
+        """Remaining slots just suffice for the remaining carrier writes."""
+        return bool(self.unwritten) and (self.end - idx) <= len(self.unwritten)
+
+
+class SyntheticWorkload:
+    """A synthetic benchmark: static program + dynamic trace walker.
+
+    Args:
+        profile: the benchmark profile to realize.
+        seed: RNG seed; the same (profile, seed, size) triple always yields
+            the same program and trace, so experiments are reproducible.
+        static_size: number of static slots to generate (the "text size").
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        seed: int = 1,
+        static_size: int = 2048,
+    ) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.static_size = static_size
+        # zlib.crc32 rather than hash(): str hashing is randomized per
+        # process, and traces must be bit-identical across runs.
+        name_key = zlib.crc32(profile.name.encode())
+        self._rng = random.Random((name_key ^ seed) & 0xFFFFFFFF)
+        self.slots: List[StaticSlot] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Static program construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        rng = self._rng
+        profile = self.profile
+        ints = _RegisterAllocator(_INT_POOL)
+        fps = _RegisterAllocator(_FP_POOL)
+        obligations = _ObligationBook()
+        # Recently-retired registers usable as extra source operands.
+        retired: deque = deque(range(1, 9), maxlen=12)
+        fp_retired: deque = deque(range(32, 40), maxlen=8)
+
+        counts = {key: 0 for key in
+                  ("alu", "load", "store", "branch", "mult", "fp")}
+        targets = {
+            "alu": profile.frac_alu,
+            "load": profile.frac_load,
+            "store": profile.frac_store,
+            "branch": profile.frac_branch,
+            "mult": profile.frac_mult,
+            "fp": profile.frac_fp,
+        }
+
+        def deficit(key: str, total: int) -> float:
+            return targets[key] * (total + 1) - counts[key]
+
+        def pick_class(allowed: Tuple[str, ...], total: int) -> str:
+            return max(allowed, key=lambda key: deficit(key, total))
+
+        def pick_retired(chain: bool = False) -> int:
+            """Pick a source register among recently-retired values.
+
+            ``chain=True`` continues (and consumes) the freshest thread so
+            chains stay serial rather than forking; otherwise the profile's
+            chain bias decides between the freshest value (coupling this
+            operation's depth to a live chain) and an older one.
+            """
+            usable = [r for r in retired
+                      if r not in ints.reserved and r not in ints.dead]
+            if not usable:
+                return 0  # entry-initialized register, always safe
+            if chain:
+                reg = usable[-1]
+                retired.remove(reg)
+                return reg
+            if rng.random() < profile.chain_bias:
+                return usable[-1]
+            return rng.choice(usable)
+
+        def pick_fp_retired() -> int:
+            usable = [r for r in fp_retired if r not in fps.reserved]
+            return rng.choice(usable) if usable else 32
+
+        def retire(reg: int) -> None:
+            ints.reserved.discard(reg)
+            if reg not in ints.dead:
+                retired.append(reg)
+
+        def schedule_fate(idx: int, dest: int) -> None:
+            """Sample the fate of a value-generating candidate's value.
+
+            The consumer slot is clamped inside the current body: an
+            obligation past the loop-back branch would bind a slot in the
+            *next static body*, which the dynamic loop never reaches until
+            loop exit — the value would look dynamically dead on almost
+            every iteration.
+            """
+            roll = rng.random()
+            if roll < profile.dist_1_3:
+                dist = rng.randint(1, 3)
+                kind = "cand"
+            elif roll < profile.dist_1_3 + profile.dist_4_7:
+                dist = rng.randint(4, 7)
+                kind = "cand"
+            elif roll < (profile.dist_1_3 + profile.dist_4_7
+                         + profile.dist_8p):
+                dist = rng.randint(8, _MAX_DISTANCE)
+                kind = "cand"
+            elif roll < 1.0 - profile.dist_dead:
+                dist = rng.randint(1, 6)
+                kind = "noncand"
+            else:
+                ints.dead.add(dest)
+                return
+            dist = min(dist, body.end - 1 - idx)
+            if dist < 1 or not obligations.schedule(
+                    idx + dist, dest, kind,
+                    min_slot=idx, max_slot=body.end - 1):
+                ints.dead.add(dest)
+                return
+            ints.reserved.add(dest)
+
+        def open_body(start: int) -> _BodyState:
+            length = rng.randint(*profile.body_size)
+            body = _BodyState(start=start, end=start + length)
+            if rng.random() < profile.parallel_body_frac:
+                body.parallel = True       # DOALL loop: no carried chain
+                return body
+            mean = max(1.0, profile.loop_carriers)
+            k = max(1, min(round(rng.gauss(mean, 0.6)), length // 5 + 1))
+            for _ in range(k):
+                reg = ints.allocate()
+                ints.reserved.add(reg)      # protected for the whole body
+                body.carriers.append(reg)
+                if rng.random() < profile.carrier_via_load:
+                    body.load_carriers.add(reg)
+            body.unread = list(body.carriers)
+            body.unwritten = list(body.carriers)
+            return body
+
+        def close_body(body: _BodyState) -> None:
+            for reg in body.carriers:
+                ints.reserved.discard(reg)
+
+        body = open_body(0)
+        idx = 0
+        while idx < self.static_size:
+            fired = obligations.pop(idx)
+            cand_regs = [reg for reg, kind in fired if kind == "cand"]
+            noncand_regs = [reg for reg, kind in fired if kind == "noncand"]
+            fp_regs = [reg for reg, kind in fired if kind == "fp"]
+            total = idx + 1
+
+            if idx >= body.end:
+                # Forced loop-back branch closing the current body; it tests
+                # a loop carrier, so its resolution rides the carried chain.
+                src = (body.carriers[-1] if body.carriers
+                       else (cand_regs[0] if cand_regs else pick_retired()))
+                trip = max(2.0, profile.mean_trip_count)
+                self.slots.append(StaticSlot(
+                    pc=idx, op_class=OpClass.BRANCH, srcs=(src,),
+                    taken_prob=1.0 - 1.0 / trip, target=body.start,
+                    is_loopback=True, mnemonic="bloop",
+                ))
+                counts["branch"] += 1
+                for reg, kind in fired:
+                    if kind == "fp":
+                        fps.reserved.discard(reg)
+                        fp_retired.append(reg)
+                    else:
+                        retire(reg)
+                close_body(body)
+                body = open_body(idx + 1)
+                idx += 1
+                continue
+
+            if fp_regs:
+                key = "fp"
+            elif body.must_write_now(idx):
+                next_carrier = body.unwritten[-1]
+                key = "load" if next_carrier in body.load_carriers else "alu"
+            elif cand_regs:
+                key = pick_class(("alu", "store", "branch"), total)
+            elif noncand_regs:
+                key = pick_class(("load", "mult"), total)
+            else:
+                key = pick_class(
+                    ("alu", "load", "store", "branch", "mult", "fp"), total
+                )
+                if key == "fp" and targets["fp"] <= 0.0:
+                    key = "alu"
+
+            builder = getattr(self, f"_build_{key}")
+            slot = builder(
+                idx=idx, rng=rng, ints=ints, fps=fps,
+                cand_regs=cand_regs, noncand_regs=noncand_regs,
+                fp_regs=fp_regs, pick_retired=pick_retired,
+                pick_fp_retired=pick_fp_retired,
+                schedule_fate=schedule_fate, obligations=obligations,
+                body=body, fp_retired=fp_retired,
+            )
+            self.slots.append(slot)
+            counts[key] += 1
+            for reg, kind in fired:
+                if kind == "fp":
+                    fps.reserved.discard(reg)
+                    fp_retired.append(reg)
+                else:
+                    retire(reg)
+            idx += 1
+
+        close_body(body)
+        # Outermost loop: jump back to the program start.
+        self.slots.append(StaticSlot(
+            pc=self.static_size, op_class=OpClass.JUMP, taken_prob=1.0,
+            target=0, mnemonic="jmp",
+        ))
+
+    # -- per-class slot builders ------------------------------------------
+
+    def _carrier_dest(self, idx: int, body: _BodyState,
+                      want_load: bool) -> Optional[int]:
+        """Claim a carrier write-back if this slot sits in the write zone."""
+        if not body.unwritten or not body.in_write_zone(idx):
+            return None
+        for reg in reversed(body.unwritten):
+            if (reg in body.load_carriers) == want_load:
+                body.unwritten.remove(reg)
+                return reg
+        if body.must_write_now(idx):
+            return body.unwritten.pop()
+        return None
+
+    def _build_alu(self, idx, rng, ints, cand_regs, pick_retired,
+                   schedule_fate, body, **_) -> StaticSlot:
+        srcs = list(cand_regs[:2])
+        if not srcs:
+            if body.unread:
+                srcs.append(body.unread.pop(0))  # read a loop carrier
+            elif body.parallel and body.in_read_zone(idx):
+                srcs.append(0)  # root at an entry-ready value: iterations
+                                # of a DOALL body must stay independent
+            elif rng.random() < self.profile.leaf_frac:
+                srcs.append(0)  # spawn a young chain from a ready value
+            else:
+                srcs.append(pick_retired(chain=True))
+        if len(srcs) < 2:
+            # Loop-carrier reads take priority over filler sources: every
+            # carrier written at the bottom of the body must be consumed
+            # near its top, or the loop-carried chain breaks and the
+            # carrier value shows up as dynamically dead.
+            if body.unread:
+                srcs.append(body.unread.pop(0))
+            elif rng.random() < 0.8:
+                if body.parallel and body.in_read_zone(idx):
+                    srcs.append(0)
+                else:
+                    srcs.append(pick_retired())
+        dest = self._carrier_dest(idx, body, want_load=False)
+        if dest is None:
+            dest = ints.allocate()
+            schedule_fate(idx, dest)
+        return StaticSlot(pc=idx, op_class=OpClass.INT_ALU, dest=dest,
+                          srcs=tuple(srcs), mnemonic="alu")
+
+    def _build_load(self, idx, rng, ints, noncand_regs, pick_retired,
+                    obligations, body, **_) -> StaticSlot:
+        if noncand_regs:
+            base = noncand_regs[0]
+        elif body.unread:
+            base = body.unread.pop(0)            # pointer-walk read
+        elif body.parallel and body.in_read_zone(idx):
+            base = 0                             # independent iterations
+        else:
+            base = pick_retired()
+        dest = self._carrier_dest(idx, body, want_load=True)
+        if dest is not None:
+            return StaticSlot(pc=idx, op_class=OpClass.LOAD, dest=dest,
+                              srcs=(base,), mnemonic="lw")
+        dest = ints.allocate()
+        roll = rng.random()
+        if roll < 0.70:
+            kind, dist = "cand", rng.randint(1, 4)
+        elif roll < 0.85:
+            kind, dist = "noncand", rng.randint(1, 6)
+        else:
+            kind = None
+        if kind is not None:
+            dist = min(dist, body.end - 1 - idx)
+            if dist >= 1 and obligations.schedule(
+                    idx + dist, dest, kind,
+                    min_slot=idx, max_slot=body.end - 1):
+                ints.reserved.add(dest)
+            else:
+                ints.dead.add(dest)
+        else:
+            ints.dead.add(dest)
+        return StaticSlot(pc=idx, op_class=OpClass.LOAD, dest=dest,
+                          srcs=(base,), mnemonic="lw")
+
+    def _build_store(self, idx, rng, cand_regs, pick_retired, **_
+                     ) -> StaticSlot:
+        addr = cand_regs[0] if cand_regs else pick_retired()
+        data = pick_retired()
+        return StaticSlot(pc=idx, op_class=OpClass.STORE_ADDR, srcs=(addr,),
+                          store_data_src=data, mnemonic="sw")
+
+    def _build_branch(self, idx, rng, cand_regs, pick_retired, body, **_
+                      ) -> StaticSlot:
+        src = cand_regs[0] if cand_regs else pick_retired()
+        # Most taken forward branches skip nothing (empty hammocks): the
+        # taken direction still breaks the fetch group and creates the
+        # control-flow discontinuity MOP pointers must track, but producer
+        # slots are not skipped, so the dependence structure — and with it
+        # the Figure 6 calibration — survives the walk.  A minority skip
+        # one or two slots, exercising real path divergence.
+        if rng.random() < 0.15:
+            skip = rng.randint(1, 2)
+        else:
+            skip = 0
+        target = min(idx + 1 + skip, body.end, self.static_size)
+        return StaticSlot(pc=idx, op_class=OpClass.BRANCH, srcs=(src,),
+                          taken_prob=self.profile.fwd_taken_rate,
+                          target=target, mnemonic="br")
+
+    def _build_mult(self, idx, rng, ints, noncand_regs, pick_retired,
+                    obligations, body, **_) -> StaticSlot:
+        srcs = list(noncand_regs[:2])
+        while len(srcs) < 2:
+            srcs.append(pick_retired())
+        dest = ints.allocate()
+        dist = min(rng.randint(1, 6), body.end - 1 - idx)
+        if (rng.random() < 0.6 and dist >= 1
+                and obligations.schedule(idx + dist, dest, "cand",
+                                         min_slot=idx,
+                                         max_slot=body.end - 1)):
+            ints.reserved.add(dest)
+        else:
+            ints.dead.add(dest)
+        op_class = OpClass.INT_DIV if rng.random() < 0.05 else OpClass.INT_MULT
+        return StaticSlot(pc=idx, op_class=op_class, dest=dest,
+                          srcs=tuple(srcs), mnemonic="mul")
+
+    def _build_fp(self, idx, rng, fps, fp_regs, pick_fp_retired,
+                  obligations, body, **_) -> StaticSlot:
+        srcs = list(fp_regs[:2])
+        while len(srcs) < 2:
+            srcs.append(pick_fp_retired())
+        dest = fps.allocate()
+        dist = min(rng.randint(1, 6), body.end - 1 - idx)
+        if rng.random() < 0.7 and dist >= 1:
+            if obligations.schedule(idx + dist, dest, "fp",
+                                    min_slot=idx, max_slot=body.end - 1):
+                fps.reserved.add(dest)
+        roll = rng.random()
+        if roll < 0.6:
+            op_class = OpClass.FP_ALU
+        elif roll < 0.9:
+            op_class = OpClass.FP_MULT
+        else:
+            op_class = OpClass.FP_DIV
+        return StaticSlot(pc=idx, op_class=op_class, dest=dest,
+                          srcs=tuple(srcs), mnemonic="fp")
+
+    # ------------------------------------------------------------------
+    # Dynamic walk
+    # ------------------------------------------------------------------
+
+    def trace(self, num_insts: int, seed: Optional[int] = None) -> Trace:
+        """Walk the static program and return *num_insts* committed insts.
+
+        The walk pre-resolves branch outcomes (per-slot taken probability),
+        branch-misprediction hints (profile rate, conditional branches
+        only), and load memory-level hints (DL1 / L2 / memory) that the
+        timing model honours instead of simulating data addresses.
+        """
+        name_key = zlib.crc32(self.profile.name.encode())
+        walk_seed = (name_key ^ (seed if seed is not None
+                                 else self.seed + 7919)) & 0xFFFFFFFF
+        # Independent streams per decision kind: changing, say, the
+        # misprediction rate must not reshuffle branch outcomes, or every
+        # profile tweak would regenerate an unrelated trace.
+        rng_taken = random.Random(walk_seed)
+        rng_mispred = random.Random(walk_seed ^ 0x5BD1E995)
+        rng_mem = random.Random(walk_seed ^ 0x2545F491)
+        profile = self.profile
+        ops: List[DynInst] = []
+        insts = 0
+        seq = 0
+        pc = 0
+        limit = len(self.slots)
+        while insts < num_insts:
+            slot = self.slots[pc % limit]
+            if slot.op_class is OpClass.STORE_ADDR:
+                assert slot.store_data_src is not None
+                addr_op, data_op = crack_store(
+                    seq=seq, pc=slot.pc, addr_srcs=slot.srcs,
+                    data_src=slot.store_data_src,
+                )
+                ops.append(addr_op)
+                ops.append(data_op)
+                seq += 2
+                insts += 1
+                pc = slot.pc + 1
+                continue
+
+            taken = False
+            mispred = None
+            mem_hint = None
+            if slot.op_class is OpClass.BRANCH:
+                taken = rng_taken.random() < slot.taken_prob
+                mispred = rng_mispred.random() < profile.mispredict_rate
+            elif slot.op_class is OpClass.JUMP:
+                taken = True
+                mispred = False
+            elif slot.op_class is OpClass.LOAD:
+                # Two draws per load, unconditionally, so tuning the DL1
+                # rate does not shift the L2 outcome stream.
+                dl1_roll = rng_mem.random()
+                l2_roll = rng_mem.random()
+                if dl1_roll >= profile.dl1_miss_rate:
+                    mem_hint = 0
+                elif l2_roll >= profile.l2_miss_rate:
+                    mem_hint = 1
+                else:
+                    mem_hint = 2
+
+            ops.append(DynInst(
+                seq=seq, pc=slot.pc, op_class=slot.op_class, dest=slot.dest,
+                srcs=slot.srcs, taken=taken, target_pc=slot.target,
+                mispred_hint=mispred, mem_hint=mem_hint,
+                mnemonic=slot.mnemonic,
+            ))
+            seq += 1
+            insts += 1
+            pc = (slot.target if taken and slot.target is not None
+                  else slot.pc + 1)
+        return Trace(self.profile.name, ops)
+
+
+def generate_trace(
+    profile: WorkloadProfile,
+    num_insts: int,
+    seed: int = 1,
+    static_size: int = 2048,
+) -> Trace:
+    """Convenience wrapper: build a workload and return its trace."""
+    return SyntheticWorkload(profile, seed=seed,
+                             static_size=static_size).trace(num_insts)

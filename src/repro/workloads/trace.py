@@ -1,0 +1,66 @@
+"""Dynamic-trace container consumed by the timing model and the analyses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+
+class Trace:
+    """A named dynamic operation stream.
+
+    A trace is the committed (correct-path) operation sequence of a program
+    run: the classic input of a trace-driven timing simulator.  It can come
+    from the functional interpreter (execution-driven kernels) or from a
+    synthetic workload generator (SPEC-like profiles).
+    """
+
+    def __init__(self, name: str, ops: Iterable[DynInst]) -> None:
+        self.name = name
+        self.ops: List[DynInst] = list(ops)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __getitem__(self, idx):
+        return self.ops[idx]
+
+    @property
+    def committed_insts(self) -> int:
+        """Architectural instruction count (store halves count once)."""
+        return sum(1 for op in self.ops if op.counts_as_inst)
+
+    @property
+    def op_count(self) -> int:
+        """Total scheduler-visible operations (stores count twice)."""
+        return len(self.ops)
+
+    def class_histogram(self) -> dict:
+        """Operation count per :class:`OpClass`, for mix validation."""
+        hist: dict = {}
+        for op in self.ops:
+            hist[op.op_class] = hist.get(op.op_class, 0) + 1
+        return hist
+
+    def summary(self) -> str:
+        """One-paragraph description used by examples and debugging."""
+        hist = self.class_histogram()
+        branches = sum(
+            count
+            for cls, count in hist.items()
+            if cls in (OpClass.BRANCH, OpClass.JUMP, OpClass.JUMP_INDIRECT)
+        )
+        loads = hist.get(OpClass.LOAD, 0)
+        total = len(self.ops)
+        if total == 0:
+            return f"trace {self.name}: empty"
+        return (
+            f"trace {self.name}: {self.committed_insts} insts"
+            f" ({total} ops), {100.0 * loads / total:.1f}% loads,"
+            f" {100.0 * branches / total:.1f}% control"
+        )

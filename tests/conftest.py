@@ -1,0 +1,106 @@
+"""Shared test fixtures and trace-building helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.isa.instruction import DynInst, crack_store
+from repro.isa.opcodes import OpClass
+from repro.workloads.trace import Trace
+
+
+class TraceBuilder:
+    """Fluent builder for hand-crafted dynamic traces.
+
+    PCs default to the op's position, so every op has a distinct PC (no
+    pointer reuse) unless a PC is given explicitly.
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[DynInst] = []
+
+    def _next(self) -> Tuple[int, int]:
+        return len(self.ops), len(self.ops)
+
+    def alu(self, dest: Optional[int] = None, srcs: Tuple[int, ...] = (),
+            pc: Optional[int] = None) -> "TraceBuilder":
+        seq, default_pc = self._next()
+        self.ops.append(DynInst(
+            seq=seq, pc=pc if pc is not None else default_pc,
+            op_class=OpClass.INT_ALU, dest=dest, srcs=srcs, mnemonic="alu"))
+        return self
+
+    def load(self, dest: int, base: int, mem_hint: int = 0,
+             addr: Optional[int] = None,
+             pc: Optional[int] = None) -> "TraceBuilder":
+        seq, default_pc = self._next()
+        self.ops.append(DynInst(
+            seq=seq, pc=pc if pc is not None else default_pc,
+            op_class=OpClass.LOAD, dest=dest, srcs=(base,),
+            mem_addr=addr, mem_hint=mem_hint, mnemonic="lw"))
+        return self
+
+    def store(self, addr_src: int, data_src: int,
+              pc: Optional[int] = None) -> "TraceBuilder":
+        seq, default_pc = self._next()
+        addr_op, data_op = crack_store(
+            seq=seq, pc=pc if pc is not None else default_pc,
+            addr_srcs=(addr_src,), data_src=data_src)
+        self.ops.append(addr_op)
+        self.ops.append(data_op)
+        return self
+
+    def branch(self, src: int, taken: bool = False,
+               target: Optional[int] = None, mispred: bool = False,
+               pc: Optional[int] = None) -> "TraceBuilder":
+        seq, default_pc = self._next()
+        use_pc = pc if pc is not None else default_pc
+        self.ops.append(DynInst(
+            seq=seq, pc=use_pc, op_class=OpClass.BRANCH, srcs=(src,),
+            taken=taken, target_pc=target if target is not None
+            else use_pc + 1,
+            mispred_hint=mispred, mnemonic="br"))
+        return self
+
+    def mult(self, dest: int, srcs: Tuple[int, ...],
+             pc: Optional[int] = None) -> "TraceBuilder":
+        seq, default_pc = self._next()
+        self.ops.append(DynInst(
+            seq=seq, pc=pc if pc is not None else default_pc,
+            op_class=OpClass.INT_MULT, dest=dest, srcs=srcs,
+            mnemonic="mul"))
+        return self
+
+    def build(self, name: str = "test") -> Trace:
+        return Trace(name, self.ops)
+
+
+@pytest.fixture
+def tb() -> TraceBuilder:
+    return TraceBuilder()
+
+
+def chain_trace(length: int, loop: bool = False) -> Trace:
+    """A pure serial chain of 1-cycle ALU ops: op i reads op i-1's dest.
+
+    The worst case for pipelined scheduling — every dependent pair should
+    be groupable into MOPs.  With ``loop=True`` the same two PCs repeat so
+    MOP pointers get reuse.
+    """
+    builder = TraceBuilder()
+    for i in range(length):
+        reg = 1 + (i % 2)
+        prev = 1 + ((i + 1) % 2)
+        pc = (i % 4) if loop else None
+        builder.alu(dest=reg, srcs=(prev,), pc=pc)
+    return builder.build("chain")
+
+
+def independent_trace(length: int) -> Trace:
+    """Fully independent single-cycle ops: maximal ILP, no chains."""
+    builder = TraceBuilder()
+    for i in range(length):
+        builder.alu(dest=1 + (i % 24), srcs=())
+    return builder.build("independent")

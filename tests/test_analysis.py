@@ -1,0 +1,184 @@
+"""Tests for the machine-independent characterizations (Figures 6 and 7)."""
+
+import pytest
+
+from repro.analysis import (
+    characterize_distances,
+    characterize_groupability,
+    render_table,
+)
+from repro.analysis.reporting import geomean
+from repro.workloads import generate_trace, get_profile
+from tests.conftest import TraceBuilder
+
+
+class TestDistanceBuckets:
+    def test_simple_distance_one(self, tb):
+        tb.alu(dest=1, srcs=())
+        tb.alu(dest=2, srcs=(1,))
+        buckets = characterize_distances(tb.build())
+        assert buckets.valuegen_heads == 2
+        assert buckets.d1_3 == 1     # first head's consumer at distance 1
+        assert buckets.dead == 1     # second value never read
+
+    def test_distance_buckets_boundaries(self):
+        for distance, bucket in ((3, "d1_3"), (4, "d4_7"), (7, "d4_7"),
+                                 (8, "d8p")):
+            tb = TraceBuilder()
+            tb.alu(dest=1, srcs=())
+            for _ in range(distance - 1):
+                tb.alu(dest=2, srcs=())     # filler, rewrites r2
+            tb.alu(dest=3, srcs=(1,))       # consumer at `distance`
+            buckets = characterize_distances(tb.build())
+            assert getattr(buckets, bucket) >= 1, (distance, bucket)
+
+    def test_noncandidate_consumer_classified(self, tb):
+        tb.alu(dest=1, srcs=())
+        tb.load(dest=2, base=1)     # nearest dependent is a load
+        buckets = characterize_distances(tb.build())
+        assert buckets.noncand == 1
+
+    def test_store_data_read_is_noncandidate(self, tb):
+        tb.alu(dest=1, srcs=())
+        tb.store(addr_src=9, data_src=1)   # data half consumes r1
+        buckets = characterize_distances(tb.build())
+        assert buckets.noncand == 1
+
+    def test_store_addr_read_is_candidate(self, tb):
+        tb.alu(dest=1, srcs=())
+        tb.store(addr_src=1, data_src=9)   # addr-gen consumes r1
+        buckets = characterize_distances(tb.build())
+        assert buckets.d1_3 == 1
+
+    def test_overwrite_means_dead(self, tb):
+        tb.alu(dest=1, srcs=())
+        tb.alu(dest=1, srcs=())     # rewrites r1 unread
+        tb.alu(dest=2, srcs=(1,))
+        buckets = characterize_distances(tb.build())
+        # Dead: the overwritten first r1 *and* the final r2 (unread at
+        # trace end).
+        assert buckets.dead == 2
+        assert buckets.d1_3 == 1
+
+    def test_only_first_reader_counts(self, tb):
+        tb.alu(dest=1, srcs=())
+        tb.load(dest=2, base=1)      # nearest: non-candidate
+        tb.alu(dest=3, srcs=(1,))    # later candidate reader ignored
+        buckets = characterize_distances(tb.build())
+        assert buckets.noncand == 1                  # r1's fate: the load
+        assert buckets.d1_3 + buckets.d4_7 + buckets.d8p == 0
+        assert buckets.dead == 1                     # r3 never read
+
+    def test_distances_in_instructions_not_ops(self, tb):
+        """Store halves share one instruction slot; the distance metric
+        counts instructions (Figure 6's x-axis)."""
+        tb.alu(dest=1, srcs=())
+        tb.store(addr_src=9, data_src=8)   # 2 ops, 1 instruction
+        tb.store(addr_src=9, data_src=8)
+        tb.store(addr_src=9, data_src=8)
+        tb.alu(dest=2, srcs=(1,))          # 4 instructions later → d4_7
+        buckets = characterize_distances(tb.build())
+        assert buckets.d4_7 == 1
+
+    def test_fractions_sum_to_one(self):
+        trace = generate_trace(get_profile("gcc"), 3000)
+        buckets = characterize_distances(trace)
+        total = (buckets.fraction("d1_3") + buckets.fraction("d4_7")
+                 + buckets.fraction("d8p") + buckets.fraction("noncand")
+                 + buckets.fraction("dead"))
+        assert total == pytest.approx(1.0)
+
+    def test_gap_shorter_than_vortex(self):
+        gap = characterize_distances(generate_trace(get_profile("gap"),
+                                                    5000))
+        vortex = characterize_distances(
+            generate_trace(get_profile("vortex"), 5000))
+        assert gap.within_scope > vortex.within_scope
+
+
+class TestGroupability:
+    def test_pair_grouped(self, tb):
+        tb.alu(dest=1, srcs=())
+        tb.alu(dest=2, srcs=(1,))
+        result = characterize_groupability(tb.build(), mop_limit=2)
+        assert result.grouped == 2
+        assert result.mops == 1
+
+    def test_2x_limit_caps_group(self, tb):
+        # A chain of 4: with 2x MOPs, two pairs of two.
+        tb.alu(dest=1, srcs=())
+        tb.alu(dest=2, srcs=(1,))
+        tb.alu(dest=3, srcs=(2,))
+        tb.alu(dest=4, srcs=(3,))
+        two = characterize_groupability(tb.build(), mop_limit=2)
+        assert two.grouped == 4
+        assert two.mops == 2
+
+    def test_8x_collapses_whole_chain(self, tb):
+        tb.alu(dest=1, srcs=())
+        tb.alu(dest=2, srcs=(1,))
+        tb.alu(dest=3, srcs=(2,))
+        tb.alu(dest=4, srcs=(3,))
+        eight = characterize_groupability(tb.build(), mop_limit=8)
+        assert eight.mops == 1
+        assert eight.avg_mop_size == pytest.approx(4.0)
+
+    def test_scope_limits_grouping(self, tb):
+        tb.alu(dest=1, srcs=())
+        for _ in range(8):                 # push consumer out of scope
+            tb.load(dest=9, base=8)
+        tb.alu(dest=2, srcs=(1,))
+        result = characterize_groupability(tb.build(), mop_limit=2)
+        assert result.grouped == 0
+
+    def test_loads_never_group(self, tb):
+        tb.load(dest=1, base=9)
+        tb.load(dest=2, base=1)
+        result = characterize_groupability(tb.build(), mop_limit=2)
+        assert result.grouped == 0
+
+    def test_8x_at_least_2x(self):
+        trace = generate_trace(get_profile("perl"), 4000)
+        two = characterize_groupability(trace, 2)
+        eight = characterize_groupability(trace, 8)
+        assert eight.grouped >= two.grouped
+
+    def test_avg_8x_size_in_paper_band(self):
+        """Paper: 2.2 ~ 3.0 instructions per 8x MOP."""
+        trace = generate_trace(get_profile("crafty"), 6000)
+        eight = characterize_groupability(trace, 8)
+        assert 2.0 <= eight.avg_mop_size <= 4.0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table("T", [{"a": 1.0, "b": 22.5}],
+                            ["bench1"], precision=1)
+        assert "bench1" in text and "22.5" in text
+
+    def test_empty_table(self):
+        assert "no data" in render_table("T", [], [])
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_render_bars(self):
+        from repro.analysis.reporting import render_bars
+        text = render_bars("B", {"x": 0.5, "y": 1.0}, width=10,
+                           reference=1.0)
+        assert "x" in text and "0.500" in text
+        # The shorter value draws a proportionally shorter bar.
+        x_line = next(l for l in text.splitlines() if l.startswith("x"))
+        y_line = next(l for l in text.splitlines() if l.startswith("y"))
+        assert x_line.count("█") < y_line.count("█")
+
+    def test_render_bars_empty(self):
+        from repro.analysis.reporting import render_bars
+        assert "no data" in render_bars("B", {})
+
+    def test_experiment_result_bars(self):
+        from repro.experiments import table2
+        result = table2(benchmarks=["gap"], num_insts=800)
+        text = result.render_bars("IPC_32", reference=None)
+        assert "gap" in text and "█" in text

@@ -1,0 +1,131 @@
+"""Unit tests for the text assembler."""
+
+import pytest
+
+from repro.isa.assembler import AsmError, assemble
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import FP_REG_BASE
+
+
+class TestBasicEncoding:
+    def test_three_operand_alu(self):
+        prog = assemble("add r1, r2, r3")
+        inst = prog[0]
+        assert inst.op_class is OpClass.INT_ALU
+        assert inst.dest == 1
+        assert inst.srcs == (2, 3)
+
+    def test_immediate_alu(self):
+        prog = assemble("addi r1, r2, -5")
+        assert prog[0].imm == -5
+        assert prog[0].srcs == (2,)
+
+    def test_li_has_no_sources(self):
+        prog = assemble("li r4, 100")
+        assert prog[0].srcs == ()
+        assert prog[0].imm == 100
+
+    def test_hex_immediate(self):
+        prog = assemble("li r1, 0xff")
+        assert prog[0].imm == 255
+
+    def test_load_memory_operand(self):
+        prog = assemble("lw r1, 8(r2)")
+        inst = prog[0]
+        assert inst.op_class is OpClass.LOAD
+        assert inst.dest == 1
+        assert inst.srcs == (2,)
+        assert inst.imm == 8
+
+    def test_store_records_data_source(self):
+        prog = assemble("sw r5, 0(r6)")
+        inst = prog[0]
+        assert inst.op_class is OpClass.STORE_ADDR
+        assert inst.srcs == (6,)
+        assert inst.store_src == 5
+
+    def test_negative_displacement(self):
+        prog = assemble("lw r1, -4(r2)")
+        assert prog[0].imm == -4
+
+    def test_fp_ops_use_fp_registers(self):
+        prog = assemble("fadd f1, f2, f3")
+        assert prog[0].dest == FP_REG_BASE + 1
+        assert prog[0].op_class is OpClass.FP_ALU
+
+    def test_mult_and_div_classes(self):
+        prog = assemble("mul r1, r2, r3\ndiv r4, r5, r6")
+        assert prog[0].op_class is OpClass.INT_MULT
+        assert prog[1].op_class is OpClass.INT_DIV
+
+
+class TestControlFlow:
+    def test_label_resolution(self):
+        prog = assemble("""
+        start:
+            addi r1, r1, 1
+            jmp start
+        """)
+        assert prog[1].target == 0
+
+    def test_forward_label(self):
+        prog = assemble("""
+            bez r1, end
+            nop
+        end:
+            halt
+        """)
+        assert prog[0].target == 2
+
+    def test_label_on_same_line(self):
+        prog = assemble("loop: addi r1, r1, 1\nbnz r1, loop")
+        assert prog.labels["loop"] == 0
+        assert prog[1].target == 0
+
+    def test_numeric_branch_target(self):
+        prog = assemble("beq r1, r2, 0")
+        assert prog[0].target == 0
+
+    def test_indirect_jump(self):
+        prog = assemble("jr r9")
+        assert prog[0].op_class is OpClass.JUMP_INDIRECT
+        assert prog[0].srcs == (9,)
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError, match="duplicate"):
+            assemble("a:\na:\nnop")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AsmError):
+            assemble("lw r1, r2")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AsmError, match="line 2"):
+            assemble("nop\nbogus r1")
+
+
+class TestProgramHelpers:
+    def test_comments_and_blanks_ignored(self):
+        prog = assemble("""
+        # a comment
+        nop   # trailing comment
+
+        halt
+        """)
+        assert len(prog) == 2
+
+    def test_disassemble_mentions_labels(self):
+        prog = assemble("loop: jmp loop")
+        text = prog.disassemble()
+        assert "loop:" in text
+        assert "jmp" in text

@@ -1,0 +1,168 @@
+"""Unit tests for the branch prediction substrate."""
+
+import pytest
+
+from repro.branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    CombinedPredictor,
+    GsharePredictor,
+    ReturnAddressStack,
+)
+
+
+class TestBimodal:
+    def test_trains_toward_taken(self):
+        pred = BimodalPredictor(64)
+        for _ in range(3):
+            pred.update(4, True)
+        assert pred.predict(4)
+
+    def test_trains_toward_not_taken(self):
+        pred = BimodalPredictor(64)
+        for _ in range(3):
+            pred.update(4, False)
+        assert not pred.predict(4)
+
+    def test_hysteresis(self):
+        pred = BimodalPredictor(64)
+        for _ in range(4):
+            pred.update(4, True)
+        pred.update(4, False)  # single anomaly must not flip a saturated
+        assert pred.predict(4)
+
+    def test_counter_saturates(self):
+        pred = BimodalPredictor(64)
+        for _ in range(10):
+            pred.update(0, True)
+        assert pred.counter(0) == 3
+        for _ in range(10):
+            pred.update(0, False)
+        assert pred.counter(0) == 0
+
+    def test_aliasing_by_table_size(self):
+        pred = BimodalPredictor(16)
+        for _ in range(3):
+            pred.update(0, True)
+        assert pred.predict(16)  # same table slot
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(48)
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        """gshare should learn T,N,T,N... where bimodal cannot."""
+        pred = GsharePredictor(1024)
+        outcome = True
+        correct = 0
+        for i in range(200):
+            guess = pred.predict(12)
+            checkpoint = pred.speculate(guess)
+            if guess == outcome:
+                if i >= 100:
+                    correct += 1
+            pred.update(12, checkpoint, outcome)
+            if guess != outcome:
+                pred.repair_history(checkpoint, outcome)
+            outcome = not outcome
+        assert correct > 90  # near-perfect after warmup
+
+    def test_history_repair(self):
+        pred = GsharePredictor(256)
+        checkpoint = pred.speculate(True)
+        pred.repair_history(checkpoint, False)
+        mask = (1 << pred.history_bits) - 1
+        assert pred.history == ((checkpoint << 1) | 0) & mask
+
+    def test_speculate_shifts_history(self):
+        pred = GsharePredictor(256)
+        pred.speculate(True)
+        assert pred.history & 1 == 1
+        pred.speculate(False)
+        assert pred.history & 1 == 0
+
+
+class TestCombined:
+    def test_predicts_biased_branch(self):
+        pred = CombinedPredictor(256, 256, 256)
+        for _ in range(8):
+            prediction = pred.predict(40)
+            pred.update(40, prediction, True)
+        assert pred.predict(40).taken
+
+    def test_selector_learns_to_prefer_gshare(self):
+        """On an alternating branch only gshare is right; the selector
+        must migrate toward it."""
+        pred = CombinedPredictor(1024, 1024, 1024)
+        outcome = True
+        for _ in range(300):
+            prediction = pred.predict(8)
+            pred.update(8, prediction, outcome)
+            outcome = not outcome
+        hits = 0
+        for _ in range(100):
+            prediction = pred.predict(8)
+            pred.update(8, prediction, outcome)
+            if prediction.taken == outcome:
+                hits += 1
+            outcome = not outcome
+        assert hits > 80
+
+    def test_prediction_carries_components(self):
+        pred = CombinedPredictor()
+        prediction = pred.predict(0)
+        assert prediction.bimodal_taken in (True, False)
+        assert prediction.gshare_taken in (True, False)
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, 4)
+        assert btb.lookup(100) is None
+        btb.install(100, 7)
+        assert btb.lookup(100) == 7
+
+    def test_update_existing(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.install(100, 7)
+        btb.install(100, 9)
+        assert btb.lookup(100) == 9
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(8, 2)  # 4 sets, 2 ways
+        sets = btb.sets
+        pcs = [0, sets, 2 * sets]  # all map to set 0
+        btb.install(pcs[0], 1)
+        btb.install(pcs[1], 2)
+        btb.lookup(pcs[0])          # refresh LRU
+        btb.install(pcs[2], 3)      # evicts pcs[1]
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None
+        assert btb.lookup(pcs[2]) == 3
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(10, 4)
+
+
+class TestRAS:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+
+    def test_empty_pop_returns_none(self):
+        assert ReturnAddressStack(4).pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None

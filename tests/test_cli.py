@@ -1,0 +1,58 @@
+"""Tests for the repro-sim command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_run_benchmark(self, capsys):
+        assert main(["run", "gap", "--insts", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC=" in out and "mops=" in out
+
+    def test_run_kernel(self, capsys):
+        assert main(["run", "vector_sum", "--scheduler", "base"]) == 0
+        out = capsys.readouterr().out
+        assert "vector_sum" in out
+
+    def test_unrestricted_queue_flag(self, capsys):
+        assert main(["run", "gap", "--insts", "500",
+                     "--iq-size", "0"]) == 0
+
+    def test_mop_size_flag(self, capsys):
+        assert main(["run", "gap", "--insts", "500",
+                     "--mop-size", "4"]) == 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["run", "nosuchthing"])
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "gap", "--scheduler", "quantum"])
+
+
+class TestFigures:
+    def test_figure6(self, capsys):
+        assert main(["figure", "6", "--insts", "800",
+                     "--benchmarks", "gap"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_figure14_subset(self, capsys):
+        assert main(["figure", "14", "--insts", "800",
+                     "--benchmarks", "gap,vortex"]) == 0
+        out = capsys.readouterr().out
+        assert "gap" in out and "vortex" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2", "--insts", "800",
+                     "--benchmarks", "mcf"]) == 0
+        assert "paper_32" in capsys.readouterr().out
+
+
+class TestList:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gap" in out and "vector_sum" in out

@@ -1,0 +1,112 @@
+"""Tests that MachineConfig reproduces Table 1 and derives correctly."""
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle
+
+
+class TestTable1:
+    """Each row of Table 1 as an assertion."""
+
+    def test_out_of_order_execution_row(self):
+        cfg = MachineConfig.paper_default()
+        assert cfg.width == 4                 # 4-wide fetch/issue/commit
+        assert cfg.rob_size == 128
+        assert cfg.iq_size == 32
+        assert cfg.replay_penalty == 2        # selective replay penalty
+
+    def test_functional_units_row(self):
+        cfg = MachineConfig.paper_default()
+        assert cfg.int_alu_count == 4
+        assert cfg.fp_alu_count == 2
+        assert cfg.int_mult_count == 2
+        assert cfg.fp_mult_count == 2
+        assert cfg.mem_port_count == 2
+
+    def test_branch_prediction_row(self):
+        cfg = MachineConfig.paper_default()
+        assert cfg.bimodal_entries == 4096
+        assert cfg.gshare_entries == 4096
+        assert cfg.selector_entries == 4096
+        assert cfg.ras_depth == 16
+        assert cfg.btb_entries == 1024 and cfg.btb_assoc == 4
+        assert cfg.min_mispredict_penalty == 14
+
+    def test_memory_system_row(self):
+        cfg = MachineConfig.paper_default()
+        assert (cfg.il1_size, cfg.il1_assoc, cfg.il1_line,
+                cfg.il1_latency) == (16 * 1024, 2, 64, 2)
+        assert (cfg.dl1_size, cfg.dl1_assoc, cfg.dl1_line,
+                cfg.dl1_latency) == (16 * 1024, 4, 64, 2)
+        assert (cfg.l2_size, cfg.l2_assoc, cfg.l2_line,
+                cfg.l2_latency) == (256 * 1024, 4, 128, 8)
+        assert cfg.memory_latency == 100
+
+    def test_thirteen_stage_pipeline(self):
+        # Fetch + (Decode Rename Rename Queue) + Sched + (Disp Disp RF RF
+        # Exe) + WB + Commit = 13 stages.
+        cfg = MachineConfig.paper_default()
+        assert 1 + cfg.frontend_depth + 1 + cfg.dispatch_depth + 2 == 13
+
+
+class TestDerived:
+    def test_unrestricted_queue(self):
+        cfg = MachineConfig.unrestricted_queue()
+        assert cfg.iq_size is None
+
+    def test_assumed_load_latency_is_agen_plus_dl1(self):
+        cfg = MachineConfig.paper_default()
+        assert cfg.assumed_load_latency == 1 + cfg.dl1_latency == 3
+
+    def test_mop_scope_is_8_on_4wide(self):
+        cfg = MachineConfig.paper_default()
+        assert cfg.mop_scope_ops == 8
+
+    def test_extra_stages_extend_frontend_only_for_mop(self):
+        mop = MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP, extra_mop_stages=2)
+        base = MachineConfig.paper_default(
+            scheduler=SchedulerKind.BASE, extra_mop_stages=2)
+        assert mop.effective_frontend_depth == mop.frontend_depth + 2
+        assert base.effective_frontend_depth == base.frontend_depth
+
+    def test_max_mop_sources_per_wakeup_style(self):
+        cam = MachineConfig.paper_default(wakeup_style=WakeupStyle.CAM_2SRC)
+        wor = MachineConfig.paper_default(wakeup_style=WakeupStyle.WIRED_OR)
+        assert cam.max_mop_sources == 2
+        assert wor.max_mop_sources is None
+
+    def test_with_scheduler_copies(self):
+        cfg = MachineConfig.paper_default()
+        mop = cfg.with_scheduler(SchedulerKind.MACRO_OP,
+                                 WakeupStyle.CAM_2SRC)
+        assert mop.scheduler is SchedulerKind.MACRO_OP
+        assert mop.wakeup_style is WakeupStyle.CAM_2SRC
+        assert cfg.scheduler is SchedulerKind.BASE  # original untouched
+
+
+class TestValidation:
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            MachineConfig(width=0)
+
+    def test_bad_extra_stages(self):
+        with pytest.raises(ValueError):
+            MachineConfig(extra_mop_stages=3)
+
+    def test_mop_size_bounds(self):
+        MachineConfig(mop_size=2)      # the paper's configuration
+        MachineConfig(mop_size=8)      # the Section 4.3 extension's max
+        with pytest.raises(ValueError):
+            MachineConfig(mop_size=1)
+        with pytest.raises(ValueError):
+            MachineConfig(mop_size=9)
+
+    def test_sched_loop_depth_bounds(self):
+        MachineConfig(sched_loop_depth=3)
+        with pytest.raises(ValueError):
+            MachineConfig(sched_loop_depth=0)
+
+    def test_bad_iq_size(self):
+        with pytest.raises(ValueError):
+            MachineConfig(iq_size=0)

@@ -1,0 +1,61 @@
+"""Tests for the critical-path analysis."""
+
+import pytest
+
+from repro.analysis.critpath import (
+    critical_path,
+    two_cycle_exposure,
+)
+from repro.workloads import generate_trace, get_profile
+from tests.conftest import TraceBuilder, chain_trace, independent_trace
+
+
+class TestCriticalPath:
+    def test_serial_chain_depth(self):
+        trace = chain_trace(50)
+        result = critical_path(trace, single_cycle_edge=1)
+        assert result.critical_path == 50
+        assert result.dataflow_ilp == pytest.approx(1.0)
+
+    def test_two_cycle_edges_double_chain_depth(self):
+        trace = chain_trace(50)
+        result = critical_path(trace, single_cycle_edge=2)
+        assert result.critical_path == pytest.approx(2 * 50, abs=2)
+
+    def test_independent_ops_have_unit_depth(self):
+        trace = independent_trace(50)
+        result = critical_path(trace)
+        assert result.critical_path == 1
+        assert result.dataflow_ilp == 50
+
+    def test_load_edges_cost_three(self, tb):
+        tb.load(dest=1, base=9)
+        tb.alu(dest=2, srcs=(1,))
+        result = critical_path(tb.build())
+        assert result.critical_path == 3 + 1
+
+    def test_mult_edges_cost_latency(self, tb):
+        tb.mult(dest=1, srcs=(9, 9))
+        tb.alu(dest=2, srcs=(1,))
+        result = critical_path(tb.build())
+        assert result.critical_path == 3 + 1
+
+
+class TestTwoCycleExposure:
+    def test_serial_chain_exposure_near_half(self):
+        assert two_cycle_exposure(chain_trace(100)) == pytest.approx(
+            0.5, abs=0.02)
+
+    def test_independent_work_exposure_zero(self):
+        assert two_cycle_exposure(independent_trace(100)) == 0.0
+
+    def test_load_chain_exposure_zero(self, tb):
+        for _ in range(20):
+            tb.load(dest=1, base=1)
+        assert two_cycle_exposure(tb.build()) == 0.0
+
+    def test_gap_more_exposed_than_vortex(self):
+        gap = two_cycle_exposure(generate_trace(get_profile("gap"), 4000))
+        vortex = two_cycle_exposure(
+            generate_trace(get_profile("vortex"), 4000))
+        assert gap > vortex

@@ -1,0 +1,307 @@
+"""Unit tests for the MOP detection algorithm (Figure 9)."""
+
+from typing import List, Optional, Tuple
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle
+from repro.core.uop import Uop
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.mop.detection import MopDetector
+from repro.mop.pointers import DEPENDENT, INDEPENDENT, PointerCache
+
+
+def make_uop(seq: int, op_class: OpClass = OpClass.INT_ALU,
+             dest: Optional[int] = None, srcs: Tuple[int, ...] = (),
+             taken: bool = False, pc: Optional[int] = None) -> Uop:
+    inst = DynInst(seq=seq, pc=pc if pc is not None else seq,
+                   op_class=op_class, dest=dest, srcs=srcs, taken=taken)
+    return Uop(inst, fetch_cycle=0)
+
+
+def detector(wakeup_style=WakeupStyle.WIRED_OR, independent=True,
+             delay=0) -> MopDetector:
+    config = MachineConfig.paper_default(
+        scheduler=SchedulerKind.MACRO_OP, wakeup_style=wakeup_style,
+        independent_mops=independent, mop_detection_delay=delay)
+    return MopDetector(config, PointerCache(detection_delay=delay))
+
+
+class TestDependentDetection:
+    def test_simple_pair(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1, srcs=(9,)),
+            make_uop(1, dest=2, srcs=(1,)),   # depends on uop 0
+        ]
+        det.observe_group(group, now=0)
+        pointer = det.pointers.lookup(0, 0)
+        assert pointer is not None
+        assert pointer.tail_pc == 1
+        assert pointer.offset == 1
+        assert pointer.kind == DEPENDENT
+
+    def test_non_candidate_tail_rejected(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, OpClass.LOAD, dest=2, srcs=(1,)),  # load: no group
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is None
+
+    def test_non_valuegen_head_rejected(self):
+        det = detector()
+        group = [
+            make_uop(0, OpClass.BRANCH, srcs=(9,)),   # no dest: tail only
+            make_uop(1, dest=2, srcs=(1,)),
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is None
+
+    def test_nearest_consumer_selected(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, dest=2, srcs=(1,)),   # nearest consumer
+            make_uop(2, dest=3, srcs=(1,)),   # farther consumer
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0).tail_pc == 1
+
+    def test_overwritten_value_breaks_dependence(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, dest=1, srcs=(9,)),   # rewrites r1
+            make_uop(2, dest=3, srcs=(1,)),   # depends on uop 1, not 0
+        ]
+        det.observe_group(group, now=0)
+        pointer = det.pointers.lookup(1, 0)
+        assert pointer is not None and pointer.tail_pc == 2
+        assert det.pointers.lookup(0, 0) is None
+
+    def test_cross_group_pairs_in_two_cycle_scope(self):
+        det = detector()
+        det.observe_group([make_uop(0, dest=1)], now=0)
+        det.observe_group([make_uop(1, dest=2, srcs=(1,))], now=1)
+        assert det.pointers.lookup(0, 1) is not None
+
+    def test_priority_decoder_earliest_head_wins(self):
+        det = detector(independent=False)
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, dest=2),
+            make_uop(2, dest=3, srcs=(1, 2)),  # consumer of both 0 and 1
+        ]
+        det.observe_group(group, now=0)
+        # uop 2 has two sources; as a "2" mark it is the first mark in
+        # uop 0's column, so head 0 claims it; head 1 loses the conflict.
+        assert det.pointers.lookup(0, 0) is not None
+        assert det.pointers.lookup(1, 0) is None
+
+
+class TestCycleHeuristic:
+    def test_two_mark_across_other_marks_rejected(self):
+        """Figure 9 step n: head 0's consumers are uop 1 (not a candidate,
+        but still a mark) and uop 2 (two sources).  A '2' mark may not be
+        selected across other marks — potential cycle."""
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, OpClass.LOAD, dest=2, srcs=(1,)),  # inval mark
+            make_uop(2, dest=3, srcs=(1, 2)),              # "2" mark
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is None
+
+    def test_single_source_tail_allowed_across_marks(self):
+        """A '1' mark (single-operand tail) is safe at any position."""
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, OpClass.LOAD, dest=2, srcs=(1,)),  # earlier mark
+            make_uop(2, dest=3, srcs=(1,)),                # "1" mark
+        ]
+        det.observe_group(group, now=0)
+        pointer = det.pointers.lookup(0, 0)
+        assert pointer is not None and pointer.tail_pc == 2
+
+    def test_first_two_mark_allowed(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, dest=3, srcs=(1, 9)),  # "2" mark, first in column
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is not None
+
+
+class TestControlFlow:
+    def test_one_taken_branch_sets_control_bit(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, OpClass.BRANCH, srcs=(9,), taken=True),
+            make_uop(2, dest=2, srcs=(1,)),
+        ]
+        det.observe_group(group, now=0)
+        pointer = det.pointers.lookup(0, 0)
+        assert pointer is not None
+        assert pointer.control_bit == 1
+
+    def test_two_taken_branches_forbid_grouping(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, OpClass.BRANCH, srcs=(9,), taken=True),
+            make_uop(2, OpClass.BRANCH, srcs=(9,), taken=True),
+            make_uop(3, dest=2, srcs=(1,)),
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is None
+
+    def test_taken_indirect_jump_forbids_grouping(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, OpClass.JUMP_INDIRECT, srcs=(9,), taken=True),
+            make_uop(2, dest=2, srcs=(1,)),
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is None
+
+    def test_not_taken_branch_is_transparent(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, OpClass.BRANCH, srcs=(9,), taken=False),
+            make_uop(2, dest=2, srcs=(1,)),
+        ]
+        det.observe_group(group, now=0)
+        pointer = det.pointers.lookup(0, 0)
+        assert pointer is not None and pointer.control_bit == 0
+
+
+class TestSourceLimit:
+    def test_cam2_rejects_three_merged_sources(self):
+        det = detector(wakeup_style=WakeupStyle.CAM_2SRC)
+        group = [
+            make_uop(0, dest=1, srcs=(8, 9)),
+            make_uop(1, dest=2, srcs=(1, 7)),  # merged: {8, 9, 7}
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is None
+
+    def test_wired_or_accepts_three_merged_sources(self):
+        det = detector(wakeup_style=WakeupStyle.WIRED_OR)
+        group = [
+            make_uop(0, dest=1, srcs=(8, 9)),
+            make_uop(1, dest=2, srcs=(1, 7)),
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is not None
+
+    def test_cam2_intra_dependence_needs_no_tag(self):
+        det = detector(wakeup_style=WakeupStyle.CAM_2SRC)
+        group = [
+            make_uop(0, dest=1, srcs=(8, 9)),
+            make_uop(1, dest=2, srcs=(1,)),   # only the intra edge
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is not None
+
+
+class TestIndependentMops:
+    def test_identical_sources_grouped(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1, srcs=(8,)),
+            make_uop(1, dest=2, srcs=(8,)),   # same source, independent
+        ]
+        det.observe_group(group, now=0)
+        pointer = det.pointers.lookup(0, 0)
+        assert pointer is not None and pointer.kind == INDEPENDENT
+
+    def test_no_source_pairs_grouped(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, dest=2),
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0).kind == INDEPENDENT
+
+    def test_different_sources_not_grouped(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1, srcs=(8,)),
+            make_uop(1, dest=2, srcs=(7,)),
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is None
+
+    def test_dependent_pass_has_priority(self):
+        det = detector()
+        group = [
+            make_uop(0, dest=1, srcs=(8,)),
+            make_uop(1, dest=2, srcs=(1,)),   # dependent on 0
+            make_uop(2, dest=3, srcs=(8,)),   # identical sources to 0
+        ]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0).kind == DEPENDENT
+
+    def test_disabled_by_config(self):
+        det = detector(independent=False)
+        group = [make_uop(0, dest=1, srcs=(8,)),
+                 make_uop(1, dest=2, srcs=(8,))]
+        det.observe_group(group, now=0)
+        assert det.pointers.lookup(0, 0) is None
+
+    def test_same_register_different_writer_not_identical(self):
+        """'Identical source dependences' means the same producer, not
+        just the same register name."""
+        det = detector(independent=False)
+        group = [
+            make_uop(0, dest=1, srcs=(8,)),
+            make_uop(1, dest=8, srcs=(9, 7)),  # rewrites r8 (not candidate pair)
+            make_uop(2, dest=2, srcs=(8,)),    # r8 now from uop 1
+        ]
+        det_ind = detector(independent=True)
+        det_ind.observe_group(group, now=0)
+        pointer = det_ind.pointers.lookup(0, 0)
+        assert pointer is None or pointer.tail_pc != 2
+
+
+class TestBlacklist:
+    def test_blacklisted_pair_skipped_and_alternative_found(self):
+        det = detector()
+        det.pointers._blacklist.add((0, 1))
+        group = [
+            make_uop(0, dest=1),
+            make_uop(1, dest=2, srcs=(1,)),   # blacklisted tail
+            make_uop(2, dest=3, srcs=(1,)),   # alternative
+        ]
+        det.observe_group(group, now=0)
+        pointer = det.pointers.lookup(0, 0)
+        assert pointer is not None and pointer.tail_pc == 2
+
+
+class TestScope:
+    def test_offset_beyond_seven_not_created(self):
+        det = detector(independent=False)
+        group1 = [make_uop(0, dest=1), make_uop(1), make_uop(2),
+                  make_uop(3)]
+        group2 = [make_uop(4), make_uop(5), make_uop(6),
+                  make_uop(7, dest=2, srcs=(1,))]
+        det.observe_group(group1, now=0)
+        det.observe_group(group2, now=1)
+        pointer = det.pointers.lookup(0, 1)
+        assert pointer is not None and pointer.offset == 7
+
+    def test_window_slides_one_group(self):
+        det = detector(independent=False)
+        det.observe_group([make_uop(0, dest=1)], now=0)
+        det.observe_group([make_uop(1)], now=1)
+        # uop 0 left the 2-group scope before this consumer arrived.
+        det.observe_group([make_uop(2, dest=2, srcs=(1,))], now=2)
+        assert det.pointers.lookup(0, 10) is None

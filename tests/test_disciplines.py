@@ -1,0 +1,84 @@
+"""Tests for the scheduling-discipline timing laws (Figure 5)."""
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind
+from repro.core.scheduler import (
+    AtomicDiscipline,
+    MacroOpDiscipline,
+    SelectFreeScoreboard,
+    SelectFreeSquashDep,
+    TwoCycleDiscipline,
+    make_discipline,
+)
+from repro.core.scheduler.base import (
+    COLLISION_NONE,
+    COLLISION_SCOREBOARD,
+    COLLISION_SQUASH,
+)
+
+
+class TestTimingLaws:
+    def test_atomic_back_to_back(self):
+        # Figure 5 left: dependent single-cycle ops in consecutive cycles.
+        assert AtomicDiscipline().broadcast_offset(1) == 1
+
+    def test_two_cycle_bubble(self):
+        # Figure 5 middle: one bubble between dependent 1-cycle ops.
+        assert TwoCycleDiscipline().broadcast_offset(1) == 2
+
+    def test_two_cycle_hides_behind_multi_cycle(self):
+        # Multi-cycle producers hide the pipelined wakeup entirely.
+        disc = TwoCycleDiscipline()
+        for latency in (2, 3, 4, 20, 24):
+            assert disc.broadcast_offset(latency) == latency
+
+    def test_macro_op_same_law_as_two_cycle(self):
+        # Figure 5 right: the MOP is a 2-cycle unit; offset(2) == 2 means
+        # tail consumers run back-to-back with the tail.
+        mop = MacroOpDiscipline()
+        two = TwoCycleDiscipline()
+        for latency in (1, 2, 3, 20):
+            assert mop.broadcast_offset(latency) == \
+                two.broadcast_offset(latency)
+
+    def test_select_free_is_atomic_speculative(self):
+        for disc in (SelectFreeSquashDep(), SelectFreeScoreboard()):
+            assert disc.broadcast_offset(1) == 1
+            assert disc.speculative_wakeup
+
+    def test_load_offset_under_each_law(self):
+        # Assumed load latency is 3: every discipline waits 3 cycles.
+        for disc in (AtomicDiscipline(), TwoCycleDiscipline(),
+                     MacroOpDiscipline(), SelectFreeSquashDep()):
+            assert disc.broadcast_offset(3) == 3
+
+
+class TestFlags:
+    def test_only_macro_op_uses_mops(self):
+        assert MacroOpDiscipline().uses_macro_ops
+        assert not TwoCycleDiscipline().uses_macro_ops
+        assert not AtomicDiscipline().uses_macro_ops
+        assert not SelectFreeSquashDep().uses_macro_ops
+
+    def test_collision_modes(self):
+        assert AtomicDiscipline().collision_mode == COLLISION_NONE
+        assert SelectFreeSquashDep().collision_mode == COLLISION_SQUASH
+        assert SelectFreeScoreboard().collision_mode == COLLISION_SCOREBOARD
+
+    def test_non_speculative_disciplines(self):
+        assert not AtomicDiscipline().speculative_wakeup
+        assert not MacroOpDiscipline().speculative_wakeup
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        (SchedulerKind.BASE, AtomicDiscipline),
+        (SchedulerKind.TWO_CYCLE, TwoCycleDiscipline),
+        (SchedulerKind.MACRO_OP, MacroOpDiscipline),
+        (SchedulerKind.SELECT_FREE_SQUASH, SelectFreeSquashDep),
+        (SchedulerKind.SELECT_FREE_SCOREBOARD, SelectFreeScoreboard),
+    ])
+    def test_factory_maps_kinds(self, kind, cls):
+        config = MachineConfig.paper_default(scheduler=kind)
+        assert isinstance(make_discipline(config), cls)

@@ -1,0 +1,125 @@
+"""Tests for the experiment harness (figures, tables, ablations)."""
+
+import pytest
+
+from repro.experiments import (
+    figure6,
+    figure7,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    table2,
+)
+from repro.experiments.ablations import (
+    detection_delay_ablation,
+    independent_mops_ablation,
+    last_arrival_filter_ablation,
+    scope_sweep,
+)
+from repro.experiments.runner import workload_trace
+
+BENCH = ["gap", "vortex"]
+N = 2500
+
+
+class TestTraceCache:
+    def test_cached_identity(self):
+        a = workload_trace("gap", 1000)
+        b = workload_trace("gap", 1000)
+        assert a is b
+
+    def test_distinct_keys(self):
+        assert workload_trace("gap", 1000) is not workload_trace("gap", 1001)
+
+
+class TestCharacterizationFigures:
+    def test_figure6_rows_and_render(self):
+        result = figure6(benchmarks=BENCH, num_insts=N)
+        assert set(result.rows) == set(BENCH)
+        for row in result.rows.values():
+            assert set(row) == {"valuegen_%insts", "1~3", "4~7", "8+",
+                                "not_candidate", "dead"}
+            assert sum(row[k] for k in ("1~3", "4~7", "8+",
+                                        "not_candidate", "dead")) == \
+                pytest.approx(100.0, abs=0.5)
+        text = result.render()
+        assert "Figure 6" in text and "gap" in text
+
+    def test_figure7_rows(self):
+        result = figure7(benchmarks=BENCH, num_insts=N)
+        for row in result.rows.values():
+            # Greedy 8x grouping may strand members a fresh 2x anchor
+            # captures: allow a ~1pp inversion.
+            assert row["grouped_8x_%"] >= row["grouped_2x_%"] - 1.0
+            assert 0 <= row["grouped_2x_%"] <= 100
+
+
+class TestTimingFigures:
+    def test_figure14_normalized_ratios(self):
+        result = figure14(benchmarks=BENCH, num_insts=N)
+        for name, row in result.rows.items():
+            assert row["base_IPC"] > 0
+            assert 0.5 <= row["2-cycle"] <= 1.001
+            assert row["MOP-wiredOR"] >= row["2-cycle"] - 0.05
+
+    def test_figure15_extra_stage_columns(self):
+        result = figure15(benchmarks=["gap"], num_insts=N)
+        row = result.rows["gap"]
+        for label in ("MOP-2src+0", "MOP-2src+1", "MOP-2src+2",
+                      "MOP-wiredOR+0", "MOP-wiredOR+1", "MOP-wiredOR+2"):
+            assert label in row
+
+    def test_figure16_select_free_columns(self):
+        result = figure16(benchmarks=["gap"], num_insts=N)
+        row = result.rows["gap"]
+        # Select-free never meaningfully beats the baseline (small
+        # scheduling anomalies allowed on short samples).
+        assert row["select-free-scoreboard"] <= 1.02
+        assert row["select-free-squash-dep"] <= 1.02
+
+    def test_figure13_grouping_fractions(self):
+        result = figure13(benchmarks=["gap"], num_insts=N)
+        row = result.rows["gap"]
+        assert 0 < row["wired-OR_grouped_%"] <= 100
+        assert row["wired-OR_insred_%"] > 0
+
+    def test_table2_includes_paper_reference(self):
+        result = table2(benchmarks=BENCH, num_insts=N)
+        assert result.rows["gap"]["paper_32"] == pytest.approx(1.73)
+        assert result.rows["gap"]["IPC_32"] > 0
+
+
+class TestAblations:
+    def test_detection_delay(self):
+        result = detection_delay_ablation(benchmarks=["gap"], num_insts=N)
+        row = result.rows["gap"]
+        # A 100-cycle delay costs little thanks to pointer reuse.
+        assert row["delay100_rel"] >= 0.9
+
+    def test_last_arrival_filter(self):
+        result = last_arrival_filter_ablation(benchmarks=["gap"],
+                                              num_insts=N)
+        assert "off_rel" in result.rows["gap"]
+
+    def test_independent_mops(self):
+        result = independent_mops_ablation(benchmarks=["gap"], num_insts=N)
+        row = result.rows["gap"]
+        assert row["on_grouped_%"] >= row["off_grouped_%"] - 1e-9
+
+    def test_scope_sweep_monotone(self):
+        result = scope_sweep(benchmarks=BENCH, num_insts=N)
+        for row in result.rows.values():
+            assert (row["scope2_%"] <= row["scope4_%"]
+                    <= row["scope8_%"] <= row["scope16_%"])
+
+
+class TestRender:
+    def test_geomean_summary_line(self):
+        result = figure14(benchmarks=BENCH, num_insts=N)
+        assert "geomean" in result.render()
+
+    def test_column_accessor(self):
+        result = table2(benchmarks=BENCH, num_insts=N)
+        col = result.column("IPC_32")
+        assert set(col) == set(BENCH)

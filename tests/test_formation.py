@@ -1,0 +1,172 @@
+"""Unit tests for MOP formation (pair location + insertion policy)."""
+
+from typing import Optional, Tuple
+
+from repro.core import MachineConfig, SchedulerKind
+from repro.core.uop import Uop
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.mop.formation import ATTACH, MOP, PENDING, SOLO, MopFormation
+from repro.mop.pointers import DEPENDENT, MopPointer, PointerCache
+
+
+def make_uop(seq: int, pc: int, op_class: OpClass = OpClass.INT_ALU,
+             dest: Optional[int] = None, srcs: Tuple[int, ...] = (),
+             taken: bool = False) -> Uop:
+    inst = DynInst(seq=seq, pc=pc, op_class=op_class, dest=dest, srcs=srcs,
+                   taken=taken)
+    return Uop(inst, fetch_cycle=0)
+
+
+def formation_with(pointers) -> MopFormation:
+    config = MachineConfig.paper_default(scheduler=SchedulerKind.MACRO_OP)
+    cache = PointerCache(detection_delay=0)
+    for pointer in pointers:
+        cache.install(pointer, now=-100)
+    return MopFormation(config, cache)
+
+
+class TestSameGroupPairing:
+    def test_pair_in_one_group(self):
+        form = formation_with([MopPointer(0, 2, 2, 0)])
+        group = [make_uop(0, pc=0, dest=1),
+                 make_uop(1, pc=1, dest=2),
+                 make_uop(2, pc=2, dest=3, srcs=(1,))]
+        directives = form.process_group(group, now=0)
+        verbs = [d.verb for d in directives]
+        assert verbs == [MOP, SOLO]
+        assert directives[0].tail is group[2]
+
+    def test_no_pointer_means_all_solo(self):
+        form = formation_with([])
+        group = [make_uop(i, pc=i) for i in range(4)]
+        directives = form.process_group(group, now=0)
+        assert all(d.verb == SOLO for d in directives)
+
+    def test_wrong_tail_pc_blocks_grouping(self):
+        """Control flow diverged: the slot holds a different instruction."""
+        form = formation_with([MopPointer(0, 99, 1, 0)])
+        group = [make_uop(0, pc=0, dest=1),
+                 make_uop(1, pc=1, dest=2, srcs=(1,))]
+        directives = form.process_group(group, now=0)
+        assert [d.verb for d in directives] == [SOLO, SOLO]
+
+    def test_control_bit_mismatch_blocks_grouping(self):
+        """Pointer recorded a fall-through path; now a taken branch sits
+        between head and tail (Section 5.2.1)."""
+        form = formation_with([MopPointer(0, 2, 2, 0)])
+        group = [make_uop(0, pc=0, dest=1),
+                 make_uop(1, pc=1, op_class=OpClass.BRANCH, taken=True),
+                 make_uop(2, pc=2, dest=3, srcs=(1,))]
+        directives = form.process_group(group, now=0)
+        assert directives[0].verb == SOLO
+
+    def test_control_bit_match_allows_grouping(self):
+        form = formation_with([MopPointer(0, 2, 2, 1)])
+        group = [make_uop(0, pc=0, dest=1),
+                 make_uop(1, pc=1, op_class=OpClass.BRANCH, taken=True),
+                 make_uop(2, pc=2, dest=3, srcs=(1,))]
+        directives = form.process_group(group, now=0)
+        assert directives[0].verb == MOP
+
+    def test_tail_claimed_once(self):
+        """Two heads pointing at the same tail: first head wins."""
+        form = formation_with([MopPointer(0, 2, 2, 0),
+                               MopPointer(1, 2, 1, 0)])
+        group = [make_uop(0, pc=0, dest=1),
+                 make_uop(1, pc=1, dest=2),
+                 make_uop(2, pc=2, dest=3, srcs=(1,))]
+        directives = form.process_group(group, now=0)
+        assert directives[0].verb == MOP
+        assert directives[1].verb == SOLO
+
+    def test_pointer_delay_respected(self):
+        config = MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP)
+        cache = PointerCache(detection_delay=10)
+        cache.install(MopPointer(0, 1, 1, 0), now=0)
+        form = MopFormation(config, cache)
+        group = [make_uop(0, pc=0, dest=1),
+                 make_uop(1, pc=1, dest=2, srcs=(1,))]
+        assert all(d.verb == SOLO
+                   for d in form.process_group(group, now=5))
+
+
+class TestCrossGroupPending:
+    def test_pending_then_attach(self):
+        form = formation_with([MopPointer(2, 5, 3, 0)])
+        group1 = [make_uop(0, pc=0), make_uop(1, pc=1),
+                  make_uop(2, pc=2, dest=1), make_uop(3, pc=3)]
+        group2 = [make_uop(4, pc=4), make_uop(5, pc=5, dest=2, srcs=(1,))]
+        d1 = form.process_group(group1, now=0)
+        assert [d.verb for d in d1] == [SOLO, SOLO, PENDING, SOLO]
+        d2 = form.process_group(group2, now=1)
+        assert [d.verb for d in d2] == [SOLO, ATTACH]
+        attach = d2[1]
+        assert attach.head_uop is group1[2]
+
+    def test_gap_group_abandons_pending(self):
+        """The tail's group must be the very next group (Figure 11)."""
+        form = formation_with([MopPointer(2, 5, 3, 0)])
+        group1 = [make_uop(0, pc=0), make_uop(1, pc=1),
+                  make_uop(2, pc=2, dest=1), make_uop(3, pc=3)]
+        form.process_group(group1, now=0)
+        # An unrelated group arrives instead of the expected one.
+        other = [make_uop(10, pc=50), make_uop(11, pc=51)]
+        form.process_group(other, now=1)
+        assert form.last_abandoned == [group1[2]]
+
+    def test_wrong_path_tail_abandoned(self):
+        form = formation_with([MopPointer(2, 5, 3, 0)])
+        group1 = [make_uop(0, pc=0), make_uop(1, pc=1),
+                  make_uop(2, pc=2, dest=1), make_uop(3, pc=3)]
+        form.process_group(group1, now=0)
+        group2 = [make_uop(4, pc=4), make_uop(5, pc=99)]  # different pc
+        directives = form.process_group(group2, now=1)
+        assert form.last_abandoned == [group1[2]]
+        assert all(d.verb == SOLO for d in directives)
+
+    def test_offset_beyond_next_group_never_pends(self):
+        """Head and tail must sit in the same or consecutive groups."""
+        form = formation_with([MopPointer(3, 99, 7, 0)])
+        group = [make_uop(0, pc=0), make_uop(1, pc=1), make_uop(2, pc=2),
+                 make_uop(3, pc=3, dest=1)]
+        directives = form.process_group(group, now=0)
+        # position 3 + offset 7 = 10, beyond the next group's last slot 7.
+        assert directives[3].verb == SOLO
+
+    def test_short_group_can_continue_into_next(self):
+        """A fetch-broken group still flows into the next group along the
+        dynamic path; the tail-PC check at attach time catches divergence."""
+        form = formation_with([MopPointer(1, 3, 2, 0)])
+        group = [make_uop(0, pc=0), make_uop(1, pc=1, dest=1)]
+        directives = form.process_group(group, now=0)
+        assert directives[1].verb == PENDING
+        attach = form.process_group(
+            [make_uop(2, pc=2), make_uop(3, pc=3, dest=2, srcs=(1,))],
+            now=1)
+        assert [d.verb for d in attach] == [SOLO, ATTACH]
+
+    def test_full_width_group_pends(self):
+        form = formation_with([MopPointer(3, 4, 1, 0)])
+        group = [make_uop(i, pc=i) for i in range(3)]
+        group.append(make_uop(3, pc=3, dest=1))
+        directives = form.process_group(group, now=0)
+        assert directives[3].verb == PENDING
+
+
+class TestStats:
+    def test_pairs_formed_counted(self):
+        form = formation_with([MopPointer(0, 1, 1, 0)])
+        group = [make_uop(0, pc=0, dest=1),
+                 make_uop(1, pc=1, dest=2, srcs=(1,))]
+        form.process_group(group, now=0)
+        assert form.pairs_formed == 1
+
+    def test_abandons_counted(self):
+        form = formation_with([MopPointer(2, 5, 3, 0)])
+        group1 = [make_uop(0, pc=0), make_uop(1, pc=1),
+                  make_uop(2, pc=2, dest=1), make_uop(3, pc=3)]
+        form.process_group(group1, now=0)
+        form.process_group([make_uop(9, pc=77)], now=1)
+        assert form.pending_abandoned == 1

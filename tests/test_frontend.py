@@ -1,0 +1,127 @@
+"""Tests for the fetch frontend."""
+
+from repro.core import MachineConfig, SchedulerKind
+from repro.core.frontend import Frontend
+from repro.core.stats import SimStats
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import run_program
+from repro.memory import MemoryHierarchy
+from repro.workloads.trace import Trace
+from tests.conftest import TraceBuilder
+
+
+def make_frontend(trace, **cfg_kw):
+    config = MachineConfig.paper_default(**cfg_kw)
+    hierarchy = MemoryHierarchy()
+    for op in trace.ops:          # warm IL1: isolate fetch-policy behaviour
+        hierarchy.l2.access(op.pc * 4)
+        hierarchy.il1.access(op.pc * 4)
+    return Frontend(config, trace, hierarchy, SimStats())
+
+
+class TestFetchGrouping:
+    def test_width_limits_group(self):
+        tb = TraceBuilder()
+        for i in range(10):
+            tb.alu(dest=1)
+        frontend = make_frontend(tb.build())
+        frontend.stalled_until = 0
+        group = frontend.fetch_group(now=100)
+        assert len(group) == 4
+
+    def test_taken_branch_ends_group(self):
+        tb = TraceBuilder()
+        tb.alu(dest=1)
+        tb.branch(src=1, taken=True, mispred=False)
+        tb.alu(dest=2)
+        frontend = make_frontend(tb.build())
+        group = frontend.fetch_group(now=100)
+        assert len(group) == 2
+        assert group[-1].inst.is_branch
+
+    def test_not_taken_branch_does_not_end_group(self):
+        tb = TraceBuilder()
+        tb.alu(dest=1)
+        tb.branch(src=1, taken=False, mispred=False)
+        tb.alu(dest=2)
+        frontend = make_frontend(tb.build())
+        assert len(frontend.fetch_group(now=100)) == 3
+
+    def test_nops_filtered_without_slots(self):
+        program = assemble("nop\nnop\nli r1, 1\nnop\nli r2, 2\nhalt")
+        trace = Trace("t", run_program(program))
+        frontend = make_frontend(trace)
+        group = frontend.fetch_group(now=100)
+        assert all(op.inst.mnemonic != "nop" for op in group)
+        assert len(group) == 3  # li, li, halt
+
+    def test_exhaustion(self):
+        tb = TraceBuilder()
+        tb.alu(dest=1)
+        frontend = make_frontend(tb.build())
+        frontend.fetch_group(now=100)
+        assert frontend.exhausted
+        assert frontend.fetch_group(now=101) == []
+
+
+class TestMispredictStall:
+    def test_fetch_stops_after_mispredicted_branch(self):
+        tb = TraceBuilder()
+        tb.branch(src=1, taken=False, mispred=True)
+        tb.alu(dest=1)
+        frontend = make_frontend(tb.build())
+        group = frontend.fetch_group(now=10)
+        assert len(group) == 1
+        assert frontend.fetch_group(now=11) == []
+
+    def test_resume_respects_minimum_penalty(self):
+        tb = TraceBuilder()
+        tb.branch(src=1, taken=False, mispred=True)
+        tb.alu(dest=1)
+        frontend = make_frontend(tb.build())
+        group = frontend.fetch_group(now=10)
+        branch = group[0]
+        frontend.on_branch_resolved(branch, now=12)  # resolved quickly
+        # Resume no earlier than fetch + 14.
+        assert frontend.stalled_until >= 10 + 14
+        assert frontend.fetch_group(now=frontend.stalled_until - 1) == []
+        assert frontend.fetch_group(now=frontend.stalled_until) != []
+
+    def test_late_resolution_dominates_floor(self):
+        tb = TraceBuilder()
+        tb.branch(src=1, taken=False, mispred=True)
+        tb.alu(dest=1)
+        frontend = make_frontend(tb.build())
+        branch = frontend.fetch_group(now=10)[0]
+        frontend.on_branch_resolved(branch, now=200)
+        assert frontend.stalled_until >= 201
+
+
+class TestRealPredictorPath:
+    def test_kernel_trace_uses_predictor(self):
+        """Hint-free traces exercise the combined predictor; a warm loop
+        branch should stop mispredicting."""
+        program = assemble("""
+            li r1, 0
+            li r2, 200
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """)
+        trace = Trace("t", run_program(program))
+        config = MachineConfig.paper_default()
+        stats = SimStats()
+        frontend = Frontend(config, trace, MemoryHierarchy(), stats)
+        now = 0
+        while not frontend.exhausted:
+            now += 1
+            group = frontend.fetch_group(now)
+            for uop in group:
+                if uop.inst.is_branch:
+                    frontend.on_branch_resolved(uop, now)
+            if frontend.stalled_until > now:
+                now = frontend.stalled_until
+        assert stats.branches >= 200
+        # The backward loop branch becomes highly predictable.
+        assert stats.mispredicted_branches < 0.1 * stats.branches

@@ -1,0 +1,67 @@
+"""Golden regression tests: exact deterministic results.
+
+The simulator is fully deterministic (seeded generators, no wall-clock, no
+hash randomization), so small configurations have *exact* expected values.
+These tests freeze them: any change to scheduling semantics, workload
+generation, or event ordering shows up here first, with a clear diff.
+
+When a change is *intentional* (e.g., a modelling fix), regenerate with:
+
+    python -m tests.test_golden
+
+which prints the current values in copy-pasteable form.
+"""
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.workloads import generate_trace, get_profile
+from repro.workloads.kernels import kernel_trace
+
+#: (workload, scheduler, wakeup, iq) → (cycles, committed, mops, replays)
+#: Regenerate via `python -m tests.test_golden` after intentional changes.
+GOLDEN = {
+    ('gap', '2-cycle', None, 32): (1691, 3000, 0, 14),
+    ('gap', 'base', None, 32): (1503, 3000, 0, 21),
+    ('gap', 'macro-op', '2-src', 32): (1525, 3000, 541, 17),
+    ('gap', 'macro-op', 'wired-OR', 32): (1510, 3000, 547, 18),
+    ('gap', 'select-free-scoreboard', None, 32): (1804, 3000, 0, 2049),
+    ('gap', 'select-free-squash-dep', None, 32): (1488, 3000, 0, 19),
+    ('kernel:fibonacci', '2-cycle', None, 32): (215, 246, 0, 0),
+    ('kernel:vector_sum', 'base', None, 32): (108, 261, 0, 1),
+    ('kernel:vector_sum', 'macro-op', 'wired-OR', 32): (161, 261, 9, 1),
+    ('mcf', 'base', None, 32): (9965, 3000, 0, 959),
+    ('mcf', 'macro-op', 'wired-OR', 32): (10260, 3000, 287, 828),
+    ('vortex', 'macro-op', 'wired-OR', None): (2129, 3000, 277, 139),
+}
+
+_SCHEDULERS = {kind.value: kind for kind in SchedulerKind}
+
+
+def _run(workload, scheduler, wakeup, iq):
+    if workload.startswith("kernel:"):
+        trace = kernel_trace(workload.split(":", 1)[1])
+    else:
+        trace = generate_trace(get_profile(workload), 3000)
+    kwargs = {"scheduler": _SCHEDULERS[scheduler], "iq_size": iq}
+    if wakeup is not None:
+        kwargs["wakeup_style"] = WakeupStyle(wakeup)
+    stats = simulate(trace, MachineConfig(**kwargs))
+    return (stats.cycles, stats.committed_insts, stats.mops_formed,
+            stats.replayed_ops)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN, key=str))
+def test_golden(key):
+    assert _run(*key) == GOLDEN[key], key
+
+
+def _regenerate():
+    print("GOLDEN = {")
+    for key in sorted(GOLDEN, key=str):
+        print(f"    {key!r}: {_run(*key)!r},")
+    print("}")
+
+
+if __name__ == "__main__":
+    _regenerate()

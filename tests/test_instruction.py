@@ -1,0 +1,99 @@
+"""Unit tests for static/dynamic instruction records."""
+
+from repro.isa.instruction import DynInst, StaticInst, crack_store
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import FP_ZERO_REG, ZERO_REG
+
+
+class TestDynInst:
+    def test_zero_register_sources_filtered(self):
+        op = DynInst(seq=0, pc=0, op_class=OpClass.INT_ALU, dest=1,
+                     srcs=(2, ZERO_REG))
+        assert op.srcs == (2,)
+
+    def test_zero_register_dest_discarded(self):
+        op = DynInst(seq=0, pc=0, op_class=OpClass.INT_ALU, dest=ZERO_REG)
+        assert op.dest is None
+        assert not op.has_dest
+
+    def test_fp_zero_register_filtered(self):
+        op = DynInst(seq=0, pc=0, op_class=OpClass.FP_ALU,
+                     dest=FP_ZERO_REG, srcs=(FP_ZERO_REG,))
+        assert op.dest is None
+        assert op.srcs == ()
+
+    def test_next_pc_fallthrough(self):
+        op = DynInst(seq=0, pc=10, op_class=OpClass.INT_ALU)
+        assert op.next_pc == 11
+
+    def test_next_pc_taken_branch(self):
+        op = DynInst(seq=0, pc=10, op_class=OpClass.BRANCH,
+                     taken=True, target_pc=3)
+        assert op.next_pc == 3
+
+    def test_not_taken_branch_falls_through(self):
+        op = DynInst(seq=0, pc=10, op_class=OpClass.BRANCH,
+                     taken=False, target_pc=3)
+        assert op.next_pc == 11
+
+    def test_candidate_classification(self):
+        alu = DynInst(seq=0, pc=0, op_class=OpClass.INT_ALU, dest=1)
+        assert alu.is_mop_candidate and alu.is_valuegen_candidate
+        load = DynInst(seq=1, pc=1, op_class=OpClass.LOAD, dest=2,
+                       srcs=(1,))
+        assert not load.is_mop_candidate
+        branch = DynInst(seq=2, pc=2, op_class=OpClass.BRANCH, srcs=(1,))
+        assert branch.is_mop_candidate and not branch.is_valuegen_candidate
+
+    def test_dead_alu_is_still_valuegen(self):
+        # "Value-generating" depends on writing a register, not on readers.
+        op = DynInst(seq=0, pc=0, op_class=OpClass.INT_ALU, dest=5)
+        assert op.is_valuegen_candidate
+
+
+class TestCrackStore:
+    def test_store_cracks_into_two_ops(self):
+        addr_op, data_op = crack_store(seq=7, pc=3, addr_srcs=(4,),
+                                       data_src=9, mem_addr=100)
+        assert addr_op.op_class is OpClass.STORE_ADDR
+        assert data_op.op_class is OpClass.STORE_DATA
+        assert addr_op.srcs == (4,)
+        assert data_op.srcs == (9,)
+
+    def test_halves_share_pc(self):
+        addr_op, data_op = crack_store(seq=0, pc=42, addr_srcs=(1,),
+                                       data_src=2)
+        assert addr_op.pc == data_op.pc == 42
+
+    def test_sequence_numbers_consecutive(self):
+        addr_op, data_op = crack_store(seq=5, pc=0, addr_srcs=(1,),
+                                       data_src=2)
+        assert data_op.seq == addr_op.seq + 1
+
+    def test_only_addr_half_counts_as_instruction(self):
+        addr_op, data_op = crack_store(seq=0, pc=0, addr_srcs=(1,),
+                                       data_src=2)
+        assert addr_op.counts_as_inst
+        assert not data_op.counts_as_inst
+
+    def test_addr_half_is_candidate_data_half_is_not(self):
+        addr_op, data_op = crack_store(seq=0, pc=0, addr_srcs=(1,),
+                                       data_src=2)
+        assert addr_op.is_mop_candidate
+        assert not data_op.is_mop_candidate
+
+
+class TestStaticInst:
+    def test_str_renders_operands(self):
+        inst = StaticInst("add", OpClass.INT_ALU, dest=1, srcs=(2, 3))
+        assert "add" in str(inst)
+        assert "r1" in str(inst)
+
+    def test_frozen(self):
+        inst = StaticInst("add", OpClass.INT_ALU, dest=1)
+        try:
+            inst.dest = 2
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

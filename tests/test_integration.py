@@ -1,0 +1,92 @@
+"""End-to-end integration tests: kernels and workloads through the stack."""
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.workloads import generate_trace, get_profile, profile_names
+from repro.workloads.kernels import KERNELS, kernel_trace
+
+
+class TestKernelsThroughPipeline:
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    @pytest.mark.parametrize("sched", [SchedulerKind.BASE,
+                                       SchedulerKind.TWO_CYCLE,
+                                       SchedulerKind.MACRO_OP,
+                                       SchedulerKind.SELECT_FREE_SQUASH,
+                                       SchedulerKind.SELECT_FREE_SCOREBOARD])
+    def test_every_kernel_under_every_scheduler(self, kernel, sched):
+        trace = kernel_trace(kernel)
+        stats = simulate(trace, MachineConfig.paper_default(scheduler=sched))
+        expected = sum(1 for op in trace.ops
+                       if op.counts_as_inst and op.mnemonic != "nop")
+        assert stats.committed_insts == expected
+        assert stats.cycles > 0
+
+    def test_vector_sum_scheduler_ordering(self):
+        """The paper's headline ordering on the accumulate loop."""
+        trace = kernel_trace("vector_sum")
+        cfg = MachineConfig.unrestricted_queue
+        base = simulate(trace, cfg(scheduler=SchedulerKind.BASE)).cycles
+        mop = simulate(trace, cfg(scheduler=SchedulerKind.MACRO_OP)).cycles
+        two = simulate(trace, cfg(scheduler=SchedulerKind.TWO_CYCLE)).cycles
+        assert base <= mop <= two
+
+    def test_pointer_chase_insensitive_to_discipline(self):
+        """Load-latency-bound code never needed a 1-cycle scheduler."""
+        trace = kernel_trace("pointer_chase")
+        cfg = MachineConfig.unrestricted_queue
+        base = simulate(trace, cfg(scheduler=SchedulerKind.BASE)).cycles
+        two = simulate(trace, cfg(scheduler=SchedulerKind.TWO_CYCLE)).cycles
+        assert two <= base * 1.10
+
+
+class TestWorkloadsThroughPipeline:
+    @pytest.mark.parametrize("bench", list(profile_names()))
+    def test_all_benchmarks_run_macro_op(self, bench):
+        trace = generate_trace(get_profile(bench), 1500)
+        stats = simulate(trace, MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.WIRED_OR))
+        assert stats.committed_insts == 1500
+        assert stats.mops_formed > 0
+
+    def test_figure14_shape_on_gap(self):
+        """gap: big 2-cycle loss, macro-op recovers a chunk of it."""
+        trace = generate_trace(get_profile("gap"), 6000)
+        cfg = MachineConfig.unrestricted_queue
+        base = simulate(trace, cfg(scheduler=SchedulerKind.BASE)).ipc
+        two = simulate(trace, cfg(scheduler=SchedulerKind.TWO_CYCLE)).ipc
+        mop = simulate(trace, cfg(
+            scheduler=SchedulerKind.MACRO_OP,
+            wakeup_style=WakeupStyle.WIRED_OR)).ipc
+        assert two < 0.95 * base          # visible 2-cycle loss
+        assert mop > two                  # macro-op recovers
+        assert mop <= base * 1.02
+
+    def test_vortex_insensitive_to_two_cycle(self):
+        trace = generate_trace(get_profile("vortex"), 6000)
+        cfg = MachineConfig.unrestricted_queue
+        base = simulate(trace, cfg(scheduler=SchedulerKind.BASE)).ipc
+        two = simulate(trace, cfg(scheduler=SchedulerKind.TWO_CYCLE)).ipc
+        assert two >= 0.93 * base
+
+    def test_grouped_fraction_in_paper_band(self):
+        """Paper: 28~46% of instructions grouped across benchmarks."""
+        trace = generate_trace(get_profile("gzip"), 6000)
+        stats = simulate(trace, MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP))
+        assert 0.15 <= stats.grouped_fraction <= 0.60
+
+    def test_mcf_memory_bound(self):
+        trace = generate_trace(get_profile("mcf"), 4000)
+        stats = simulate(trace, MachineConfig.paper_default())
+        assert stats.ipc < 0.8
+        assert stats.l2_load_misses > 0
+
+    def test_queue_contention_direction(self):
+        """Unrestricted queue never slower than the 32-entry one."""
+        for bench in ("gap", "eon"):
+            trace = generate_trace(get_profile(bench), 5000)
+            small = simulate(trace, MachineConfig.paper_default()).ipc
+            big = simulate(trace, MachineConfig.unrestricted_queue()).ipc
+            assert big >= small * 0.995

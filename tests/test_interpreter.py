@@ -1,0 +1,148 @@
+"""Unit tests for the functional interpreter."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    run_program,
+)
+from repro.isa.opcodes import OpClass
+
+
+def run(text: str, max_ops: int = 10_000):
+    return Interpreter(assemble(text), max_ops=max_ops)
+
+
+class TestArithmetic:
+    def test_add_chain(self):
+        interp = run("li r1, 3\nli r2, 4\nadd r3, r1, r2\nhalt")
+        list(interp.run())
+        assert interp.regs[3] == 7
+
+    def test_sub_and_logic(self):
+        interp = run("""
+            li r1, 12
+            li r2, 10
+            sub r3, r1, r2
+            and r4, r1, r2
+            or  r5, r1, r2
+            xor r6, r1, r2
+            halt
+        """)
+        list(interp.run())
+        assert interp.regs[3] == 2
+        assert interp.regs[4] == 12 & 10
+        assert interp.regs[5] == 12 | 10
+        assert interp.regs[6] == 12 ^ 10
+
+    def test_shifts(self):
+        interp = run("li r1, 3\nslli r2, r1, 4\nsrli r3, r2, 2\nhalt")
+        list(interp.run())
+        assert interp.regs[2] == 48
+        assert interp.regs[3] == 12
+
+    def test_mul_div(self):
+        interp = run("li r1, 6\nli r2, 7\nmul r3, r1, r2\n"
+                     "div r4, r3, r2\nhalt")
+        list(interp.run())
+        assert interp.regs[3] == 42
+        assert interp.regs[4] == 6
+
+    def test_divide_by_zero_yields_zero(self):
+        interp = run("li r1, 5\ndiv r2, r1, r0\nhalt")
+        list(interp.run())
+        assert interp.regs[2] == 0
+
+    def test_slt(self):
+        interp = run("li r1, 1\nli r2, 2\nslt r3, r1, r2\n"
+                     "slt r4, r2, r1\nhalt")
+        list(interp.run())
+        assert interp.regs[3] == 1
+        assert interp.regs[4] == 0
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        interp = run("li r1, 99\nli r2, 10\nsw r1, 2(r2)\n"
+                     "lw r3, 2(r2)\nhalt")
+        list(interp.run())
+        assert interp.regs[3] == 99
+        assert interp.memory[12] == 99
+
+    def test_uninitialized_memory_reads_zero(self):
+        interp = run("li r1, 100\nlw r2, 0(r1)\nhalt")
+        list(interp.run())
+        assert interp.regs[2] == 0
+
+    def test_store_emits_cracked_ops(self):
+        ops = run_program(assemble("li r1, 1\nsw r1, 0(r1)\nhalt"))
+        classes = [op.op_class for op in ops]
+        assert OpClass.STORE_ADDR in classes
+        assert OpClass.STORE_DATA in classes
+
+    def test_load_records_address(self):
+        ops = run_program(assemble("li r1, 7\nlw r2, 3(r1)\nhalt"))
+        load = next(op for op in ops if op.op_class is OpClass.LOAD)
+        assert load.mem_addr == 10
+
+
+class TestControlFlow:
+    def test_loop_executes_expected_iterations(self):
+        ops = run_program(assemble("""
+            li r1, 0
+            li r2, 5
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """))
+        adds = [op for op in ops if op.mnemonic == "addi"]
+        assert len(adds) == 5
+
+    def test_branch_outcomes_recorded(self):
+        ops = run_program(assemble("""
+            li r1, 1
+            bez r1, skip
+            addi r1, r1, 1
+        skip:
+            halt
+        """))
+        branch = next(op for op in ops if op.is_branch)
+        assert not branch.taken
+
+    def test_taken_branch_target_pc(self):
+        ops = run_program(assemble("""
+            li r1, 0
+            bez r1, target
+            nop
+        target:
+            halt
+        """))
+        branch = next(op for op in ops if op.is_branch)
+        assert branch.taken
+        assert branch.target_pc == 3
+        assert branch.next_pc == 3
+
+    def test_indirect_jump(self):
+        interp = run("li r1, 3\njr r1\nnop\nhalt")
+        ops = list(interp.run())
+        assert ops[-1].op_class is OpClass.SYSCALL  # reached halt at pc 3
+        assert len(ops) == 3  # li, jr, halt — nop skipped
+
+    def test_running_off_the_end_halts(self):
+        interp = run("nop")
+        list(interp.run())
+        assert interp.halted
+
+
+class TestLimits:
+    def test_infinite_loop_raises(self):
+        interp = run("loop: jmp loop", max_ops=100)
+        with pytest.raises(ExecutionLimitExceeded):
+            list(interp.run())
+
+    def test_sequence_numbers_are_dense(self):
+        ops = run_program(assemble("li r1, 1\nsw r1, 0(r1)\nhalt"))
+        assert [op.seq for op in ops] == list(range(len(ops)))

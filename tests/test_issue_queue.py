@@ -1,0 +1,122 @@
+"""Unit tests for issue-queue entries and occupancy tracking."""
+
+import pytest
+
+from repro.core.issue_queue import DONE, ISSUED, READY, WAITING, IQEntry, IssueQueue
+from repro.core.uop import Uop
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+
+def make_uop(seq=0, dest=1, srcs=()):
+    inst = DynInst(seq=seq, pc=seq, op_class=OpClass.INT_ALU, dest=dest,
+                   srcs=srcs)
+    return Uop(inst, fetch_cycle=0)
+
+
+class TestIQEntry:
+    def test_fresh_entry_state(self):
+        entry = IQEntry(make_uop(), sched_latency=1)
+        assert entry.state == WAITING
+        assert entry.tail is None
+        assert not entry.is_mop
+        assert entry.all_sources_ready()   # no operands registered yet
+
+    def test_add_operand_indexing(self):
+        entry = IQEntry(make_uop(), sched_latency=1)
+        idx0 = entry.add_operand(None, ready=True, tail_only=False)
+        idx1 = entry.add_operand(None, ready=False, tail_only=True)
+        assert (idx0, idx1) == (0, 1)
+        assert not entry.all_sources_ready()
+
+    def test_pending_blocks_readiness(self):
+        entry = IQEntry(make_uop(), sched_latency=2)
+        entry.pending_tail = True
+        assert not entry.all_sources_ready()
+        entry.pending_tail = False
+        assert entry.all_sources_ready()
+
+    def test_attach_tail(self):
+        entry = IQEntry(make_uop(seq=0), sched_latency=2)
+        entry.pending_tail = True
+        tail = make_uop(seq=1, dest=2)
+        entry.attach_tail(tail)
+        assert entry.tail is tail
+        assert entry.is_mop
+        assert not entry.pending_tail
+        assert tail.entry is entry
+
+    def test_entry_ids_unique(self):
+        a = IQEntry(make_uop(seq=0), 1)
+        b = IQEntry(make_uop(seq=1), 1)
+        assert a.eid != b.eid
+
+
+class TestLastArrival:
+    def _mop_entry(self):
+        entry = IQEntry(make_uop(seq=0), sched_latency=2)
+        entry.is_mop = True
+        entry.mop_kind = "dependent"
+        tail = make_uop(seq=1, dest=2)
+        entry.uops.append(tail)
+        return entry
+
+    def test_tail_only_last_arrival_detected(self):
+        entry = self._mop_entry()
+        entry.add_operand(None, ready=True, tail_only=False, ready_cycle=5)
+        entry.add_operand(None, ready=True, tail_only=True, ready_cycle=9)
+        assert entry.last_arriving_is_tail_only()
+
+    def test_head_last_arrival_not_flagged(self):
+        entry = self._mop_entry()
+        entry.add_operand(None, ready=True, tail_only=False, ready_cycle=9)
+        entry.add_operand(None, ready=True, tail_only=True, ready_cycle=5)
+        assert not entry.last_arriving_is_tail_only()
+
+    def test_tie_not_flagged(self):
+        entry = self._mop_entry()
+        entry.add_operand(None, ready=True, tail_only=False, ready_cycle=7)
+        entry.add_operand(None, ready=True, tail_only=True, ready_cycle=7)
+        assert not entry.last_arriving_is_tail_only()
+
+    def test_independent_mop_never_flagged(self):
+        entry = self._mop_entry()
+        entry.mop_kind = "independent"
+        entry.add_operand(None, ready=True, tail_only=True, ready_cycle=9)
+        assert not entry.last_arriving_is_tail_only()
+
+    def test_solo_entry_never_flagged(self):
+        entry = IQEntry(make_uop(), sched_latency=1)
+        entry.add_operand(None, ready=True, tail_only=False, ready_cycle=3)
+        assert not entry.last_arriving_is_tail_only()
+
+
+class TestIssueQueue:
+    def test_capacity_enforced(self):
+        queue = IssueQueue(capacity=2)
+        queue.allocate(IQEntry(make_uop(seq=0), 1))
+        queue.allocate(IQEntry(make_uop(seq=1), 1))
+        assert not queue.has_space()
+        with pytest.raises(RuntimeError):
+            queue.allocate(IQEntry(make_uop(seq=2), 1))
+
+    def test_force_overrides_capacity(self):
+        queue = IssueQueue(capacity=1)
+        queue.allocate(IQEntry(make_uop(seq=0), 1))
+        queue.allocate(IQEntry(make_uop(seq=1), 1), force=True)
+        assert len(queue) == 2
+
+    def test_release_frees_space(self):
+        queue = IssueQueue(capacity=1)
+        entry = IQEntry(make_uop(), 1)
+        queue.allocate(entry)
+        queue.release(entry)
+        assert queue.has_space()
+        queue.release(entry)   # double release is a no-op
+        assert len(queue) == 0
+
+    def test_unrestricted_always_has_space(self):
+        queue = IssueQueue(capacity=None)
+        for i in range(200):
+            queue.allocate(IQEntry(make_uop(seq=i), 1))
+        assert queue.has_space(50)

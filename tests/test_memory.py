@@ -1,0 +1,109 @@
+"""Unit tests for the cache and memory hierarchy models."""
+
+import pytest
+
+from repro.memory import Cache, MemoryHierarchy, MemoryLevel
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = Cache("t", 1024, 2, 64, latency=2)
+        assert not cache.access(0)
+        assert cache.access(0)
+
+    def test_same_line_hits(self):
+        cache = Cache("t", 1024, 2, 64, latency=2)
+        cache.access(0)
+        assert cache.access(63)     # same 64B line
+        assert not cache.access(64)  # next line
+
+    def test_lru_eviction_within_set(self):
+        cache = Cache("t", 2 * 64 * 4, 2, 64, latency=1)  # 4 sets, 2 ways
+        stride = cache.num_sets * cache.line_bytes
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)              # refresh
+        cache.access(2 * stride)     # evicts `stride`
+        assert cache.probe(0)
+        assert not cache.probe(stride)
+        assert cache.probe(2 * stride)
+
+    def test_stats_track_hits_and_misses(self):
+        cache = Cache("t", 1024, 2, 64, latency=2)
+        cache.access(0)
+        cache.access(0)
+        cache.access(128)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_flush_invalidates(self):
+        cache = Cache("t", 1024, 2, 64, latency=2)
+        cache.access(0)
+        cache.flush()
+        assert not cache.probe(0)
+
+    def test_probe_does_not_disturb(self):
+        cache = Cache("t", 1024, 2, 64, latency=2)
+        cache.probe(0)
+        assert cache.stats.accesses == 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("t", 1000, 3, 64, latency=1)
+
+
+class TestHierarchy:
+    def test_paper_default_latencies(self):
+        h = MemoryHierarchy()
+        assert h.dl1.latency == 2
+        assert h.l2.latency == 8
+        assert h.memory_latency == 100
+
+    def test_hint_paths(self):
+        h = MemoryHierarchy()
+        lat_dl1, level = h.load_latency(None, hint=0)
+        assert level is MemoryLevel.DL1 and lat_dl1 == 2
+        lat_l2, level = h.load_latency(None, hint=1)
+        assert level is MemoryLevel.L2 and lat_l2 == 10
+        lat_mem, level = h.load_latency(None, hint=2)
+        assert level is MemoryLevel.MEMORY and lat_mem == 110
+
+    def test_address_path_cold_then_warm(self):
+        h = MemoryHierarchy()
+        lat, level = h.load_latency(0x1000)
+        assert level is MemoryLevel.MEMORY
+        lat, level = h.load_latency(0x1000)
+        assert level is MemoryLevel.DL1
+        assert lat == h.dl1.latency
+
+    def test_l2_serves_after_dl1_eviction(self):
+        h = MemoryHierarchy()
+        h.load_latency(0)          # install everywhere
+        # Evict line 0 from the 4-way DL1 set by touching 4 conflicting
+        # lines (DL1 has 64 sets of 64B lines → stride 4096).
+        for i in range(1, 5):
+            h.load_latency(i * 64 * h.dl1.num_sets)
+        lat, level = h.load_latency(0)
+        assert level is MemoryLevel.L2
+
+    def test_no_hint_no_address_assumes_hit(self):
+        h = MemoryHierarchy()
+        lat, level = h.load_latency(None)
+        assert level is MemoryLevel.DL1
+
+    def test_store_commit_installs_line(self):
+        h = MemoryHierarchy()
+        h.store_commit(0x40)
+        lat, level = h.load_latency(0x40)
+        assert level is MemoryLevel.DL1
+
+    def test_fetch_latency_warms_il1(self):
+        h = MemoryHierarchy()
+        cold = h.fetch_latency(0)
+        warm = h.fetch_latency(0)
+        assert cold > warm == h.il1.latency
+
+    def test_dl1_hit_latency_property(self):
+        assert MemoryHierarchy().dl1_hit_latency == 2

@@ -1,0 +1,144 @@
+"""Tests for the larger-MOP extension (Section 4.3 future work).
+
+The paper evaluates 2-instruction MOPs and leaves larger sizes as future
+work; this repository implements them by chaining per-instruction pointers
+at formation time, optionally paired with a deeper pipelined scheduling
+loop.
+"""
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.core.pipeline import Processor
+from tests.conftest import TraceBuilder
+
+
+def chain4_trace(iterations: int = 200) -> TraceBuilder:
+    """A 4-op dependent chain per iteration at fixed PCs."""
+    tb = TraceBuilder()
+    for _ in range(iterations):
+        tb.alu(dest=1, srcs=(4,), pc=0)
+        tb.alu(dest=2, srcs=(1,), pc=1)
+        tb.alu(dest=3, srcs=(2,), pc=2)
+        tb.alu(dest=4, srcs=(3,), pc=3)
+    return tb
+
+
+def mop_cfg(**kw):
+    kw.setdefault("iq_size", None)
+    kw.setdefault("wakeup_style", WakeupStyle.WIRED_OR)
+    return MachineConfig(scheduler=SchedulerKind.MACRO_OP, **kw)
+
+
+class TestChainedFormation:
+    def test_four_op_mops_form(self):
+        trace = chain4_trace().build()
+        stats = simulate(trace, mop_cfg(mop_size=4))
+        assert stats.mops_formed > 0
+        avg = stats.grouped_ops / stats.mops_formed
+        assert avg > 3.5
+
+    def test_size_limit_respected(self):
+        trace = chain4_trace().build()
+        processor = Processor(mop_cfg(mop_size=3), trace)
+        sizes = []
+        original = type(processor)._insert_mop
+
+        def capture(self, head, tail, pointer, now, extras=()):
+            sizes.append(2 + len(extras))
+            return original(self, head, tail, pointer, now, extras=extras)
+
+        type(processor)._insert_mop = capture
+        try:
+            processor.run()
+        finally:
+            type(processor)._insert_mop = original
+        assert sizes and max(sizes) <= 3
+
+    def test_bigger_mops_cut_queue_inserts(self):
+        trace = chain4_trace().build()
+        two = simulate(trace, mop_cfg(mop_size=2))
+        four = simulate(trace, mop_cfg(mop_size=4))
+        assert four.iq_inserts < two.iq_inserts
+        assert four.insert_reduction > two.insert_reduction
+
+    def test_commit_conservation(self):
+        trace = chain4_trace().build()
+        for size in (2, 3, 4, 8):
+            stats = simulate(trace, mop_cfg(mop_size=size))
+            assert stats.committed_insts == len(trace.ops)
+
+    def test_timing_stays_near_base(self):
+        """An n-op MOP is an n-cycle unit under a 2-cycle loop: chains
+        fully covered by MOPs keep base-like throughput."""
+        trace = chain4_trace().build()
+        base = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.BASE, iq_size=None))
+        four = simulate(trace, mop_cfg(mop_size=4))
+        assert four.cycles <= base.cycles * 1.10 + 20
+
+
+class TestDeeperSchedulingLoop:
+    def test_depth_widens_bubble_for_singles(self):
+        trace = chain4_trace().build()
+        shallow = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.TWO_CYCLE, iq_size=None,
+            sched_loop_depth=2))
+        deep = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.TWO_CYCLE, iq_size=None,
+            sched_loop_depth=4))
+        assert deep.cycles > shallow.cycles
+
+    def test_big_mops_tolerate_deep_loop(self):
+        """The Section 4.3 thesis: an n-deep loop pairs with n-wide MOPs."""
+        trace = chain4_trace().build()
+        deep_two = simulate(trace, mop_cfg(mop_size=2, sched_loop_depth=4))
+        deep_four = simulate(trace, mop_cfg(mop_size=4, sched_loop_depth=4))
+        assert deep_four.cycles < deep_two.cycles
+
+    def test_discipline_names(self):
+        from repro.core.scheduler import make_discipline
+        deep = make_discipline(MachineConfig(
+            scheduler=SchedulerKind.MACRO_OP, sched_loop_depth=3))
+        assert deep.name == "macro-op-3"
+        plain = make_discipline(MachineConfig(
+            scheduler=SchedulerKind.TWO_CYCLE, sched_loop_depth=3))
+        assert plain.name == "3-cycle"
+
+
+class TestCam2Chaining:
+    def test_cam2_limits_chain_sources(self):
+        """Chained members' merged external sources still fit 2 tags."""
+        tb = TraceBuilder()
+        for _ in range(150):
+            tb.alu(dest=1, srcs=(5, 6), pc=0)
+            tb.alu(dest=2, srcs=(1, 7), pc=1)   # adds a 3rd external src
+            tb.alu(dest=5, srcs=(2,), pc=2)
+            tb.alu(dest=6, srcs=(5,), pc=3)
+            tb.alu(dest=7, srcs=(6,), pc=4)
+        trace = tb.build()
+        processor = Processor(mop_cfg(mop_size=4,
+                                      wakeup_style=WakeupStyle.CAM_2SRC,
+                                      last_arrival_filter=False), trace)
+        merged_counts = []
+        original = type(processor)._insert_mop
+
+        def capture(self, head, tail, pointer, now, extras=()):
+            members = [head, tail, *extras]
+            dests = set()
+            merged = set()
+            for member in members:
+                for src in member.inst.srcs:
+                    if src not in dests:
+                        merged.add(src)
+                if member.inst.dest is not None:
+                    dests.add(member.inst.dest)
+            merged_counts.append(len(merged))
+            return original(self, head, tail, pointer, now, extras=extras)
+
+        type(processor)._insert_mop = capture
+        try:
+            processor.run()
+        finally:
+            type(processor)._insert_mop = original
+        assert all(count <= 2 for count in merged_counts)

@@ -1,0 +1,93 @@
+"""Unit tests for op classes, latencies, and candidate classification."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    OpClass,
+    execution_latency,
+    is_control,
+    is_mop_candidate,
+    is_single_cycle,
+    is_value_generating_candidate,
+)
+
+
+class TestLatencies:
+    """Latencies must match Table 1 exactly."""
+
+    @pytest.mark.parametrize("op_class,latency", [
+        (OpClass.INT_ALU, 1),
+        (OpClass.INT_MULT, 3),
+        (OpClass.INT_DIV, 20),
+        (OpClass.FP_ALU, 2),
+        (OpClass.FP_MULT, 4),
+        (OpClass.FP_DIV, 24),
+        (OpClass.STORE_ADDR, 1),
+        (OpClass.BRANCH, 1),
+    ])
+    def test_table1_latency(self, op_class, latency):
+        assert execution_latency(op_class) == latency
+
+    def test_load_agen_is_one_cycle(self):
+        # Loads show their address-generation cycle; memory adds the rest.
+        assert execution_latency(OpClass.LOAD) == 1
+
+    def test_every_op_class_has_a_latency(self):
+        for op_class in OpClass:
+            assert execution_latency(op_class) >= 1
+
+
+class TestSingleCycle:
+    def test_int_alu_is_single_cycle(self):
+        assert is_single_cycle(OpClass.INT_ALU)
+
+    def test_load_is_not_single_cycle(self):
+        # A load's memory access makes it multi-cycle for the scheduler.
+        assert not is_single_cycle(OpClass.LOAD)
+
+    def test_multiplies_are_not_single_cycle(self):
+        assert not is_single_cycle(OpClass.INT_MULT)
+        assert not is_single_cycle(OpClass.FP_MULT)
+
+    def test_branch_is_single_cycle(self):
+        assert is_single_cycle(OpClass.BRANCH)
+
+
+class TestCandidates:
+    """Section 4.1's candidate classification."""
+
+    def test_candidates_are_the_single_cycle_classes(self):
+        expected = {OpClass.INT_ALU, OpClass.STORE_ADDR, OpClass.BRANCH,
+                    OpClass.JUMP, OpClass.JUMP_INDIRECT}
+        actual = {c for c in OpClass if is_mop_candidate(c)}
+        assert actual == expected
+
+    def test_loads_and_fp_are_not_candidates(self):
+        for op_class in (OpClass.LOAD, OpClass.FP_ALU, OpClass.INT_MULT,
+                         OpClass.FP_DIV, OpClass.STORE_DATA):
+            assert not is_mop_candidate(op_class)
+
+    def test_valuegen_requires_destination(self):
+        assert is_value_generating_candidate(OpClass.INT_ALU, True)
+        assert not is_value_generating_candidate(OpClass.INT_ALU, False)
+
+    def test_branches_are_never_valuegen(self):
+        # Branches produce no register value: tails only.
+        assert not is_value_generating_candidate(OpClass.BRANCH, False)
+
+    def test_store_addr_is_candidate_but_not_valuegen(self):
+        assert is_mop_candidate(OpClass.STORE_ADDR)
+        assert not is_value_generating_candidate(OpClass.STORE_ADDR, False)
+
+    def test_loads_are_never_valuegen_candidates(self):
+        # Even though loads write registers, they are multi-cycle.
+        assert not is_value_generating_candidate(OpClass.LOAD, True)
+
+
+class TestControl:
+    def test_control_classes(self):
+        assert is_control(OpClass.BRANCH)
+        assert is_control(OpClass.JUMP)
+        assert is_control(OpClass.JUMP_INDIRECT)
+        assert not is_control(OpClass.INT_ALU)
+        assert not is_control(OpClass.STORE_ADDR)

@@ -1,0 +1,203 @@
+"""Integration tests for macro-op scheduling inside the pipeline."""
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.core.pipeline import Processor
+from tests.conftest import TraceBuilder, chain_trace
+
+
+def mop_cfg(**kw):
+    kw.setdefault("iq_size", None)
+    kw.setdefault("wakeup_style", WakeupStyle.WIRED_OR)
+    return MachineConfig(scheduler=SchedulerKind.MACRO_OP, **kw)
+
+
+def looping_pair_trace(iterations: int) -> TraceBuilder:
+    """Two dependent ALUs per iteration at fixed PCs: the canonical MOP."""
+    tb = TraceBuilder()
+    for i in range(iterations):
+        tb.alu(dest=1, srcs=(2,), pc=0)
+        tb.alu(dest=2, srcs=(1,), pc=1)
+    return tb
+
+
+class TestGrouping:
+    def test_pairs_form_after_detection_delay(self):
+        trace = looping_pair_trace(100).build()
+        processor = Processor(mop_cfg(), trace)
+        stats = processor.run()
+        assert stats.mops_formed > 50
+        assert processor.pointers.created >= 1
+
+    def test_first_instances_run_solo(self):
+        """Before the pointer exists (detection delay), no grouping."""
+        trace = looping_pair_trace(100).build()
+        stats = simulate(trace, mop_cfg(mop_detection_delay=10**6))
+        assert stats.mops_formed == 0
+
+    def test_grouping_shares_queue_entries(self):
+        trace = looping_pair_trace(100).build()
+        stats = simulate(trace, mop_cfg())
+        # Each MOP consumes one insert instead of two.
+        assert stats.iq_inserts < stats.committed_ops
+        assert stats.insert_reduction > 0.2
+
+    def test_commit_counts_by_category(self):
+        trace = looping_pair_trace(100).build()
+        stats = simulate(trace, mop_cfg())
+        total = (stats.mop_valuegen + stats.mop_nonvaluegen
+                 + stats.independent_mop + stats.candidate_ungrouped
+                 + stats.not_candidate)
+        assert total == stats.committed_insts
+
+    def test_dependent_pairs_are_valuegen_category(self):
+        trace = looping_pair_trace(100).build()
+        stats = simulate(trace, mop_cfg(independent_mops=False))
+        assert stats.mop_valuegen > 0
+        assert stats.independent_mop == 0
+
+
+class TestMopTiming:
+    def test_mop_beats_two_cycle_on_chains(self):
+        trace = chain_trace(400, loop=True)
+        two = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.TWO_CYCLE, iq_size=None))
+        mop = simulate(trace, mop_cfg())
+        assert mop.cycles < two.cycles
+
+    def test_mop_never_much_worse_than_two_cycle(self):
+        """Macro-op scheduling is 2-cycle scheduling plus grouping; the
+        grouping may occasionally serialize but must stay close."""
+        for build in (chain_trace(200, loop=True),
+                      looping_pair_trace(100).build()):
+            two = simulate(build, MachineConfig(
+                scheduler=SchedulerKind.TWO_CYCLE, iq_size=None))
+            mop = simulate(build, mop_cfg())
+            assert mop.cycles <= two.cycles * 1.10 + 20
+
+    def test_ungrouped_ops_behave_as_two_cycle(self, tb):
+        """Loads cannot group: a load-only trace ties 2-cycle exactly."""
+        for i in range(100):
+            tb.load(dest=1 + i % 4, base=9, mem_hint=0, pc=i % 8)
+        trace = tb.build()
+        two = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.TWO_CYCLE, iq_size=None))
+        mop = simulate(trace, mop_cfg())
+        assert mop.cycles == two.cycles
+
+
+class TestWakeupStyles:
+    def test_cam2_rejects_three_source_pair_wired_or_takes_it(self):
+        """Three merged sources block CAM-style 2-comparator entries; the
+        wired-OR bit vector has no such limit (Section 3.1)."""
+        tb = TraceBuilder()
+        for i in range(120):
+            # head has 2 external sources; tail adds a third.
+            tb.alu(dest=1, srcs=(3, 4), pc=0)
+            tb.alu(dest=2, srcs=(1, 5), pc=1)
+            tb.alu(dest=3, srcs=(2,), pc=2)   # keeps the chain alive
+            tb.alu(dest=4, srcs=(3,), pc=3)
+            tb.alu(dest=5, srcs=(4,), pc=4)
+        trace = tb.build()
+        cam = Processor(mop_cfg(wakeup_style=WakeupStyle.CAM_2SRC,
+                                last_arrival_filter=False), trace)
+        cam.run()
+        wor = Processor(mop_cfg(wakeup_style=WakeupStyle.WIRED_OR,
+                                last_arrival_filter=False), trace)
+        wor.run()
+        wor_ptr = wor.pointers.lookup(0, now=10**9)
+        assert wor_ptr is not None and wor_ptr.tail_pc == 1
+        cam_ptr = cam.pointers.lookup(0, now=10**9)
+        assert cam_ptr is None or cam_ptr.tail_pc != 1
+
+    def test_wired_or_groups_three_source_pair(self):
+        tb = TraceBuilder()
+        for i in range(60):
+            tb.alu(dest=1, srcs=(3, 4), pc=0)
+            tb.alu(dest=2, srcs=(1, 5), pc=1)
+            tb.alu(dest=3, srcs=(2,), pc=2)
+            tb.alu(dest=4, srcs=(3,), pc=3)
+            tb.alu(dest=5, srcs=(4,), pc=4)
+        stats = simulate(tb.build(),
+                         mop_cfg(wakeup_style=WakeupStyle.WIRED_OR))
+        assert stats.mops_formed > 0
+
+
+class TestPendingTails:
+    def test_cross_group_pair_forms(self):
+        """Head at the end of one fetch group, tail in the next."""
+        tb = TraceBuilder()
+        for i in range(100):
+            # 5-op loop: the pair (pc3 → pc4) regularly straddles the
+            # 4-wide group boundary.
+            tb.alu(dest=4, srcs=(9,), pc=0)
+            tb.alu(dest=5, srcs=(9,), pc=1)
+            tb.alu(dest=6, srcs=(9,), pc=2)
+            tb.alu(dest=1, srcs=(2,), pc=3)
+            tb.alu(dest=2, srcs=(1,), pc=4)
+        stats = simulate(tb.build(), mop_cfg())
+        assert stats.mops_formed > 0
+
+    def test_pending_abandon_recovers(self, tb):
+        """A mispredicted branch between head and tail must not wedge the
+        pipeline: the head runs solo after the pending timeout."""
+        for i in range(50):
+            tb.alu(dest=1, srcs=(2,), pc=0)
+            tb.branch(src=1, taken=False, mispred=(i % 7 == 0), pc=1)
+            tb.alu(dest=2, srcs=(1,), pc=2)
+        stats = simulate(tb.build(), mop_cfg())
+        assert stats.committed_insts == 150
+
+
+class TestLastArrivalFilter:
+    def _late_tail_trace(self):
+        """MOP tail whose extra operand comes from a slow multiply —
+        the harmful Figure 12 pattern."""
+        tb = TraceBuilder()
+        for i in range(150):
+            tb.mult(dest=5, srcs=(5,), pc=0)    # slow producer
+            tb.alu(dest=1, srcs=(2,), pc=1)     # head
+            tb.alu(dest=2, srcs=(1, 5), pc=2)   # tail: last arrival = r5
+            tb.alu(dest=3, srcs=(1,), pc=3)     # head consumer suffers
+        return tb.build()
+
+    def test_filter_deletes_pointers(self):
+        trace = self._late_tail_trace()
+        on = simulate(trace, mop_cfg(last_arrival_filter=True))
+        assert on.mop_pointers_deleted > 0
+
+    def test_filter_never_slower(self):
+        trace = self._late_tail_trace()
+        on = simulate(trace, mop_cfg(last_arrival_filter=True))
+        off = simulate(trace, mop_cfg(last_arrival_filter=False))
+        assert on.cycles <= off.cycles + 10
+
+
+class TestExtraStages:
+    def test_extra_stages_cost_little(self):
+        trace = chain_trace(300, loop=True)
+        cycles = [simulate(trace, mop_cfg(extra_mop_stages=s)).cycles
+                  for s in (0, 1, 2)]
+        # Deeper frontend costs only on mispredicts; this trace has none.
+        assert cycles[2] <= cycles[0] + 10
+
+    def test_extra_stages_hurt_with_mispredicts(self, tb):
+        for i in range(60):
+            tb.alu(dest=1, srcs=(2,), pc=0)
+            tb.branch(src=1, taken=False, mispred=(i % 5 == 0), pc=1)
+            tb.alu(dest=2, srcs=(1,), pc=2)
+        trace = tb.build()
+        c0 = simulate(trace, mop_cfg(extra_mop_stages=0)).cycles
+        c2 = simulate(trace, mop_cfg(extra_mop_stages=2)).cycles
+        assert c2 >= c0
+
+
+class TestDetectionDelayInsensitivity:
+    def test_delay_100_close_to_delay_3(self):
+        """Section 6.2: pointers are reused, so a huge detection delay
+        costs little once the run is long relative to the delay."""
+        trace = looping_pair_trace(2000).build()
+        fast = simulate(trace, mop_cfg(mop_detection_delay=3))
+        slow = simulate(trace, mop_cfg(mop_detection_delay=100))
+        assert slow.cycles <= fast.cycles * 1.10

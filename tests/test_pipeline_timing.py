@@ -1,0 +1,218 @@
+"""Cycle-accurate timing tests for the pipeline's scheduling laws.
+
+These tests pin down the Figure 5 semantics end to end: dependent
+single-cycle chains run at 1 op/cycle under base scheduling, 1 op/2 cycles
+under 2-cycle scheduling, and recover to ~1 op/cycle under macro-op
+scheduling once pointers exist.
+"""
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.core.pipeline import Processor
+from tests.conftest import TraceBuilder, chain_trace, independent_trace
+
+
+def cfg(sched, **kw):
+    kw.setdefault("iq_size", None)
+    return MachineConfig(scheduler=sched, **kw)
+
+
+class TestChainThroughput:
+    """Serial single-cycle chains expose the scheduling loop directly."""
+
+    def test_base_runs_chain_back_to_back(self):
+        trace = chain_trace(200)
+        stats = simulate(trace, cfg(SchedulerKind.BASE))
+        # 1 op per cycle plus pipeline fill: cycles ≈ length + depth.
+        assert stats.cycles <= 200 + 25
+
+    def test_two_cycle_halves_chain_throughput(self):
+        trace = chain_trace(200)
+        base = simulate(trace, cfg(SchedulerKind.BASE))
+        two = simulate(trace, cfg(SchedulerKind.TWO_CYCLE))
+        # Every edge costs 2 cycles instead of 1.
+        assert two.cycles >= base.cycles + 170
+        assert two.cycles <= 2 * 200 + 30
+
+    def test_macro_op_recovers_chain_throughput(self):
+        # Looping PCs so MOP pointers are detected and then reused.
+        trace = chain_trace(400, loop=True)
+        two = simulate(trace, cfg(SchedulerKind.TWO_CYCLE))
+        mop = simulate(trace, cfg(SchedulerKind.MACRO_OP))
+        base = simulate(trace, cfg(SchedulerKind.BASE))
+        assert mop.cycles < two.cycles - 100
+        # Paired chain: alternating intra-MOP (fast) and tail-consumer
+        # (back-to-back) edges approach base throughput.
+        assert mop.cycles <= base.cycles * 1.2 + 40
+
+    def test_independent_ops_insensitive_to_discipline(self):
+        trace = independent_trace(400)
+        base = simulate(trace, cfg(SchedulerKind.BASE))
+        two = simulate(trace, cfg(SchedulerKind.TWO_CYCLE))
+        assert two.cycles <= base.cycles + 5
+
+    def test_width_limits_independent_throughput(self):
+        trace = independent_trace(400)
+        stats = simulate(trace, cfg(SchedulerKind.BASE))
+        # 4-wide machine: at least length/4 cycles.
+        assert stats.cycles >= 100
+
+
+class TestMultiCycleOps:
+    def test_two_cycle_hides_behind_mult_latency(self, tb):
+        """Multiply (3-cycle) chains: pipelined scheduling costs nothing."""
+        for i in range(60):
+            tb.mult(dest=1, srcs=(1,))
+        trace = tb.build()
+        base = simulate(trace, cfg(SchedulerKind.BASE))
+        two = simulate(trace, cfg(SchedulerKind.TWO_CYCLE))
+        assert two.cycles == base.cycles
+
+    def test_mult_chain_spacing(self, tb):
+        for i in range(50):
+            tb.mult(dest=1, srcs=(1,))
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        # 3 cycles per link.
+        assert stats.cycles >= 150
+
+
+class TestCommitAccounting:
+    def test_all_instructions_commit(self, tb):
+        for i in range(20):
+            tb.alu(dest=1 + i % 4, srcs=())
+        tb.store(addr_src=1, data_src=2)
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        assert stats.committed_insts == 21      # store counts once
+        assert stats.committed_ops == 22        # both halves commit
+
+    def test_every_scheduler_commits_everything(self):
+        trace = chain_trace(100, loop=True)
+        for sched in SchedulerKind:
+            stats = simulate(trace, cfg(sched))
+            assert stats.committed_insts == 100, sched
+
+    def test_ipc_definition(self, tb):
+        for i in range(12):
+            tb.alu(dest=1 + i % 4)
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        assert stats.ipc == pytest.approx(12 / stats.cycles)
+
+
+class TestBranchHandling:
+    def test_mispredict_costs_at_least_minimum_penalty(self, tb):
+        config = cfg(SchedulerKind.BASE)
+        for i in range(8):
+            tb.alu(dest=1 + i % 4)
+        baseline = simulate(tb.build(), config).cycles
+
+        tb2 = TraceBuilder()
+        for i in range(4):
+            tb2.alu(dest=1 + i % 4)
+        tb2.branch(src=1, taken=False, mispred=True)
+        for i in range(4):
+            tb2.alu(dest=1 + i % 4)
+        with_misp = simulate(tb2.build(), config).cycles
+        assert with_misp >= baseline + config.min_mispredict_penalty - 4
+
+    def test_correct_prediction_costs_nothing_extra(self, tb):
+        tb.alu(dest=1)
+        tb.branch(src=1, taken=False, mispred=False)
+        for i in range(8):
+            tb.alu(dest=1 + i % 4)
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        assert stats.mispredicted_branches == 0
+
+    def test_taken_branch_breaks_fetch_group(self, tb):
+        # 40 taken branches, each ends its fetch group: ≥ 1 cycle each.
+        for i in range(40):
+            tb.branch(src=1, taken=True, mispred=False)
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        assert stats.cycles >= 40
+
+    def test_branch_stats_counted(self, tb):
+        tb.branch(src=1, taken=False, mispred=True)
+        tb.branch(src=1, taken=False, mispred=False)
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        assert stats.branches == 2
+        assert stats.mispredicted_branches == 1
+
+
+class TestLoadReplay:
+    def test_dl1_hit_consumer_timing(self, tb):
+        tb.load(dest=1, base=0, mem_hint=0)
+        tb.alu(dest=2, srcs=(1,))
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        assert stats.replayed_ops == 0
+        assert stats.loads == 1
+
+    def test_miss_triggers_selective_replay(self, tb):
+        """A consumer issued in the load shadow must be replayed."""
+        tb.load(dest=1, base=0, mem_hint=1)   # L2 hit: DL1 miss
+        tb.alu(dest=2, srcs=(1,))             # woken speculatively
+        tb.alu(dest=3, srcs=(2,))             # transitively dependent
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        assert stats.dl1_load_misses == 1
+        assert stats.replayed_ops >= 1
+
+    def test_miss_latency_visible_in_cycles(self, tb):
+        tb.load(dest=1, base=0, mem_hint=0)
+        tb.alu(dest=2, srcs=(1,))
+        hit_cycles = simulate(tb.build(), cfg(SchedulerKind.BASE)).cycles
+
+        tb2 = TraceBuilder()
+        tb2.load(dest=1, base=0, mem_hint=2)  # memory access
+        tb2.alu(dest=2, srcs=(1,))
+        miss_cycles = simulate(tb2.build(), cfg(SchedulerKind.BASE)).cycles
+        assert miss_cycles >= hit_cycles + 90
+
+    def test_independent_work_overlaps_miss(self, tb):
+        tb.load(dest=1, base=0, mem_hint=2)
+        for i in range(100):
+            tb.alu(dest=2 + i % 4)
+        tb.alu(dest=10, srcs=(1,))
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        # The 100 independent ALUs hide inside the ~110-cycle miss.
+        assert stats.cycles <= 160
+
+    def test_l2_stats(self, tb):
+        tb.load(dest=1, base=0, mem_hint=2)
+        tb.load(dest=2, base=0, mem_hint=1)
+        tb.load(dest=3, base=0, mem_hint=0)
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        assert stats.loads == 3
+        assert stats.dl1_load_misses == 2
+        assert stats.l2_load_misses == 1
+
+
+class TestIssueQueuePressure:
+    def test_small_queue_never_deadlocks(self):
+        trace = chain_trace(300)
+        stats = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.BASE, iq_size=4))
+        assert stats.committed_insts == 300
+
+    def test_unrestricted_at_least_as_fast(self):
+        trace = chain_trace(300, loop=True)
+        small = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.BASE, iq_size=8))
+        big = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.BASE, iq_size=None))
+        assert big.cycles <= small.cycles
+
+    def test_rob_bounds_inflight(self):
+        trace = independent_trace(200)
+        stats = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.BASE, rob_size=16, iq_size=None))
+        assert stats.committed_insts == 200
+
+
+class TestWatchdogAndDrain:
+    def test_pipeline_drains_empty_trace(self, tb):
+        stats = simulate(tb.build(), cfg(SchedulerKind.BASE))
+        assert stats.cycles == 0 or stats.committed_insts == 0
+
+    def test_max_cycles_cap(self):
+        trace = chain_trace(1000)
+        stats = simulate(trace, cfg(SchedulerKind.BASE), max_cycles=50)
+        assert stats.cycles == 50

@@ -1,0 +1,96 @@
+"""Tests for the pipeline timeline viewer."""
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind
+from repro.core.pipeline import Processor
+from repro.core.pipeview import PipeViewer
+from repro.workloads.kernels import kernel_trace
+from tests.conftest import chain_trace
+
+
+def run_with_viewer(trace, **cfg_kw):
+    cfg_kw.setdefault("iq_size", None)
+    processor = Processor(MachineConfig(**cfg_kw), trace)
+    viewer = PipeViewer.attach(processor)
+    stats = processor.run()
+    return viewer, stats
+
+
+class TestRecording:
+    def test_all_ops_recorded(self):
+        trace = chain_trace(40)
+        viewer, stats = run_with_viewer(trace,
+                                        scheduler=SchedulerKind.BASE)
+        assert len(viewer.timelines) == 40
+        for timeline in viewer.timelines.values():
+            assert timeline.fetch is not None
+            assert timeline.insert is not None
+            assert timeline.issue is not None
+            assert timeline.commit is not None
+
+    def test_stage_order_monotone(self):
+        trace = chain_trace(40)
+        viewer, _ = run_with_viewer(trace, scheduler=SchedulerKind.BASE)
+        for timeline in viewer.timelines.values():
+            assert timeline.fetch <= timeline.insert
+            assert timeline.insert < timeline.issue
+            assert timeline.issue < timeline.complete
+            assert timeline.complete <= timeline.commit
+
+    def test_chain_issue_spacing_matches_discipline(self):
+        trace = chain_trace(40)
+        base_viewer, _ = run_with_viewer(trace,
+                                         scheduler=SchedulerKind.BASE)
+        two_viewer, _ = run_with_viewer(trace,
+                                        scheduler=SchedulerKind.TWO_CYCLE)
+        base_issues = [base_viewer.timelines[i].issue for i in range(10, 20)]
+        two_issues = [two_viewer.timelines[i].issue for i in range(10, 20)]
+        base_gaps = {b - a for a, b in zip(base_issues, base_issues[1:])}
+        two_gaps = {b - a for a, b in zip(two_issues, two_issues[1:])}
+        assert base_gaps == {1}
+        assert two_gaps == {2}
+
+    def test_mop_members_issue_together(self):
+        trace = chain_trace(200, loop=True)
+        viewer, stats = run_with_viewer(trace,
+                                        scheduler=SchedulerKind.MACRO_OP)
+        assert stats.mops_formed > 0
+        heads = [t for t in viewer.timelines.values() if t.role == "H"]
+        assert heads
+        for head in heads[:20]:
+            tail = viewer.timelines.get(head.seq + 1)
+            if tail is not None and tail.role == "T":
+                assert tail.issue == head.issue
+
+    def test_replays_visible(self):
+        from tests.conftest import TraceBuilder
+        tb = TraceBuilder()
+        tb.load(dest=1, base=9, mem_hint=2)   # memory miss
+        tb.alu(dest=2, srcs=(1,))             # shadow-issued, replays
+        viewer, stats = run_with_viewer(tb.build(),
+                                        scheduler=SchedulerKind.BASE)
+        assert stats.replayed_ops >= 1
+        consumer = viewer.timelines[1]
+        assert consumer.replays >= 1
+
+
+class TestRendering:
+    def test_render_contains_stage_letters(self):
+        trace = chain_trace(20)
+        viewer, _ = run_with_viewer(trace, scheduler=SchedulerKind.BASE)
+        text = viewer.render(start=0, count=5, width=80)
+        # The window anchors at first issue; issue and commit must show.
+        assert "i" in text and "C" in text
+
+    def test_render_empty_range(self):
+        trace = chain_trace(5)
+        viewer, _ = run_with_viewer(trace, scheduler=SchedulerKind.BASE)
+        assert "no recorded" in viewer.render(start=999, count=5)
+
+    def test_summary(self):
+        trace = kernel_trace("vector_sum")
+        viewer, _ = run_with_viewer(trace,
+                                    scheduler=SchedulerKind.MACRO_OP)
+        text = viewer.summary()
+        assert "committed" in text and "macro-ops" in text

@@ -1,0 +1,86 @@
+"""Unit tests for MOP pointers and the pointer cache."""
+
+import pytest
+
+from repro.mop.pointers import (
+    DEPENDENT,
+    INDEPENDENT,
+    MopPointer,
+    PointerCache,
+)
+
+
+def ptr(head=10, tail=12, offset=2, control=0, kind=DEPENDENT):
+    return MopPointer(head_pc=head, tail_pc=tail, offset=offset,
+                      control_bit=control, kind=kind)
+
+
+class TestMopPointer:
+    def test_offset_fits_three_bits(self):
+        # The hardware pointer has a 3-bit offset (1..7).
+        MopPointer(0, 7, 7, 0)
+        with pytest.raises(ValueError):
+            MopPointer(0, 8, 8, 0)
+        with pytest.raises(ValueError):
+            MopPointer(0, 0, 0, 0)
+
+    def test_control_bit_is_binary(self):
+        # One control bit: at most one taken branch crossed.
+        MopPointer(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            MopPointer(0, 1, 1, 2)
+
+
+class TestPointerCache:
+    def test_detection_delay_gates_lookup(self):
+        cache = PointerCache(detection_delay=3)
+        cache.install(ptr(), now=10)
+        assert cache.lookup(10, now=12) is None
+        assert cache.lookup(10, now=13) is not None
+
+    def test_zero_delay(self):
+        cache = PointerCache(detection_delay=0)
+        cache.install(ptr(), now=5)
+        assert cache.lookup(10, now=5) is not None
+
+    def test_one_pointer_per_head(self):
+        cache = PointerCache(0)
+        assert cache.install(ptr(tail=12), now=0)
+        assert not cache.install(ptr(tail=13, offset=3), now=0)
+        assert cache.lookup(10, 0).tail_pc == 12
+
+    def test_delete_blacklists_the_pair(self):
+        cache = PointerCache(0)
+        cache.install(ptr(), now=0)
+        cache.delete(10)
+        assert cache.lookup(10, 100) is None
+        assert cache.is_blacklisted(10, 12)
+        # The same pair can never be re-installed...
+        assert not cache.install(ptr(), now=100)
+        # ...but an alternative tail for the same head can.
+        assert cache.install(ptr(tail=14, offset=4), now=100)
+
+    def test_delete_missing_is_noop(self):
+        cache = PointerCache(0)
+        cache.delete(999)
+        assert cache.deleted == 0
+
+    def test_counters(self):
+        cache = PointerCache(0)
+        cache.install(ptr(), now=0)
+        cache.delete(10)
+        assert cache.created == 1
+        assert cache.deleted == 1
+
+    def test_has_pointer_sees_pending_delay(self):
+        cache = PointerCache(detection_delay=50)
+        cache.install(ptr(), now=0)
+        # Not yet usable, but present — detection must not duplicate it.
+        assert cache.has_pointer(10)
+        assert cache.lookup(10, now=10) is None
+
+    def test_len(self):
+        cache = PointerCache(0)
+        cache.install(ptr(head=1, tail=2, offset=1), now=0)
+        cache.install(ptr(head=5, tail=6, offset=1), now=0)
+        assert len(cache) == 2

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.core.pipeline import Processor
+from repro.isa.instruction import DynInst, crack_store
+from repro.isa.opcodes import OpClass
+from repro.memory import Cache
+from repro.mop.detection import MopDetector
+from repro.mop.pointers import PointerCache
+from repro.core.uop import Uop
+from repro.workloads.trace import Trace
+
+# ---------------------------------------------------------------------------
+# Random-trace strategy
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_traces(draw, max_len: int = 60):
+    """Random small traces over a handful of registers, with loops."""
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    loop_pcs = draw(st.integers(min_value=2, max_value=12))
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    ops = []
+    seq = 0
+    for i in range(length):
+        pc = i % loop_pcs
+        kind = rng.random()
+        if kind < 0.5:
+            ops.append(DynInst(
+                seq=seq, pc=pc, op_class=OpClass.INT_ALU,
+                dest=rng.randrange(1, 8),
+                srcs=tuple(rng.sample(range(1, 8), rng.randint(0, 2)))))
+            seq += 1
+        elif kind < 0.65:
+            ops.append(DynInst(
+                seq=seq, pc=pc, op_class=OpClass.LOAD,
+                dest=rng.randrange(1, 8), srcs=(rng.randrange(1, 8),),
+                mem_hint=rng.choice([0, 0, 0, 1, 2])))
+            seq += 1
+        elif kind < 0.75:
+            addr_op, data_op = crack_store(
+                seq=seq, pc=pc, addr_srcs=(rng.randrange(1, 8),),
+                data_src=rng.randrange(1, 8))
+            ops.extend([addr_op, data_op])
+            seq += 2
+        elif kind < 0.9:
+            ops.append(DynInst(
+                seq=seq, pc=pc, op_class=OpClass.BRANCH,
+                srcs=(rng.randrange(1, 8),),
+                taken=rng.random() < 0.4,
+                target_pc=rng.randrange(0, loop_pcs),
+                mispred_hint=rng.random() < 0.1))
+            seq += 1
+        else:
+            ops.append(DynInst(
+                seq=seq, pc=pc, op_class=OpClass.INT_MULT,
+                dest=rng.randrange(1, 8),
+                srcs=(rng.randrange(1, 8), rng.randrange(1, 8))))
+            seq += 1
+    return Trace("random", ops)
+
+
+_SCHEDULERS = list(SchedulerKind)
+
+_settings = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestPipelineProperties:
+    @given(trace=random_traces(), sched=st.sampled_from(_SCHEDULERS))
+    @_settings
+    def test_everything_commits_exactly_once(self, trace, sched):
+        """Total commit conservation under every scheduler."""
+        stats = simulate(trace, MachineConfig(scheduler=sched, iq_size=16))
+        assert stats.committed_ops == len(trace.ops)
+        assert stats.committed_insts == trace.committed_insts
+
+    @given(trace=random_traces())
+    @_settings
+    def test_base_roughly_dominates_two_cycle(self, trace):
+        """Atomic scheduling dominates pipelined 2-cycle scheduling, up to
+        small scheduling anomalies: issuing a load consumer *earlier* can
+        pull it into the load shadow and cost a replay that the delayed
+        2-cycle issue happens to dodge (speculative scheduling is not
+        monotone)."""
+        base = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.BASE, iq_size=None))
+        two = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.TWO_CYCLE, iq_size=None))
+        assert base.cycles <= two.cycles + max(8, 0.1 * two.cycles)
+
+    @given(trace=random_traces(), sched=st.sampled_from(_SCHEDULERS))
+    @_settings
+    def test_deterministic(self, trace, sched):
+        cfg = MachineConfig(scheduler=sched, iq_size=32)
+        assert simulate(trace, cfg).cycles == simulate(trace, cfg).cycles
+
+    @given(trace=random_traces())
+    @_settings
+    def test_macro_op_grouping_conserves_commits(self, trace):
+        stats = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.MACRO_OP, iq_size=16,
+            mop_detection_delay=0))
+        breakdown_total = (stats.mop_valuegen + stats.mop_nonvaluegen
+                           + stats.independent_mop
+                           + stats.candidate_ungrouped
+                           + stats.not_candidate)
+        assert breakdown_total == stats.committed_insts
+
+    @given(trace=random_traces(),
+           iq_small=st.integers(min_value=4, max_value=16))
+    @_settings
+    def test_tiny_queue_never_deadlocks(self, trace, iq_small):
+        stats = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.MACRO_OP, iq_size=iq_small,
+            mop_detection_delay=0))
+        assert stats.committed_ops == len(trace.ops)
+
+
+class TestDetectorProperties:
+    @given(trace=random_traces(max_len=40))
+    @_settings
+    def test_pointers_never_self_referential_or_backward(self, trace):
+        """Every created pointer points strictly forward within 3 bits."""
+        config = MachineConfig(scheduler=SchedulerKind.MACRO_OP)
+        cache = PointerCache(0)
+        detector = MopDetector(config, cache)
+        group = []
+        for op in trace.ops:
+            group.append(Uop(op, 0))
+            if len(group) == 4:
+                detector.observe_group(group, now=0)
+                group = []
+        for head_pc, (pointer, _at) in cache._pointers.items():
+            assert 1 <= pointer.offset <= 7
+            assert pointer.head_pc == head_pc
+
+    @given(trace=random_traces(max_len=40))
+    @_settings
+    def test_cam2_mop_entries_respect_source_limit(self, trace):
+        """With 2-source wakeup, no formed MOP may merge three distinct
+        register sources (intra-MOP edges excluded)."""
+        processor = Processor(MachineConfig(
+            scheduler=SchedulerKind.MACRO_OP, iq_size=None,
+            wakeup_style=WakeupStyle.CAM_2SRC, mop_detection_delay=0),
+            trace)
+        captured = []
+        original = type(processor)._insert_mop
+
+        def capture(self, head, tail, pointer, now, extras=()):
+            members = [head, tail, *extras]
+            dests = set()
+            merged = set()
+            for member in members:
+                for src in member.inst.srcs:
+                    if src not in dests:
+                        merged.add(src)
+                if member.inst.dest is not None:
+                    dests.add(member.inst.dest)
+            captured.append(len(merged))
+            return original(self, head, tail, pointer, now, extras=extras)
+
+        type(processor)._insert_mop = capture
+        try:
+            processor.run()
+        finally:
+            type(processor)._insert_mop = original
+        assert all(count <= 2 for count in captured)
+        assert processor.stats.committed_ops == len(trace.ops)
+
+
+class TestCacheProperties:
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                              min_size=1, max_size=200))
+    @_settings
+    def test_occupancy_bounded_by_capacity(self, addresses):
+        cache = Cache("t", 1024, 2, 64, latency=1)
+        for addr in addresses:
+            cache.access(addr)
+        for entry_set in cache._sets:
+            assert len(entry_set) <= cache.assoc
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 16),
+                              min_size=1, max_size=100))
+    @_settings
+    def test_immediate_rereference_always_hits(self, addresses):
+        cache = Cache("t", 1024, 2, 64, latency=1)
+        for addr in addresses:
+            cache.access(addr)
+            assert cache.access(addr)
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 16),
+                              min_size=1, max_size=100))
+    @_settings
+    def test_stats_consistent(self, addresses):
+        cache = Cache("t", 512, 2, 64, latency=1)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.stats.accesses == len(addresses)
+        assert 0 <= cache.stats.hits <= cache.stats.accesses

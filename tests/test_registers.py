@@ -1,0 +1,64 @@
+"""Unit tests for register conventions."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_REG_BASE,
+    FP_ZERO_REG,
+    NUM_ARCH_REGS,
+    ZERO_REG,
+    is_fp_reg,
+    is_zero_reg,
+    parse_reg,
+    reg_name,
+)
+
+
+class TestZeroRegister:
+    def test_r31_is_zero(self):
+        assert is_zero_reg(ZERO_REG)
+
+    def test_f31_is_zero(self):
+        assert is_zero_reg(FP_ZERO_REG)
+
+    def test_ordinary_registers_are_not_zero(self):
+        assert not is_zero_reg(0)
+        assert not is_zero_reg(30)
+        assert not is_zero_reg(FP_REG_BASE)
+
+
+class TestNaming:
+    def test_int_names(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(31) == "r31"
+
+    def test_fp_names(self):
+        assert reg_name(FP_REG_BASE) == "f0"
+        assert reg_name(FP_REG_BASE + 31) == "f31"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            reg_name(NUM_ARCH_REGS)
+        with pytest.raises(ValueError):
+            reg_name(-1)
+
+
+class TestParsing:
+    def test_round_trip_all_registers(self):
+        for reg in range(NUM_ARCH_REGS):
+            assert parse_reg(reg_name(reg)) == reg
+
+    def test_case_insensitive(self):
+        assert parse_reg("R5") == 5
+        assert parse_reg("F3") == FP_REG_BASE + 3
+
+    @pytest.mark.parametrize("bad", ["x5", "r", "r32", "f32", "", "5r"])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+
+class TestClassification:
+    def test_fp_reg_split(self):
+        assert not is_fp_reg(31)
+        assert is_fp_reg(FP_REG_BASE)

@@ -1,0 +1,32 @@
+"""Tests for the one-shot reproduction report."""
+
+from repro.cli import main
+from repro.experiments.report import full_report
+
+
+class TestFullReport:
+    def test_selected_sections_only(self):
+        text = full_report(benchmarks=["gap"], num_insts=800,
+                           sections=["table 2"])
+        assert "Table 2" in text
+        assert "Figure 14" not in text
+
+    def test_all_sections_present(self):
+        text = full_report(benchmarks=["gap"], num_insts=800)
+        for title in ("Table 2", "Figure 6", "Figure 7", "Figure 13",
+                      "Figure 14", "Figure 15", "Figure 16",
+                      "Ablation: detection delay"):
+            assert title in text, title
+
+    def test_header_names_workloads(self):
+        text = full_report(benchmarks=["mcf"], num_insts=800,
+                           sections=["table 2"])
+        assert "workloads: mcf" in text
+
+
+class TestCliReport:
+    def test_report_command(self, capsys):
+        assert main(["report", "--insts", "800", "--benchmarks", "gap",
+                     "--sections", "figure 14"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out and "gap" in out

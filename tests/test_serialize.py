@@ -1,0 +1,65 @@
+"""Tests for trace serialization round-trips."""
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind, simulate
+from repro.workloads import generate_trace, get_profile
+from repro.workloads.kernels import kernel_trace
+from repro.workloads.serialize import dump_trace, load_trace
+
+
+def roundtrip(trace, tmp_path):
+    path = tmp_path / "trace.txt"
+    dump_trace(trace, path)
+    return load_trace(path)
+
+
+class TestRoundTrip:
+    def test_synthetic_trace_identical(self, tmp_path):
+        original = generate_trace(get_profile("gap"), 1200)
+        loaded = roundtrip(original, tmp_path)
+        assert loaded.name == original.name
+        assert len(loaded) == len(original)
+        for a, b in zip(original.ops, loaded.ops):
+            assert (a.seq, a.pc, a.op_class, a.dest, a.srcs, a.taken,
+                    a.target_pc, a.mispred_hint, a.mem_hint,
+                    a.counts_as_inst) == \
+                   (b.seq, b.pc, b.op_class, b.dest, b.srcs, b.taken,
+                    b.target_pc, b.mispred_hint, b.mem_hint,
+                    b.counts_as_inst)
+
+    def test_kernel_trace_roundtrip(self, tmp_path):
+        original = kernel_trace("vector_sum")
+        loaded = roundtrip(original, tmp_path)
+        assert loaded.committed_insts == original.committed_insts
+
+    def test_simulation_identical_after_reload(self, tmp_path):
+        """The timing model must not distinguish a reloaded trace."""
+        original = generate_trace(get_profile("gzip"), 1500)
+        loaded = roundtrip(original, tmp_path)
+        config = MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP, warm_caches=True)
+        a = simulate(original, config)
+        b = simulate(loaded, config)
+        assert (a.cycles, a.mops_formed, a.replayed_ops) == \
+               (b.cycles, b.mops_formed, b.replayed_ops)
+
+
+class TestErrors:
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("not-a-trace\n")
+        with pytest.raises(ValueError, match="reprotrace"):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "short.txt"
+        path.write_text("reprotrace-v1 t\n1 2 3\n")
+        with pytest.raises(ValueError, match=":2"):
+            load_trace(path)

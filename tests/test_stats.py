@@ -1,0 +1,44 @@
+"""Unit tests for statistics accounting."""
+
+import pytest
+
+from repro.core.stats import SimStats
+
+
+class TestDerived:
+    def test_ipc(self):
+        stats = SimStats(cycles=200, committed_insts=300)
+        assert stats.ipc == pytest.approx(1.5)
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_uipc_counts_ops(self):
+        stats = SimStats(cycles=100, committed_insts=90, committed_ops=110)
+        assert stats.uipc == pytest.approx(1.1)
+
+    def test_grouped_fraction(self):
+        stats = SimStats(committed_ops=100, mop_valuegen=20,
+                         mop_nonvaluegen=10, independent_mop=5)
+        assert stats.grouped_ops == 35
+        assert stats.grouped_fraction == pytest.approx(0.35)
+
+    def test_insert_reduction(self):
+        stats = SimStats(committed_ops=100, iq_inserts=84)
+        assert stats.insert_reduction == pytest.approx(0.16)
+
+    def test_insert_reduction_empty(self):
+        assert SimStats().insert_reduction == 0.0
+
+    def test_breakdown_sums_to_one(self):
+        stats = SimStats(committed_ops=50, mop_valuegen=10,
+                         mop_nonvaluegen=5, independent_mop=5,
+                         candidate_ungrouped=20, not_candidate=10)
+        assert sum(stats.grouping_breakdown().values()) == pytest.approx(1.0)
+
+    def test_summary_mentions_mops_only_when_present(self):
+        plain = SimStats(cycles=10, committed_insts=5)
+        assert "mops" not in plain.summary()
+        grouped = SimStats(cycles=10, committed_insts=5, mops_formed=2,
+                           committed_ops=5, mop_valuegen=2)
+        assert "mops" in grouped.summary()

@@ -1,0 +1,46 @@
+"""Tests for the parameter sweeps."""
+
+import pytest
+
+from repro.experiments.sweeps import queue_size_sweep, rob_size_sweep
+
+
+class TestQueueSizeSweep:
+    def test_ipc_monotone_in_queue_size(self):
+        result = queue_size_sweep(benchmarks=["gap"], num_insts=2500,
+                                  sizes=(8, 32, 128))
+        row = result.rows["gap"]
+        for sched in ("base", "2cyc", "mop"):
+            assert row[f"{sched}@8"] <= row[f"{sched}@128"] * 1.01
+
+    def test_mop_shares_entries_at_small_sizes(self):
+        """With a tiny queue, entry sharing matters most: macro-op must
+        close most of its 2-cycle gap or better."""
+        result = queue_size_sweep(benchmarks=["gap"], num_insts=2500,
+                                  sizes=(8,))
+        row = result.rows["gap"]
+        assert row["mop@8"] >= row["2cyc@8"]
+
+    def test_all_columns_present(self):
+        result = queue_size_sweep(benchmarks=["mcf"], num_insts=1500,
+                                  sizes=(16, 32))
+        assert set(result.rows["mcf"]) == {
+            "base@16", "base@32", "2cyc@16", "2cyc@32",
+            "mop@16", "mop@32",
+        }
+
+
+class TestRobSizeSweep:
+    def test_bigger_rob_never_slower(self):
+        result = rob_size_sweep(benchmarks=["mcf"], num_insts=2000,
+                                sizes=(32, 256))
+        row = result.rows["mcf"]
+        assert row["rob256"] >= row["rob32"] * 0.995
+
+    def test_mcf_window_sensitive(self):
+        """The miss-bound benchmark gains measurably from a larger window
+        (more overlapped misses)."""
+        result = rob_size_sweep(benchmarks=["mcf"], num_insts=2500,
+                                sizes=(32, 256))
+        row = result.rows["mcf"]
+        assert row["rob256"] > row["rob32"]

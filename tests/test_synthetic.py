@@ -1,0 +1,134 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.workloads import generate_trace, get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+@pytest.fixture(scope="module")
+def gap_workload():
+    return SyntheticWorkload(get_profile("gap"), seed=1, static_size=512)
+
+
+class TestStaticProgram:
+    def test_requested_size_plus_wrap_jump(self, gap_workload):
+        assert len(gap_workload.slots) == 513
+        assert gap_workload.slots[-1].op_class is OpClass.JUMP
+        assert gap_workload.slots[-1].target == 0
+
+    def test_slots_have_sequential_pcs(self, gap_workload):
+        for i, slot in enumerate(gap_workload.slots):
+            assert slot.pc == i
+
+    def test_contains_loopback_branches(self, gap_workload):
+        loopbacks = [s for s in gap_workload.slots if s.is_loopback]
+        assert loopbacks, "bodies must close with loop-back branches"
+        for slot in loopbacks:
+            assert slot.target is not None and slot.target < slot.pc
+
+    def test_branch_targets_in_range(self, gap_workload):
+        for slot in gap_workload.slots:
+            if slot.target is not None:
+                assert 0 <= slot.target <= len(gap_workload.slots) - 1
+
+    def test_stores_carry_data_source(self, gap_workload):
+        stores = [s for s in gap_workload.slots
+                  if s.op_class is OpClass.STORE_ADDR]
+        assert stores
+        for slot in stores:
+            assert slot.store_data_src is not None
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(get_profile("gzip"), 2000, seed=3)
+        b = generate_trace(get_profile("gzip"), 2000, seed=3)
+        assert [(op.pc, op.op_class, op.srcs, op.dest) for op in a.ops] == \
+               [(op.pc, op.op_class, op.srcs, op.dest) for op in b.ops]
+        assert [op.mispred_hint for op in a.ops] == \
+               [op.mispred_hint for op in b.ops]
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(get_profile("gzip"), 2000, seed=3)
+        b = generate_trace(get_profile("gzip"), 2000, seed=4)
+        assert [op.taken for op in a.ops] != [op.taken for op in b.ops]
+
+    def test_different_benchmarks_differ(self):
+        a = generate_trace(get_profile("gap"), 1000, seed=1)
+        b = generate_trace(get_profile("vortex"), 1000, seed=1)
+        assert [op.op_class for op in a.ops] != \
+               [op.op_class for op in b.ops]
+
+
+class TestDynamicWalk:
+    def test_requested_instruction_count(self):
+        trace = generate_trace(get_profile("bzip"), 3000)
+        assert trace.committed_insts == 3000
+
+    def test_mix_tracks_profile(self):
+        profile = get_profile("crafty")
+        trace = generate_trace(profile, 20_000)
+        hist = trace.class_histogram()
+        insts = trace.committed_insts
+        loads = hist.get(OpClass.LOAD, 0) / insts
+        stores = hist.get(OpClass.STORE_ADDR, 0) / insts
+        assert loads == pytest.approx(profile.frac_load, abs=0.06)
+        assert stores == pytest.approx(profile.frac_store, abs=0.04)
+
+    def test_mispredict_rate_tracks_profile(self):
+        profile = get_profile("parser")
+        trace = generate_trace(profile, 20_000)
+        branches = [op for op in trace.ops
+                    if op.op_class is OpClass.BRANCH]
+        rate = sum(op.mispred_hint for op in branches) / len(branches)
+        assert rate == pytest.approx(profile.mispredict_rate, abs=0.01)
+
+    def test_load_hints_track_miss_rate(self):
+        profile = get_profile("mcf")
+        trace = generate_trace(profile, 20_000)
+        loads = [op for op in trace.ops if op.is_load]
+        miss = sum(1 for op in loads if op.mem_hint > 0) / len(loads)
+        assert miss == pytest.approx(profile.dl1_miss_rate, abs=0.03)
+
+    def test_pcs_repeat_for_pointer_reuse(self):
+        trace = generate_trace(get_profile("gap"), 10_000)
+        pcs = {op.pc for op in trace.ops}
+        # Loops revisit PCs: far fewer unique PCs than dynamic ops.
+        assert len(pcs) < len(trace.ops) / 2
+
+    def test_sources_have_writers_or_are_entry_regs(self):
+        """Every source register is either written earlier in the trace or
+        belongs to the small entry-initialized set."""
+        trace = generate_trace(get_profile("twolf"), 5000)
+        written = set()
+        entry_ok = set(range(0, 27)) | set(range(32, 62))
+        for op in trace.ops:
+            for src in op.srcs:
+                assert src in written or src in entry_ok
+            if op.dest is not None:
+                written.add(op.dest)
+
+
+class TestLoopCarriers:
+    def test_loop_carried_dependence_exists(self):
+        """Some register must be read at a slot before its writer slot —
+        the loop-carried pattern (read at body top, written at bottom)."""
+        workload = SyntheticWorkload(get_profile("gap"), seed=1,
+                                     static_size=512)
+        writers = {}
+        for slot in workload.slots:
+            if slot.dest is not None and slot.dest not in writers:
+                writers[slot.dest] = slot.pc
+        carried = 0
+        for slot in workload.slots:
+            for src in slot.srcs:
+                writer_pc = writers.get(src)
+                if writer_pc is not None and writer_pc > slot.pc:
+                    carried += 1
+        assert carried > 0
+
+    def test_parallel_bodies_possible(self):
+        profile = get_profile("eon")  # parallel_body_frac = 0.3
+        assert profile.parallel_body_frac > 0

@@ -1,0 +1,50 @@
+"""Unit tests for pipeline uops and functional-unit classing."""
+
+from repro.core.uop import (
+    FU_FP_ALU,
+    FU_FP_MULT,
+    FU_INT_ALU,
+    FU_INT_MULT,
+    FU_MEM_PORT,
+    FU_NONE,
+    SOLO,
+    Uop,
+)
+from repro.isa.instruction import DynInst, crack_store
+from repro.isa.opcodes import OpClass
+
+
+def uop_for(op_class, dest=1, srcs=()):
+    return Uop(DynInst(seq=0, pc=0, op_class=op_class, dest=dest,
+                       srcs=srcs), fetch_cycle=7)
+
+
+class TestFuClasses:
+    def test_alu_family(self):
+        assert uop_for(OpClass.INT_ALU).fu_class == FU_INT_ALU
+        assert uop_for(OpClass.BRANCH, dest=None).fu_class == FU_INT_ALU
+
+    def test_memory_ports(self):
+        assert uop_for(OpClass.LOAD).fu_class == FU_MEM_PORT
+        addr_op, data_op = crack_store(0, 0, (1,), 2)
+        assert Uop(addr_op, 0).fu_class == FU_MEM_PORT
+        assert Uop(data_op, 0).fu_class == FU_NONE
+
+    def test_long_latency_units(self):
+        assert uop_for(OpClass.INT_MULT).fu_class == FU_INT_MULT
+        assert uop_for(OpClass.INT_DIV).fu_class == FU_INT_MULT
+        assert uop_for(OpClass.FP_ALU).fu_class == FU_FP_ALU
+        assert uop_for(OpClass.FP_DIV).fu_class == FU_FP_MULT
+
+
+class TestState:
+    def test_initial_state(self):
+        uop = uop_for(OpClass.INT_ALU)
+        assert uop.role == SOLO
+        assert uop.entry is None
+        assert not uop.completed
+        assert uop.fetch_cycle == 7
+        assert uop.seq == 0
+
+    def test_repr_mentions_mnemonic(self):
+        assert "int_alu" in repr(uop_for(OpClass.INT_ALU))

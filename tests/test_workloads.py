@@ -1,0 +1,111 @@
+"""Unit tests for profiles, trace container, and kernels."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.workloads import (
+    SPEC_CINT2000,
+    Trace,
+    get_profile,
+    profile_names,
+)
+from repro.workloads.kernels import KERNELS, kernel_trace
+from repro.workloads.profiles import WorkloadProfile
+
+
+class TestProfiles:
+    def test_twelve_benchmarks(self):
+        assert len(profile_names()) == 12
+
+    def test_paper_benchmark_names(self):
+        expected = {"bzip", "crafty", "eon", "gap", "gcc", "gzip", "mcf",
+                    "parser", "perl", "twolf", "vortex", "vpr"}
+        assert set(profile_names()) == expected
+
+    def test_mix_sums_to_one(self):
+        for profile in SPEC_CINT2000.values():
+            total = (profile.frac_alu + profile.frac_load
+                     + profile.frac_store + profile.frac_branch
+                     + profile.frac_mult + profile.frac_fp)
+            assert total == pytest.approx(1.0)
+
+    def test_distance_distribution_sums_to_one(self):
+        for profile in SPEC_CINT2000.values():
+            total = (profile.dist_1_3 + profile.dist_4_7 + profile.dist_8p
+                     + profile.dist_noncand + profile.dist_dead)
+            assert total == pytest.approx(1.0)
+
+    def test_valuegen_fractions_match_figure6_row(self):
+        # The "% total insts" row of Figure 6.
+        figure6_row = {
+            "bzip": 49.2, "crafty": 50.9, "eon": 27.8, "gap": 48.7,
+            "gcc": 37.4, "gzip": 56.3, "mcf": 40.2, "parser": 47.5,
+            "perl": 42.7, "twolf": 47.7, "vortex": 37.6, "vpr": 44.7,
+        }
+        for name, percent in figure6_row.items():
+            profile = get_profile(name)
+            assert 100.0 * profile.valuegen_frac == pytest.approx(
+                percent, abs=0.05)
+
+    def test_candidate_fraction_in_paper_range(self):
+        # Section 4.3: 53~73% of instructions are MOP candidates.
+        for profile in SPEC_CINT2000.values():
+            assert 0.50 <= profile.candidate_frac <= 0.78
+
+    def test_gap_has_short_edges_vortex_long(self):
+        assert (get_profile("gap").within_scope_frac
+                > get_profile("vortex").within_scope_frac)
+
+    def test_mcf_is_the_cache_miss_benchmark(self):
+        rates = {name: p.dl1_miss_rate for name, p in SPEC_CINT2000.items()}
+        assert max(rates, key=rates.get) == "mcf"
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            WorkloadProfile(name="bad", frac_alu=0.9, frac_load=0.9,
+                            frac_store=0.0, frac_branch=0.0,
+                            frac_mult=0.0, frac_fp=0.0)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("specjbb")
+
+    def test_table2_reference_ipcs_recorded(self):
+        assert get_profile("mcf").paper_ipc_32 == pytest.approx(0.34)
+        assert get_profile("eon").paper_ipc_unrestricted == pytest.approx(2.13)
+
+
+class TestTrace:
+    def test_committed_insts_excludes_store_data(self):
+        trace = kernel_trace("vector_sum")
+        data_halves = sum(1 for op in trace.ops if op.is_store_data)
+        assert trace.committed_insts == len(trace) - data_halves
+
+    def test_histogram_covers_all_ops(self):
+        trace = kernel_trace("dot_product")
+        assert sum(trace.class_histogram().values()) == len(trace)
+
+    def test_summary_mentions_name(self):
+        trace = Trace("demo", [])
+        assert "demo" in trace.summary()
+
+
+class TestKernels:
+    def test_all_kernels_run(self):
+        for name in KERNELS:
+            trace = kernel_trace(name)
+            assert len(trace) > 10
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            kernel_trace("quicksort")
+
+    def test_pointer_chase_is_load_heavy(self):
+        trace = kernel_trace("pointer_chase")
+        hist = trace.class_histogram()
+        assert hist.get(OpClass.LOAD, 0) > 0.15 * len(trace)
+
+    def test_fibonacci_has_serial_adds(self):
+        trace = kernel_trace("fibonacci")
+        hist = trace.class_histogram()
+        assert hist[OpClass.INT_ALU] > len(trace) // 2

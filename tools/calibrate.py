@@ -1,0 +1,68 @@
+"""Calibration report: compares synthetic-workload results to paper targets.
+
+Run during profile tuning:
+
+    python tools/calibrate.py [num_insts]
+
+Prints, per benchmark: dataflow ILP, base IPC for both issue-queue sizes
+against Table 2, and relative 2-cycle / macro-op IPC against the Figure 14
+shapes.  This is a development tool; the reproducible experiment harness
+lives in ``repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.workloads import generate_trace, get_profile, profile_names
+
+
+def dataflow_ilp(trace, single_cycle_edge: int = 1) -> float:
+    """Operations divided by dataflow critical path length."""
+    last = {}
+    critical = 1
+    for op in trace.ops:
+        depth = 0
+        for src in op.srcs:
+            producer = last.get(src)
+            if producer is not None:
+                edge = 3 if producer[1] else single_cycle_edge
+                depth = max(depth, producer[0] + edge)
+        if op.dest is not None:
+            last[op.dest] = (depth, op.is_load)
+        critical = max(critical, depth + 1)
+    return len(trace.ops) / critical
+
+
+def main() -> None:
+    num_insts = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    header = (f"{'bench':8s} {'ilp':>5s} {'b32':>6s} {'p32':>5s}"
+              f" {'bU':>6s} {'pU':>5s} {'2cyc':>6s} {'mop':>6s}"
+              f" {'grp%':>5s}")
+    print(header)
+    for name in profile_names():
+        profile = get_profile(name)
+        trace = generate_trace(profile, num_insts)
+        base32 = simulate(
+            trace, MachineConfig.paper_default(
+                scheduler=SchedulerKind.BASE)).ipc
+        base_u = simulate(
+            trace, MachineConfig.unrestricted_queue(
+                scheduler=SchedulerKind.BASE)).ipc
+        two = simulate(
+            trace, MachineConfig.unrestricted_queue(
+                scheduler=SchedulerKind.TWO_CYCLE)).ipc
+        mop = simulate(
+            trace, MachineConfig.unrestricted_queue(
+                scheduler=SchedulerKind.MACRO_OP,
+                wakeup_style=WakeupStyle.WIRED_OR))
+        print(f"{name:8s} {dataflow_ilp(trace):5.2f}"
+              f" {base32:6.3f} {profile.paper_ipc_32:5.2f}"
+              f" {base_u:6.3f} {profile.paper_ipc_unrestricted:5.2f}"
+              f" {two / base_u:6.3f} {mop.ipc / base_u:6.3f}"
+              f" {100 * mop.grouped_fraction:5.1f}")
+
+
+if __name__ == "__main__":
+    main()
