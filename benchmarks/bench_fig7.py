@@ -14,7 +14,7 @@ def test_figure7(benchmark, experiment_recorder):
         lambda: figure7(benchmarks=bench_set(), num_insts=bench_insts()),
         rounds=1, iterations=1,
     )
-    text = experiment_recorder("figure7", result)
+    experiment_recorder("figure7", result)
     for row in result.rows.values():
         # Greedy grouping can strand a chain member the 2x pass would
         # anchor afresh; allow a ~1pp inversion.

@@ -8,7 +8,7 @@ pairing size 4 with a 4-cycle scheduling loop (the deeper-pipelining
 scenario Section 4.3 motivates).
 """
 
-from benchmarks.conftest import archive, bench_insts, bench_set
+from benchmarks.conftest import bench_insts, bench_set
 from repro.core import MachineConfig, SchedulerKind, WakeupStyle
 from repro.experiments.runner import ExperimentResult, run_configs
 

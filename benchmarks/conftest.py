@@ -9,6 +9,14 @@ Environment knobs:
 * ``REPRO_BENCH_INSTS`` — committed instructions per benchmark run
   (default 6000; the paper's shapes are stable from a few thousand).
 * ``REPRO_BENCH_SET`` — comma-separated benchmark subset (default: all 12).
+* ``REPRO_BENCH_JOBS`` — parallel simulation workers (default 1; ``0``
+  means one per CPU).  Results are bit-identical for any value.
+* ``REPRO_BENCH_CACHE`` — set to ``1`` to reuse the on-disk result cache
+  (``REPRO_CACHE_DIR`` or ``~/.cache/repro``) across bench runs.
+
+Every bench target's simulation grid flows through one session-wide
+:class:`repro.experiments.executor.Executor` installed by the autouse
+fixture below.
 """
 
 from __future__ import annotations
@@ -17,6 +25,12 @@ import os
 from pathlib import Path
 
 import pytest
+
+from repro.experiments.executor import (
+    Executor,
+    ResultCache,
+    set_default_executor,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -30,6 +44,30 @@ def bench_set():
     if not names:
         return None
     return [name.strip() for name in names.split(",") if name.strip()]
+
+
+def bench_jobs():
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return None if jobs == 0 else jobs
+
+
+def bench_cache():
+    enabled = os.environ.get("REPRO_BENCH_CACHE", "")
+    if enabled.lower() in ("1", "true", "yes"):
+        return ResultCache()
+    return None
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_executor():
+    """Route every bench simulation through one shared executor."""
+    executor = Executor(jobs=bench_jobs(), cache=bench_cache())
+    previous = set_default_executor(executor)
+    yield executor
+    summary = executor.total_summary
+    if summary.cells:
+        print(f"\n{summary.render()}")
+    set_default_executor(previous)
 
 
 def archive(name: str, text: str) -> None:

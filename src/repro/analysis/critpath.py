@@ -19,7 +19,7 @@ is the fastest way to predict where a new workload lands in Figure 14.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.workloads.trace import Trace
 

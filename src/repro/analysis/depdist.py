@@ -17,8 +17,8 @@ configuration; correspondingly this module never touches the timing model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.isa.instruction import DynInst
 from repro.workloads.trace import Trace

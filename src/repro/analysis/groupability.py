@@ -21,7 +21,7 @@ generating) members; loads/multiplies/FP are not candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.workloads.trace import Trace
 

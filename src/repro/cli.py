@@ -4,10 +4,18 @@ Installed as ``repro-sim`` (see pyproject).  Examples::
 
     repro-sim run gap --scheduler macro-op --insts 10000
     repro-sim run vector_sum --scheduler 2-cycle     # kernels work too
-    repro-sim figure 14 --insts 8000
+    repro-sim figure 14 --insts 8000 --jobs 4
     repro-sim figure 6 --benchmarks gap,vortex
     repro-sim table 2
+    repro-sim report --jobs 4
+    repro-sim cache info
     repro-sim list
+
+``figure``/``table``/``report`` fan their simulation grids out over
+``--jobs`` worker processes and cache per-cell results on disk
+(``--no-cache`` to disable, ``--cache-dir`` / ``REPRO_CACHE_DIR`` to
+relocate, ``repro-sim cache clear`` to wipe).  Tables are byte-identical
+for any ``--jobs`` value; the executor summary goes to stderr.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ import sys
 from typing import List, Optional
 
 from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.experiments.executor import Executor, ResultCache
 from repro.workloads import generate_trace, get_profile, profile_names
 from repro.workloads.kernels import KERNELS, kernel_trace
 
@@ -33,6 +42,29 @@ def _load_figures():
             "15": figure15, "16": figure16, "table2": table2,
         })
     return _FIGURES
+
+
+def _add_executor_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--jobs", type=int, default=None,
+                     help="parallel simulation workers "
+                          "(default: CPU count; 1 = serial)")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="skip the on-disk result cache")
+    sub.add_argument("--cache-dir", default=None,
+                     help="result cache directory (default: "
+                          "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    sub.add_argument("--progress", action="store_true",
+                     help="print one line per completed cell to stderr")
+
+
+def _executor_from(args) -> Executor:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return Executor(jobs=args.jobs, cache=cache, progress=args.progress)
+
+
+def _report_summary(executor: Executor) -> None:
+    if executor.total_summary.cells:
+        print(executor.total_summary.render(), file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -60,11 +92,13 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--insts", type=int, default=6_000)
     fig.add_argument("--benchmarks", default="",
                      help="comma-separated subset (default: all 12)")
+    _add_executor_flags(fig)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", choices=["2"])
     table.add_argument("--insts", type=int, default=6_000)
     table.add_argument("--benchmarks", default="")
+    _add_executor_flags(table)
 
     report = sub.add_parser(
         "report", help="run the whole evaluation and print one document")
@@ -73,6 +107,14 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--sections", default="",
                         help="comma-separated section prefixes, e.g. "
                              "'figure 14,table 2'")
+    _add_executor_flags(report)
+
+    cache = sub.add_parser("cache",
+                           help="inspect or clear the result cache")
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
 
     sub.add_parser("list", help="list benchmarks and kernels")
     return parser
@@ -99,18 +141,24 @@ def _cmd_run(args) -> int:
 def _cmd_figure(args) -> int:
     benchmarks = ([b.strip() for b in args.benchmarks.split(",") if b]
                   or None)
+    executor = _executor_from(args)
     result = _load_figures()[args.number](benchmarks=benchmarks,
-                                          num_insts=args.insts)
+                                          num_insts=args.insts,
+                                          executor=executor)
     print(result.render())
+    _report_summary(executor)
     return 0
 
 
 def _cmd_table(args) -> int:
     benchmarks = ([b.strip() for b in args.benchmarks.split(",") if b]
                   or None)
+    executor = _executor_from(args)
     result = _load_figures()["table2"](benchmarks=benchmarks,
-                                       num_insts=args.insts)
+                                       num_insts=args.insts,
+                                       executor=executor)
     print(result.render())
+    _report_summary(executor)
     return 0
 
 
@@ -120,8 +168,24 @@ def _cmd_report(args) -> int:
                   or None)
     sections = ([s.strip() for s in args.sections.split(",") if s]
                 or None)
+    executor = _executor_from(args)
     print(full_report(benchmarks=benchmarks, num_insts=args.insts,
-                      sections=sections))
+                      sections=sections, executor=executor))
+    _report_summary(executor)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached results from {cache.root}")
+    else:
+        entries = cache.entries()
+        size = cache.size_bytes()
+        print(f"cache dir: {cache.root}")
+        print(f"entries:   {len(entries)}")
+        print(f"size:      {size / 1024.0:.1f} KiB")
     return 0
 
 
@@ -144,6 +208,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "table": _cmd_table,
         "report": _cmd_report,
+        "cache": _cmd_cache,
         "list": _cmd_list,
     }[args.command]
     return handler(args)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.core.uop import MOP_HEAD, MOP_TAIL, SOLO, Uop
+from repro.core.uop import MOP_HEAD, MOP_TAIL, Uop
 
 # Entry states.
 WAITING = 0

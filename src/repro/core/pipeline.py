@@ -60,7 +60,6 @@ from repro.core.uop import (
     SOLO as ROLE_SOLO,
     Uop,
 )
-from repro.isa.opcodes import OpClass
 from repro.memory import MemoryHierarchy
 from repro.memory.cache import Cache
 from repro.mop.formation import (
@@ -426,7 +425,6 @@ class Processor:
         self._last_issue_cycle = now
 
         head = entry.head
-        tail = entry.tail
         if head.fu_class != FU_NONE:
             fu_avail[head.fu_class] -= 1
         for k, member in enumerate(entry.uops[1:], start=1):

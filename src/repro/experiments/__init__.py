@@ -5,8 +5,24 @@ the paper's evaluation (Section 6) over the synthetic SPEC CINT2000
 workloads and returns an :class:`~repro.experiments.runner.ExperimentResult`
 whose ``render()`` prints the same rows/series the paper plots.  The
 ``benchmarks/`` directory wraps these in pytest-benchmark targets.
+
+Simulation grids execute through :mod:`repro.experiments.executor`: every
+figure accepts an ``executor=`` argument that supplies parallel fan-out
+over worker processes and a persistent on-disk result cache (machine-
+independent characterizations like Figure 6/7 accept it for signature
+uniformity but have nothing to simulate).  Output is bit-identical
+regardless of worker count.
 """
 
+from repro.experiments.executor import (
+    Executor,
+    ResultCache,
+    RunSummary,
+    SimCell,
+    cell_key,
+    get_default_executor,
+    set_default_executor,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     run_configs,
@@ -23,6 +39,13 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "Executor",
+    "ResultCache",
+    "RunSummary",
+    "SimCell",
+    "cell_key",
+    "get_default_executor",
+    "set_default_executor",
     "ExperimentResult",
     "run_configs",
     "workload_trace",

@@ -16,7 +16,8 @@ from typing import Optional, Sequence
 
 from repro.analysis import depdist
 from repro.analysis.depdist import characterize_distances
-from repro.core import MachineConfig, SchedulerKind, WakeupStyle
+from repro.core import MachineConfig, SchedulerKind
+from repro.experiments.executor import Executor
 from repro.experiments.runner import (
     DEFAULT_INSTS,
     ExperimentResult,
@@ -34,6 +35,7 @@ def detection_delay_ablation(
     benchmarks: Optional[Sequence[str]] = None,
     num_insts: int = DEFAULT_INSTS,
     seed: int = 1,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Section 6.2: 3-cycle vs pessimistic 100-cycle detection delay."""
     configs = {
@@ -42,7 +44,8 @@ def detection_delay_ablation(
         "delay100": MachineConfig.paper_default(
             scheduler=SchedulerKind.MACRO_OP, mop_detection_delay=100),
     }
-    stats = run_configs(configs, benchmarks, num_insts, seed)
+    stats = run_configs(configs, benchmarks, num_insts, seed,
+                        executor=executor)
     result = ExperimentResult(
         name="Ablation: detection delay",
         description="macro-op IPC with 3 vs 100 cycle pointer delay",
@@ -64,6 +67,7 @@ def last_arrival_filter_ablation(
     benchmarks: Optional[Sequence[str]] = None,
     num_insts: int = DEFAULT_INSTS,
     seed: int = 1,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Section 5.4.2: the harmful-grouping filter on vs off."""
     configs = {
@@ -72,7 +76,8 @@ def last_arrival_filter_ablation(
         "filter_off": MachineConfig.paper_default(
             scheduler=SchedulerKind.MACRO_OP, last_arrival_filter=False),
     }
-    stats = run_configs(configs, benchmarks, num_insts, seed)
+    stats = run_configs(configs, benchmarks, num_insts, seed,
+                        executor=executor)
     result = ExperimentResult(
         name="Ablation: last-arriving-operand filter",
         description=("macro-op IPC with and without deleting pointers "
@@ -98,6 +103,7 @@ def independent_mops_ablation(
     benchmarks: Optional[Sequence[str]] = None,
     num_insts: int = DEFAULT_INSTS,
     seed: int = 1,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Section 5.4.1: grouping independent instructions on vs off."""
     configs = {
@@ -106,7 +112,8 @@ def independent_mops_ablation(
         "indep_off": MachineConfig.paper_default(
             scheduler=SchedulerKind.MACRO_OP, independent_mops=False),
     }
-    stats = run_configs(configs, benchmarks, num_insts, seed)
+    stats = run_configs(configs, benchmarks, num_insts, seed,
+                        executor=executor)
     result = ExperimentResult(
         name="Ablation: independent MOPs",
         description=("macro-op IPC and grouped fraction with and without "
@@ -133,6 +140,7 @@ def scope_sweep(
     num_insts: int = DEFAULT_INSTS,
     seed: int = 1,
     scopes: Sequence[int] = (2, 4, 8, 16),
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Section 4.2: fraction of heads whose nearest tail fits each scope.
 

@@ -1,0 +1,394 @@
+"""Parallel experiment execution engine with a persistent result cache.
+
+Every figure/table in the reproduction is an embarrassingly-parallel grid
+of independent ``(benchmark, config)`` simulations.  This module is the
+single funnel those simulations flow through:
+
+* :class:`SimCell` — one simulation: a benchmark trace specification
+  (profile name, instruction budget, seed) plus a :class:`MachineConfig`
+  and the label it carries in the result table.
+* :class:`ResultCache` — a content-addressed on-disk store of
+  :class:`~repro.core.stats.SimStats`, keyed by a stable hash of the
+  machine configuration, the *workload profile contents*, the seed and
+  the instruction budget, so a re-run after a code-irrelevant change is
+  near-instant while any parameter change misses cleanly.
+* :class:`Executor` — fans cells out over :mod:`multiprocessing` workers
+  (``jobs=1`` is a deterministic in-process serial fallback) and collects
+  per-cell wall-clock timings into a :class:`RunSummary`.
+
+Determinism contract: the seed travels with the cell, never with the
+worker.  Each worker regenerates the trace from ``(profile, num_insts,
+seed)`` and runs the same pure-Python simulation, so serial and parallel
+runs are bit-identical and results can be assembled in input order
+regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from multiprocessing import Pool
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import MachineConfig, SimStats, simulate
+from repro.workloads import generate_trace, get_profile, profile_names
+from repro.workloads.trace import Trace
+
+#: Default dynamic instruction budget per benchmark.  Small enough for a
+#: pure-Python cycle simulator, large enough that the scheduler shapes are
+#: stable (the paper simulates billions on native hardware; we match
+#: shapes, not absolute counts).
+DEFAULT_INSTS = 10_000
+
+#: Bump when the cache entry layout or the meaning of a key changes.
+CACHE_SCHEMA = 1
+
+#: Per-process trace cache; workers inherit (fork) or refill (spawn) it.
+_trace_cache: Dict[Tuple[str, int, int], Trace] = {}
+
+
+def workload_trace(benchmark: str, num_insts: int = DEFAULT_INSTS,
+                   seed: int = 1) -> Trace:
+    """Return (and cache in-process) the synthetic trace for *benchmark*."""
+    key = (benchmark, num_insts, seed)
+    if key not in _trace_cache:
+        _trace_cache[key] = generate_trace(
+            get_profile(benchmark), num_insts, seed=seed)
+    return _trace_cache[key]
+
+
+# ---------------------------------------------------------------------------
+# Cells and cache keys
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimCell:
+    """One independent simulation in an experiment grid."""
+
+    benchmark: str
+    label: str
+    config: MachineConfig
+    num_insts: int = DEFAULT_INSTS
+    seed: int = 1
+
+    @property
+    def name(self) -> str:
+        return f"{self.benchmark}/{self.label}"
+
+    def trace(self) -> Trace:
+        return workload_trace(self.benchmark, self.num_insts, self.seed)
+
+
+def cell_key(cell: SimCell) -> str:
+    """Stable content hash identifying *cell*'s result.
+
+    Hashes the full machine configuration and the *contents* of the
+    workload profile (not just its name), so editing a profile or any
+    config field invalidates exactly the affected cells.  Code changes
+    are deliberately not part of the key — bump :data:`CACHE_SCHEMA`
+    when simulator semantics change.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "config": asdict(cell.config),
+        "profile": asdict(get_profile(cell.benchmark)),
+        "num_insts": cell.num_insts,
+        "seed": cell.seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Persistent result cache
+# ---------------------------------------------------------------------------
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`SimStats`.
+
+    Entries are JSON files named by :func:`cell_key`, sharded one level
+    deep to keep directories small.  Writes are atomic (tmp + rename) so
+    concurrent runs sharing a cache directory never read torn entries.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+        self.root = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key[2:]}.json"
+
+    def get(self, key: str) -> Optional[SimStats]:
+        """Return the cached stats for *key*, counting the hit or miss."""
+        try:
+            payload = json.loads(self._path(key).read_text())
+            stats = SimStats(**payload["stats"])
+        except (OSError, ValueError, TypeError, KeyError):
+            # Missing, torn, or written by an incompatible SimStats layout.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, cell: SimCell, stats: SimStats) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "benchmark": cell.benchmark,
+            "label": cell.label,
+            "num_insts": cell.num_insts,
+            "seed": cell.seed,
+            "stats": asdict(stats),
+        }
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)
+
+    def entries(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every cache entry; return how many were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        for shard in self.root.glob("*"):
+            if shard.is_dir() and not any(shard.iterdir()):
+                shard.rmdir()
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Run summary / instrumentation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunSummary:
+    """Timing and cache accounting for one :meth:`Executor.run_cells`."""
+
+    jobs: int = 1
+    cells: int = 0
+    simulated: int = 0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+    #: Sum of per-cell simulation times — the serial-equivalent cost.
+    sim_seconds: float = 0.0
+    #: Per-cell wall-clock, ``"benchmark/label" -> seconds``.
+    cell_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.cells if self.cells else 0.0
+
+    def merge(self, other: "RunSummary") -> None:
+        """Fold *other* into this summary (for multi-grid sessions)."""
+        self.cells += other.cells
+        self.simulated += other.simulated
+        self.cache_hits += other.cache_hits
+        self.wall_seconds += other.wall_seconds
+        self.sim_seconds += other.sim_seconds
+        self.cell_seconds.update(other.cell_seconds)
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over actual wall time (parallelism plus
+        cache hits both show up here)."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.sim_seconds / self.wall_seconds if self.simulated \
+            else 1.0
+
+    def render(self) -> str:
+        line = (f"executor: {self.cells} cells | {self.simulated} simulated"
+                f", {self.cache_hits} cache hits"
+                f" ({100.0 * self.hit_rate:.1f}% hit rate)"
+                f" | jobs={self.jobs} wall={self.wall_seconds:.2f}s")
+        if self.simulated:
+            line += (f" sim={self.sim_seconds:.2f}s"
+                     f" speedup={self.speedup:.1f}x")
+        return line
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+def _simulate_cell(payload: Tuple[int, SimCell]
+                   ) -> Tuple[int, SimStats, float]:
+    """Worker entry point: run one cell, timing the simulation proper."""
+    index, cell = payload
+    trace = cell.trace()
+    start = time.perf_counter()
+    stats = simulate(trace, cell.config)
+    return index, stats, time.perf_counter() - start
+
+
+class Executor:
+    """Runs simulation cells, optionally in parallel and through a cache.
+
+    ``jobs=None`` means one worker per CPU; ``jobs=1`` runs every cell
+    in-process (the deterministic serial fallback — no pool, no pickling).
+    ``cache=None`` disables result caching.  ``progress=True`` writes one
+    line per completed cell to *stream* (default stderr).
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 progress: bool = False, stream=None) -> None:
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self.cache = cache
+        self.progress = progress
+        self.stream = stream
+        #: Summary of the most recent :meth:`run_cells` call.
+        self.last_summary: Optional[RunSummary] = None
+        #: Running total over every call on this executor.
+        self.total_summary = RunSummary(jobs=self.jobs)
+
+    def _emit(self, done: int, total: int, cell: SimCell,
+              seconds: Optional[float]) -> None:
+        if not self.progress:
+            return
+        stream = self.stream if self.stream is not None else sys.stderr
+        timing = "cached" if seconds is None else f"{seconds:.2f}s"
+        print(f"[{done}/{total}] {cell.name} {timing}",
+              file=stream, flush=True)
+
+    def run_cells(self, cells: Iterable[SimCell]
+                  ) -> Dict[SimCell, SimStats]:
+        """Simulate every distinct cell; return ``{cell: stats}``.
+
+        Cache hits are resolved up front; only misses reach the workers.
+        Results are keyed by cell, so callers assemble tables in their
+        own order and serial/parallel runs are bit-identical.
+        """
+        start = time.perf_counter()
+        ordered = list(dict.fromkeys(cells))
+        summary = RunSummary(jobs=self.jobs, cells=len(ordered))
+        results: Dict[SimCell, SimStats] = {}
+        pending: List[Tuple[int, SimCell, Optional[str]]] = []
+        done = 0
+        for index, cell in enumerate(ordered):
+            key = cell_key(cell) if self.cache is not None else None
+            if key is not None:
+                stats = self.cache.get(key)
+                if stats is not None:
+                    results[cell] = stats
+                    summary.cache_hits += 1
+                    done += 1
+                    self._emit(done, len(ordered), cell, None)
+                    continue
+            pending.append((index, cell, key))
+
+        def record(index: int, stats: SimStats, seconds: float) -> None:
+            nonlocal done
+            _, cell, key = by_index[index]
+            results[cell] = stats
+            summary.simulated += 1
+            summary.sim_seconds += seconds
+            summary.cell_seconds[cell.name] = seconds
+            if key is not None:
+                self.cache.put(key, cell, stats)
+            done += 1
+            self._emit(done, len(ordered), cell, seconds)
+
+        by_index = {index: (index, cell, key)
+                    for index, cell, key in pending}
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                for index, cell, _key in pending:
+                    record(*_simulate_cell((index, cell)))
+            else:
+                # Sort by trace identity so chunks share per-worker trace
+                # caches; results come back keyed by index, so completion
+                # order never affects the assembled tables.
+                pending.sort(key=lambda entry: (
+                    entry[1].benchmark, entry[1].num_insts,
+                    entry[1].seed, entry[0]))
+                jobs = min(self.jobs, len(pending))
+                chunksize = max(1, len(pending) // (jobs * 4))
+                with Pool(processes=jobs) as pool:
+                    outcomes = pool.imap_unordered(
+                        _simulate_cell,
+                        [(index, cell) for index, cell, _key in pending],
+                        chunksize=chunksize)
+                    for index, stats, seconds in outcomes:
+                        record(index, stats, seconds)
+
+        summary.wall_seconds = time.perf_counter() - start
+        self.last_summary = summary
+        self.total_summary.merge(summary)
+        return results
+
+    def run_grid(self, configs: Dict[str, MachineConfig],
+                 benchmarks: Optional[Sequence[str]] = None,
+                 num_insts: int = DEFAULT_INSTS,
+                 seed: int = 1) -> Dict[str, Dict[str, SimStats]]:
+        """Simulate every benchmark under every named configuration.
+
+        Returns ``{benchmark: {config_label: SimStats}}`` — the shape
+        every figure/table builder consumes.
+        """
+        names = list(benchmarks) if benchmarks else list(profile_names())
+        cells = [SimCell(benchmark, label, config, num_insts, seed)
+                 for benchmark in names
+                 for label, config in configs.items()]
+        stats = self.run_cells(cells)
+        return {
+            benchmark: {
+                label: stats[SimCell(benchmark, label, config,
+                                     num_insts, seed)]
+                for label, config in configs.items()
+            }
+            for benchmark in names
+        }
+
+
+# ---------------------------------------------------------------------------
+# Default executor
+# ---------------------------------------------------------------------------
+
+_default_executor: Optional[Executor] = None
+
+
+def get_default_executor() -> Executor:
+    """The executor used when an experiment is called without one.
+
+    Serial and cache-less by default, so library calls and the test
+    suite stay hermetic; the CLI and the benchmark harness install their
+    own via :func:`set_default_executor`.
+    """
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = Executor(jobs=1, cache=None)
+    return _default_executor
+
+
+def set_default_executor(executor: Optional[Executor]
+                         ) -> Optional[Executor]:
+    """Install *executor* as the default; return the previous one."""
+    global _default_executor
+    previous = _default_executor
+    _default_executor = executor
+    return previous

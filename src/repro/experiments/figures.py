@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 from repro.analysis.depdist import characterize_distances
 from repro.analysis.groupability import characterize_groupability
 from repro.core import MachineConfig, SchedulerKind, WakeupStyle
+from repro.experiments.executor import Executor
 from repro.experiments.runner import (
     DEFAULT_INSTS,
     ExperimentResult,
@@ -33,7 +34,8 @@ def _benchmarks(benchmarks: Optional[Sequence[str]]) -> Sequence[str]:
 
 def figure6(benchmarks: Optional[Sequence[str]] = None,
             num_insts: int = DEFAULT_INSTS,
-            seed: int = 1) -> ExperimentResult:
+            seed: int = 1,
+            executor: Optional[Executor] = None) -> ExperimentResult:
     """Figure 6: dependence edge distance between candidate pairs."""
     result = ExperimentResult(
         name="Figure 6",
@@ -54,7 +56,8 @@ def figure6(benchmarks: Optional[Sequence[str]] = None,
 
 def figure7(benchmarks: Optional[Sequence[str]] = None,
             num_insts: int = DEFAULT_INSTS,
-            seed: int = 1) -> ExperimentResult:
+            seed: int = 1,
+            executor: Optional[Executor] = None) -> ExperimentResult:
     """Figure 7: instructions groupable into 2x and 8x MOPs."""
     result = ExperimentResult(
         name="Figure 7",
@@ -83,7 +86,8 @@ def figure7(benchmarks: Optional[Sequence[str]] = None,
 
 def figure13(benchmarks: Optional[Sequence[str]] = None,
              num_insts: int = DEFAULT_INSTS,
-             seed: int = 1) -> ExperimentResult:
+             seed: int = 1,
+             executor: Optional[Executor] = None) -> ExperimentResult:
     """Figure 13: grouped instructions under the real pipeline."""
     configs = {
         "2-src": MachineConfig.paper_default(
@@ -93,7 +97,8 @@ def figure13(benchmarks: Optional[Sequence[str]] = None,
             scheduler=SchedulerKind.MACRO_OP,
             wakeup_style=WakeupStyle.WIRED_OR),
     }
-    stats = run_configs(configs, benchmarks, num_insts, seed)
+    stats = run_configs(configs, benchmarks, num_insts, seed,
+                        executor=executor)
     result = ExperimentResult(
         name="Figure 13",
         description=("% of committed instructions grouped into MOPs by the "
@@ -116,7 +121,8 @@ def figure13(benchmarks: Optional[Sequence[str]] = None,
 
 def figure14(benchmarks: Optional[Sequence[str]] = None,
              num_insts: int = DEFAULT_INSTS,
-             seed: int = 1) -> ExperimentResult:
+             seed: int = 1,
+             executor: Optional[Executor] = None) -> ExperimentResult:
     """Figure 14: vanilla macro-op scheduling performance.
 
     Unrestricted issue queue, 128 ROB, no extra MOP formation stage — the
@@ -135,7 +141,8 @@ def figure14(benchmarks: Optional[Sequence[str]] = None,
             scheduler=SchedulerKind.MACRO_OP,
             wakeup_style=WakeupStyle.WIRED_OR),
     }
-    stats = run_configs(configs, benchmarks, num_insts, seed)
+    stats = run_configs(configs, benchmarks, num_insts, seed,
+                        executor=executor)
     result = ExperimentResult(
         name="Figure 14",
         description=("IPC normalized to base scheduling; unrestricted "
@@ -157,7 +164,8 @@ def figure14(benchmarks: Optional[Sequence[str]] = None,
 
 def figure15(benchmarks: Optional[Sequence[str]] = None,
              num_insts: int = DEFAULT_INSTS,
-             seed: int = 1) -> ExperimentResult:
+             seed: int = 1,
+             executor: Optional[Executor] = None) -> ExperimentResult:
     """Figure 15: macro-op scheduling under issue-queue contention.
 
     32-entry issue queue / 128 ROB.  The solid bars of the paper use one
@@ -178,7 +186,8 @@ def figure15(benchmarks: Optional[Sequence[str]] = None,
             scheduler=SchedulerKind.MACRO_OP,
             wakeup_style=WakeupStyle.WIRED_OR,
             extra_mop_stages=stages)
-    stats = run_configs(configs, benchmarks, num_insts, seed)
+    stats = run_configs(configs, benchmarks, num_insts, seed,
+                        executor=executor)
     result = ExperimentResult(
         name="Figure 15",
         description=("IPC normalized to base scheduling; 32-entry issue "
@@ -202,7 +211,8 @@ def figure15(benchmarks: Optional[Sequence[str]] = None,
 
 def figure16(benchmarks: Optional[Sequence[str]] = None,
              num_insts: int = DEFAULT_INSTS,
-             seed: int = 1) -> ExperimentResult:
+             seed: int = 1,
+             executor: Optional[Executor] = None) -> ExperimentResult:
     """Figure 16: pipelined scheduling logic comparison.
 
     Select-free scheduling (squash-dep and scoreboard, Brown et al.) against
@@ -220,7 +230,8 @@ def figure16(benchmarks: Optional[Sequence[str]] = None,
             wakeup_style=WakeupStyle.WIRED_OR,
             extra_mop_stages=1),
     }
-    stats = run_configs(configs, benchmarks, num_insts, seed)
+    stats = run_configs(configs, benchmarks, num_insts, seed,
+                        executor=executor)
     result = ExperimentResult(
         name="Figure 16",
         description=("IPC normalized to base scheduling; 32-entry issue "
@@ -246,14 +257,16 @@ def figure16(benchmarks: Optional[Sequence[str]] = None,
 
 def table2(benchmarks: Optional[Sequence[str]] = None,
            num_insts: int = DEFAULT_INSTS,
-           seed: int = 1) -> ExperimentResult:
+           seed: int = 1,
+           executor: Optional[Executor] = None) -> ExperimentResult:
     """Table 2: base IPC with 32-entry and unrestricted issue queues."""
     configs = {
         "base32": MachineConfig.paper_default(scheduler=SchedulerKind.BASE),
         "baseU": MachineConfig.unrestricted_queue(
             scheduler=SchedulerKind.BASE),
     }
-    stats = run_configs(configs, benchmarks, num_insts, seed)
+    stats = run_configs(configs, benchmarks, num_insts, seed,
+                        executor=executor)
     result = ExperimentResult(
         name="Table 2",
         description=("base-scheduler IPC, 32-entry / unrestricted issue "

@@ -24,6 +24,7 @@ from repro.experiments.figures import (
     figure16,
     table2,
 )
+from repro.experiments.executor import Executor
 from repro.experiments.runner import DEFAULT_INSTS
 
 #: The full evaluation, in the paper's presentation order.
@@ -47,11 +48,14 @@ def full_report(
     num_insts: int = DEFAULT_INSTS,
     seed: int = 1,
     sections: Optional[Sequence[str]] = None,
+    executor: Optional[Executor] = None,
 ) -> str:
     """Run the whole evaluation and render it as one document.
 
     *sections*, if given, selects by section title prefix (case-
-    insensitive), e.g. ``["figure 14", "table 2"]``.
+    insensitive), e.g. ``["figure 14", "table 2"]``.  *executor*, if
+    given, runs every timing section's simulation grid (parallel
+    fan-out plus result caching).
     """
     wanted = None
     if sections:
@@ -67,7 +71,7 @@ def full_report(
                 title.lower().startswith(w) for w in wanted):
             continue
         result = runner(benchmarks=benchmarks, num_insts=num_insts,
-                        seed=seed)
+                        seed=seed, executor=executor)
         parts.append(result.render())
         parts.append("-" * 72)
     return "\n".join(parts)

@@ -1,32 +1,32 @@
-"""Shared experiment plumbing: trace caching, config sweeps, result tables."""
+"""Shared experiment plumbing: result tables and the config-grid runner.
+
+Trace caching and simulation execution live in
+:mod:`repro.experiments.executor`; this module re-exports
+:func:`workload_trace` and :data:`DEFAULT_INSTS` for compatibility and
+keeps the table-shaped :class:`ExperimentResult` container plus the
+:func:`run_configs` grid entry point every figure builds on.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import geomean, render_table
-from repro.core import MachineConfig, SimStats, simulate
-from repro.workloads import generate_trace, get_profile, profile_names
-from repro.workloads.trace import Trace
+from repro.core import MachineConfig, SimStats
+from repro.experiments.executor import (
+    DEFAULT_INSTS,
+    Executor,
+    get_default_executor,
+    workload_trace,
+)
 
-#: Default dynamic instruction budget per benchmark.  Small enough for a
-#: pure-Python cycle simulator, large enough that the scheduler shapes are
-#: stable (the paper simulates billions on native hardware; we match
-#: shapes, not absolute counts).
-DEFAULT_INSTS = 10_000
-
-_trace_cache: Dict[Tuple[str, int, int], Trace] = {}
-
-
-def workload_trace(benchmark: str, num_insts: int = DEFAULT_INSTS,
-                   seed: int = 1) -> Trace:
-    """Return (and cache) the synthetic trace for *benchmark*."""
-    key = (benchmark, num_insts, seed)
-    if key not in _trace_cache:
-        _trace_cache[key] = generate_trace(
-            get_profile(benchmark), num_insts, seed=seed)
-    return _trace_cache[key]
+__all__ = [
+    "DEFAULT_INSTS",
+    "ExperimentResult",
+    "run_configs",
+    "workload_trace",
+]
 
 
 @dataclass
@@ -80,17 +80,13 @@ def run_configs(
     benchmarks: Optional[Sequence[str]] = None,
     num_insts: int = DEFAULT_INSTS,
     seed: int = 1,
+    executor: Optional[Executor] = None,
 ) -> Dict[str, Dict[str, SimStats]]:
     """Simulate every benchmark under every named configuration.
 
-    Returns ``{benchmark: {config_label: SimStats}}``.
+    Returns ``{benchmark: {config_label: SimStats}}``.  Runs through
+    *executor* (default: the process-wide default executor), which
+    handles parallel fan-out and result caching.
     """
-    benchmarks = list(benchmarks) if benchmarks else list(profile_names())
-    results: Dict[str, Dict[str, SimStats]] = {}
-    for benchmark in benchmarks:
-        trace = workload_trace(benchmark, num_insts, seed)
-        results[benchmark] = {
-            label: simulate(trace, config)
-            for label, config in configs.items()
-        }
-    return results
+    executor = executor if executor is not None else get_default_executor()
+    return executor.run_grid(configs, benchmarks, num_insts, seed)

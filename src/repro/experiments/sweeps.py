@@ -6,19 +6,23 @@ entries and unrestricted).  :func:`queue_size_sweep` fills in the curve:
 IPC for base / 2-cycle / macro-op scheduling across issue-queue sizes, so
 the entry-sharing benefit is visible as a leftward shift of the macro-op
 curve (it behaves like a queue ~16% larger than its physical size).
+
+Both sweeps run their full ``(scheduler, size, benchmark)`` grid through
+the experiment executor, so ``--jobs`` fans the cells out over workers
+and the result cache makes warm re-runs near-instant.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle
+from repro.experiments.executor import Executor
 from repro.experiments.runner import (
     DEFAULT_INSTS,
     ExperimentResult,
-    workload_trace,
+    run_configs,
 )
-from repro.workloads import profile_names
 
 
 def queue_size_sweep(
@@ -26,9 +30,9 @@ def queue_size_sweep(
     num_insts: int = DEFAULT_INSTS,
     seed: int = 1,
     sizes: Sequence[int] = (8, 16, 32, 64, 128),
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """IPC vs issue-queue size for base / 2-cycle / macro-op scheduling."""
-    benchmarks = list(benchmarks) if benchmarks else list(profile_names())
     result = ExperimentResult(
         name="Sweep: issue-queue size",
         description=("IPC per scheduler across issue-queue sizes "
@@ -41,16 +45,19 @@ def queue_size_sweep(
         ("2cyc", SchedulerKind.TWO_CYCLE),
         ("mop", SchedulerKind.MACRO_OP),
     )
-    for benchmark in benchmarks:
-        trace = workload_trace(benchmark, num_insts, seed)
-        row = {}
-        for label, kind in schedulers:
-            for size in sizes:
-                config = MachineConfig(
-                    scheduler=kind, iq_size=size,
-                    wakeup_style=WakeupStyle.WIRED_OR)
-                row[f"{label}@{size}"] = simulate(trace, config).ipc
-        result.rows[benchmark] = row
+    configs = {
+        f"{label}@{size}": MachineConfig(
+            scheduler=kind, iq_size=size,
+            wakeup_style=WakeupStyle.WIRED_OR)
+        for label, kind in schedulers
+        for size in sizes
+    }
+    stats = run_configs(configs, benchmarks, num_insts, seed,
+                        executor=executor)
+    for benchmark, by_config in stats.items():
+        result.rows[benchmark] = {
+            label: s.ipc for label, s in by_config.items()
+        }
     return result
 
 
@@ -59,23 +66,26 @@ def rob_size_sweep(
     num_insts: int = DEFAULT_INSTS,
     seed: int = 1,
     sizes: Sequence[int] = (32, 64, 128, 256),
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """IPC vs ROB size with the unrestricted issue queue (base scheduler).
 
     Separates window-capacity effects from scheduling-loop effects: the
     issue queue is unrestricted so the ROB is the only in-flight bound.
     """
-    benchmarks = list(benchmarks) if benchmarks else list(profile_names())
     result = ExperimentResult(
         name="Sweep: ROB size",
         description="base-scheduler IPC across reorder-buffer sizes",
     )
-    for benchmark in benchmarks:
-        trace = workload_trace(benchmark, num_insts, seed)
-        row = {}
-        for size in sizes:
-            config = MachineConfig(scheduler=SchedulerKind.BASE,
-                                   iq_size=None, rob_size=size)
-            row[f"rob{size}"] = simulate(trace, config).ipc
-        result.rows[benchmark] = row
+    configs = {
+        f"rob{size}": MachineConfig(scheduler=SchedulerKind.BASE,
+                                    iq_size=None, rob_size=size)
+        for size in sizes
+    }
+    stats = run_configs(configs, benchmarks, num_insts, seed,
+                        executor=executor)
+    for benchmark, by_config in stats.items():
+        result.rows[benchmark] = {
+            label: s.ipc for label, s in by_config.items()
+        }
     return result

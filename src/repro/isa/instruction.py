@@ -18,7 +18,7 @@ count, so IPC remains in units of architectural instructions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.isa.opcodes import (

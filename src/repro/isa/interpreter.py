@@ -17,8 +17,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.isa.assembler import Program
 from repro.isa.instruction import DynInst, StaticInst, crack_store
-from repro.isa.opcodes import OpClass
-from repro.isa.registers import FP_REG_BASE, NUM_ARCH_REGS, is_zero_reg
+from repro.isa.registers import NUM_ARCH_REGS, is_zero_reg
 
 
 class ExecutionLimitExceeded(RuntimeError):

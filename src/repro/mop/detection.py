@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig
 from repro.core.uop import MOP_TAIL, SOLO, Uop
-from repro.isa.opcodes import OpClass, is_control
+from repro.isa.opcodes import OpClass
 from repro.mop.pointers import DEPENDENT, INDEPENDENT, MopPointer, PointerCache
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List
 
 from repro.isa.instruction import DynInst
 from repro.isa.opcodes import OpClass

@@ -77,6 +77,17 @@ class TraceBuilder:
         return Trace(name, self.ops)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the on-disk experiment result cache out of ``~/.cache``.
+
+    Anything in the suite that builds a :class:`ResultCache` without an
+    explicit directory (the CLI does) lands in a per-test tmp dir, so
+    tests never read stale results from a previous code version.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def tb() -> TraceBuilder:
     return TraceBuilder()

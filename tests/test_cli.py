@@ -51,6 +51,61 @@ class TestFigures:
         assert "paper_32" in capsys.readouterr().out
 
 
+class TestExecutorFlags:
+    def test_jobs_byte_identical_tables(self, capsys):
+        assert main(["figure", "14", "--insts", "800",
+                     "--benchmarks", "gap,vortex", "--jobs", "1",
+                     "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["figure", "14", "--insts", "800",
+                     "--benchmarks", "gap,vortex", "--jobs", "2",
+                     "--no-cache"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_summary_on_stderr_not_stdout(self, capsys):
+        assert main(["figure", "14", "--insts", "800",
+                     "--benchmarks", "gap", "--jobs", "1",
+                     "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "executor:" in captured.err
+        assert "executor:" not in captured.out
+
+    def test_warm_cache_full_hits(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(["table", "2", "--insts", "800",
+                     "--benchmarks", "gap", "--jobs", "1"] + cache) == 0
+        cold = capsys.readouterr()
+        assert "2 cells | 2 simulated, 0 cache hits" in cold.err
+        assert main(["table", "2", "--insts", "800",
+                     "--benchmarks", "gap", "--jobs", "1"] + cache) == 0
+        warm = capsys.readouterr()
+        assert "2 cells | 0 simulated, 2 cache hits" in warm.err
+        assert "100.0% hit rate" in warm.err
+        assert cold.out == warm.out
+
+    def test_progress_flag(self, capsys):
+        assert main(["table", "2", "--insts", "800",
+                     "--benchmarks", "gap", "--jobs", "1", "--no-cache",
+                     "--progress"]) == 0
+        assert "[1/2] gap/" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(["table", "2", "--insts", "800",
+                     "--benchmarks", "gap", "--jobs", "1"] + cache) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"] + cache) == 0
+        out = capsys.readouterr().out
+        assert "entries:   2" in out
+        assert main(["cache", "clear"] + cache) == 0
+        assert "cleared 2 cached results" in capsys.readouterr().out
+        assert main(["cache", "info"] + cache) == 0
+        assert "entries:   0" in capsys.readouterr().out
+
+
 class TestList:
     def test_list(self, capsys):
         assert main(["list"]) == 0

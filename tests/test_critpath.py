@@ -7,7 +7,7 @@ from repro.analysis.critpath import (
     two_cycle_exposure,
 )
 from repro.workloads import generate_trace, get_profile
-from tests.conftest import TraceBuilder, chain_trace, independent_trace
+from tests.conftest import chain_trace, independent_trace
 
 
 class TestCriticalPath:

@@ -1,6 +1,6 @@
 """Unit tests for the MOP detection algorithm (Figure 9)."""
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.core import MachineConfig, SchedulerKind, WakeupStyle
 from repro.core.uop import Uop
@@ -260,7 +260,6 @@ class TestIndependentMops:
     def test_same_register_different_writer_not_identical(self):
         """'Identical source dependences' means the same producer, not
         just the same register name."""
-        det = detector(independent=False)
         group = [
             make_uop(0, dest=1, srcs=(8,)),
             make_uop(1, dest=8, srcs=(9, 7)),  # rewrites r8 (not candidate pair)

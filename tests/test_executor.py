@@ -1,0 +1,218 @@
+"""Tests for the parallel execution engine and its result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind
+from repro.experiments import figure14
+from repro.experiments.executor import (
+    Executor,
+    ResultCache,
+    SimCell,
+    cell_key,
+    default_cache_dir,
+    get_default_executor,
+    set_default_executor,
+)
+
+BENCH = ["gap", "vortex"]
+N = 1200
+
+
+def grid_configs():
+    return {
+        "base": MachineConfig.paper_default(scheduler=SchedulerKind.BASE),
+        "2cyc": MachineConfig.paper_default(
+            scheduler=SchedulerKind.TWO_CYCLE),
+    }
+
+
+def cells_for(configs, benchmarks=BENCH, num_insts=N):
+    return [SimCell(bench, label, config, num_insts, seed=1)
+            for bench in benchmarks
+            for label, config in configs.items()]
+
+
+class TestCellKey:
+    def test_stable(self):
+        cell = cells_for(grid_configs())[0]
+        assert cell_key(cell) == cell_key(cell)
+
+    def test_config_change_changes_key(self):
+        config = MachineConfig.paper_default(scheduler=SchedulerKind.BASE)
+        a = SimCell("gap", "x", config, N, 1)
+        b = SimCell("gap", "x", dataclasses.replace(config, iq_size=16),
+                    N, 1)
+        assert cell_key(a) != cell_key(b)
+
+    def test_seed_and_budget_in_key(self):
+        config = MachineConfig.paper_default()
+        base = SimCell("gap", "x", config, N, 1)
+        assert cell_key(base) != cell_key(SimCell("gap", "x", config, N, 2))
+        assert cell_key(base) != cell_key(
+            SimCell("gap", "x", config, N + 1, 1))
+
+    def test_label_not_in_key(self):
+        """The label names a column; the result is label-independent."""
+        config = MachineConfig.paper_default()
+        assert cell_key(SimCell("gap", "a", config, N, 1)) == \
+            cell_key(SimCell("gap", "b", config, N, 1))
+
+
+class TestSerialParallelEquality:
+    def test_grid_results_identical(self):
+        configs = grid_configs()
+        serial = Executor(jobs=1)
+        parallel = Executor(jobs=2)
+        a = serial.run_grid(configs, BENCH, N)
+        b = parallel.run_grid(configs, BENCH, N)
+        assert a == b  # SimStats dataclasses compare field-by-field
+        assert serial.last_summary.simulated == 4
+        assert parallel.last_summary.simulated == 4
+
+    def test_figure_render_identical(self):
+        serial = figure14(benchmarks=BENCH, num_insts=N,
+                          executor=Executor(jobs=1))
+        parallel = figure14(benchmarks=BENCH, num_insts=N,
+                            executor=Executor(jobs=3))
+        assert serial.render() == parallel.render()
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        configs = grid_configs()
+        cache = ResultCache(tmp_path / "cache")
+        executor = Executor(jobs=1, cache=cache)
+        first = executor.run_grid(configs, BENCH, N)
+        assert executor.last_summary.cache_hits == 0
+        assert executor.last_summary.simulated == 4
+
+        warm = Executor(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        second = warm.run_grid(configs, BENCH, N)
+        assert warm.last_summary.cache_hits == 4
+        assert warm.last_summary.simulated == 0
+        assert warm.last_summary.hit_rate == 1.0
+        assert first == second
+
+    def test_parallel_reads_serial_cache(self, tmp_path):
+        configs = grid_configs()
+        cache_dir = tmp_path / "cache"
+        Executor(jobs=1, cache=ResultCache(cache_dir)).run_grid(
+            configs, BENCH, N)
+        warm = Executor(jobs=2, cache=ResultCache(cache_dir))
+        warm.run_grid(configs, BENCH, N)
+        assert warm.last_summary.cache_hits == 4
+
+    def test_config_hash_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        executor = Executor(jobs=1, cache=cache)
+        executor.run_grid(grid_configs(), ["gap"], N)
+        changed = {
+            "base": MachineConfig.paper_default(
+                scheduler=SchedulerKind.BASE, iq_size=16),
+            "2cyc": MachineConfig.paper_default(
+                scheduler=SchedulerKind.TWO_CYCLE, iq_size=16),
+        }
+        executor.run_grid(changed, ["gap"], N)
+        assert executor.last_summary.cache_hits == 0
+        assert executor.last_summary.simulated == 2
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert default_cache_dir() == tmp_path / "env-cache"
+        cache = ResultCache()
+        executor = Executor(jobs=1, cache=cache)
+        executor.run_grid({"base": MachineConfig.paper_default()},
+                          ["gap"], N)
+        assert cache.root == tmp_path / "env-cache"
+        assert len(cache.entries()) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        executor = Executor(jobs=1, cache=cache)
+        executor.run_grid({"base": MachineConfig.paper_default()},
+                          ["gap"], N)
+        entry = cache.entries()[0]
+        entry.write_text("{not json")
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm = Executor(jobs=1, cache=warm_cache)
+        warm.run_grid({"base": MachineConfig.paper_default()}, ["gap"], N)
+        assert warm.last_summary.cache_hits == 0
+        assert warm.last_summary.simulated == 1
+        # ...and the entry was rewritten with valid content.
+        assert json.loads(entry.read_text())["benchmark"] == "gap"
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        Executor(jobs=1, cache=cache).run_grid(grid_configs(), ["gap"], N)
+        assert len(cache.entries()) == 2
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+
+class TestSummary:
+    def test_timing_instrumentation(self):
+        executor = Executor(jobs=1)
+        executor.run_grid(grid_configs(), ["gap"], N)
+        summary = executor.last_summary
+        assert summary.cells == 2
+        assert set(summary.cell_seconds) == {"gap/base", "gap/2cyc"}
+        assert all(t > 0 for t in summary.cell_seconds.values())
+        assert summary.wall_seconds >= summary.sim_seconds * 0.5
+        assert "2 cells" in summary.render()
+
+    def test_total_summary_accumulates(self):
+        executor = Executor(jobs=1)
+        executor.run_grid(grid_configs(), ["gap"], N)
+        executor.run_grid(grid_configs(), ["vortex"], N)
+        assert executor.total_summary.cells == 4
+        assert executor.total_summary.simulated == 4
+
+    def test_progress_lines(self, capsys):
+        import sys
+        executor = Executor(jobs=1, progress=True, stream=sys.stderr)
+        executor.run_grid({"base": MachineConfig.paper_default()},
+                          ["gap"], N)
+        err = capsys.readouterr().err
+        assert "[1/1] gap/base" in err
+
+
+class TestDefaultExecutor:
+    def test_default_is_serial_uncached(self):
+        executor = get_default_executor()
+        assert executor.jobs == 1
+        assert executor.cache is None
+
+    def test_set_and_restore(self):
+        replacement = Executor(jobs=2)
+        previous = set_default_executor(replacement)
+        try:
+            assert get_default_executor() is replacement
+        finally:
+            set_default_executor(previous)
+
+
+class TestDeduplication:
+    def test_duplicate_cells_simulated_once(self):
+        executor = Executor(jobs=1)
+        cell = SimCell("gap", "base", MachineConfig.paper_default(), N, 1)
+        results = executor.run_cells([cell, cell, cell])
+        assert len(results) == 1
+        assert executor.last_summary.cells == 1
+
+
+@pytest.mark.slow
+class TestParallelScale:
+    def test_twelve_cell_grid_parallel(self):
+        """Full-width fan-out: more cells than workers, mixed configs."""
+        configs = {
+            f"iq{size}": MachineConfig.paper_default(iq_size=size)
+            for size in (8, 16, 32)
+        }
+        serial = Executor(jobs=1).run_grid(
+            configs, ["gap", "vortex", "mcf", "gcc"], 800)
+        parallel = Executor(jobs=4).run_grid(
+            configs, ["gap", "vortex", "mcf", "gcc"], 800)
+        assert serial == parallel

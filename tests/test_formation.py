@@ -7,7 +7,7 @@ from repro.core.uop import Uop
 from repro.isa.instruction import DynInst
 from repro.isa.opcodes import OpClass
 from repro.mop.formation import ATTACH, MOP, PENDING, SOLO, MopFormation
-from repro.mop.pointers import DEPENDENT, MopPointer, PointerCache
+from repro.mop.pointers import MopPointer, PointerCache
 
 
 def make_uop(seq: int, pc: int, op_class: OpClass = OpClass.INT_ALU,

@@ -1,6 +1,6 @@
 """Tests for the fetch frontend."""
 
-from repro.core import MachineConfig, SchedulerKind
+from repro.core import MachineConfig
 from repro.core.frontend import Frontend
 from repro.core.stats import SimStats
 from repro.isa.assembler import assemble

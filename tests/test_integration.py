@@ -40,6 +40,7 @@ class TestKernelsThroughPipeline:
         assert two <= base * 1.10
 
 
+@pytest.mark.slow
 class TestWorkloadsThroughPipeline:
     @pytest.mark.parametrize("bench", list(profile_names()))
     def test_all_benchmarks_run_macro_op(self, bench):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.issue_queue import DONE, ISSUED, READY, WAITING, IQEntry, IssueQueue
+from repro.core.issue_queue import WAITING, IQEntry, IssueQueue
 from repro.core.uop import Uop
 from repro.isa.instruction import DynInst
 from repro.isa.opcodes import OpClass

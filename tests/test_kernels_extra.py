@@ -1,6 +1,5 @@
 """Correctness tests for the computational kernels (functional results)."""
 
-import pytest
 
 from repro.core import MachineConfig, SchedulerKind, simulate
 from repro.isa.interpreter import Interpreter

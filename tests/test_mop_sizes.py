@@ -6,7 +6,6 @@ at formation time, optionally paired with a deeper pipelined scheduling
 loop.
 """
 
-import pytest
 
 from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
 from repro.core.pipeline import Processor

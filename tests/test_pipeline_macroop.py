@@ -1,6 +1,5 @@
 """Integration tests for macro-op scheduling inside the pipeline."""
 
-import pytest
 
 from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
 from repro.core.pipeline import Processor

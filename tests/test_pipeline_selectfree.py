@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import MachineConfig, SchedulerKind, simulate
 from repro.workloads import generate_trace, get_profile
-from tests.conftest import TraceBuilder, chain_trace, independent_trace
+from tests.conftest import TraceBuilder, chain_trace
 
 
 def cfg(sched, **kw):
@@ -76,6 +76,7 @@ class TestCollisions:
             assert simulate(trace, cfg(sched)).cycles >= base.cycles
 
 
+@pytest.mark.slow
 class TestOnWorkloads:
     @pytest.mark.parametrize("bench", ["gap", "vortex"])
     def test_figure16_ordering(self, bench):

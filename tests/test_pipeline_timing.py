@@ -8,8 +8,7 @@ scheduling once pointers exist.
 
 import pytest
 
-from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
-from repro.core.pipeline import Processor
+from repro.core import MachineConfig, SchedulerKind, simulate
 from tests.conftest import TraceBuilder, chain_trace, independent_trace
 
 

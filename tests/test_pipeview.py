@@ -1,6 +1,5 @@
 """Tests for the pipeline timeline viewer."""
 
-import pytest
 
 from repro.core import MachineConfig, SchedulerKind
 from repro.core.pipeline import Processor

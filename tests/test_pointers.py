@@ -4,7 +4,6 @@ import pytest
 
 from repro.mop.pointers import (
     DEPENDENT,
-    INDEPENDENT,
     MopPointer,
     PointerCache,
 )

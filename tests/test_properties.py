@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -13,6 +15,8 @@ from repro.memory import Cache
 from repro.mop.detection import MopDetector
 from repro.mop.pointers import PointerCache
 from repro.core.uop import Uop
+
+pytestmark = pytest.mark.slow
 from repro.workloads.trace import Trace
 
 # ---------------------------------------------------------------------------

@@ -11,14 +11,10 @@ verify the two defensive layers:
    pointer contents cannot wedge the machine.
 """
 
-import pytest
 
 from repro.core import MachineConfig, SchedulerKind, WakeupStyle
 from repro.core.pipeline import MOP_SPLIT_TIMEOUT, Processor
-from repro.isa.instruction import DynInst
-from repro.isa.opcodes import OpClass
-from repro.mop.pointers import DEPENDENT, INDEPENDENT, MopPointer
-from repro.workloads.trace import Trace
+from repro.mop.pointers import MopPointer
 from tests.conftest import TraceBuilder
 
 

@@ -1,9 +1,12 @@
 """Tests for the one-shot reproduction report."""
 
+import pytest
+
 from repro.cli import main
 from repro.experiments.report import full_report
 
 
+@pytest.mark.slow
 class TestFullReport:
     def test_selected_sections_only(self):
         text = full_report(benchmarks=["gap"], num_insts=800,

@@ -4,6 +4,8 @@ import pytest
 
 from repro.experiments.sweeps import queue_size_sweep, rob_size_sweep
 
+pytestmark = pytest.mark.slow
+
 
 class TestQueueSizeSweep:
     def test_ipc_monotone_in_queue_size(self):
