@@ -13,6 +13,12 @@ Environment knobs:
   means one per CPU).  Results are bit-identical for any value.
 * ``REPRO_BENCH_CACHE`` — set to ``1`` to reuse the on-disk result cache
   (``REPRO_CACHE_DIR`` or ``~/.cache/repro``) across bench runs.
+* ``REPRO_BENCH_TIMEOUT`` — per-cell wall-clock limit in seconds
+  (default: ``REPRO_CELL_TIMEOUT`` or unlimited; enforced only when
+  ``REPRO_BENCH_JOBS`` provides a worker pool).
+* ``REPRO_BENCH_RETRIES`` — attempts beyond the first for a failed cell
+  (default 2).  Cells lost anyway are rendered as ``FAILED`` and listed
+  in a failure report after the session summary.
 
 Every bench target's simulation grid flows through one session-wide
 :class:`repro.experiments.executor.Executor` installed by the autouse
@@ -58,15 +64,29 @@ def bench_cache():
     return None
 
 
+def bench_timeout():
+    value = os.environ.get("REPRO_BENCH_TIMEOUT", "")
+    return float(value) if value else None
+
+
+def bench_retries():
+    return int(os.environ.get("REPRO_BENCH_RETRIES", "2"))
+
+
 @pytest.fixture(scope="session", autouse=True)
 def bench_executor():
     """Route every bench simulation through one shared executor."""
-    executor = Executor(jobs=bench_jobs(), cache=bench_cache())
+    executor = Executor(jobs=bench_jobs(), cache=bench_cache(),
+                        cell_timeout=bench_timeout(),
+                        max_retries=bench_retries())
     previous = set_default_executor(executor)
     yield executor
     summary = executor.total_summary
     if summary.cells:
         print(f"\n{summary.render()}")
+    failures = executor.failure_report()
+    if failures:
+        print(failures.render())
     set_default_executor(previous)
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, Optional, Sequence, Union
 
 Number = Union[int, float]
@@ -16,7 +17,9 @@ def render_table(
     """Render rows of {column: value} as an aligned text table.
 
     All rows must share the same columns.  Numeric values are formatted
-    with *precision* decimals; integers are printed as integers.
+    with *precision* decimals; integers are printed as integers.  NaN
+    cells — the executor's marker for a simulation that could not be
+    completed — render as ``FAILED``.
     """
     if not rows:
         return f"{title}\n(no data)"
@@ -26,6 +29,8 @@ def render_table(
     def fmt(value: Number) -> str:
         if isinstance(value, int):
             return str(value)
+        if math.isnan(value):
+            return "FAILED"
         return f"{value:.{precision}f}"
 
     widths = {
@@ -60,7 +65,8 @@ def render_bars(
     """
     if not values:
         return f"{title}\n(no data)"
-    peak = max(max(values.values()), reference or 0.0)
+    finite = [v for v in values.values() if not math.isnan(v)]
+    peak = max(finite + [reference or 0.0]) if finite else (reference or 0.0)
     if peak <= 0:
         peak = 1.0
     name_width = max(len(name) for name in values)
@@ -68,6 +74,9 @@ def render_bars(
     ref_col = (round(width * reference / peak)
                if reference is not None else None)
     for name, value in values.items():
+        if math.isnan(value):
+            lines.append(f"{name:<{name_width}} FAILED")
+            continue
         filled = round(width * value / peak)
         bar = ["█"] * filled + [" "] * (width - filled)
         if ref_col is not None and 0 <= ref_col < width:

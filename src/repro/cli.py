@@ -16,6 +16,13 @@ Installed as ``repro-sim`` (see pyproject).  Examples::
 (``--no-cache`` to disable, ``--cache-dir`` / ``REPRO_CACHE_DIR`` to
 relocate, ``repro-sim cache clear`` to wipe).  Tables are byte-identical
 for any ``--jobs`` value; the executor summary goes to stderr.
+
+Fault tolerance: a cell that keeps crashing, hanging past
+``--cell-timeout`` (or ``REPRO_CELL_TIMEOUT``), or killing its worker is
+retried ``--max-retries`` times and then rendered as ``FAILED`` in the
+table while the rest of the grid completes; a failure report goes to
+stderr and the exit code is 1.  ``--fail-fast`` aborts at the first lost
+cell instead.
 """
 
 from __future__ import annotations
@@ -55,16 +62,36 @@ def _add_executor_flags(sub: argparse.ArgumentParser) -> None:
                           "$REPRO_CACHE_DIR or ~/.cache/repro)")
     sub.add_argument("--progress", action="store_true",
                      help="print one line per completed cell to stderr")
+    sub.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock limit (default: "
+                          "$REPRO_CELL_TIMEOUT or unlimited; needs "
+                          "--jobs >= 2 to be enforceable)")
+    sub.add_argument("--max-retries", type=int, default=2,
+                     help="attempts beyond the first for a failed cell "
+                          "(default: 2)")
+    sub.add_argument("--fail-fast", action="store_true",
+                     help="abort at the first cell that exhausts its "
+                          "retries instead of rendering it as FAILED")
 
 
 def _executor_from(args) -> Executor:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return Executor(jobs=args.jobs, cache=cache, progress=args.progress)
+    return Executor(jobs=args.jobs, cache=cache, progress=args.progress,
+                    cell_timeout=args.cell_timeout,
+                    max_retries=args.max_retries,
+                    fail_fast=args.fail_fast)
 
 
-def _report_summary(executor: Executor) -> None:
+def _report_summary(executor: Executor) -> int:
+    """Print the session summary (and failure table); pick the exit code."""
     if executor.total_summary.cells:
         print(executor.total_summary.render(), file=sys.stderr)
+    failures = executor.failure_report()
+    if failures:
+        print(failures.render(), file=sys.stderr)
+        return 1
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -138,41 +165,57 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _fail_fast_abort(executor: Executor, exc: Exception) -> int:
+    print(f"fail-fast: {exc}", file=sys.stderr)
+    _report_summary(executor)
+    return 1
+
+
 def _cmd_figure(args) -> int:
+    from repro.experiments.executor import CellFailedError
     benchmarks = ([b.strip() for b in args.benchmarks.split(",") if b]
                   or None)
     executor = _executor_from(args)
-    result = _load_figures()[args.number](benchmarks=benchmarks,
-                                          num_insts=args.insts,
-                                          executor=executor)
+    try:
+        result = _load_figures()[args.number](benchmarks=benchmarks,
+                                              num_insts=args.insts,
+                                              executor=executor)
+    except CellFailedError as exc:
+        return _fail_fast_abort(executor, exc)
     print(result.render())
-    _report_summary(executor)
-    return 0
+    return _report_summary(executor)
 
 
 def _cmd_table(args) -> int:
+    from repro.experiments.executor import CellFailedError
     benchmarks = ([b.strip() for b in args.benchmarks.split(",") if b]
                   or None)
     executor = _executor_from(args)
-    result = _load_figures()["table2"](benchmarks=benchmarks,
-                                       num_insts=args.insts,
-                                       executor=executor)
+    try:
+        result = _load_figures()["table2"](benchmarks=benchmarks,
+                                           num_insts=args.insts,
+                                           executor=executor)
+    except CellFailedError as exc:
+        return _fail_fast_abort(executor, exc)
     print(result.render())
-    _report_summary(executor)
-    return 0
+    return _report_summary(executor)
 
 
 def _cmd_report(args) -> int:
+    from repro.experiments.executor import CellFailedError
     from repro.experiments.report import full_report
     benchmarks = ([b.strip() for b in args.benchmarks.split(",") if b]
                   or None)
     sections = ([s.strip() for s in args.sections.split(",") if s]
                 or None)
     executor = _executor_from(args)
-    print(full_report(benchmarks=benchmarks, num_insts=args.insts,
-                      sections=sections, executor=executor))
-    _report_summary(executor)
-    return 0
+    try:
+        document = full_report(benchmarks=benchmarks, num_insts=args.insts,
+                               sections=sections, executor=executor)
+    except CellFailedError as exc:
+        return _fail_fast_abort(executor, exc)
+    print(document)
+    return _report_summary(executor)
 
 
 def _cmd_cache(args) -> int:

@@ -27,11 +27,13 @@ __all__ = [
     "Processor",
     "simulate",
     "SimStats",
+    "SimulationError",
+    "DeadlockError",
 ]
 
 
 def __getattr__(name):
-    if name in ("Processor", "simulate"):
+    if name in ("Processor", "simulate", "SimulationError", "DeadlockError"):
         from repro.core import pipeline
         return getattr(pipeline, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

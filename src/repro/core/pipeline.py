@@ -90,8 +90,33 @@ MOP_SPLIT_TIMEOUT = 200
 WATCHDOG_CYCLES = 50_000
 
 
-class DeadlockError(RuntimeError):
-    """The pipeline stopped making forward progress."""
+class SimulationError(RuntimeError):
+    """Base class for failures raised by the timing model itself.
+
+    The experiment executor treats these as per-cell failures (the cell is
+    marked FAILED and the rest of the grid keeps running) rather than as
+    infrastructure faults worth retrying forever.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The pipeline stopped making forward progress.
+
+    Carries the cycle the watchdog fired at (``cycle``) and a snapshot of
+    the stuck machine state (``pending``).  Both survive pickling — the
+    experiment executor ships worker exceptions back across the pool
+    boundary, so ``__reduce__`` must rebuild the full payload, not just
+    the message string.
+    """
+
+    def __init__(self, message: str, cycle: Optional[int] = None,
+                 pending: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.pending = dict(pending) if pending else {}
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.cycle, self.pending))
 
 
 class Processor:
@@ -184,7 +209,14 @@ class Processor:
                 raise DeadlockError(
                     f"no commit for {WATCHDOG_CYCLES} cycles at cycle "
                     f"{self.now}; rob={len(self.rob)} iq={len(self.iq)} "
-                    f"head={self.rob[0] if self.rob else None}"
+                    f"head={self.rob[0] if self.rob else None}",
+                    cycle=self.now,
+                    pending={
+                        "rob": len(self.rob),
+                        "iq": len(self.iq),
+                        "last_commit_cycle": self._last_commit_cycle,
+                        "head": repr(self.rob[0]) if self.rob else None,
+                    },
                 )
         self.stats.cycles = self.now
         return self.stats

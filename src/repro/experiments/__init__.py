@@ -15,8 +15,13 @@ regardless of worker count.
 """
 
 from repro.experiments.executor import (
+    CellFailedError,
+    CellOutcome,
     Executor,
+    FailedStats,
+    FailureReport,
     ResultCache,
+    RunCheckpoint,
     RunSummary,
     SimCell,
     cell_key,
@@ -39,8 +44,13 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "CellFailedError",
+    "CellOutcome",
     "Executor",
+    "FailedStats",
+    "FailureReport",
     "ResultCache",
+    "RunCheckpoint",
     "RunSummary",
     "SimCell",
     "cell_key",

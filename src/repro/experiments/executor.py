@@ -1,4 +1,4 @@
-"""Parallel experiment execution engine with a persistent result cache.
+"""Parallel experiment execution engine with fault tolerance and caching.
 
 Every figure/table in the reproduction is an embarrassingly-parallel grid
 of independent ``(benchmark, config)`` simulations.  This module is the
@@ -16,6 +16,39 @@ single funnel those simulations flow through:
   (``jobs=1`` is a deterministic in-process serial fallback) and collects
   per-cell wall-clock timings into a :class:`RunSummary`.
 
+Fault tolerance (the scheduling-loop analogy: recover the *mis-scheduled
+unit*, never squash the whole pipeline):
+
+* Workers never let exceptions escape — every attempt produces a
+  :class:`CellOutcome` (ok / error / timeout / killed, with the exception
+  type, message, traceback and attempt count).
+* Per-cell wall-clock timeouts (``cell_timeout`` or the
+  ``REPRO_CELL_TIMEOUT`` environment variable) are enforced by the
+  dispatch loop; a pool hosting an expired cell is terminated and
+  respawned, and innocent in-flight cells are re-queued without burning
+  one of their retries.
+* Abrupt worker death (OOM kill, ``os._exit``) is detected by watching
+  worker pids/exit codes.  Because a shared pool cannot say *which* cell
+  killed the worker, the in-flight set is re-run one cell at a time
+  ("suspect isolation") so the culprit is identified deterministically
+  and charged the retry, while bystanders complete unharmed.
+* Failed attempts are retried up to ``max_retries`` times with
+  exponential backoff; a plain exception that survives every pool retry
+  gets one final **in-process** attempt, so a flaky pickling/pool issue
+  degrades to ``jobs=1`` behavior instead of failing the cell.
+* Completed cells are flushed to the :class:`ResultCache` (or, when
+  caching is off, to an append-only :class:`RunCheckpoint` JSONL file —
+  ``checkpoint=`` / ``REPRO_CHECKPOINT``) *as they finish*, so a re-run
+  after a crash resumes from the survivors instead of restarting.
+* Cells that exhaust every recovery path are returned as *absent* from
+  ``run_cells`` results (``run_grid`` substitutes :class:`FailedStats`
+  so figure math propagates NaN and tables render ``FAILED``), and are
+  summarized in a :class:`FailureReport`.  ``fail_fast=True`` raises
+  :class:`CellFailedError` at the first lost cell instead.
+
+Deterministic fault *injection* for exercising all of the above lives in
+:mod:`repro.experiments.faults` (``REPRO_FAULT_INJECT``).
+
 Determinism contract: the seed travels with the cell, never with the
 worker.  Each worker regenerates the trace from ``(profile, num_insts,
 seed)`` and runs the same pure-Python simulation, so serial and parallel
@@ -30,12 +63,15 @@ import json
 import os
 import sys
 import time
+import traceback as traceback_module
+from collections import deque
 from dataclasses import asdict, dataclass, field
 from multiprocessing import Pool
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import MachineConfig, SimStats, simulate
+from repro.core.pipeline import DeadlockError
 from repro.workloads import generate_trace, get_profile, profile_names
 from repro.workloads.trace import Trace
 
@@ -46,10 +82,14 @@ from repro.workloads.trace import Trace
 DEFAULT_INSTS = 10_000
 
 #: Bump when the cache entry layout or the meaning of a key changes.
-CACHE_SCHEMA = 1
+#: 2: ``max_cycles`` joined the cell key.
+CACHE_SCHEMA = 2
 
 #: Per-process trace cache; workers inherit (fork) or refill (spawn) it.
 _trace_cache: Dict[Tuple[str, int, int], Trace] = {}
+
+#: Poll interval of the parallel dispatch loop, seconds.
+_POLL_SECONDS = 0.005
 
 
 def workload_trace(benchmark: str, num_insts: int = DEFAULT_INSTS,
@@ -68,13 +108,20 @@ def workload_trace(benchmark: str, num_insts: int = DEFAULT_INSTS,
 
 @dataclass(frozen=True)
 class SimCell:
-    """One independent simulation in an experiment grid."""
+    """One independent simulation in an experiment grid.
+
+    ``max_cycles`` bounds the simulated cycle count per cell (the
+    pipeline's deadlock watchdog still fires independently; this is the
+    hard truncation bound passed through to
+    :func:`repro.core.pipeline.simulate`).
+    """
 
     benchmark: str
     label: str
     config: MachineConfig
     num_insts: int = DEFAULT_INSTS
     seed: int = 1
+    max_cycles: Optional[int] = None
 
     @property
     def name(self) -> str:
@@ -99,6 +146,7 @@ def cell_key(cell: SimCell) -> str:
         "profile": asdict(get_profile(cell.benchmark)),
         "num_insts": cell.num_insts,
         "seed": cell.seed,
+        "max_cycles": cell.max_cycles,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -122,6 +170,10 @@ class ResultCache:
     Entries are JSON files named by :func:`cell_key`, sharded one level
     deep to keep directories small.  Writes are atomic (tmp + rename) so
     concurrent runs sharing a cache directory never read torn entries.
+    Entries that fail to parse (torn by a crash mid-write outside the
+    atomic path, or written by an incompatible :class:`SimStats` layout)
+    are quarantined — renamed to ``*.corrupt`` — so they stop shadowing
+    the slot and miss forever.
     """
 
     def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
@@ -134,15 +186,31 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[SimStats]:
         """Return the cached stats for *key*, counting the hit or miss."""
+        path = self._path(key)
         try:
-            payload = json.loads(self._path(key).read_text())
+            payload = json.loads(path.read_text())
             stats = SimStats(**payload["stats"])
-        except (OSError, ValueError, TypeError, KeyError):
-            # Missing, torn, or written by an incompatible SimStats layout.
+        except OSError:
+            # Plain miss: no entry (or unreadable — nothing to salvage).
+            self.misses += 1
+            return None
+        except (ValueError, TypeError, KeyError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return stats
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a torn/incompatible entry aside (delete as a last resort)."""
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, key: str, cell: SimCell, stats: SimStats) -> None:
         path = self._path(key)
@@ -165,18 +233,191 @@ class ResultCache:
         return sorted(self.root.glob("*/*.json"))
 
     def size_bytes(self) -> int:
-        return sum(path.stat().st_size for path in self.entries())
+        # Entries may be unlinked concurrently by another process (a
+        # parallel `cache clear`); a vanished file simply contributes 0.
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def clear(self) -> int:
         """Delete every cache entry; return how many were removed."""
         removed = 0
         for path in self.entries():
-            path.unlink()
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
             removed += 1
         for shard in self.root.glob("*"):
-            if shard.is_dir() and not any(shard.iterdir()):
-                shard.rmdir()
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # non-empty (e.g. quarantined entries) or raced
         return removed
+
+
+class RunCheckpoint:
+    """Append-only JSONL checkpoint of completed cells, for cache-less runs.
+
+    When result caching is disabled, the executor flushes each completed
+    cell here as it finishes; a re-run after a crash loads the file and
+    treats recorded cells as hits, so only the unfinished (or failed)
+    cells are simulated again.  Torn tail lines from a crashed writer are
+    skipped on load.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._results: Dict[str, SimStats] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                if payload.get("schema") != CACHE_SCHEMA:
+                    continue
+                self._results[payload["key"]] = SimStats(**payload["stats"])
+            except (ValueError, TypeError, KeyError):
+                continue
+
+    def get(self, key: str) -> Optional[SimStats]:
+        return self._results.get(key)
+
+    def append(self, key: str, cell: SimCell, stats: SimStats) -> None:
+        self._results[key] = stats
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "cell": cell.name,
+            "stats": asdict(stats),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            handle.flush()
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+# ---------------------------------------------------------------------------
+# Outcomes and failure reporting
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell across all of its attempts.
+
+    ``status`` is ``"ok"``, ``"error"`` (the simulation raised),
+    ``"timeout"`` (exceeded the per-cell wall-clock limit) or
+    ``"killed"`` (the worker process died while running the cell).
+    ``details`` carries typed exception payloads — for
+    :class:`~repro.core.pipeline.DeadlockError`, the ``cycle`` and
+    ``pending`` snapshot.  ``via_fallback`` marks results obtained by the
+    final in-process serial attempt after the pool kept failing.
+    """
+
+    status: str
+    stats: Optional[SimStats] = None
+    error_type: str = ""
+    error: str = ""
+    traceback: str = ""
+    details: Optional[dict] = None
+    attempts: int = 1
+    seconds: float = 0.0
+    via_fallback: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"ok after {self.attempts} attempt(s)"
+        what = self.status
+        if self.error_type:
+            what += f":{self.error_type}"
+        if self.error:
+            what += f" ({self.error})"
+        return f"{what} after {self.attempts} attempt(s)"
+
+
+@dataclass
+class FailureReport:
+    """Every cell lost in a run (or session), with its final outcome."""
+
+    entries: List[Tuple[str, CellOutcome]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def render(self) -> str:
+        lines = [f"{len(self.entries)} cell(s) FAILED:"]
+        for name, outcome in self.entries:
+            lines.append(f"  {name}: {outcome.describe()}")
+        return "\n".join(lines)
+
+
+class CellFailedError(RuntimeError):
+    """Raised in fail-fast mode when a cell exhausts every recovery path."""
+
+    def __init__(self, cell: SimCell, outcome: CellOutcome) -> None:
+        super().__init__(f"{cell.name}: {outcome.describe()}")
+        self.cell = cell
+        self.outcome = outcome
+
+
+class _NanRow(dict):
+    """Dict whose missing keys read as NaN (for FailedStats breakdowns)."""
+
+    def __missing__(self, key):
+        return float("nan")
+
+
+class FailedStats:
+    """Stand-in for :class:`SimStats` when a cell could not be simulated.
+
+    Every attribute reads as NaN, so ratio math in the figure builders
+    propagates the failure instead of raising ``KeyError``/``ZeroDivision``
+    — and :func:`repro.analysis.reporting.render_table` renders the NaN
+    cells as ``FAILED``.
+    """
+
+    def __init__(self, cell_name: str,
+                 outcome: Optional[CellOutcome] = None) -> None:
+        self.cell_name = cell_name
+        self.outcome = outcome
+        self.failed = True
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return float("nan")
+
+    def grouping_breakdown(self) -> Dict[str, float]:
+        return _NanRow()
+
+    def summary(self) -> str:
+        return f"{self.cell_name}: FAILED"
+
+    def __repr__(self) -> str:
+        return f"FailedStats({self.cell_name!r})"
 
 
 # ---------------------------------------------------------------------------
@@ -185,17 +426,22 @@ class ResultCache:
 
 @dataclass
 class RunSummary:
-    """Timing and cache accounting for one :meth:`Executor.run_cells`."""
+    """Timing, cache and failure accounting for one :meth:`Executor.run_cells`."""
 
     jobs: int = 1
     cells: int = 0
     simulated: int = 0
     cache_hits: int = 0
+    failed: int = 0
+    #: Worker pools terminated and respawned (timeouts / worker deaths).
+    respawns: int = 0
     wall_seconds: float = 0.0
     #: Sum of per-cell simulation times — the serial-equivalent cost.
     sim_seconds: float = 0.0
     #: Per-cell wall-clock, ``"benchmark/label" -> seconds``.
     cell_seconds: Dict[str, float] = field(default_factory=dict)
+    #: One human-readable line per lost cell.
+    failures: List[str] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
@@ -206,43 +452,80 @@ class RunSummary:
         self.cells += other.cells
         self.simulated += other.simulated
         self.cache_hits += other.cache_hits
+        self.failed += other.failed
+        self.respawns += other.respawns
         self.wall_seconds += other.wall_seconds
         self.sim_seconds += other.sim_seconds
         self.cell_seconds.update(other.cell_seconds)
+        self.failures.extend(other.failures)
 
     @property
     def speedup(self) -> float:
-        """Serial-equivalent time over actual wall time (parallelism plus
-        cache hits both show up here)."""
-        if self.wall_seconds <= 0.0:
-            return 1.0
-        return self.sim_seconds / self.wall_seconds if self.simulated \
-            else 1.0
+        """Serial-equivalent sim time over actual wall time.
+
+        0.0 when nothing was simulated — an all-cache-hit (or all-failed)
+        run has no simulation to speed up, and pretending 1.0x would be
+        dishonest.
+        """
+        if self.simulated == 0 or self.wall_seconds <= 0.0:
+            return 0.0
+        return self.sim_seconds / self.wall_seconds
 
     def render(self) -> str:
         line = (f"executor: {self.cells} cells | {self.simulated} simulated"
                 f", {self.cache_hits} cache hits"
-                f" ({100.0 * self.hit_rate:.1f}% hit rate)"
-                f" | jobs={self.jobs} wall={self.wall_seconds:.2f}s")
+                f" ({100.0 * self.hit_rate:.1f}% hit rate)")
+        if self.failed:
+            line += f", {self.failed} FAILED"
+        line += f" | jobs={self.jobs} wall={self.wall_seconds:.2f}s"
         if self.simulated:
             line += (f" sim={self.sim_seconds:.2f}s"
                      f" speedup={self.speedup:.1f}x")
+        elif self.cells and self.cache_hits == self.cells:
+            line += " (all cached)"
+        if self.respawns:
+            line += f" pool-respawns={self.respawns}"
+        for failure in self.failures:
+            line += f"\n  FAILED {failure}"
         return line
+
+
+# ---------------------------------------------------------------------------
+# The worker entry point
+# ---------------------------------------------------------------------------
+
+def _simulate_cell(payload: Tuple[int, SimCell, int]
+                   ) -> Tuple[int, CellOutcome]:
+    """Worker entry point: run one cell attempt, never letting an
+    exception escape (an escaped exception would abort the whole pool
+    stream; a structured :class:`CellOutcome` keeps failure per-cell)."""
+    index, cell, attempt = payload
+    start = time.perf_counter()
+    try:
+        # Deterministic fault injection, active only when the environment
+        # variable is set (see repro.experiments.faults).
+        if os.environ.get("REPRO_FAULT_INJECT"):
+            from repro.experiments.faults import maybe_inject
+            maybe_inject(cell.name, attempt)
+        trace = cell.trace()
+        sim_start = time.perf_counter()
+        stats = simulate(trace, cell.config, max_cycles=cell.max_cycles)
+        return index, CellOutcome(
+            status="ok", stats=stats, attempts=attempt,
+            seconds=time.perf_counter() - sim_start)
+    except Exception as exc:
+        details = None
+        if isinstance(exc, DeadlockError):
+            details = {"cycle": exc.cycle, "pending": exc.pending}
+        return index, CellOutcome(
+            status="error", error_type=type(exc).__name__, error=str(exc),
+            traceback=traceback_module.format_exc(), details=details,
+            attempts=attempt, seconds=time.perf_counter() - start)
 
 
 # ---------------------------------------------------------------------------
 # The executor
 # ---------------------------------------------------------------------------
-
-def _simulate_cell(payload: Tuple[int, SimCell]
-                   ) -> Tuple[int, SimStats, float]:
-    """Worker entry point: run one cell, timing the simulation proper."""
-    index, cell = payload
-    trace = cell.trace()
-    start = time.perf_counter()
-    stats = simulate(trace, cell.config)
-    return index, stats, time.perf_counter() - start
-
 
 class Executor:
     """Runs simulation cells, optionally in parallel and through a cache.
@@ -251,118 +534,381 @@ class Executor:
     in-process (the deterministic serial fallback — no pool, no pickling).
     ``cache=None`` disables result caching.  ``progress=True`` writes one
     line per completed cell to *stream* (default stderr).
+
+    Fault-tolerance knobs:
+
+    * ``cell_timeout`` — per-cell wall-clock limit in seconds (default:
+      ``REPRO_CELL_TIMEOUT`` or unlimited).  Enforced only by the
+      parallel dispatch loop; a serial in-process cell cannot be
+      preempted.
+    * ``max_retries`` — attempts beyond the first for a failed cell
+      (timeouts and worker deaths included).
+    * ``retry_backoff`` — base of the exponential backoff between
+      attempts, seconds (``backoff * 2**(attempt-1)``).
+    * ``serial_fallback`` — after pool retries are exhausted, give plain
+      errors one last in-process attempt (rescues pool/pickling flakes).
+    * ``fail_fast`` — raise :class:`CellFailedError` at the first lost
+      cell instead of degrading.
+    * ``checkpoint`` — JSONL path for :class:`RunCheckpoint` (default:
+      ``REPRO_CHECKPOINT``); used only when ``cache`` is None, since the
+      cache already persists per-cell results as they finish.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 progress: bool = False, stream=None) -> None:
+                 progress: bool = False, stream=None,
+                 cell_timeout: Optional[float] = None,
+                 max_retries: int = 2,
+                 retry_backoff: float = 0.25,
+                 serial_fallback: bool = True,
+                 fail_fast: bool = False,
+                 checkpoint: Optional[os.PathLike] = None) -> None:
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
         self.cache = cache
         self.progress = progress
         self.stream = stream
+        if cell_timeout is None:
+            env = os.environ.get("REPRO_CELL_TIMEOUT")
+            cell_timeout = float(env) if env else None
+        self.cell_timeout = (cell_timeout
+                             if cell_timeout and cell_timeout > 0 else None)
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = max(0.0, retry_backoff)
+        self.serial_fallback = serial_fallback
+        self.fail_fast = fail_fast
+        if checkpoint is None and cache is None:
+            checkpoint = os.environ.get("REPRO_CHECKPOINT") or None
+        self.checkpoint = (RunCheckpoint(checkpoint)
+                           if checkpoint is not None and cache is None
+                           else None)
         #: Summary of the most recent :meth:`run_cells` call.
         self.last_summary: Optional[RunSummary] = None
+        #: Per-cell outcomes (simulated or failed; hits are not re-run)
+        #: of the most recent :meth:`run_cells` call.
+        self.last_outcomes: Dict[SimCell, CellOutcome] = {}
+        #: Failures of the most recent call / of the whole session.
+        self.last_failures: List[Tuple[str, CellOutcome]] = []
+        self.total_failures: List[Tuple[str, CellOutcome]] = []
         #: Running total over every call on this executor.
         self.total_summary = RunSummary(jobs=self.jobs)
 
+    # -- progress -----------------------------------------------------------
+
     def _emit(self, done: int, total: int, cell: SimCell,
-              seconds: Optional[float]) -> None:
+              text: str) -> None:
         if not self.progress:
             return
         stream = self.stream if self.stream is not None else sys.stderr
-        timing = "cached" if seconds is None else f"{seconds:.2f}s"
-        print(f"[{done}/{total}] {cell.name} {timing}",
+        print(f"[{done}/{total}] {cell.name} {text}",
               file=stream, flush=True)
+
+    def failure_report(self) -> FailureReport:
+        """Every cell lost across this executor's lifetime (falsy if none)."""
+        return FailureReport(list(self.total_failures))
+
+    # -- main entry points --------------------------------------------------
 
     def run_cells(self, cells: Iterable[SimCell]
                   ) -> Dict[SimCell, SimStats]:
         """Simulate every distinct cell; return ``{cell: stats}``.
 
-        Cache hits are resolved up front; only misses reach the workers.
-        Results are keyed by cell, so callers assemble tables in their
-        own order and serial/parallel runs are bit-identical.
+        Cache (and checkpoint) hits are resolved up front; only misses
+        reach the workers.  Results are keyed by cell, so callers
+        assemble tables in their own order and serial/parallel runs are
+        bit-identical.  Cells that exhaust every recovery path are
+        *absent* from the returned mapping — consult
+        :attr:`last_outcomes` / :meth:`failure_report` — unless
+        ``fail_fast`` is set, in which case :class:`CellFailedError` is
+        raised at the first loss.
         """
         start = time.perf_counter()
         ordered = list(dict.fromkeys(cells))
         summary = RunSummary(jobs=self.jobs, cells=len(ordered))
         results: Dict[SimCell, SimStats] = {}
+        outcomes: Dict[SimCell, CellOutcome] = {}
+        failures: List[Tuple[str, CellOutcome]] = []
         pending: List[Tuple[int, SimCell, Optional[str]]] = []
         done = 0
+        use_store = self.cache is not None or self.checkpoint is not None
         for index, cell in enumerate(ordered):
-            key = cell_key(cell) if self.cache is not None else None
+            key = cell_key(cell) if use_store else None
             if key is not None:
-                stats = self.cache.get(key)
+                stats = (self.cache.get(key) if self.cache is not None
+                         else self.checkpoint.get(key))
                 if stats is not None:
                     results[cell] = stats
                     summary.cache_hits += 1
                     done += 1
-                    self._emit(done, len(ordered), cell, None)
+                    self._emit(done, len(ordered), cell, "cached")
                     continue
             pending.append((index, cell, key))
 
-        def record(index: int, stats: SimStats, seconds: float) -> None:
+        by_index = {index: (cell, key) for index, cell, key in pending}
+
+        def record(index: int, outcome: CellOutcome) -> None:
             nonlocal done
-            _, cell, key = by_index[index]
-            results[cell] = stats
-            summary.simulated += 1
-            summary.sim_seconds += seconds
-            summary.cell_seconds[cell.name] = seconds
-            if key is not None:
-                self.cache.put(key, cell, stats)
-            done += 1
-            self._emit(done, len(ordered), cell, seconds)
-
-        by_index = {index: (index, cell, key)
-                    for index, cell, key in pending}
-        if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                for index, cell, _key in pending:
-                    record(*_simulate_cell((index, cell)))
+            cell, key = by_index[index]
+            outcomes[cell] = outcome
+            if outcome.ok:
+                results[cell] = outcome.stats
+                summary.simulated += 1
+                summary.sim_seconds += outcome.seconds
+                summary.cell_seconds[cell.name] = outcome.seconds
+                if key is not None:
+                    if self.cache is not None:
+                        self.cache.put(key, cell, outcome.stats)
+                    else:
+                        self.checkpoint.append(key, cell, outcome.stats)
+                text = f"{outcome.seconds:.2f}s"
             else:
-                # Sort by trace identity so chunks share per-worker trace
-                # caches; results come back keyed by index, so completion
-                # order never affects the assembled tables.
-                pending.sort(key=lambda entry: (
-                    entry[1].benchmark, entry[1].num_insts,
-                    entry[1].seed, entry[0]))
-                jobs = min(self.jobs, len(pending))
-                chunksize = max(1, len(pending) // (jobs * 4))
-                with Pool(processes=jobs) as pool:
-                    outcomes = pool.imap_unordered(
-                        _simulate_cell,
-                        [(index, cell) for index, cell, _key in pending],
-                        chunksize=chunksize)
-                    for index, stats, seconds in outcomes:
-                        record(index, stats, seconds)
+                summary.failed += 1
+                summary.failures.append(
+                    f"{cell.name}: {outcome.describe()}")
+                failures.append((cell.name, outcome))
+                text = f"FAILED ({outcome.status})"
+            done += 1
+            self._emit(done, len(ordered), cell, text)
+            if self.fail_fast and not outcome.ok:
+                raise CellFailedError(cell, outcome)
 
-        summary.wall_seconds = time.perf_counter() - start
-        self.last_summary = summary
-        self.total_summary.merge(summary)
+        try:
+            if pending:
+                work = [(index, cell) for index, cell, _key in pending]
+                if self.jobs == 1 or len(work) == 1:
+                    self._run_serial(work, record)
+                else:
+                    self._run_pool(work, record, summary)
+        finally:
+            summary.wall_seconds = time.perf_counter() - start
+            self.last_summary = summary
+            self.last_outcomes = outcomes
+            self.last_failures = failures
+            self.total_failures.extend(failures)
+            self.total_summary.merge(summary)
         return results
 
     def run_grid(self, configs: Dict[str, MachineConfig],
                  benchmarks: Optional[Sequence[str]] = None,
                  num_insts: int = DEFAULT_INSTS,
-                 seed: int = 1) -> Dict[str, Dict[str, SimStats]]:
+                 seed: int = 1,
+                 max_cycles: Optional[int] = None
+                 ) -> Dict[str, Dict[str, SimStats]]:
         """Simulate every benchmark under every named configuration.
 
         Returns ``{benchmark: {config_label: SimStats}}`` — the shape
-        every figure/table builder consumes.
+        every figure/table builder consumes.  A cell lost to a
+        persistent fault appears as a :class:`FailedStats` placeholder
+        (NaN-valued, rendered as ``FAILED``) rather than KeyError-ing
+        the whole grid away.
         """
         names = list(benchmarks) if benchmarks else list(profile_names())
-        cells = [SimCell(benchmark, label, config, num_insts, seed)
+        cells = [SimCell(benchmark, label, config, num_insts, seed,
+                         max_cycles)
                  for benchmark in names
                  for label, config in configs.items()]
         stats = self.run_cells(cells)
-        return {
-            benchmark: {
-                label: stats[SimCell(benchmark, label, config,
-                                     num_insts, seed)]
-                for label, config in configs.items()
-            }
-            for benchmark in names
-        }
+        grid: Dict[str, Dict[str, SimStats]] = {}
+        for benchmark in names:
+            row: Dict[str, SimStats] = {}
+            for label, config in configs.items():
+                cell = SimCell(benchmark, label, config, num_insts, seed,
+                               max_cycles)
+                if cell in stats:
+                    row[label] = stats[cell]
+                else:
+                    row[label] = FailedStats(cell.name,
+                                             self.last_outcomes.get(cell))
+            grid[benchmark] = row
+        return grid
+
+    # -- serial path --------------------------------------------------------
+
+    def _run_serial(self, work, record) -> None:
+        """In-process execution with the same retry budget as the pool.
+
+        No pool, no pickling — and no preemption, so ``cell_timeout``
+        cannot be enforced here (a hung cell hangs the run, exactly as
+        any direct :func:`simulate` call would).
+        """
+        for index, cell in work:
+            outcome = None
+            for attempt in range(1, self.max_retries + 2):
+                if attempt > 1 and self.retry_backoff > 0:
+                    time.sleep(self.retry_backoff * (2 ** (attempt - 2)))
+                _i, outcome = _simulate_cell((index, cell, attempt))
+                if outcome.ok:
+                    break
+            record(index, outcome)
+
+    # -- parallel path ------------------------------------------------------
+
+    def _spawn_pool(self, jobs: int):
+        pool = Pool(processes=jobs)
+        pids = {proc.pid for proc in pool._pool}
+        return pool, pids
+
+    @staticmethod
+    def _pool_broken(pool, pids) -> bool:
+        """True if any worker died (nonzero exit, or the pool's
+        maintenance thread already replaced it — the pid set changed)."""
+        procs = list(pool._pool)
+        if any(proc.exitcode not in (None, 0) for proc in procs):
+            return True
+        return {proc.pid for proc in procs} != pids
+
+    def _backoff(self, attempt: int) -> float:
+        return self.retry_backoff * (2 ** (attempt - 1))
+
+    def _dispatch(self, pool, inflight, item) -> None:
+        index, cell, attempt, _not_before = item
+        deadline = (time.monotonic() + self.cell_timeout
+                    if self.cell_timeout else None)
+        result = pool.apply_async(_simulate_cell, ((index, cell, attempt),))
+        inflight[index] = [result, cell, attempt, deadline]
+
+    def _finish_parallel(self, index, cell, outcome, todo, record) -> None:
+        """Handle a completed pool attempt: record, retry, or fall back."""
+        if outcome.ok:
+            record(index, outcome)
+            return
+        attempt = outcome.attempts
+        if attempt <= self.max_retries:
+            todo.append([index, cell, attempt + 1,
+                         time.monotonic() + self._backoff(attempt)])
+            return
+        if self.serial_fallback and outcome.status == "error":
+            # Last resort: one in-process attempt, so failures caused by
+            # the pool itself (pickling, worker env) degrade to jobs=1
+            # behavior instead of losing the cell.
+            _i, final = _simulate_cell((index, cell, attempt + 1))
+            final.via_fallback = True
+            record(index, final)
+            return
+        record(index, outcome)
+
+    def _run_pool(self, work, record, summary: RunSummary) -> None:
+        jobs = min(self.jobs, len(work))
+        # Dispatch in trace-identity order so workers reuse their
+        # per-process trace caches as much as possible.
+        ordered = sorted(work, key=lambda item: (
+            item[1].benchmark, item[1].num_insts, item[1].seed, item[0]))
+        # Work items are [index, cell, attempt, not_before].
+        todo = deque([index, cell, 1, 0.0] for index, cell in ordered)
+        inflight: Dict[int, list] = {}
+        # After a worker death the culprit is unknown; re-run the
+        # in-flight set one cell at a time so the next death identifies
+        # it unambiguously (and bystanders keep their retry budget).
+        suspects: deque = deque()
+        isolated: Optional[int] = None
+        pool, pids = self._spawn_pool(jobs)
+        try:
+            while todo or suspects or inflight:
+                now = time.monotonic()
+                # -- dispatch ------------------------------------------
+                if suspects and not inflight:
+                    item = suspects.popleft()
+                    self._dispatch(pool, inflight, item)
+                    isolated = item[0]
+                elif not suspects and isolated is None:
+                    while todo and len(inflight) < jobs:
+                        picked = None
+                        for position, item in enumerate(todo):
+                            if item[3] <= now:
+                                picked = position
+                                break
+                        if picked is None:
+                            break
+                        item = todo[picked]
+                        del todo[picked]
+                        self._dispatch(pool, inflight, item)
+                # -- completions ---------------------------------------
+                progressed = False
+                for index in list(inflight):
+                    entry = inflight[index]
+                    if not entry[0].ready():
+                        continue
+                    progressed = True
+                    del inflight[index]
+                    if isolated == index:
+                        isolated = None
+                    cell, attempt = entry[1], entry[2]
+                    try:
+                        _i, outcome = entry[0].get()
+                    except Exception as exc:
+                        # Dispatch-side failure (e.g. the payload or the
+                        # outcome failed to pickle).
+                        outcome = CellOutcome(
+                            status="error",
+                            error_type=type(exc).__name__, error=str(exc),
+                            traceback=traceback_module.format_exc(),
+                            attempts=attempt)
+                    self._finish_parallel(index, cell, outcome, todo,
+                                          record)
+                if progressed:
+                    continue
+                # -- worker death --------------------------------------
+                if self._pool_broken(pool, pids):
+                    pool.terminate()
+                    pool.join()
+                    if isolated is not None and isolated in inflight:
+                        # The lone suspect killed its worker: charge it.
+                        entry = inflight.pop(isolated)
+                        index, cell, attempt = isolated, entry[1], entry[2]
+                        isolated = None
+                        if attempt <= self.max_retries:
+                            suspects.append([index, cell, attempt + 1, 0.0])
+                        else:
+                            record(index, CellOutcome(
+                                status="killed", error_type="WorkerDied",
+                                error=("worker process died while "
+                                       "simulating this cell"),
+                                attempts=attempt))
+                    else:
+                        for index, entry in inflight.items():
+                            suspects.append(
+                                [index, entry[1], entry[2], 0.0])
+                        inflight.clear()
+                        isolated = None
+                    summary.respawns += 1
+                    pool, pids = self._spawn_pool(jobs)
+                    continue
+                # -- timeouts ------------------------------------------
+                expired = [index for index, entry in inflight.items()
+                           if entry[3] is not None and now >= entry[3]]
+                if expired:
+                    # A hung worker cannot be reclaimed individually;
+                    # terminate the pool, requeue the innocents with
+                    # their attempt budget intact, charge the expired.
+                    pool.terminate()
+                    pool.join()
+                    for index in list(inflight):
+                        entry = inflight.pop(index)
+                        cell, attempt = entry[1], entry[2]
+                        if index in expired:
+                            if attempt <= self.max_retries:
+                                todo.append([
+                                    index, cell, attempt + 1,
+                                    time.monotonic()
+                                    + self._backoff(attempt)])
+                            else:
+                                record(index, CellOutcome(
+                                    status="timeout",
+                                    error_type="CellTimeout",
+                                    error=(f"exceeded "
+                                           f"{self.cell_timeout:.1f}s "
+                                           f"wall-clock limit"),
+                                    attempts=attempt))
+                        else:
+                            todo.appendleft([index, cell, attempt, 0.0])
+                    isolated = None
+                    summary.respawns += 1
+                    pool, pids = self._spawn_pool(jobs)
+                    continue
+                time.sleep(_POLL_SECONDS)
+        finally:
+            pool.terminate()
+            pool.join()
 
 
 # ---------------------------------------------------------------------------

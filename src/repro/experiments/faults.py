@@ -1,0 +1,166 @@
+"""Deterministic fault injection for the experiment executor.
+
+The fault-tolerance machinery in :mod:`repro.experiments.executor`
+(retries, timeouts, pool respawn, serial fallback) has to be provable
+without waiting for a real OOM kill.  This module injects faults into
+chosen cells at chosen attempts, driven entirely by the
+``REPRO_FAULT_INJECT`` environment variable — the environment is
+inherited by pool workers, so the plan needs no extra plumbing across
+the process boundary and works for fork and spawn alike.
+
+The value is a semicolon-separated list of rules::
+
+    <pattern>=<kind>[:<attempts>]
+
+* ``pattern`` — an :mod:`fnmatch` glob matched against the cell name
+  (``benchmark/label``), e.g. ``gap/base`` or ``gap/*``.
+* ``kind`` — one of
+
+  - ``raise`` — raise :class:`InjectedFault` (a plain exception),
+  - ``deadlock`` — raise :class:`repro.core.pipeline.DeadlockError`
+    with a populated ``cycle``/``pending`` payload,
+  - ``hang`` — sleep far past any reasonable cell timeout,
+  - ``kill`` — terminate the hosting worker process abruptly via
+    ``os._exit`` (refused — degraded to ``raise`` — outside a daemonic
+    pool worker, so a serial run never nukes the caller's process),
+  - ``raise-parallel`` — raise only inside a pool worker; the
+    executor's final in-process serial attempt then succeeds (models a
+    pool/pickling flake).
+
+* ``attempts`` — fault only on the first N attempts of the cell
+  (omitted: every attempt), so ``raise:2`` fails twice then succeeds.
+
+Example::
+
+    REPRO_FAULT_INJECT="gap/base=raise:2;vortex/*=hang"
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import List, Optional
+
+from repro.core.pipeline import DeadlockError
+
+#: Environment variable holding the injection plan.
+ENV_VAR = "REPRO_FAULT_INJECT"
+
+#: How long a ``hang`` fault sleeps — effectively forever next to any
+#: sane ``cell_timeout``.
+HANG_SECONDS = 3600.0
+
+#: Exit code used by ``kill`` faults (distinctive in worker post-mortems).
+KILL_EXIT_CODE = 43
+
+KINDS = ("raise", "deadlock", "hang", "kill", "raise-parallel")
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure produced by the fault-injection harness."""
+
+
+class FaultSpecError(ValueError):
+    """The ``REPRO_FAULT_INJECT`` value could not be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: which cells, what fault, for how many attempts."""
+
+    pattern: str
+    kind: str
+    attempts: Optional[int] = None
+
+    def applies(self, cell_name: str, attempt: int) -> bool:
+        if not fnmatchcase(cell_name, self.pattern):
+            return False
+        return self.attempts is None or attempt <= self.attempts
+
+
+def parse_spec(spec: str) -> List[FaultRule]:
+    """Parse a ``pattern=kind[:attempts];...`` spec into rules."""
+    rules: List[FaultRule] = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        pattern, sep, action = chunk.partition("=")
+        if not sep or not pattern.strip() or not action.strip():
+            raise FaultSpecError(
+                f"bad fault rule {chunk!r}: want pattern=kind[:attempts]")
+        kind, _, count = action.strip().partition(":")
+        if kind not in KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {kind!r} in {chunk!r}; "
+                f"known: {', '.join(KINDS)}")
+        try:
+            attempts = int(count) if count else None
+        except ValueError:
+            raise FaultSpecError(
+                f"bad attempt count {count!r} in {chunk!r}") from None
+        if attempts is not None and attempts < 1:
+            raise FaultSpecError(
+                f"attempt count must be >= 1 in {chunk!r}")
+        rules.append(FaultRule(pattern.strip(), kind, attempts))
+    return rules
+
+
+def format_spec(rules: List[FaultRule]) -> str:
+    """Inverse of :func:`parse_spec`, for building env values in tests."""
+    parts = []
+    for rule in rules:
+        part = f"{rule.pattern}={rule.kind}"
+        if rule.attempts is not None:
+            part += f":{rule.attempts}"
+        parts.append(part)
+    return ";".join(parts)
+
+
+def active_rules() -> List[FaultRule]:
+    """Rules currently installed via the environment (possibly empty)."""
+    spec = os.environ.get(ENV_VAR, "")
+    return parse_spec(spec) if spec else []
+
+
+def _in_pool_worker() -> bool:
+    return multiprocessing.current_process().daemon
+
+
+def _trigger(rule: FaultRule, cell_name: str, attempt: int) -> None:
+    if rule.kind == "raise":
+        raise InjectedFault(
+            f"injected fault for {cell_name} (attempt {attempt})")
+    if rule.kind == "deadlock":
+        raise DeadlockError(
+            f"injected deadlock for {cell_name} (attempt {attempt})",
+            cycle=123_456,
+            pending={"rob": 4, "iq": 2, "head": "injected"})
+    if rule.kind == "raise-parallel":
+        if _in_pool_worker():
+            raise InjectedFault(
+                f"injected pool-only fault for {cell_name} "
+                f"(attempt {attempt})")
+        return
+    if rule.kind == "hang":
+        time.sleep(HANG_SECONDS)
+        raise InjectedFault(
+            f"hang fault for {cell_name} outlived its sleep")
+    if rule.kind == "kill":
+        if not _in_pool_worker():
+            # Never take down the caller's own process; degrade to an
+            # ordinary (still injected) failure.
+            raise InjectedFault(
+                f"kill fault for {cell_name} refused outside a worker")
+        os._exit(KILL_EXIT_CODE)
+
+
+def maybe_inject(cell_name: str, attempt: int) -> None:
+    """Fire the first matching active rule for this cell attempt, if any."""
+    for rule in active_rules():
+        if rule.applies(cell_name, attempt):
+            _trigger(rule, cell_name, attempt)
+            return

@@ -55,7 +55,9 @@ def full_report(
     *sections*, if given, selects by section title prefix (case-
     insensitive), e.g. ``["figure 14", "table 2"]``.  *executor*, if
     given, runs every timing section's simulation grid (parallel
-    fan-out plus result caching).
+    fan-out plus result caching).  Cells lost to persistent faults show
+    up as ``FAILED`` in their section's table, and a failure-report
+    section is appended at the end instead of aborting the document.
     """
     wanted = None
     if sections:
@@ -74,4 +76,9 @@ def full_report(
                         seed=seed, executor=executor)
         parts.append(result.render())
         parts.append("-" * 72)
+    if executor is not None:
+        failures = executor.failure_report()
+        if failures:
+            parts.append(failures.render())
+            parts.append("-" * 72)
     return "\n".join(parts)

@@ -86,7 +86,10 @@ def run_configs(
 
     Returns ``{benchmark: {config_label: SimStats}}``.  Runs through
     *executor* (default: the process-wide default executor), which
-    handles parallel fan-out and result caching.
+    handles parallel fan-out, result caching and per-cell fault
+    recovery; a cell lost to a persistent fault comes back as a
+    NaN-valued :class:`~repro.experiments.executor.FailedStats`
+    placeholder that tables render as ``FAILED``.
     """
     executor = executor if executor is not None else get_default_executor()
     return executor.run_grid(configs, benchmarks, num_insts, seed)

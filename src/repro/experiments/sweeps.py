@@ -9,7 +9,9 @@ curve (it behaves like a queue ~16% larger than its physical size).
 
 Both sweeps run their full ``(scheduler, size, benchmark)`` grid through
 the experiment executor, so ``--jobs`` fans the cells out over workers
-and the result cache makes warm re-runs near-instant.
+and the result cache makes warm re-runs near-instant.  A cell lost to a
+persistent fault surfaces as a ``FAILED`` table entry (the executor
+substitutes a NaN-valued placeholder) rather than aborting the sweep.
 """
 
 from __future__ import annotations

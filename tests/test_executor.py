@@ -144,6 +144,48 @@ class TestResultCache:
         # ...and the entry was rewritten with valid content.
         assert json.loads(entry.read_text())["benchmark"] == "gap"
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        """A torn entry is moved aside, not left to miss forever."""
+        cache = ResultCache(tmp_path / "cache")
+        executor = Executor(jobs=1, cache=cache)
+        executor.run_grid({"base": MachineConfig.paper_default()},
+                          ["gap"], N)
+        entry = cache.entries()[0]
+        entry.write_text("{not json")
+        fresh = ResultCache(tmp_path / "cache")
+        key = entry.parent.name + entry.stem
+        assert fresh.get(key) is None
+        assert fresh.misses == 1
+        assert not entry.exists()
+        assert entry.with_suffix(".corrupt").exists()
+        # a second lookup is a plain miss (nothing left to re-parse)
+        assert fresh.get(key) is None
+
+    def test_incompatible_layout_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        executor = Executor(jobs=1, cache=cache)
+        executor.run_grid({"base": MachineConfig.paper_default()},
+                          ["gap"], N)
+        entry = cache.entries()[0]
+        entry.write_text(json.dumps(
+            {"stats": {"no_such_simstats_field": 1}}))
+        fresh = ResultCache(tmp_path / "cache")
+        assert fresh.get(entry.parent.name + entry.stem) is None
+        assert not entry.exists()
+
+    def test_size_and_clear_tolerate_concurrent_unlink(self, tmp_path,
+                                                       monkeypatch):
+        """Another process may unlink entries between listing and
+        stat/unlink; both operations must shrug the race off."""
+        cache = ResultCache(tmp_path / "cache")
+        Executor(jobs=1, cache=cache).run_grid(
+            {"base": MachineConfig.paper_default()}, ["gap"], N)
+        real = cache.entries()[0]
+        ghost = cache.root / "zz" / ("0" * 62 + ".json")
+        monkeypatch.setattr(cache, "entries", lambda: [real, ghost])
+        assert cache.size_bytes() == real.stat().st_size
+        assert cache.clear() == 1
+
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         Executor(jobs=1, cache=cache).run_grid(grid_configs(), ["gap"], N)
@@ -178,6 +220,29 @@ class TestSummary:
         err = capsys.readouterr().err
         assert "[1/1] gap/base" in err
 
+    def test_progress_marks_cached_cells(self, tmp_path, capsys):
+        import sys
+        cache_dir = tmp_path / "cache"
+        Executor(jobs=1, cache=ResultCache(cache_dir)).run_grid(
+            {"base": MachineConfig.paper_default()}, ["gap"], N)
+        warm = Executor(jobs=1, cache=ResultCache(cache_dir),
+                        progress=True, stream=sys.stderr)
+        warm.run_grid({"base": MachineConfig.paper_default()}, ["gap"], N)
+        assert "[1/1] gap/base cached" in capsys.readouterr().err
+
+    def test_speedup_honest_when_all_cached(self, tmp_path):
+        """An all-hit run simulated nothing; speedup must not claim 1.0x."""
+        cache_dir = tmp_path / "cache"
+        Executor(jobs=1, cache=ResultCache(cache_dir)).run_grid(
+            grid_configs(), ["gap"], N)
+        warm = Executor(jobs=1, cache=ResultCache(cache_dir))
+        warm.run_grid(grid_configs(), ["gap"], N)
+        summary = warm.last_summary
+        assert summary.simulated == 0
+        assert summary.speedup == 0.0
+        assert "(all cached)" in summary.render()
+        assert "speedup" not in summary.render()
+
 
 class TestDefaultExecutor:
     def test_default_is_serial_uncached(self):
@@ -201,6 +266,28 @@ class TestDeduplication:
         results = executor.run_cells([cell, cell, cell])
         assert len(results) == 1
         assert executor.last_summary.cells == 1
+
+    def test_duplicate_cells_parallel(self):
+        """Duplicates collapse before dispatch, in the pool path too."""
+        executor = Executor(jobs=2)
+        config = MachineConfig.paper_default()
+        a = SimCell("gap", "base", config, N, 1)
+        b = SimCell("vortex", "base", config, N, 1)
+        results = executor.run_cells([a, b, a, b, a])
+        assert len(results) == 2
+        assert executor.last_summary.cells == 2
+        assert executor.last_summary.simulated == 2
+
+
+class TestRunGrid:
+    def test_explicit_benchmark_subset_preserves_order(self):
+        executor = Executor(jobs=1)
+        grid = executor.run_grid(grid_configs(), ["vortex", "gap"], N)
+        assert list(grid) == ["vortex", "gap"]
+        for by_config in grid.values():
+            assert set(by_config) == {"base", "2cyc"}
+            assert all(s.ipc > 0 for s in by_config.values())
+        assert executor.last_summary.cells == 4
 
 
 @pytest.mark.slow

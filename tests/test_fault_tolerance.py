@@ -1,0 +1,456 @@
+"""Fault-tolerance tests: every executor recovery path, deterministically.
+
+Faults are injected via ``REPRO_FAULT_INJECT`` (see
+:mod:`repro.experiments.faults`), which reaches pool workers through the
+inherited environment, so each path — raise, hang/timeout, worker death,
+retry-then-succeed, serial fallback — is exercised without flakiness.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind
+from repro.core.pipeline import DeadlockError, SimulationError
+from repro.experiments import figure14
+from repro.experiments.executor import (
+    CellFailedError,
+    Executor,
+    FailedStats,
+    ResultCache,
+    RunCheckpoint,
+    SimCell,
+    cell_key,
+)
+from repro.experiments.faults import (
+    ENV_VAR,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    format_spec,
+    maybe_inject,
+    parse_spec,
+)
+from repro.experiments.report import full_report
+from repro.experiments.sweeps import queue_size_sweep
+
+N = 600
+BENCH = ("gap", "vortex", "mcf", "gcc")
+
+
+def base_config():
+    return MachineConfig.paper_default(scheduler=SchedulerKind.BASE)
+
+
+def make_cells(benchmarks=BENCH, label="base", num_insts=N):
+    config = base_config()
+    return [SimCell(bench, label, config, num_insts) for bench in benchmarks]
+
+
+def executor(**kwargs):
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("retry_backoff", 0.0)
+    return Executor(**kwargs)
+
+
+def inject(monkeypatch, spec: str) -> None:
+    monkeypatch.setenv(ENV_VAR, spec)
+
+
+# ---------------------------------------------------------------------------
+# The injection harness itself
+# ---------------------------------------------------------------------------
+
+class TestFaultSpec:
+    def test_parse_round_trip(self):
+        rules = parse_spec("gap/base=raise:2; vortex/*=hang ;mcf/x=kill")
+        assert rules == [
+            FaultRule("gap/base", "raise", 2),
+            FaultRule("vortex/*", "hang", None),
+            FaultRule("mcf/x", "kill", None),
+        ]
+        assert parse_spec(format_spec(rules)) == rules
+
+    def test_bad_specs_rejected(self):
+        for spec in ("gap/base", "gap/base=explode", "gap/base=raise:x",
+                     "gap/base=raise:0", "=raise"):
+            with pytest.raises(FaultSpecError):
+                parse_spec(spec)
+
+    def test_applies_attempt_window(self):
+        rule = FaultRule("gap/*", "raise", 2)
+        assert rule.applies("gap/base", 1)
+        assert rule.applies("gap/base", 2)
+        assert not rule.applies("gap/base", 3)
+        assert not rule.applies("vortex/base", 1)
+        always = FaultRule("gap/base", "raise", None)
+        assert always.applies("gap/base", 99)
+
+    def test_no_env_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        maybe_inject("gap/base", 1)  # must not raise
+
+    def test_inject_raises_in_process(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        with pytest.raises(InjectedFault):
+            maybe_inject("gap/base", 1)
+        maybe_inject("vortex/base", 1)  # non-matching cell untouched
+
+    def test_kill_refused_outside_worker(self, monkeypatch):
+        # A kill fault in the main process must degrade to an exception,
+        # never _exit the caller.
+        inject(monkeypatch, "gap/base=kill")
+        with pytest.raises(InjectedFault):
+            maybe_inject("gap/base", 1)
+
+
+# ---------------------------------------------------------------------------
+# Failure taxonomy
+# ---------------------------------------------------------------------------
+
+class TestDeadlockPayload:
+    def test_payload_survives_pickling(self):
+        error = DeadlockError("stuck", cycle=7_000,
+                              pending={"rob": 3, "iq": 1})
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, DeadlockError)
+        assert isinstance(clone, SimulationError)
+        assert str(clone) == "stuck"
+        assert clone.cycle == 7_000
+        assert clone.pending == {"rob": 3, "iq": 1}
+
+    def test_default_payload(self):
+        error = DeadlockError("stuck")
+        assert error.cycle is None
+        assert error.pending == {}
+
+    def test_deadlock_fault_carries_details(self, monkeypatch):
+        inject(monkeypatch, "gap/base=deadlock")
+        ex = executor(max_retries=0, serial_fallback=False)
+        cells = make_cells(("gap", "vortex"))
+        results = ex.run_cells(cells)
+        assert len(results) == 1
+        outcome = ex.last_outcomes[cells[0]]
+        assert outcome.status == "error"
+        assert outcome.error_type == "DeadlockError"
+        assert outcome.details["cycle"] == 123_456
+        assert outcome.details["pending"]["rob"] == 4
+
+
+class TestMaxCycles:
+    def test_max_cycles_truncates_simulation(self):
+        cell = SimCell("gap", "trunc", base_config(), N, max_cycles=40)
+        stats = Executor(jobs=1).run_cells([cell])[cell]
+        assert 0 < stats.cycles <= 40
+
+    def test_max_cycles_in_cache_key(self):
+        config = base_config()
+        assert cell_key(SimCell("gap", "x", config, N)) != \
+            cell_key(SimCell("gap", "x", config, N, max_cycles=40))
+
+
+# ---------------------------------------------------------------------------
+# Recovery paths
+# ---------------------------------------------------------------------------
+
+class TestRaisePath:
+    def test_persistent_raise_isolated_to_cell(self, monkeypatch):
+        """k of n cells fault persistently -> the n-k good results come
+        back, the k are FAILED with full diagnostics."""
+        inject(monkeypatch, "gap/base=raise")
+        ex = executor(max_retries=1)
+        cells = make_cells()
+        results = ex.run_cells(cells)
+        assert len(results) == len(cells) - 1
+        assert cells[0] not in results
+        summary = ex.last_summary
+        assert summary.failed == 1
+        assert summary.simulated == len(cells) - 1
+        assert any("gap/base" in line for line in summary.failures)
+        outcome = ex.last_outcomes[cells[0]]
+        assert outcome.status == "error"
+        assert outcome.error_type == "InjectedFault"
+        assert "injected fault" in outcome.error
+        assert "InjectedFault" in outcome.traceback
+        report = ex.failure_report()
+        assert report and "gap/base" in report.render()
+
+    def test_persistent_raise_serial_mode(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        ex = executor(jobs=1, max_retries=1)
+        cells = make_cells(("gap", "vortex"))
+        results = ex.run_cells(cells)
+        assert len(results) == 1
+        assert ex.last_outcomes[cells[0]].attempts == 2
+
+    def test_retry_then_succeed(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise:2")
+        ex = executor(max_retries=2)
+        cells = make_cells()
+        results = ex.run_cells(cells)
+        assert len(results) == len(cells)
+        assert ex.last_summary.failed == 0
+        outcome = ex.last_outcomes[cells[0]]
+        assert outcome.ok and outcome.attempts == 3
+
+    def test_retry_then_succeed_serial(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise:1")
+        ex = executor(jobs=1, max_retries=1)
+        cells = make_cells(("gap",))
+        results = ex.run_cells(cells)
+        assert len(results) == 1
+        assert ex.last_outcomes[cells[0]].attempts == 2
+
+
+class TestTimeoutPath:
+    def test_hung_cell_times_out_others_survive(self, monkeypatch):
+        inject(monkeypatch, "gap/base=hang")
+        ex = executor(cell_timeout=0.4, max_retries=0)
+        cells = make_cells()
+        results = ex.run_cells(cells)
+        assert len(results) == len(cells) - 1
+        outcome = ex.last_outcomes[cells[0]]
+        assert outcome.status == "timeout"
+        assert "wall-clock" in outcome.error
+        assert ex.last_summary.respawns >= 1
+        assert ex.last_summary.failed == 1
+
+    def test_timeout_then_succeed(self, monkeypatch):
+        inject(monkeypatch, "gap/base=hang:1")
+        ex = executor(cell_timeout=0.4, max_retries=1)
+        cells = make_cells(("gap", "vortex"))
+        results = ex.run_cells(cells)
+        assert len(results) == 2
+        outcome = ex.last_outcomes[cells[0]]
+        assert outcome.ok and outcome.attempts == 2
+        assert ex.last_summary.respawns >= 1
+
+    def test_timeout_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "12.5")
+        assert Executor(jobs=1).cell_timeout == 12.5
+        # explicit zero disables
+        assert Executor(jobs=1, cell_timeout=0).cell_timeout is None
+        monkeypatch.delenv("REPRO_CELL_TIMEOUT")
+        assert Executor(jobs=1).cell_timeout is None
+
+
+class TestWorkerDeathPath:
+    def test_transient_kill_recovers_everything(self, monkeypatch):
+        inject(monkeypatch, "gap/base=kill:1")
+        ex = executor(max_retries=2)
+        cells = make_cells()
+        results = ex.run_cells(cells)
+        assert len(results) == len(cells)
+        assert ex.last_summary.failed == 0
+        assert ex.last_summary.respawns >= 1
+
+    def test_persistent_kill_marks_cell_killed(self, monkeypatch):
+        inject(monkeypatch, "gap/base=kill")
+        ex = executor(max_retries=1)
+        cells = make_cells()
+        results = ex.run_cells(cells)
+        assert len(results) == len(cells) - 1
+        outcome = ex.last_outcomes[cells[0]]
+        assert outcome.status == "killed"
+        assert outcome.error_type == "WorkerDied"
+        assert ex.last_summary.failed == 1
+        # every other cell survived the respawns with its result intact
+        for cell in cells[1:]:
+            assert cell in results
+
+
+class TestSerialFallbackPath:
+    def test_pool_only_fault_rescued_in_process(self, monkeypatch):
+        """A fault that only fires inside pool workers (models pickling
+        or worker-env flakiness) degrades to jobs=1 behavior."""
+        inject(monkeypatch, "gap/base=raise-parallel")
+        ex = executor(max_retries=1)
+        cells = make_cells()
+        results = ex.run_cells(cells)
+        assert len(results) == len(cells)
+        outcome = ex.last_outcomes[cells[0]]
+        assert outcome.ok and outcome.via_fallback
+        assert ex.last_summary.failed == 0
+
+    def test_fallback_disabled_loses_the_cell(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise-parallel")
+        ex = executor(max_retries=0, serial_fallback=False)
+        cells = make_cells(("gap", "vortex"))
+        results = ex.run_cells(cells)
+        assert len(results) == 1
+        assert ex.last_summary.failed == 1
+
+
+class TestFailFast:
+    def test_fail_fast_raises(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        ex = executor(max_retries=0, fail_fast=True)
+        cells = make_cells(("gap", "vortex"))
+        with pytest.raises(CellFailedError) as info:
+            ex.run_cells(cells)
+        assert info.value.cell.name == "gap/base"
+        assert info.value.outcome.status == "error"
+
+    def test_fail_fast_serial(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        ex = executor(jobs=1, max_retries=0, fail_fast=True)
+        with pytest.raises(CellFailedError):
+            ex.run_cells(make_cells(("gap",)))
+
+
+# ---------------------------------------------------------------------------
+# Checkpointed partial results / resume-after-crash
+# ---------------------------------------------------------------------------
+
+class TestResume:
+    def test_cached_rerun_simulates_only_failed_cells(self, tmp_path,
+                                                      monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        cells = make_cells()
+        cold = executor(max_retries=0, serial_fallback=False,
+                        cache=ResultCache(tmp_path / "cache"))
+        assert len(cold.run_cells(cells)) == len(cells) - 1
+
+        monkeypatch.delenv(ENV_VAR)
+        warm = executor(cache=ResultCache(tmp_path / "cache"))
+        results = warm.run_cells(cells)
+        assert len(results) == len(cells)
+        assert warm.last_summary.cache_hits == len(cells) - 1
+        assert warm.last_summary.simulated == 1
+
+    def test_checkpoint_resume_without_cache(self, tmp_path, monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        path = tmp_path / "run.ckpt"
+        cells = make_cells()
+        cold = executor(max_retries=0, serial_fallback=False,
+                        checkpoint=path)
+        assert cold.cache is None
+        assert len(cold.run_cells(cells)) == len(cells) - 1
+        assert len(path.read_text().splitlines()) == len(cells) - 1
+
+        monkeypatch.delenv(ENV_VAR)
+        warm = executor(checkpoint=path)
+        results = warm.run_cells(cells)
+        assert len(results) == len(cells)
+        assert warm.last_summary.cache_hits == len(cells) - 1
+        assert warm.last_summary.simulated == 1
+
+    def test_checkpoint_tolerates_torn_tail(self, tmp_path, monkeypatch):
+        path = tmp_path / "run.ckpt"
+        cells = make_cells(("gap", "vortex"))
+        executor(jobs=1, checkpoint=path).run_cells(cells)
+        with path.open("a") as handle:
+            handle.write('{"schema": 2, "key": "torn", "stats": {"cyc')
+        resumed = RunCheckpoint(path)
+        assert len(resumed) == 2
+
+    def test_checkpoint_from_environment(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.ckpt"
+        monkeypatch.setenv("REPRO_CHECKPOINT", str(path))
+        ex = Executor(jobs=1)
+        assert ex.checkpoint is not None and ex.checkpoint.path == path
+        # caching on -> the cache checkpoints instead; env is ignored
+        cached = Executor(jobs=1, cache=ResultCache(tmp_path / "c"))
+        assert cached.checkpoint is None
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation in consumers
+# ---------------------------------------------------------------------------
+
+class TestConsumers:
+    def test_run_grid_substitutes_failed_stats(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        ex = executor(max_retries=0, serial_fallback=False)
+        grid = ex.run_grid({"base": base_config()}, ["gap", "vortex"], N)
+        failed = grid["gap"]["base"]
+        assert isinstance(failed, FailedStats)
+        assert failed.failed
+        assert failed.ipc != failed.ipc  # NaN
+        assert failed.grouping_breakdown()["mop_valuegen"] != 0.0
+        assert failed.outcome is not None
+        assert grid["vortex"]["base"].ipc > 0
+
+    def test_figure_renders_failed_marker(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        ex = executor(max_retries=0, serial_fallback=False)
+        rendered = figure14(benchmarks=["gap", "vortex"], num_insts=N,
+                            executor=ex).render()
+        assert "FAILED" in rendered
+        assert "vortex" in rendered  # the good row still renders
+        assert "geomean" in rendered  # NaN rows drop out of the geomean
+
+    def test_sweep_renders_failed_marker(self, monkeypatch):
+        inject(monkeypatch, "gap/base@8=raise")
+        ex = executor(max_retries=0, serial_fallback=False)
+        rendered = queue_size_sweep(benchmarks=["gap"], num_insts=N,
+                                    sizes=(8,), executor=ex).render()
+        assert "FAILED" in rendered
+
+    def test_report_appends_failure_section(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        ex = executor(max_retries=0, serial_fallback=False)
+        document = full_report(benchmarks=["gap"], num_insts=N,
+                               sections=["figure 14"], executor=ex)
+        assert "FAILED" in document
+        assert "cell(s) FAILED" in document
+
+    def test_render_bars_marks_failed(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        ex = executor(max_retries=0, serial_fallback=False)
+        result = figure14(benchmarks=["gap", "vortex"], num_insts=N,
+                          executor=ex)
+        bars = result.render_bars("MOP-wiredOR")
+        assert "FAILED" in bars
+
+    def test_summary_render_lists_failures(self, monkeypatch):
+        inject(monkeypatch, "gap/base=raise")
+        ex = executor(max_retries=0, serial_fallback=False)
+        ex.run_cells(make_cells(("gap", "vortex")))
+        rendered = ex.last_summary.render()
+        assert "1 FAILED" in rendered
+        assert "FAILED gap/base" in rendered
+
+    def test_progress_marks_failed_cells(self, monkeypatch, capsys):
+        import sys
+        inject(monkeypatch, "gap/base=raise")
+        ex = Executor(jobs=1, max_retries=0, progress=True,
+                      stream=sys.stderr)
+        ex.run_cells(make_cells(("gap",)))
+        assert "gap/base FAILED (error)" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_failed_cells_exit_nonzero_with_table(self, monkeypatch,
+                                                  capsys):
+        from repro.cli import main
+        inject(monkeypatch, "gap/base=raise")
+        rc = main(["figure", "14", "--insts", str(N),
+                   "--benchmarks", "gap,vortex", "--no-cache",
+                   "--jobs", "2", "--max-retries", "0"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAILED" in captured.out
+        assert "cell(s) FAILED" in captured.err
+
+    def test_fail_fast_flag_aborts(self, monkeypatch, capsys):
+        from repro.cli import main
+        inject(monkeypatch, "gap/base=raise")
+        rc = main(["figure", "14", "--insts", str(N),
+                   "--benchmarks", "gap,vortex", "--no-cache",
+                   "--jobs", "1", "--max-retries", "0", "--fail-fast"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "fail-fast" in captured.err
+
+    def test_clean_run_exits_zero(self, monkeypatch, capsys):
+        from repro.cli import main
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        rc = main(["figure", "14", "--insts", "500",
+                   "--benchmarks", "gap", "--no-cache", "--jobs", "1",
+                   "--cell-timeout", "60", "--max-retries", "1"])
+        assert rc == 0
