@@ -28,6 +28,7 @@ fixture below.
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 
 import pytest
@@ -39,6 +40,23 @@ from repro.experiments.executor import (
 )
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_trace_overhead():
+    """Bench runs are untraced: the observability layer must stay cold.
+
+    :mod:`repro.trace` is imported lazily by
+    :meth:`Processor.set_trace_sink` only; if it ever shows up during a
+    bench session, some hot path started paying tracing costs (imports,
+    event construction) with tracing off — exactly the regression the
+    <2% wall-clock budget forbids.
+    """
+    assert "repro.trace" not in sys.modules, \
+        "repro.trace imported before the bench session even started"
+    yield
+    assert "repro.trace" not in sys.modules, \
+        "an untraced bench run imported repro.trace"
 
 
 def bench_insts() -> int:

@@ -87,7 +87,17 @@ def render_bars(
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean, the conventional summary for normalized IPCs."""
+    """Geometric mean, the conventional summary for normalized IPCs.
+
+    NaN inputs — the marker for a FAILED or empty cell — poison the
+    result to NaN rather than silently dropping out: a summary that
+    quietly excludes failures overstates the run.  Callers that want a
+    partial mean must filter NaN themselves and say they did (see
+    :meth:`repro.experiments.runner.ExperimentResult.render`).
+    """
+    values = list(values)
+    if any(math.isnan(v) for v in values):
+        return float("nan")
     values = [v for v in values if v > 0]
     if not values:
         return 0.0

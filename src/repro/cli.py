@@ -4,6 +4,8 @@ Installed as ``repro-sim`` (see pyproject).  Examples::
 
     repro-sim run gap --scheduler macro-op --insts 10000
     repro-sim run vector_sum --scheduler 2-cycle     # kernels work too
+    repro-sim run gap --trace gap.jsonl --trace-limit 20000
+    repro-sim trace gap.jsonl --start 100 --count 16
     repro-sim figure 14 --insts 8000 --jobs 4
     repro-sim figure 6 --benchmarks gap,vortex
     repro-sim table 2
@@ -73,6 +75,15 @@ def _add_executor_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--fail-fast", action="store_true",
                      help="abort at the first cell that exhausts its "
                           "retries instead of rendering it as FAILED")
+    sub.add_argument("--trace-dir", default=None, metavar="DIR",
+                     help="write one JSONL pipeline trace per cell into "
+                          "DIR (replay with 'repro-sim trace'); forces "
+                          "real simulations past the cache")
+    sub.add_argument("--trace-limit", type=int, default=None, metavar="N",
+                     help="truncate each trace after N events")
+    sub.add_argument("--profile-dir", default=None, metavar="DIR",
+                     help="cProfile each cell into DIR/<cell>.prof "
+                          "(inspect with 'python -m pstats')")
 
 
 def _executor_from(args) -> Executor:
@@ -80,7 +91,10 @@ def _executor_from(args) -> Executor:
     return Executor(jobs=args.jobs, cache=cache, progress=args.progress,
                     cell_timeout=args.cell_timeout,
                     max_retries=args.max_retries,
-                    fail_fast=args.fail_fast)
+                    fail_fast=args.fail_fast,
+                    trace_dir=args.trace_dir,
+                    trace_limit=args.trace_limit,
+                    profile_dir=args.profile_dir)
 
 
 def _report_summary(executor: Executor) -> int:
@@ -113,6 +127,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="issue queue entries; 0 = unrestricted")
     run.add_argument("--mop-size", type=int, default=2)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--trace", default=None, metavar="FILE",
+                     help="write a JSONL pipeline trace (replay with "
+                          "'repro-sim trace FILE')")
+    run.add_argument("--trace-limit", type=int, default=None, metavar="N",
+                     help="truncate the trace after N events")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("number", choices=["6", "7", "13", "14", "15", "16"])
@@ -135,6 +154,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="comma-separated section prefixes, e.g. "
                              "'figure 14,table 2'")
     _add_executor_flags(report)
+
+    trace = sub.add_parser(
+        "trace", help="render a pipeline diagram from a JSONL trace")
+    trace.add_argument("file", help="trace written by --trace/--trace-dir")
+    trace.add_argument("--start", type=int, default=0,
+                       help="first op sequence number to show")
+    trace.add_argument("--count", type=int, default=20,
+                       help="how many ops to show")
+    trace.add_argument("--width", type=int, default=64,
+                       help="timeline width in cycles")
 
     cache = sub.add_parser("cache",
                            help="inspect or clear the result cache")
@@ -159,9 +188,31 @@ def _cmd_run(args) -> int:
         iq_size=None if args.iq_size == 0 else args.iq_size,
         mop_size=args.mop_size,
     )
-    stats = simulate(trace, config)
+    sink = None
+    if args.trace:
+        from repro.trace import JsonlTraceSink
+        sink = JsonlTraceSink(args.trace, limit=args.trace_limit)
+    try:
+        stats = simulate(trace, config, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
     print(trace.summary())
     print(stats.summary())
+    if sink is not None:
+        note = f"trace: {sink.emitted} events -> {args.trace}"
+        if sink.dropped:
+            note += f" ({sink.dropped} past --trace-limit dropped)"
+        print(note, file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.pipeview import PipeViewer
+    viewer = PipeViewer.from_jsonl(args.file)
+    print(viewer.render(start=args.start, count=args.count,
+                        width=args.width))
+    print(viewer.summary())
     return 0
 
 
@@ -251,6 +302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "table": _cmd_table,
         "report": _cmd_report,
+        "trace": _cmd_trace,
         "cache": _cmd_cache,
         "list": _cmd_list,
     }[args.command]

@@ -45,6 +45,12 @@ class MachineConfig:
     rob_size: int = 128
     iq_size: Optional[int] = 32
     replay_penalty: int = 2             # selective-replay penalty, cycles
+    #: hard bound on how often one issue-queue entry may replay before the
+    #: run is aborted with a loud ``ReplayStormError`` (None = unbounded).
+    #: Healthy runs stay in single digits (``max_replays_seen``); a
+    #: livelocked replay storm would otherwise spin silently until the
+    #: deadlock watchdog or the cell's wall-clock timeout fired.
+    replay_limit: Optional[int] = 256
 
     # -- functional units (Table 1 row 2) ----------------------------------
     int_alu_count: int = 4
@@ -124,6 +130,8 @@ class MachineConfig:
             raise ValueError("rob_size must be positive")
         if self.iq_size is not None and self.iq_size <= 0:
             raise ValueError("iq_size must be positive or None (unrestricted)")
+        if self.replay_limit is not None and self.replay_limit < 0:
+            raise ValueError("replay_limit must be >= 0 or None (unbounded)")
         if self.extra_mop_stages not in (0, 1, 2):
             raise ValueError("extra_mop_stages must be 0, 1, or 2")
         if not 2 <= self.mop_size <= 8:

@@ -47,7 +47,12 @@ from repro.core.scheduler.base import (
     COLLISION_SCOREBOARD,
     COLLISION_SQUASH,
 )
-from repro.core.stats import SimStats
+from repro.core.stats import (
+    REPLAY_PILEUP,
+    REPLAY_RAISE,
+    REPLAY_SQUASH,
+    SimStats,
+)
 from repro.core.uop import (
     FU_NONE,
     KIND_CANDIDATE_UNGROUPED,
@@ -119,10 +124,47 @@ class DeadlockError(SimulationError):
         return (type(self), (self.args[0], self.cycle, self.pending))
 
 
-class Processor:
-    """One simulated machine bound to one trace."""
+class ReplayStormError(SimulationError):
+    """One issue-queue entry replayed more than ``config.replay_limit``
+    times — the signature of a scheduling livelock.
 
-    def __init__(self, config: MachineConfig, trace: Trace) -> None:
+    Failing fast here (instead of spinning until the deadlock watchdog
+    or the executor's per-cell wall-clock timeout fires) turns a silent
+    multi-second hang into an immediate, attributable per-cell failure.
+    Carries the offending entry's identity so the failure is actionable;
+    survives pickling across the executor's pool boundary.
+    """
+
+    def __init__(self, message: str, cycle: Optional[int] = None,
+                 seq: Optional[int] = None, pc: Optional[int] = None,
+                 replays: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.seq = seq
+        self.pc = pc
+        self.replays = replays
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.cycle, self.seq,
+                             self.pc, self.replays))
+
+
+#: Macro-op role glyphs carried by trace events.
+_ROLE_GLYPHS = {MOP_HEAD: "H", MOP_TAIL: "T", ROLE_SOLO: " "}
+
+
+class Processor:
+    """One simulated machine bound to one trace.
+
+    *sink*, if given, receives one typed :class:`repro.trace.TraceEvent`
+    per operation per pipeline stage (see :mod:`repro.trace`).  Without a
+    sink the tracing machinery is never imported and every would-be
+    emission costs a single attribute check, so untraced runs are
+    bit-identical to pre-trace builds.
+    """
+
+    def __init__(self, config: MachineConfig, trace: Trace,
+                 sink=None) -> None:
         self.config = config
         self.discipline = make_discipline(config)
         self.stats = SimStats()
@@ -166,6 +208,51 @@ class Processor:
 
         self._last_commit_cycle = 0
         self._last_issue_cycle = 0
+
+        self._occ_hist: Dict[int, int] = {}
+        self._sink = None
+        self._event_cls = None
+        # Entry ids are allocated from a process-global counter; record
+        # its value now so emitted eids are run-relative (serial and
+        # parallel executions of the same cell trace identically).
+        self._eid_base = IQEntry._next_eid
+        if sink is not None:
+            self.set_trace_sink(sink)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def set_trace_sink(self, sink) -> None:
+        """Attach (or, with None, detach) a trace sink.
+
+        The event class is imported lazily right here, so a processor
+        that never traces never imports :mod:`repro.trace` at all.
+        """
+        if sink is not None and self._event_cls is None:
+            from repro.trace.events import TraceEvent
+            self._event_cls = TraceEvent
+        self._sink = sink
+
+    def _emit(self, kind: str, uop: Uop, cycle: int,
+              cause: Optional[str] = None) -> None:
+        """Emit one stage event (callers guard on ``self._sink``)."""
+        entry = uop.entry
+        self._sink.emit(self._event_cls(
+            cycle=cycle,
+            kind=kind,
+            seq=uop.seq,
+            pc=uop.inst.pc,
+            mnemonic=uop.inst.mnemonic,
+            role=_ROLE_GLYPHS.get(uop.role, " "),
+            eid=entry.eid - self._eid_base if entry is not None else None,
+            cause=cause,
+        ))
+
+    def _emit_entry(self, kind: str, entry: IQEntry, cycle: int,
+                    cause: Optional[str] = None) -> None:
+        for uop in entry.uops:
+            self._emit(kind, uop, cycle, cause)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -219,6 +306,10 @@ class Processor:
                     },
                 )
         self.stats.cycles = self.now
+        self.stats.iq_occupancy_hist = {
+            str(occ): cycles
+            for occ, cycles in sorted(self._occ_hist.items())
+        }
         return self.stats
 
     def _finished(self) -> bool:
@@ -235,6 +326,9 @@ class Processor:
     def _cycle(self) -> None:
         self.now += 1
         now = self.now
+
+        occ = self.iq.occupied
+        self._occ_hist[occ] = self._occ_hist.get(occ, 0) + 1
 
         fu_avail = dict(self._fu_limits)
         for fu, count in self._fu_reserved_future.pop(now, {}).items():
@@ -276,6 +370,8 @@ class Processor:
             uop.completion_cycle = self.now
             if uop.inst.is_branch:
                 self.frontend.on_branch_resolved(uop, self.now)
+        if self._sink is not None:
+            self._emit_entry("writeback", entry, self.now)
 
     def _on_load_miss(self, entry: IQEntry, gen: int, new_bt: int) -> None:
         """DL1 miss discovered: reschedule the broadcast, replay the shadow."""
@@ -283,7 +379,7 @@ class Processor:
             return
         entry.broadcast_cycle = new_bt
         self._push_event(new_bt, (EVENT_BROADCAST, entry, new_bt))
-        self._rescind(entry, self.now)
+        self._rescind(entry, self.now, REPLAY_RAISE)
 
     def _on_broadcast(self, entry: IQEntry, bt: int) -> None:
         if entry.broadcast_cycle != bt:
@@ -303,8 +399,13 @@ class Processor:
     # Selective replay (Section 2.1)
     # ------------------------------------------------------------------
 
-    def _rescind(self, entry: IQEntry, now: int) -> None:
-        """Un-wake every consumer woken by *entry*'s premature broadcast."""
+    def _rescind(self, entry: IQEntry, now: int, cause: str) -> None:
+        """Un-wake every consumer woken by *entry*'s premature broadcast.
+
+        *cause* attributes any replay this rescind triggers: ``raise``
+        when the originating broadcast was a load's re-raised miss,
+        ``squash`` when it cascades from another entry's invalidation.
+        """
         for consumer, idx in entry.consumers:
             if consumer.src_producers[idx] is not entry:
                 continue
@@ -314,10 +415,12 @@ class Processor:
             consumer.src_ready_cycle[idx] = None
             if consumer.state == READY:
                 consumer.state = WAITING
+                if self._sink is not None:
+                    self._emit_entry("squash", consumer, now, cause)
             elif consumer.state == ISSUED:
-                self._invalidate(consumer, now)
+                self._invalidate(consumer, now, cause)
 
-    def _invalidate(self, entry: IQEntry, now: int) -> None:
+    def _invalidate(self, entry: IQEntry, now: int, cause: str) -> None:
         """Selectively invalidate an issued entry; it will replay."""
         if entry.state != ISSUED:
             return
@@ -326,13 +429,41 @@ class Processor:
         entry.issue_cycle = None
         entry.lockout_until = max(entry.lockout_until,
                                   now + self.config.replay_penalty)
-        entry.replay_count += 1
-        self.stats.replayed_ops += len(entry.uops)
+        self._note_replay(entry, now, cause)
         entry.broadcast_cycle = None        # its own broadcast was premature
-        self._rescind(entry, now)
+        self._rescind(entry, now, REPLAY_SQUASH)
         if entry.all_sources_ready():
             # Only the replay lockout delays it (e.g. scoreboard pileups).
             self._make_ready(entry, now)
+
+    def _note_replay(self, entry: IQEntry, now: int, cause: str) -> None:
+        """Count one replay of *entry*, attribute its cause, and enforce
+        the replay-storm bound."""
+        entry.replay_count += 1
+        ops = len(entry.uops)
+        stats = self.stats
+        stats.replayed_ops += ops
+        if cause == REPLAY_PILEUP:
+            stats.replay_pileup += ops
+        elif cause == REPLAY_RAISE:
+            stats.replay_raise += ops
+        else:
+            stats.replay_squash += ops
+        if entry.replay_count > stats.max_replays_seen:
+            stats.max_replays_seen = entry.replay_count
+        if self._sink is not None:
+            self._emit_entry("replay", entry, now, cause)
+        limit = self.config.replay_limit
+        if limit is not None and entry.replay_count > limit:
+            head = entry.head
+            raise ReplayStormError(
+                f"entry seq={entry.seq} ({head.inst.mnemonic} @pc="
+                f"{head.inst.pc:#x}) replayed {entry.replay_count} times "
+                f"(> replay_limit={limit}) at cycle {now}; last cause "
+                f"{cause!r}",
+                cycle=now, seq=entry.seq, pc=head.inst.pc,
+                replays=entry.replay_count,
+            )
 
     # ------------------------------------------------------------------
     # Readiness and select
@@ -347,6 +478,8 @@ class Processor:
         entry.state = READY
         entry.ready_cycle = earliest_select if earliest_select is not None \
             else now
+        if self._sink is not None:
+            self._emit_entry("wakeup", entry, entry.ready_cycle)
         heapq.heappush(self._ready_heap, (entry.seq, entry.eid, entry))
         if self.discipline.speculative_wakeup:
             bt = entry.ready_cycle + self.discipline.broadcast_offset(
@@ -410,8 +543,7 @@ class Processor:
         entry.state = WAITING
         entry.lockout_until = max(entry.lockout_until,
                                   now + self.config.dispatch_depth)
-        entry.replay_count += 1
-        self.stats.replayed_ops += len(entry.uops)
+        self._note_replay(entry, now, REPLAY_PILEUP)
         for idx, producer in enumerate(entry.src_producers):
             if producer is None or producer.state == DONE:
                 continue
@@ -441,6 +573,8 @@ class Processor:
                 # can issue: no pileup victims exist in this configuration.
                 entry.broadcast_cycle = None
                 entry.spec_broadcast_cycle = None
+                if self._sink is not None:
+                    self._emit_entry("squash", entry, now, REPLAY_SQUASH)
 
     # ------------------------------------------------------------------
     # Issue
@@ -454,7 +588,17 @@ class Processor:
         gen = entry.gen
         self.stats.issued_entries += 1
         self.stats.issued_ops += len(entry.uops)
+        self.stats.wakeup_to_select_cycles += now - entry.ready_cycle
+        self.stats.wakeup_to_select_count += 1
         self._last_issue_cycle = now
+        if self._sink is not None:
+            # All MOP members leave the queue together; the tails then
+            # sequence through execution k cycles behind the head.
+            self._emit_entry("select", entry, now)
+            self._emit_entry("issue", entry, now)
+            dispatch = self.config.dispatch_depth
+            for k, member in enumerate(entry.uops):
+                self._emit("exec", member, now + dispatch + k)
 
         head = entry.head
         if head.fu_class != FU_NONE:
@@ -646,6 +790,7 @@ class Processor:
         entry.is_mop = True
         entry.mop_kind = pointer.kind
         entry.pending_tail = True
+        self.stats.mop_pending_heads += 1
         self._register_sources(entry, head, tail_only=False, now=now)
         self._finish_insert(entry, head, now)
         self._pending_entries.append(entry)
@@ -663,6 +808,9 @@ class Processor:
             return
         entry.attach_tail(tail)
         self.stats.mops_formed += 1
+        self.stats.iq_insert_ops += 1
+        if self._sink is not None:
+            self._emit("insert", tail, now)
         self._register_sources(entry, tail, tail_only=True, now=now)
         self._record_writer(tail)
         self.rob.append(tail)
@@ -777,6 +925,11 @@ class Processor:
         self.rob.append(head)
         self.iq.allocate(entry)
         self.stats.iq_inserts += 1
+        # entry.uops already holds every MOP member at this point, so this
+        # counts the ops this entry carries into the queue (solo: 1).
+        self.stats.iq_insert_ops += len(entry.uops)
+        if self._sink is not None:
+            self._emit_entry("insert", entry, now)
 
     def _record_writer(self, uop: Uop) -> None:
         dest = uop.inst.dest
@@ -793,6 +946,9 @@ class Processor:
         group = self.frontend.fetch_group(now)
         if group:
             self.stats.fetched_ops += len(group)
+            if self._sink is not None:
+                for uop in group:
+                    self._emit("fetch", uop, uop.fetch_cycle)
             ready = now + self.config.effective_frontend_depth
             self._group_buffer.append((ready, group))
 
@@ -805,6 +961,8 @@ class Processor:
             self.rob.popleft()
             committed += 1
             self.stats.committed_ops += 1
+            if self._sink is not None:
+                self._emit("commit", uop, now)
             inst = uop.inst
             if inst.counts_as_inst:
                 self.stats.committed_insts += 1
@@ -821,9 +979,15 @@ def simulate(
     trace: Trace,
     config: Optional[MachineConfig] = None,
     max_cycles: Optional[int] = None,
+    sink=None,
 ) -> SimStats:
-    """Run *trace* through a :class:`Processor` and return its statistics."""
+    """Run *trace* through a :class:`Processor` and return its statistics.
+
+    *sink* is an optional :class:`~repro.trace.sink.TraceSink` receiving
+    per-operation stage events; leaving it ``None`` (the default) keeps
+    the run on the untraced fast path.
+    """
     if config is None:
         config = MachineConfig.paper_default()
-    processor = Processor(config, trace)
+    processor = Processor(config, trace, sink=sink)
     return processor.run(max_cycles=max_cycles)

@@ -1,11 +1,13 @@
 """Per-instruction pipeline timeline recording and rendering.
 
-Attach a :class:`PipeViewer` to a :class:`~repro.core.pipeline.Processor`
-to record, for every operation, the cycles at which it was fetched,
-inserted into the issue queue, issued (each attempt, so replays are
-visible), completed, and committed — then render gem5-O3-style ASCII
-timelines.  Invaluable for seeing macro-op scheduling act: grouped pairs
-issue on the same cycle and their consumers follow back to back.
+A :class:`PipeViewer` is a trace *consumer*: it implements the
+:class:`~repro.trace.sink.TraceSink` protocol, so it can be attached
+live to a :class:`~repro.core.pipeline.Processor` (recording events as
+the simulation emits them) or replay a JSONL trace written earlier by a
+:class:`~repro.trace.sink.JsonlTraceSink` — both paths build identical
+timelines.  It renders gem5-O3-style ASCII timelines; invaluable for
+seeing macro-op scheduling act: grouped pairs issue on the same cycle
+and their consumers follow back to back.
 
 >>> from repro.core import MachineConfig, SchedulerKind
 >>> from repro.core.pipeline import Processor
@@ -21,11 +23,12 @@ issue on the same cycle and their consumers follow back to back.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.pipeline import Processor
-from repro.core.uop import MOP_HEAD, MOP_TAIL
+from repro.trace.events import TraceEvent
 
 
 @dataclass
@@ -39,8 +42,10 @@ class OpTimeline:
     fetch: Optional[int] = None
     insert: Optional[int] = None
     issues: List[int] = field(default_factory=list)
+    execs: List[int] = field(default_factory=list)
     complete: Optional[int] = None
     commit: Optional[int] = None
+    replay_causes: List[str] = field(default_factory=list)
 
     @property
     def issue(self) -> Optional[int]:
@@ -48,84 +53,99 @@ class OpTimeline:
         return self.issues[-1] if self.issues else None
 
     @property
+    def exec(self) -> Optional[int]:
+        """The final execution-start cycle."""
+        return self.execs[-1] if self.execs else None
+
+    @property
     def replays(self) -> int:
-        return max(0, len(self.issues) - 1)
+        # Scoreboard pileup victims are caught at select and never emit
+        # a second issue event, so count replay events, not re-issues.
+        return max(len(self.replay_causes), len(self.issues) - 1)
 
 
 class PipeViewer:
-    """Records per-op stage timing by wrapping Processor hooks."""
+    """Builds per-op stage timelines from pipeline trace events.
+
+    Implements the :class:`~repro.trace.sink.TraceSink` protocol
+    (``emit``/``close``), so it can be handed directly to
+    :meth:`Processor.set_trace_sink` or composed behind a
+    :class:`~repro.trace.sink.TeeSink` with a file sink.
+    """
 
     def __init__(self) -> None:
         self.timelines: Dict[int, OpTimeline] = {}
 
-    # ------------------------------------------------------------------
+    # -- construction --------------------------------------------------
 
     @classmethod
     def attach(cls, processor: Processor) -> "PipeViewer":
-        """Instrument *processor*; call before ``run()``."""
+        """Record *processor*'s events live; call before ``run()``.
+
+        If the processor already has a sink (say, a file trace), the
+        viewer tees alongside it rather than replacing it.
+        """
         viewer = cls()
-        viewer._wrap(processor)
+        if processor._sink is not None:
+            from repro.trace.sink import TeeSink
+            processor.set_trace_sink(TeeSink(processor._sink, viewer))
+        else:
+            processor.set_trace_sink(viewer)
         return viewer
 
-    def _timeline(self, uop) -> OpTimeline:
-        timeline = self.timelines.get(uop.seq)
+    @classmethod
+    def from_jsonl(cls, path: os.PathLike) -> "PipeViewer":
+        """Rebuild timelines from a JSONL trace file."""
+        from repro.trace.sink import read_trace
+        viewer = cls()
+        viewer.record(read_trace(path))
+        return viewer
+
+    def record(self, events: Iterable[TraceEvent]) -> None:
+        for event in events:
+            self.emit(event)
+
+    # -- TraceSink protocol --------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        timeline = self.timelines.get(event.seq)
         if timeline is None:
-            timeline = OpTimeline(seq=uop.seq, pc=uop.inst.pc,
-                                  mnemonic=uop.inst.mnemonic)
-            timeline.fetch = uop.fetch_cycle
-            self.timelines[uop.seq] = timeline
-        if uop.role == MOP_HEAD:
-            timeline.role = "H"
-        elif uop.role == MOP_TAIL:
-            timeline.role = "T"
-        return timeline
+            timeline = OpTimeline(seq=event.seq, pc=event.pc,
+                                  mnemonic=event.mnemonic)
+            self.timelines[event.seq] = timeline
+        if event.role != " ":
+            timeline.role = event.role
+        kind = event.kind
+        if kind == "fetch":
+            timeline.fetch = event.cycle
+        elif kind == "insert":
+            timeline.insert = event.cycle
+        elif kind == "issue":
+            timeline.issues.append(event.cycle)
+        elif kind == "exec":
+            timeline.execs.append(event.cycle)
+        elif kind == "writeback":
+            timeline.complete = event.cycle
+        elif kind == "commit":
+            timeline.commit = event.cycle
+        elif kind == "replay" and event.cause is not None:
+            timeline.replay_causes.append(event.cause)
+        # wakeup/select/squash events carry no timeline mark (select is
+        # the issue cycle; squashed wakeups recur), but flow through here
+        # so a viewer subclass can observe them.
 
-    def _wrap(self, processor: Processor) -> None:
-        original_issue = processor._issue
-        original_finish = processor._finish_insert
-        original_commit = processor._commit
-        original_complete = processor._on_complete
-        viewer = self
+    def close(self) -> None:
+        pass
 
-        def issue(entry, now, fu_avail):
-            for uop in entry.uops:
-                viewer._timeline(uop).issues.append(now)
-            return original_issue(entry, now, fu_avail)
-
-        def finish_insert(entry, head, now):
-            viewer._timeline(head).insert = now
-            return original_finish(entry, head, now)
-
-        def on_complete(entry, gen):
-            result = original_complete(entry, gen)
-            for uop in entry.uops:
-                if uop.completed:
-                    viewer._timeline(uop).complete = uop.completion_cycle
-            return result
-
-        def commit(now):
-            before = processor.stats.committed_ops
-            rob_head = list(processor.rob)[:processor.config.width]
-            result = original_commit(now)
-            committed = processor.stats.committed_ops - before
-            for uop in rob_head[:committed]:
-                viewer._timeline(uop).commit = now
-            return result
-
-        processor._issue = issue
-        processor._finish_insert = finish_insert
-        processor._on_complete = on_complete
-        processor._commit = commit
-
-    # ------------------------------------------------------------------
+    # -- rendering ------------------------------------------------------
 
     def render(self, start: int = 0, count: int = 20,
                width: int = 64) -> str:
         """ASCII timelines for ops with seq in [start, start+count).
 
         Stage letters: ``f`` fetch, ``q`` queue insert, ``i`` issue
-        (lowercase ``r`` for replayed attempts), ``c`` complete,
-        ``C`` commit.  MOP heads/tails carry H/T tags.
+        (lowercase ``r`` for replayed attempts), ``e`` execute,
+        ``c`` complete, ``C`` commit.  MOP heads/tails carry H/T tags.
         """
         selected = [self.timelines[seq]
                     for seq in sorted(self.timelines)
@@ -155,6 +175,7 @@ class PipeViewer:
             for attempt in timeline.issues[:-1]:
                 mark(attempt, "r")
             mark(timeline.issue, "i")
+            mark(timeline.exec, "e")
             mark(timeline.complete, "c")
             mark(timeline.commit, "C")
             label = (f"{timeline.seq:5d} {timeline.role}"
@@ -173,5 +194,5 @@ class PipeViewer:
         replays = sum(t.replays for t in done)
         grouped = sum(1 for t in done if t.role in "HT")
         return (f"{total} ops committed; avg fetch→commit "
-                f"{avg_lat:.1f} cycles; {replays} replayed issues; "
+                f"{avg_lat:.1f} cycles; {replays} replayed ops; "
                 f"{grouped} ops in macro-ops")

@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Dict
+
+#: Replay causes (also carried by ``replay`` trace events).
+REPLAY_RAISE = "raise"      # a load's broadcast was re-raised after a miss
+REPLAY_PILEUP = "pileup"    # scoreboard pileup victim (select-free)
+REPLAY_SQUASH = "squash"    # collateral of another entry's invalidation
 
 
 @dataclass
@@ -16,6 +22,11 @@ class SimStats:
     a dependent MOP), ``mop_nonvaluegen`` (other candidate grouped into a
     dependent MOP), ``independent_mop`` (grouped into an independent MOP),
     ``candidate_ungrouped`` or ``not_candidate``.
+
+    The scheduler-observability counters (replay causes, wakeup-to-select
+    latency, issue-queue occupancy, the MOP formation funnel) are always
+    collected — they never influence timing decisions, so enabling or
+    disabling event tracing leaves every field here bit-identical.
     """
 
     cycles: int = 0
@@ -32,11 +43,26 @@ class SimStats:
     issued_entries: int = 0
     issued_ops: int = 0
     iq_inserts: int = 0          # issue-queue entries consumed
+    iq_insert_ops: int = 0       # operations carried by those entries
     replayed_ops: int = 0        # ops invalidated by load mis-scheduling
     select_collisions: int = 0   # select-free: ready-but-not-selected events
     pileup_victims: int = 0      # select-free scoreboard wasted issues
     iq_full_stall_cycles: int = 0
     rob_full_stall_cycles: int = 0
+
+    # -- scheduler observability ----------------------------------------------
+    #: replayed ops by cause; the three sum to ``replayed_ops``.
+    replay_raise: int = 0        # load-miss shadow (broadcast re-raised)
+    replay_pileup: int = 0       # scoreboard pileup victims
+    replay_squash: int = 0       # collateral of another entry's invalidation
+    #: highest replay count any single issue-queue entry reached.
+    max_replays_seen: int = 0
+    #: wakeup-to-select latency: total cycles and issued-entry count.
+    wakeup_to_select_cycles: int = 0
+    wakeup_to_select_count: int = 0
+    #: per-cycle issue-queue occupancy histogram: occupancy (as a string,
+    #: so the JSON cache round-trips losslessly) -> cycles at it.
+    iq_occupancy_hist: Dict[str, int] = field(default_factory=dict)
 
     # -- loads -----------------------------------------------------------------
     loads: int = 0
@@ -54,17 +80,27 @@ class SimStats:
     mop_pointers_created: int = 0
     mop_pointers_deleted: int = 0   # last-arriving-operand filter
     mops_formed: int = 0
+    mop_pending_heads: int = 0      # heads inserted with the pending bit set
     mop_pending_abandoned: int = 0  # heads whose tail never arrived
 
     @property
     def ipc(self) -> float:
-        """Committed architectural instructions per cycle."""
-        return self.committed_insts / self.cycles if self.cycles else 0.0
+        """Committed architectural instructions per cycle.
+
+        NaN (not 0.0) when no cycles were simulated: an empty or FAILED
+        cell must poison downstream ratios and geomeans loudly instead of
+        dragging them toward zero — or silently dropping out of them.
+        """
+        if not self.cycles:
+            return float("nan")
+        return self.committed_insts / self.cycles
 
     @property
     def uipc(self) -> float:
         """Committed operations per cycle (stores count twice)."""
-        return self.committed_ops / self.cycles if self.cycles else 0.0
+        if not self.cycles:
+            return float("nan")
+        return self.committed_ops / self.cycles
 
     @property
     def grouped_ops(self) -> int:
@@ -80,10 +116,67 @@ class SimStats:
     @property
     def insert_reduction(self) -> float:
         """Relative reduction in scheduler inserts from MOP sharing
-        (the paper reports an average 16.2% reduction)."""
-        if not self.committed_ops:
+        (the paper reports an average 16.2% reduction).
+
+        Both sides are measured over the same population — the operations
+        that actually entered the issue queue (``iq_insert_ops``) against
+        the entries they consumed (``iq_inserts``) — so a truncated run,
+        whose in-flight ops inserted but never committed, cannot push the
+        metric negative the way the old inserts-over-committed ratio did.
+        """
+        if not self.iq_insert_ops:
             return 0.0
-        return 1.0 - self.iq_inserts / self.committed_ops
+        return 1.0 - self.iq_inserts / self.iq_insert_ops
+
+    # -- scheduler observability (derived) -------------------------------------
+
+    def replay_causes(self) -> Dict[str, int]:
+        """Replayed ops by cause (keys ``raise`` / ``pileup`` / ``squash``)."""
+        return {
+            REPLAY_RAISE: self.replay_raise,
+            REPLAY_PILEUP: self.replay_pileup,
+            REPLAY_SQUASH: self.replay_squash,
+        }
+
+    @property
+    def avg_wakeup_to_select(self) -> float:
+        """Mean cycles an entry waited between wakeup and select."""
+        if not self.wakeup_to_select_count:
+            return float("nan")
+        return self.wakeup_to_select_cycles / self.wakeup_to_select_count
+
+    @property
+    def iq_occupancy_mean(self) -> float:
+        """Mean per-cycle issue-queue occupancy."""
+        total = sum(self.iq_occupancy_hist.values())
+        if not total:
+            return float("nan")
+        weighted = sum(int(occ) * cycles
+                       for occ, cycles in self.iq_occupancy_hist.items())
+        return weighted / total
+
+    def iq_occupancy_quantile(self, q: float) -> float:
+        """Occupancy at quantile *q* of cycles (e.g. ``0.95``)."""
+        total = sum(self.iq_occupancy_hist.values())
+        if not total:
+            return float("nan")
+        target = q * total
+        seen = 0
+        for occ in sorted(self.iq_occupancy_hist, key=int):
+            seen += self.iq_occupancy_hist[occ]
+            if seen >= target:
+                return float(occ)
+        return float(max(self.iq_occupancy_hist, key=int))
+
+    def mop_funnel(self) -> Dict[str, int]:
+        """The MOP formation funnel: pointers -> pending -> formed
+        (with abandoned pending heads as the leak)."""
+        return {
+            "pointers": self.mop_pointers_created,
+            "pending": self.mop_pending_heads,
+            "formed": self.mops_formed,
+            "abandoned": self.mop_pending_abandoned,
+        }
 
     def grouping_breakdown(self) -> Dict[str, float]:
         """Figure 13 stacked-bar fractions over committed operations."""
@@ -105,6 +198,20 @@ class SimStats:
             f"loads={self.loads} dl1_misses={self.dl1_load_misses}"
             f" replayed_ops={self.replayed_ops}",
         ]
+        if self.replayed_ops:
+            lines.append(
+                f"replay causes: raise={self.replay_raise}"
+                f" pileup={self.replay_pileup}"
+                f" squash={self.replay_squash}"
+                f" (max per entry {self.max_replays_seen})"
+            )
+        if self.wakeup_to_select_count:
+            occ = self.iq_occupancy_mean
+            occ_text = f"{occ:.1f}" if not math.isnan(occ) else "n/a"
+            lines.append(
+                f"wakeup→select avg={self.avg_wakeup_to_select:.2f}cy"
+                f" IQ occupancy avg={occ_text}"
+            )
         if self.mops_formed:
             lines.append(
                 f"mops={self.mops_formed}"

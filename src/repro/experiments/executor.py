@@ -83,7 +83,9 @@ DEFAULT_INSTS = 10_000
 
 #: Bump when the cache entry layout or the meaning of a key changes.
 #: 2: ``max_cycles`` joined the cell key.
-CACHE_SCHEMA = 2
+#: 3: scheduler-observability counters joined ``SimStats`` (older entries
+#:    would load with those fields silently zero).
+CACHE_SCHEMA = 3
 
 #: Per-process trace cache; workers inherit (fork) or refill (spawn) it.
 _trace_cache: Dict[Tuple[str, int, int], Trace] = {}
@@ -129,6 +131,29 @@ class SimCell:
 
     def trace(self) -> Trace:
         return workload_trace(self.benchmark, self.num_insts, self.seed)
+
+
+@dataclass(frozen=True)
+class CellInstrumentation:
+    """Observability knobs that travel with a cell to its worker.
+
+    ``trace_dir`` — write one JSONL stage-event trace per cell (named
+    ``<benchmark>__<label>.jsonl``), truncated after ``trace_limit``
+    events.  ``profile_dir`` — run each cell under :mod:`cProfile` and
+    dump one ``.prof`` file per cell.  Both force a real simulation (the
+    cache is not consulted — a cached result has no events to replay),
+    though fresh results are still written back.
+    """
+
+    trace_dir: Optional[str] = None
+    trace_limit: Optional[int] = None
+    profile_dir: Optional[str] = None
+
+
+def _cell_filename(cell: SimCell) -> str:
+    """A filesystem-safe stem for per-cell artifact files."""
+    name = f"{cell.benchmark}__{cell.label}"
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in name)
 
 
 def cell_key(cell: SimCell) -> str:
@@ -494,13 +519,19 @@ class RunSummary:
 # The worker entry point
 # ---------------------------------------------------------------------------
 
-def _simulate_cell(payload: Tuple[int, SimCell, int]
-                   ) -> Tuple[int, CellOutcome]:
+def _simulate_cell(payload: Tuple) -> Tuple[int, CellOutcome]:
     """Worker entry point: run one cell attempt, never letting an
     exception escape (an escaped exception would abort the whole pool
-    stream; a structured :class:`CellOutcome` keeps failure per-cell)."""
-    index, cell, attempt = payload
+    stream; a structured :class:`CellOutcome` keeps failure per-cell).
+
+    *payload* is ``(index, cell, attempt)`` or, for instrumented runs,
+    ``(index, cell, attempt, CellInstrumentation)``.
+    """
+    index, cell, attempt = payload[:3]
+    instr = payload[3] if len(payload) > 3 else None
     start = time.perf_counter()
+    sink = None
+    profiler = None
     try:
         # Deterministic fault injection, active only when the environment
         # variable is set (see repro.experiments.faults).
@@ -508,8 +539,29 @@ def _simulate_cell(payload: Tuple[int, SimCell, int]
             from repro.experiments.faults import maybe_inject
             maybe_inject(cell.name, attempt)
         trace = cell.trace()
+        if instr is not None and instr.trace_dir:
+            from repro.trace.sink import JsonlTraceSink
+            sink = JsonlTraceSink(
+                Path(instr.trace_dir) / f"{_cell_filename(cell)}.jsonl",
+                limit=instr.trace_limit)
+        if instr is not None and instr.profile_dir:
+            import cProfile
+            profiler = cProfile.Profile()
         sim_start = time.perf_counter()
-        stats = simulate(trace, cell.config, max_cycles=cell.max_cycles)
+        if profiler is not None:
+            profiler.enable()
+        try:
+            stats = simulate(trace, cell.config, max_cycles=cell.max_cycles,
+                             sink=sink)
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                prof_dir = Path(instr.profile_dir)
+                prof_dir.mkdir(parents=True, exist_ok=True)
+                profiler.dump_stats(
+                    str(prof_dir / f"{_cell_filename(cell)}.prof"))
+            if sink is not None:
+                sink.close()
         return index, CellOutcome(
             status="ok", stats=stats, attempts=attempt,
             seconds=time.perf_counter() - sim_start)
@@ -552,6 +604,17 @@ class Executor:
     * ``checkpoint`` — JSONL path for :class:`RunCheckpoint` (default:
       ``REPRO_CHECKPOINT``); used only when ``cache`` is None, since the
       cache already persists per-cell results as they finish.
+
+    Observability knobs (see :class:`CellInstrumentation`):
+
+    * ``trace_dir`` / ``trace_limit`` — write one JSONL stage-event
+      trace per cell (replayable through ``repro-sim trace``).
+    * ``profile_dir`` — run each cell under :mod:`cProfile`, one
+      ``.prof`` file per cell (inspect with ``python -m pstats``).
+
+    Either knob forces real simulations: cache lookups are skipped (a
+    cached result has no events to replay), but fresh results are still
+    written back to the cache.
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -562,7 +625,10 @@ class Executor:
                  retry_backoff: float = 0.25,
                  serial_fallback: bool = True,
                  fail_fast: bool = False,
-                 checkpoint: Optional[os.PathLike] = None) -> None:
+                 checkpoint: Optional[os.PathLike] = None,
+                 trace_dir: Optional[os.PathLike] = None,
+                 trace_limit: Optional[int] = None,
+                 profile_dir: Optional[os.PathLike] = None) -> None:
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
         self.cache = cache
@@ -582,6 +648,12 @@ class Executor:
         self.checkpoint = (RunCheckpoint(checkpoint)
                            if checkpoint is not None and cache is None
                            else None)
+        self.instrumentation = (
+            CellInstrumentation(
+                trace_dir=str(trace_dir) if trace_dir else None,
+                trace_limit=trace_limit,
+                profile_dir=str(profile_dir) if profile_dir else None)
+            if trace_dir or profile_dir else None)
         #: Summary of the most recent :meth:`run_cells` call.
         self.last_summary: Optional[RunSummary] = None
         #: Per-cell outcomes (simulated or failed; hits are not re-run)
@@ -633,7 +705,10 @@ class Executor:
         use_store = self.cache is not None or self.checkpoint is not None
         for index, cell in enumerate(ordered):
             key = cell_key(cell) if use_store else None
-            if key is not None:
+            # An instrumented run must actually simulate — a cached result
+            # has no events to replay — so hits are skipped (results are
+            # still written back below).
+            if key is not None and self.instrumentation is None:
                 stats = (self.cache.get(key) if self.cache is not None
                          else self.checkpoint.get(key))
                 if stats is not None:
@@ -724,6 +799,11 @@ class Executor:
 
     # -- serial path --------------------------------------------------------
 
+    def _payload(self, index: int, cell: SimCell, attempt: int) -> Tuple:
+        if self.instrumentation is None:
+            return (index, cell, attempt)
+        return (index, cell, attempt, self.instrumentation)
+
     def _run_serial(self, work, record) -> None:
         """In-process execution with the same retry budget as the pool.
 
@@ -736,7 +816,8 @@ class Executor:
             for attempt in range(1, self.max_retries + 2):
                 if attempt > 1 and self.retry_backoff > 0:
                     time.sleep(self.retry_backoff * (2 ** (attempt - 2)))
-                _i, outcome = _simulate_cell((index, cell, attempt))
+                _i, outcome = _simulate_cell(
+                    self._payload(index, cell, attempt))
                 if outcome.ok:
                     break
             record(index, outcome)
@@ -764,7 +845,8 @@ class Executor:
         index, cell, attempt, _not_before = item
         deadline = (time.monotonic() + self.cell_timeout
                     if self.cell_timeout else None)
-        result = pool.apply_async(_simulate_cell, ((index, cell, attempt),))
+        result = pool.apply_async(
+            _simulate_cell, (self._payload(index, cell, attempt),))
         inflight[index] = [result, cell, attempt, deadline]
 
     def _finish_parallel(self, index, cell, outcome, todo, record) -> None:
@@ -781,7 +863,8 @@ class Executor:
             # Last resort: one in-process attempt, so failures caused by
             # the pool itself (pickling, worker env) degrade to jobs=1
             # behavior instead of losing the cell.
-            _i, final = _simulate_cell((index, cell, attempt + 1))
+            _i, final = _simulate_cell(
+                self._payload(index, cell, attempt + 1))
             final.via_fallback = True
             record(index, final)
             return

@@ -25,6 +25,7 @@ from repro.experiments.figures import (
     table2,
 )
 from repro.experiments.executor import Executor
+from repro.experiments.metrics import scheduler_metrics
 from repro.experiments.runner import DEFAULT_INSTS
 
 #: The full evaluation, in the paper's presentation order.
@@ -40,6 +41,7 @@ _SECTIONS = (
     ("Ablation: last-arrival filter", last_arrival_filter_ablation),
     ("Ablation: independent MOPs", independent_mops_ablation),
     ("Ablation: formation scope", scope_sweep),
+    ("Scheduler metrics", scheduler_metrics),
 )
 
 

@@ -9,6 +9,7 @@ keeps the table-shaped :class:`ExperimentResult` container plus the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -52,13 +53,16 @@ class ExperimentResult:
             precision=precision,
         )
         if self.ratio_columns and self.rows:
-            means = {
-                col: geomean(self.rows[n][col] for n in names)
-                for col in self.ratio_columns
-            }
-            summary = "  ".join(f"{col}={means[col]:.3f}"
-                                for col in self.ratio_columns)
-            table += f"\ngeomean: {summary}"
+            parts = []
+            for col in self.ratio_columns:
+                values = [self.rows[n][col] for n in names]
+                finite = [v for v in values if not math.isnan(v)]
+                text = f"{col}={geomean(finite):.3f}"
+                if len(finite) < len(values):
+                    # Failed cells are excluded, but never silently.
+                    text += f" (excl {len(values) - len(finite)} FAILED)"
+                parts.append(text)
+            table += f"\ngeomean: {'  '.join(parts)}"
         if self.notes:
             table += f"\n{self.notes}"
         return table

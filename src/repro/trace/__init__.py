@@ -1,0 +1,64 @@
+"""Cycle-level scheduler observability (``repro.trace``).
+
+A structured tracing subsystem for the timing model: the pipeline emits
+one typed :class:`TraceEvent` per operation per stage (fetch, insert,
+wakeup, select, issue, exec, writeback, commit, replay, squash) into a
+:class:`TraceSink`.  Two backends ship here — an append-only JSONL file
+(:class:`JsonlTraceSink`) and a bounded in-memory ring buffer
+(:class:`RingBufferSink`) — plus :class:`TeeSink` for fan-out.
+
+Tracing is strictly opt-in.  A :class:`~repro.core.pipeline.Processor`
+constructed without a sink never imports this package and pays only a
+single attribute check per would-be event, so untraced simulations are
+bit-identical (and indistinguishable in wall-clock) to pre-trace builds.
+The bench harness asserts that invariant by checking ``repro.trace``
+never shows up in ``sys.modules`` during an untraced session.
+
+Rendering lives in :mod:`repro.core.pipeview` (``repro-sim trace`` turns
+a JSONL trace back into a pipeline diagram); aggregate scheduler metrics
+(replay causes, wakeup-to-select latency, IQ occupancy, the MOP
+formation funnel) are always-on counters in
+:class:`repro.core.stats.SimStats`.
+"""
+
+from repro.trace.events import (
+    EV_COMMIT,
+    EV_EXEC,
+    EV_FETCH,
+    EV_INSERT,
+    EV_ISSUE,
+    EV_REPLAY,
+    EV_SELECT,
+    EV_SQUASH,
+    EV_WAKEUP,
+    EV_WRITEBACK,
+    EVENT_KINDS,
+    TraceEvent,
+)
+from repro.trace.sink import (
+    JsonlTraceSink,
+    RingBufferSink,
+    TeeSink,
+    TraceSink,
+    read_trace,
+)
+
+__all__ = [
+    "TraceEvent",
+    "EVENT_KINDS",
+    "EV_FETCH",
+    "EV_INSERT",
+    "EV_WAKEUP",
+    "EV_SELECT",
+    "EV_ISSUE",
+    "EV_EXEC",
+    "EV_WRITEBACK",
+    "EV_COMMIT",
+    "EV_REPLAY",
+    "EV_SQUASH",
+    "TraceSink",
+    "JsonlTraceSink",
+    "RingBufferSink",
+    "TeeSink",
+    "read_trace",
+]

@@ -1,0 +1,73 @@
+"""Typed per-operation pipeline stage events.
+
+One :class:`TraceEvent` records one operation passing one pipeline stage
+at one cycle.  Events are self-describing (they carry their own cycle),
+so emission order only has to be *deterministic*, not cycle-sorted:
+multi-op macro-op issues, for example, emit the tail's ``exec`` event at
+issue time with its future sequencing cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Stage-event kinds, in pipeline order.
+EV_FETCH = "fetch"          # frontend fetched the op
+EV_INSERT = "insert"        # op entered the issue queue (queue stage)
+EV_WAKEUP = "wakeup"        # entry's last operand arrived; became READY
+EV_SELECT = "select"        # select logic granted the entry an issue slot
+EV_ISSUE = "issue"          # entry left the queue (same cycle as select)
+EV_EXEC = "exec"            # execution begins (select + dispatch depth)
+EV_WRITEBACK = "writeback"  # execution completed
+EV_COMMIT = "commit"        # retired in program order
+EV_REPLAY = "replay"        # issued entry invalidated; will re-issue
+EV_SQUASH = "squash"        # woken entry un-woken (speculation rescinded)
+
+EVENT_KINDS = (
+    EV_FETCH, EV_INSERT, EV_WAKEUP, EV_SELECT, EV_ISSUE,
+    EV_EXEC, EV_WRITEBACK, EV_COMMIT, EV_REPLAY, EV_SQUASH,
+)
+
+_FIELDS = ("cycle", "kind", "seq", "pc", "mnemonic", "role", "eid", "cause")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One operation passing one pipeline stage.
+
+    ``role`` is the macro-op role glyph (``"H"`` head, ``"T"`` tail,
+    ``" "`` solo); ``eid`` the issue-queue entry id sharing members of a
+    macro-op; ``cause`` is set on ``replay``/``squash`` events
+    (``raise`` — a load broadcast re-raised after a cache miss,
+    ``pileup`` — a scoreboard pileup victim, ``squash`` — collateral of
+    another entry's invalidation or a select-free collision squash).
+    """
+
+    cycle: int
+    kind: str
+    seq: int
+    pc: int
+    mnemonic: str
+    role: str = " "
+    eid: Optional[int] = None
+    cause: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "cycle": self.cycle,
+            "kind": self.kind,
+            "seq": self.seq,
+            "pc": self.pc,
+            "mnemonic": self.mnemonic,
+            "role": self.role,
+            "eid": self.eid,
+        }
+        if self.cause is not None:
+            payload["cause"] = self.cause
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceEvent":
+        return cls(**{name: payload[name] for name in _FIELDS
+                      if name in payload})

@@ -1,0 +1,119 @@
+"""Trace sinks: where pipeline stage events go.
+
+All sinks implement the two-method :class:`TraceSink` protocol —
+``emit(event)`` and ``close()`` — so anything with those methods (e.g. a
+:class:`~repro.core.pipeview.PipeViewer`) can be handed straight to
+:meth:`Processor.set_trace_sink`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from pathlib import Path
+from typing import Iterator, List, Optional, Protocol
+
+from repro.trace.events import TraceEvent
+
+
+class TraceSink(Protocol):
+    """Anything that can receive pipeline stage events."""
+
+    def emit(self, event: TraceEvent) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class JsonlTraceSink:
+    """Appends one JSON object per event to a file.
+
+    ``limit`` bounds the number of events written (the trace of a long
+    run is dominated by its first repeating pattern anyway); events past
+    the limit are counted in ``dropped`` instead of written, so the
+    caller can report truncation honestly.
+    """
+
+    def __init__(self, path: os.PathLike,
+                 limit: Optional[int] = None) -> None:
+        self.path = Path(path)
+        self.limit = limit
+        self.emitted = 0
+        self.dropped = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("w")
+
+    def emit(self, event: TraceEvent) -> None:
+        if self.limit is not None and self.emitted >= self.limit:
+            self.dropped += 1
+            return
+        self._file.write(json.dumps(event.to_dict(),
+                                    separators=(",", ":")) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RingBufferSink:
+    """Keeps the most recent *capacity* events in memory.
+
+    The cheap always-available backend: attach one, run, inspect
+    ``sink.events`` — no filesystem involved.  ``total`` counts every
+    emitted event, including the ones the ring has since evicted.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self._ring: deque = deque(maxlen=capacity)
+        self.total = 0
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._ring)
+
+    def emit(self, event: TraceEvent) -> None:
+        self._ring.append(event)
+        self.total += 1
+
+    def close(self) -> None:
+        pass
+
+
+class TeeSink:
+    """Fans one event stream out to several sinks."""
+
+    def __init__(self, *sinks) -> None:
+        self.sinks = [sink for sink in sinks if sink is not None]
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_trace(path: os.PathLike) -> Iterator[TraceEvent]:
+    """Stream :class:`TraceEvent` objects back out of a JSONL trace.
+
+    Tolerates a torn final line (a traced run that died mid-write)
+    rather than raising — everything before it parses normally.
+    """
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            yield TraceEvent.from_dict(payload)

@@ -163,6 +163,10 @@ class TestReporting:
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
         assert geomean([]) == 0.0
 
+    def test_geomean_nan_poisons(self):
+        import math
+        assert math.isnan(geomean([1.0, float("nan"), 4.0]))
+
     def test_render_bars(self):
         from repro.analysis.reporting import render_bars
         text = render_bars("B", {"x": 0.5, "y": 1.0}, width=10,

@@ -378,7 +378,9 @@ class TestConsumers:
                             executor=ex).render()
         assert "FAILED" in rendered
         assert "vortex" in rendered  # the good row still renders
-        assert "geomean" in rendered  # NaN rows drop out of the geomean
+        # NaN rows are excluded from the geomean with an explicit marker.
+        assert "geomean" in rendered
+        assert "excl 1 FAILED" in rendered
 
     def test_sweep_renders_failed_marker(self, monkeypatch):
         inject(monkeypatch, "gap/base@8=raise")

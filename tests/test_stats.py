@@ -1,8 +1,15 @@
 """Unit tests for statistics accounting."""
 
+import math
+
 import pytest
 
-from repro.core.stats import SimStats
+from repro.core.stats import (
+    REPLAY_PILEUP,
+    REPLAY_RAISE,
+    REPLAY_SQUASH,
+    SimStats,
+)
 
 
 class TestDerived:
@@ -10,8 +17,11 @@ class TestDerived:
         stats = SimStats(cycles=200, committed_insts=300)
         assert stats.ipc == pytest.approx(1.5)
 
-    def test_ipc_zero_cycles(self):
-        assert SimStats().ipc == 0.0
+    def test_ipc_zero_cycles_is_nan(self):
+        # NaN, not 0.0: a FAILED/empty cell must poison downstream ratios
+        # instead of dragging geomeans toward zero.
+        assert math.isnan(SimStats().ipc)
+        assert math.isnan(SimStats().uipc)
 
     def test_uipc_counts_ops(self):
         stats = SimStats(cycles=100, committed_insts=90, committed_ops=110)
@@ -24,11 +34,18 @@ class TestDerived:
         assert stats.grouped_fraction == pytest.approx(0.35)
 
     def test_insert_reduction(self):
-        stats = SimStats(committed_ops=100, iq_inserts=84)
+        stats = SimStats(iq_insert_ops=100, iq_inserts=84)
         assert stats.insert_reduction == pytest.approx(0.16)
 
     def test_insert_reduction_empty(self):
         assert SimStats().insert_reduction == 0.0
+
+    def test_insert_reduction_same_population(self):
+        # Regression: the old inserts-over-committed-ops ratio went negative
+        # when a max_cycles-truncated run inserted ops that never committed.
+        stats = SimStats(committed_ops=10, iq_inserts=84, iq_insert_ops=100)
+        assert stats.insert_reduction == pytest.approx(0.16)
+        assert stats.insert_reduction >= 0.0
 
     def test_breakdown_sums_to_one(self):
         stats = SimStats(committed_ops=50, mop_valuegen=10,
@@ -42,3 +59,39 @@ class TestDerived:
         grouped = SimStats(cycles=10, committed_insts=5, mops_formed=2,
                            committed_ops=5, mop_valuegen=2)
         assert "mops" in grouped.summary()
+
+
+class TestObservability:
+    def test_replay_causes(self):
+        stats = SimStats(replayed_ops=10, replay_raise=6, replay_pileup=3,
+                         replay_squash=1)
+        causes = stats.replay_causes()
+        assert causes == {REPLAY_RAISE: 6, REPLAY_PILEUP: 3, REPLAY_SQUASH: 1}
+        assert sum(causes.values()) == stats.replayed_ops
+
+    def test_avg_wakeup_to_select(self):
+        stats = SimStats(wakeup_to_select_cycles=30, wakeup_to_select_count=10)
+        assert stats.avg_wakeup_to_select == pytest.approx(3.0)
+        assert math.isnan(SimStats().avg_wakeup_to_select)
+
+    def test_iq_occupancy(self):
+        stats = SimStats(iq_occupancy_hist={"0": 10, "8": 10, "32": 20})
+        assert stats.iq_occupancy_mean == pytest.approx((80 + 640) / 40)
+        assert stats.iq_occupancy_quantile(0.5) == 8.0
+        assert stats.iq_occupancy_quantile(1.0) == 32.0
+        assert math.isnan(SimStats().iq_occupancy_mean)
+        assert math.isnan(SimStats().iq_occupancy_quantile(0.5))
+
+    def test_mop_funnel(self):
+        stats = SimStats(mop_pointers_created=40, mop_pending_heads=12,
+                         mops_formed=25, mop_pending_abandoned=3)
+        assert stats.mop_funnel() == {
+            "pointers": 40, "pending": 12, "formed": 25, "abandoned": 3}
+
+    def test_summary_mentions_replay_causes_only_when_present(self):
+        plain = SimStats(cycles=10, committed_insts=5)
+        assert "replay causes" not in plain.summary()
+        replayed = SimStats(cycles=10, committed_insts=5, replayed_ops=4,
+                            replay_raise=4, max_replays_seen=2)
+        assert "replay causes" in replayed.summary()
+        assert "raise=4" in replayed.summary()

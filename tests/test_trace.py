@@ -1,0 +1,356 @@
+"""Tests for the repro.trace observability subsystem.
+
+Covers the event/sink layer, the pipeline's emission sites, the
+no-overhead-when-off invariants (stats bit-identical, package never
+imported), replay-cause accounting, the replay-storm bound, executor
+instrumentation and the CLI surface.
+"""
+
+import json
+import math
+import os
+import pickle
+import subprocess
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import MachineConfig, SchedulerKind, simulate
+from repro.core.pipeline import (
+    Processor,
+    ReplayStormError,
+    SimulationError,
+)
+from repro.core.pipeview import PipeViewer
+from repro.core.stats import REPLAY_PILEUP, REPLAY_RAISE, REPLAY_SQUASH
+from repro.experiments.executor import Executor, ResultCache, SimCell
+from repro.trace import (
+    EVENT_KINDS,
+    JsonlTraceSink,
+    RingBufferSink,
+    TeeSink,
+    TraceEvent,
+    read_trace,
+)
+from repro.workloads import generate_trace, get_profile
+from tests.conftest import TraceBuilder, chain_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def miss_trace():
+    """A load that misses all the way to memory, plus its consumer."""
+    tb = TraceBuilder()
+    tb.load(dest=1, base=9, mem_hint=2)
+    tb.alu(dest=2, srcs=(1,))
+    return tb.build()
+
+
+# ---------------------------------------------------------------------------
+# Events and sinks
+# ---------------------------------------------------------------------------
+
+class TestEvents:
+    def test_roundtrip(self):
+        event = TraceEvent(cycle=7, kind="replay", seq=3, pc=0x40,
+                           mnemonic="lw", role="H", eid=5, cause="raise")
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_cause_omitted_when_none(self):
+        event = TraceEvent(cycle=1, kind="issue", seq=0, pc=0,
+                           mnemonic="alu")
+        payload = event.to_dict()
+        assert "cause" not in payload
+        assert TraceEvent.from_dict(payload) == event
+
+
+class TestSinks:
+    def test_jsonl_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "t" / "trace.jsonl"
+        events = [TraceEvent(cycle=i, kind="commit", seq=i, pc=i,
+                             mnemonic="alu") for i in range(5)]
+        with JsonlTraceSink(path) as sink:
+            for event in events:
+                sink.emit(event)
+        assert sink.emitted == 5 and sink.dropped == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        json.loads(lines[0])  # each line is one JSON object
+        assert list(read_trace(path)) == events
+
+    def test_jsonl_sink_limit(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path, limit=3) as sink:
+            for i in range(10):
+                sink.emit(TraceEvent(cycle=i, kind="commit", seq=i, pc=i,
+                                     mnemonic="alu"))
+        assert sink.emitted == 3 and sink.dropped == 7
+        assert len(list(read_trace(path))) == 3
+
+    def test_read_trace_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.emit(TraceEvent(cycle=0, kind="fetch", seq=0, pc=0,
+                                 mnemonic="alu"))
+        with path.open("a") as handle:
+            handle.write('{"cycle": 1, "kind": "fet')  # died mid-write
+        assert len(list(read_trace(path))) == 1
+
+    def test_ring_buffer_caps(self):
+        sink = RingBufferSink(capacity=4)
+        for i in range(10):
+            sink.emit(TraceEvent(cycle=i, kind="commit", seq=i, pc=i,
+                                 mnemonic="alu"))
+        assert sink.total == 10
+        assert len(sink.events) == 4
+        assert sink.events[0].cycle == 6  # oldest evicted
+
+    def test_tee_fans_out(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        tee = TeeSink(a, None, b)
+        tee.emit(TraceEvent(cycle=0, kind="fetch", seq=0, pc=0,
+                            mnemonic="alu"))
+        tee.close()
+        assert a.total == 1 and b.total == 1
+
+
+# ---------------------------------------------------------------------------
+# Pipeline emission
+# ---------------------------------------------------------------------------
+
+class TestPipelineEmission:
+    def test_event_stream_covers_op_lifecycle(self):
+        sink = RingBufferSink()
+        stats = simulate(chain_trace(20),
+                         MachineConfig(iq_size=None), sink=sink)
+        events = sink.events
+        assert {e.kind for e in events} <= set(EVENT_KINDS)
+        for seq in range(20):
+            kinds = {e.kind for e in events if e.seq == seq}
+            assert {"fetch", "insert", "wakeup", "select", "issue",
+                    "exec", "writeback", "commit"} <= kinds
+        commits = [e for e in events if e.kind == "commit"]
+        assert len(commits) == stats.committed_ops
+
+    def test_replay_events_carry_cause(self):
+        sink = RingBufferSink()
+        stats = simulate(miss_trace(), MachineConfig(), sink=sink)
+        assert stats.replayed_ops >= 1
+        replays = [e for e in sink.events if e.kind == "replay"]
+        assert replays
+        assert all(e.cause == REPLAY_RAISE for e in replays if e.seq == 1)
+
+    def test_tracing_changes_no_stats(self):
+        trace = generate_trace(get_profile("gap"), 1500)
+        for kind in SchedulerKind:
+            config = MachineConfig(scheduler=kind)
+            plain = simulate(trace, config)
+            traced = simulate(trace, config, sink=RingBufferSink())
+            assert asdict(plain) == asdict(traced), kind
+
+    def test_untraced_run_never_imports_trace_package(self):
+        code = (
+            "import sys\n"
+            "from repro.core import MachineConfig, simulate\n"
+            "from repro.workloads.kernels import kernel_trace\n"
+            "simulate(kernel_trace('vector_sum'),"
+            " MachineConfig.paper_default())\n"
+            "assert 'repro.trace' not in sys.modules,"
+            " 'untraced run imported repro.trace'\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+
+# ---------------------------------------------------------------------------
+# Replay-cause accounting and the storm bound
+# ---------------------------------------------------------------------------
+
+class TestReplayAccounting:
+    def test_causes_sum_to_replayed_ops(self):
+        trace = generate_trace(get_profile("mcf"), 1500)
+        for kind in SchedulerKind:
+            stats = simulate(trace, MachineConfig(scheduler=kind))
+            assert (stats.replay_raise + stats.replay_pileup
+                    + stats.replay_squash) == stats.replayed_ops, kind
+
+    def test_scoreboard_is_pileup_dominated(self):
+        # EXPERIMENTS.md §6.5: scoreboard victims are discovered late and
+        # burn issue slots, so its replay mix is dominated by pileups.
+        trace = generate_trace(get_profile("gap"), 1500)
+        stats = simulate(trace, MachineConfig(
+            scheduler=SchedulerKind.SELECT_FREE_SCOREBOARD))
+        assert stats.replay_pileup > stats.replay_raise
+        assert stats.replay_pileup > stats.replay_squash
+        assert stats.replay_pileup > stats.replayed_ops / 2
+
+    def test_max_replays_seen_recorded(self):
+        stats = simulate(miss_trace(), MachineConfig())
+        assert stats.max_replays_seen >= 1
+
+    def test_storm_raises_with_tight_limit(self):
+        with pytest.raises(ReplayStormError) as info:
+            simulate(miss_trace(), MachineConfig(replay_limit=0))
+        err = info.value
+        assert err.replays == 1
+        assert err.cycle is not None and err.seq is not None
+
+    def test_storm_error_is_simulation_error(self):
+        assert issubclass(ReplayStormError, SimulationError)
+
+    def test_storm_error_pickles(self):
+        # The executor ships worker exceptions across process boundaries.
+        err = ReplayStormError("boom", cycle=10, seq=3, pc=0x40, replays=7)
+        clone = pickle.loads(pickle.dumps(err))
+        assert (clone.cycle, clone.seq, clone.pc, clone.replays) \
+            == (10, 3, 0x40, 7)
+
+    def test_unbounded_limit_allowed(self):
+        stats = simulate(miss_trace(), MachineConfig(replay_limit=None))
+        assert stats.replayed_ops >= 1
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(replay_limit=-1)
+
+
+# ---------------------------------------------------------------------------
+# PipeViewer as a trace consumer
+# ---------------------------------------------------------------------------
+
+GOLDEN_RENDER = """\
+cycle origin: 6
+    0   alu      |i    eC                         |
+    1   alu      | i    eC                        |
+    2   alu      |  i    eC                       |
+    3   alu      |   i    eC                      |
+    4   alu      |q   i    eC                     |
+    5   alu      |q    i    eC                    |
+    6   alu      |q     i    eC                   |
+    7   alu      |q      i    eC                  |"""
+
+
+class TestPipeViewer:
+    def test_render_golden(self):
+        processor = Processor(
+            MachineConfig(iq_size=None, scheduler=SchedulerKind.BASE),
+            chain_trace(8))
+        viewer = PipeViewer.attach(processor)
+        processor.run()
+        assert viewer.render(start=0, count=8, width=32) == GOLDEN_RENDER
+
+    def test_from_jsonl_matches_live_attach(self, tmp_path):
+        trace = chain_trace(60, loop=True)
+        config = MachineConfig(scheduler=SchedulerKind.MACRO_OP)
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            processor = Processor(config, trace, sink=sink)
+            live = PipeViewer.attach(processor)  # tees alongside the file
+            processor.run()
+        replayed = PipeViewer.from_jsonl(path)
+        assert replayed.timelines == live.timelines
+        assert replayed.render(0, 16) == live.render(0, 16)
+
+    def test_replay_causes_on_timeline(self):
+        sink = RingBufferSink()
+        simulate(miss_trace(), MachineConfig(), sink=sink)
+        viewer = PipeViewer()
+        viewer.record(sink.events)
+        assert REPLAY_RAISE in viewer.timelines[1].replay_causes
+
+
+# ---------------------------------------------------------------------------
+# Executor instrumentation
+# ---------------------------------------------------------------------------
+
+def _cells(n_insts=1200):
+    config = MachineConfig.paper_default()
+    return [SimCell("gap", "base", config, n_insts, 1),
+            SimCell("vortex", "base", config, n_insts, 1)]
+
+
+class TestExecutorInstrumentation:
+    def test_serial_and_parallel_traces_identical(self, tmp_path):
+        serial_dir, parallel_dir = tmp_path / "s", tmp_path / "p"
+        Executor(jobs=1, trace_dir=serial_dir).run_cells(_cells())
+        Executor(jobs=2, trace_dir=parallel_dir).run_cells(_cells())
+        names = sorted(p.name for p in serial_dir.iterdir())
+        assert names == sorted(p.name for p in parallel_dir.iterdir())
+        assert len(names) == 2
+        for name in names:
+            assert (serial_dir / name).read_bytes() \
+                == (parallel_dir / name).read_bytes()
+
+    def test_trace_limit_truncates(self, tmp_path):
+        ex = Executor(jobs=1, trace_dir=tmp_path, trace_limit=50)
+        ex.run_cells(_cells()[:1])
+        (path,) = tmp_path.iterdir()
+        assert len(list(read_trace(path))) == 50
+
+    def test_instrumented_run_skips_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cells = _cells()
+        Executor(jobs=1, cache=cache).run_cells(cells)
+        ex = Executor(jobs=1, cache=cache, trace_dir=tmp_path / "traces")
+        results = ex.run_cells(cells)
+        assert ex.last_summary.cache_hits == 0
+        assert ex.last_summary.simulated == len(cells)
+        assert len(list((tmp_path / "traces").iterdir())) == len(cells)
+        assert len(results) == len(cells)
+
+    def test_profile_dir_writes_prof_files(self, tmp_path):
+        ex = Executor(jobs=1, profile_dir=tmp_path)
+        ex.run_cells(_cells()[:1])
+        profs = list(tmp_path.glob("*.prof"))
+        assert len(profs) == 1
+        import pstats
+        pstats.Stats(str(profs[0]))  # parseable profile data
+
+    def test_traced_stats_match_untraced(self, tmp_path):
+        (cell,) = _cells()[:1]
+        plain = Executor(jobs=1).run_cells([cell])[cell]
+        traced = Executor(jobs=1,
+                          trace_dir=tmp_path).run_cells([cell])[cell]
+        assert asdict(plain) == asdict(traced)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_run_trace_then_render(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["run", "vector_sum", "--scheduler", "base",
+                     "--trace", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert path.exists()
+        assert "trace:" in captured.err
+        assert main(["trace", str(path), "--count", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle origin" in out
+        assert "committed" in out  # viewer summary line
+
+    def test_run_trace_limit(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["run", "vector_sum", "--scheduler", "base",
+                     "--trace", str(path), "--trace-limit", "25"]) == 0
+        assert "dropped" in capsys.readouterr().err
+        assert len(list(read_trace(path))) == 25
+
+    def test_figure_trace_dir(self, tmp_path, capsys):
+        traces = tmp_path / "traces"
+        assert main(["figure", "14", "--insts", "800",
+                     "--benchmarks", "gap", "--jobs", "1", "--no-cache",
+                     "--trace-dir", str(traces)]) == 0
+        capsys.readouterr()
+        files = sorted(traces.iterdir())
+        assert files  # one JSONL per cell
+        assert main(["trace", str(files[0])]) == 0
+        assert "cycle origin" in capsys.readouterr().out
