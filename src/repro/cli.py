@@ -12,6 +12,8 @@ Installed as ``repro-sim`` (see pyproject).  Examples::
     repro-sim report --jobs 4
     repro-sim cache info
     repro-sim list
+    repro lint                    # simlint static invariant checker
+    repro lint --format json --select SL001,SL002
 
 ``figure``/``table``/``report`` fan their simulation grids out over
 ``--jobs`` worker processes and cache per-cell results on disk
@@ -165,6 +167,23 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--width", type=int, default=64,
                        help="timeline width in cycles")
 
+    lint = sub.add_parser(
+        "lint", help="run the simlint static invariant checker")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: src/repro "
+                           "in a checkout, else the installed package)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      dest="lint_format", help="report format")
+    lint.add_argument("--select", default="",
+                      help="comma-separated rule codes (default: all)")
+    lint.add_argument("--root", default=None,
+                      help="directory dotted module names are computed "
+                           "from (default: inferred per file)")
+    lint.add_argument("--output", default=None, metavar="FILE",
+                      help="also write the report to FILE")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
     cache = sub.add_parser("cache",
                            help="inspect or clear the result cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -269,6 +288,24 @@ def _cmd_report(args) -> int:
     return _report_summary(executor)
 
 
+def _cmd_lint(args) -> int:
+    # Lazy import: the checker (and its rule registry) should cost
+    # nothing unless asked for — the same contract simlint enforces on
+    # repro.trace.
+    from repro.devtools.simlint.cli import main as simlint_main
+    argv = list(args.paths)
+    argv += ["--format", args.lint_format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.root:
+        argv += ["--root", args.root]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return simlint_main(argv)
+
+
 def _cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
@@ -303,6 +340,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table": _cmd_table,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "lint": _cmd_lint,
         "cache": _cmd_cache,
         "list": _cmd_list,
     }[args.command]

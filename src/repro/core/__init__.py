@@ -17,6 +17,8 @@ macro-op machinery, which imports this package's config module, and eager
 re-export would close that cycle.
 """
 
+from typing import Any
+
 from repro.core.config import MachineConfig, SchedulerKind, WakeupStyle
 from repro.core.stats import SimStats
 
@@ -32,7 +34,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     if name in ("Processor", "simulate", "SimulationError", "DeadlockError"):
         from repro.core import pipeline
         return getattr(pipeline, name)

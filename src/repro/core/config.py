@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Optional
 
 
 class SchedulerKind(str, enum.Enum):
@@ -173,12 +173,12 @@ class MachineConfig:
     # -- convenience constructors -------------------------------------------
 
     @classmethod
-    def paper_default(cls, **overrides) -> "MachineConfig":
+    def paper_default(cls, **overrides: Any) -> "MachineConfig":
         """Table 1 configuration (32-entry issue queue)."""
         return cls(**overrides)
 
     @classmethod
-    def unrestricted_queue(cls, **overrides) -> "MachineConfig":
+    def unrestricted_queue(cls, **overrides: Any) -> "MachineConfig":
         """Table 1 with the unrestricted issue queue (Figure 14)."""
         overrides.setdefault("iq_size", None)
         return cls(**overrides)

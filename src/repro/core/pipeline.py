@@ -30,7 +30,13 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
+
+if TYPE_CHECKING:
+    # Annotation-only: core must never import repro.trace eagerly
+    # (SL002); the event class is loaded lazily in set_trace_sink.
+    from repro.trace.sink import TraceSink
 
 from repro.core.config import MachineConfig
 from repro.core.frontend import Frontend
@@ -76,7 +82,7 @@ from repro.mop.formation import (
     MopFormation,
 )
 from repro.mop.detection import MopDetector
-from repro.mop.pointers import INDEPENDENT, PointerCache
+from repro.mop.pointers import INDEPENDENT, MopPointer, PointerCache
 from repro.workloads.trace import Trace
 
 # Event kinds, in same-cycle processing priority order.
@@ -120,7 +126,7 @@ class DeadlockError(SimulationError):
         self.cycle = cycle
         self.pending = dict(pending) if pending else {}
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[type, tuple]:
         return (type(self), (self.args[0], self.cycle, self.pending))
 
 
@@ -144,7 +150,7 @@ class ReplayStormError(SimulationError):
         self.pc = pc
         self.replays = replays
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[type, tuple]:
         return (type(self), (self.args[0], self.cycle, self.seq,
                              self.pc, self.replays))
 
@@ -164,7 +170,7 @@ class Processor:
     """
 
     def __init__(self, config: MachineConfig, trace: Trace,
-                 sink=None) -> None:
+                 sink: Optional["TraceSink"] = None) -> None:
         self.config = config
         self.discipline = make_discipline(config)
         self.stats = SimStats()
@@ -223,7 +229,7 @@ class Processor:
     # Tracing
     # ------------------------------------------------------------------
 
-    def set_trace_sink(self, sink) -> None:
+    def set_trace_sink(self, sink: Optional["TraceSink"]) -> None:
         """Attach (or, with None, detach) a trace sink.
 
         The event class is imported lazily right here, so a processor
@@ -694,7 +700,7 @@ class Processor:
             inserted_ops += self._execute_directive(directive, now)
 
     @staticmethod
-    def _directive_cost(directive) -> Dict[str, int]:
+    def _directive_cost(directive: FormationDirective) -> Dict[str, int]:
         if directive.verb == MOP:
             return {"iq": 1, "rob": 2 + len(directive.extra_tails)}
         if directive.verb == ATTACH:
@@ -703,7 +709,8 @@ class Processor:
             return {"iq": 1, "rob": 1}
         return {"iq": 1, "rob": 1}
 
-    def _tag_directives(self, directives) -> None:
+    def _tag_directives(
+            self, directives: Iterable[FormationDirective]) -> None:
         """Set macro-op roles and Figure 13 categories at formation time."""
         for directive in directives:
             if directive.verb == MOP:
@@ -732,7 +739,8 @@ class Processor:
             return KIND_MOP_VALUEGEN
         return KIND_MOP_NONVALUEGEN
 
-    def _execute_directive(self, directive, now: int) -> int:
+    def _execute_directive(self, directive: FormationDirective,
+                           now: int) -> int:
         verb = directive.verb
         if verb == SOLO:
             self._insert_solo(directive.uop, now)
@@ -766,8 +774,8 @@ class Processor:
         if entry.all_sources_ready():
             self._make_ready(entry, now, earliest_select=now + 1)
 
-    def _insert_mop(self, head: Uop, tail: Uop, pointer, now: int,
-                    extras=()) -> None:
+    def _insert_mop(self, head: Uop, tail: Uop, pointer: MopPointer,
+                    now: int, extras: Sequence[Uop] = ()) -> None:
         members = [tail, *extras]
         entry = IQEntry(head, sched_latency=max(2, 1 + len(members)))
         entry.is_mop = True
@@ -785,7 +793,8 @@ class Processor:
         if entry.all_sources_ready():
             self._make_ready(entry, now, earliest_select=now + 1)
 
-    def _insert_pending(self, head: Uop, pointer, now: int) -> None:
+    def _insert_pending(self, head: Uop, pointer: MopPointer,
+                        now: int) -> None:
         entry = IQEntry(head, sched_latency=2)
         entry.is_mop = True
         entry.mop_kind = pointer.kind
@@ -796,7 +805,8 @@ class Processor:
         self._pending_entries.append(entry)
         self._pending_deadline[entry.eid] = now + PENDING_TIMEOUT
 
-    def _attach_tail(self, directive, now: int) -> None:
+    def _attach_tail(self, directive: FormationDirective,
+                     now: int) -> None:
         head = directive.head_uop
         tail = directive.uop
         entry = head.entry
@@ -979,7 +989,7 @@ def simulate(
     trace: Trace,
     config: Optional[MachineConfig] = None,
     max_cycles: Optional[int] = None,
-    sink=None,
+    sink: Optional["TraceSink"] = None,
 ) -> SimStats:
     """Run *trace* through a :class:`Processor` and return its statistics.
 

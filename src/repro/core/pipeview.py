@@ -25,10 +25,14 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.core.pipeline import Processor
-from repro.trace.events import TraceEvent
+
+if TYPE_CHECKING:
+    # Annotation-only: an eager import here would violate the layering
+    # contract (core must not load repro.trace at import time — SL002).
+    from repro.trace.events import TraceEvent
 
 
 @dataclass

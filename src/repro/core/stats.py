@@ -173,6 +173,7 @@ class SimStats:
         (with abandoned pending heads as the leak)."""
         return {
             "pointers": self.mop_pointers_created,
+            "deleted": self.mop_pointers_deleted,
             "pending": self.mop_pending_heads,
             "formed": self.mops_formed,
             "abandoned": self.mop_pending_abandoned,
@@ -189,15 +190,35 @@ class SimStats:
             "not_candidate": self.not_candidate / total,
         }
 
+    def stall_breakdown(self) -> Dict[str, int]:
+        """Cycles lost to each backpressure source."""
+        return {
+            "fetch": self.fetch_stall_cycles,
+            "iq_full": self.iq_full_stall_cycles,
+            "rob_full": self.rob_full_stall_cycles,
+        }
+
     def summary(self) -> str:
         lines = [
             f"cycles={self.cycles} insts={self.committed_insts}"
             f" IPC={self.ipc:.3f}",
+            f"fetched_ops={self.fetched_ops}"
+            f" issued={self.issued_entries} entries"
+            f" ({self.issued_ops} ops)",
             f"branches={self.branches}"
             f" mispredicts={self.mispredicted_branches}",
             f"loads={self.loads} dl1_misses={self.dl1_load_misses}"
+            f" l2_misses={self.l2_load_misses}"
             f" replayed_ops={self.replayed_ops}",
+            f"stall cycles: fetch={self.fetch_stall_cycles}"
+            f" iq_full={self.iq_full_stall_cycles}"
+            f" rob_full={self.rob_full_stall_cycles}",
         ]
+        if self.select_collisions or self.pileup_victims:
+            lines.append(
+                f"select-free: collisions={self.select_collisions}"
+                f" pileup_victims={self.pileup_victims}"
+            )
         if self.replayed_ops:
             lines.append(
                 f"replay causes: raise={self.replay_raise}"

@@ -1,0 +1,8 @@
+"""Development tooling that ships with the repository.
+
+Nothing under :mod:`repro.devtools` is imported by the simulator or the
+experiment harness at runtime — these are maintainer-facing programs
+(static analysis, calibration helpers) that happen to live inside the
+package so they can be run from any checkout or install via
+``python -m repro.devtools.<tool>``.
+"""

@@ -1,0 +1,56 @@
+"""simlint — AST-based invariant checker for the repro codebase.
+
+Six repository-specific rules, each guarding a contract that previously
+existed only as a runtime test (and in two cases as a fixed production
+bug):
+
+========  ==============================================================
+SL001     determinism: no wall-clock or ambient randomness in
+          ``repro.core`` / ``repro.mop`` / ``repro.memory``
+SL002     layering: the model layer never eagerly imports
+          ``repro.trace`` / ``repro.experiments`` / ``repro.cli``
+SL003     picklability: exceptions survive the executor's worker-pool
+          boundary (the DeadlockError bug)
+SL004     stats schema: every ``SimStats`` counter is surfaced by an
+          accessor
+SL005     cache key: every ``SimCell``/``MachineConfig`` field is hashed
+          or explicitly excluded (the ``max_cycles`` bug)
+SL006     exception hygiene: no bare ``except:`` / swallowed
+          ``BaseException`` outside the fault harness
+========  ==============================================================
+
+Run it as ``repro lint`` or ``python -m repro.devtools.simlint``;
+suppress a single line with ``# simlint: disable=SL001`` (see
+``docs/invariants.md``).
+"""
+
+from repro.devtools.simlint.engine import (
+    Finding,
+    Project,
+    REGISTRY,
+    Rule,
+    SourceError,
+    SourceModule,
+    all_rules,
+    lint_paths,
+    load_modules,
+    register,
+    run_rules,
+)
+from repro.devtools.simlint.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "Project",
+    "REGISTRY",
+    "Rule",
+    "SourceError",
+    "SourceModule",
+    "all_rules",
+    "lint_paths",
+    "load_modules",
+    "register",
+    "render_json",
+    "render_text",
+    "run_rules",
+]

@@ -1,0 +1,77 @@
+"""simlint command line: ``python -m repro.devtools.simlint`` / ``repro lint``.
+
+Exit status: 0 clean, 1 findings, 2 operational error (unreadable or
+syntactically invalid source).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.devtools.simlint.engine import (SourceError, all_rules,
+                                           lint_paths)
+from repro.devtools.simlint.reporters import render_json, render_text
+
+
+def _default_paths() -> List[Path]:
+    """``src/repro`` from a checkout root, else the installed package."""
+    checkout = Path("src") / "repro"
+    if checkout.is_dir():
+        return [checkout]
+    import repro
+    return [Path(repro.__file__).parent]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=("AST-based invariant checker for the repro codebase: "
+                     "determinism, layering, picklability, schema and "
+                     "cache-key completeness, exception hygiene"),
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text", help="report format")
+    parser.add_argument("--select", default="",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="directory dotted module names are computed "
+                             "from (default: inferred per file)")
+    parser.add_argument("--output", type=Path, default=None, metavar="FILE",
+                        help="also write the report to FILE")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code} [{rule.name}] {rule.description}")
+        return 0
+    paths = args.paths or _default_paths()
+    select = [code for code in args.select.split(",") if code.strip()] \
+        or None
+    try:
+        findings = lint_paths(paths, root=args.root, select=select)
+    except SourceError as exc:
+        print(f"simlint: error: {exc}", file=sys.stderr)
+        return 2
+    report = (render_json(findings) if args.format == "json"
+              else render_text(findings))
+    print(report)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(report + "\n")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,284 @@
+"""The simlint engine: source model, rule registry, suppressions, runner.
+
+simlint is an AST-based invariant checker for *this* repository.  Where
+ruff enforces generic Python hygiene, simlint enforces the repro-specific
+contracts that only ever existed as runtime tests before: determinism of
+the simulated core, lazy trace imports, picklable worker exceptions,
+stats-schema completeness, cache-key completeness, and no swallowed
+exceptions.  Each contract is a :class:`Rule` with a stable ``SLxxx``
+code; findings can be suppressed per line with::
+
+    something_suspicious()  # simlint: disable=SL001
+    another_thing()         # simlint: disable=SL001,SL006
+    escape_hatch()          # simlint: disable=all
+
+The engine is dependency-free (``ast`` + ``tokenize`` only) so it runs
+anywhere the simulator runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+#: Matches the per-line suppression directive.  ``all`` disables every
+#: rule on the line; otherwise a comma-separated list of codes.
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: " \
+               f"{self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Source model
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SourceModule:
+    """One parsed Python file plus the metadata rules key off.
+
+    ``name`` is the dotted module path *within the scanned tree* — for
+    ``<root>/src/repro/core/stats.py`` it is ``repro.core.stats``.  Rules
+    scope themselves by this name, so fixture trees that mirror the
+    package layout are linted exactly like the real one.
+    """
+
+    path: Path
+    rel: str
+    name: str
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True if this module lives under any of the dotted *prefixes*."""
+        for prefix in prefixes:
+            if self.name == prefix or self.name.startswith(prefix + "."):
+                return True
+        return False
+
+    def suppressed_codes(self, line: int) -> frozenset:
+        """Codes disabled on physical *line* (1-based) by a directive."""
+        if not 1 <= line <= len(self.lines):
+            return frozenset()
+        match = _SUPPRESS_RE.search(self.lines[line - 1])
+        if not match:
+            return frozenset()
+        return frozenset(
+            token.strip() for token in match.group(1).split(",")
+            if token.strip())
+
+
+class Project:
+    """Every module the current lint run can see."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules: List[SourceModule] = list(modules)
+        self._by_name: Dict[str, SourceModule] = {
+            module.name: module for module in self.modules}
+
+    def module(self, name: str) -> Optional[SourceModule]:
+        return self._by_name.get(name)
+
+    def in_package(self, *prefixes: str) -> Iterator[SourceModule]:
+        for module in self.modules:
+            if module.in_package(*prefixes):
+                yield module
+
+
+def _module_name(path: Path, root: Path) -> str:
+    """Dotted module name for *path* relative to the scan *root*.
+
+    A ``src`` layout component is stripped, so both ``repo/`` and
+    ``repo/src/`` roots produce ``repro.core.stats``-style names.
+    """
+    parts = list(path.relative_to(root).with_suffix("").parts)
+    while parts and parts[0] in ("src",):
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class SourceError(Exception):
+    """A file could not be read or parsed (reported, never swallowed)."""
+
+    def __init__(self, path: Path, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.reason))
+
+
+def load_modules(paths: Sequence[Path],
+                 root: Optional[Path] = None) -> Project:
+    """Parse every ``.py`` file under *paths* into a :class:`Project`.
+
+    *root* anchors dotted module names; it defaults to the common parent
+    of *paths* (so linting ``src/repro`` names modules ``repro.*``).
+    Unparseable files raise :class:`SourceError` — a syntax error in the
+    tree is itself a finding-worthy event, not something to skip.
+    """
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    modules = []
+    for file in files:
+        anchor = _anchor_for(file, root)
+        try:
+            text = file.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=str(file))
+        except (OSError, SyntaxError, ValueError) as exc:
+            raise SourceError(file, str(exc)) from exc
+        modules.append(SourceModule(
+            path=file,
+            rel=str(file),
+            name=_module_name(file, anchor),
+            text=text,
+            tree=tree,
+            lines=text.splitlines(),
+        ))
+    return Project(modules)
+
+
+def _anchor_for(file: Path, root: Optional[Path]) -> Path:
+    """Directory dotted names are computed from, for one file."""
+    if root is not None:
+        return Path(root)
+    # Walk up past every package directory (those holding an
+    # __init__.py); the first non-package ancestor anchors the name.
+    current = file.parent
+    while (current / "__init__.py").exists() and current.parent != current:
+        current = current.parent
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Rules and the registry
+# ---------------------------------------------------------------------------
+
+class Rule:
+    """Base class: one invariant with a stable code.
+
+    Subclasses set ``code``/``name``/``description`` and implement either
+    :meth:`check_module` (called once per module) or :meth:`check`
+    (called once per project) — whichever matches the rule's granularity.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self.check_module(module, project)
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, module: SourceModule, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(code=self.code, message=message, path=module.rel,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0))
+
+
+#: ``code -> rule class`` for every registered rule.
+REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule_cls* to :data:`REGISTRY`."""
+    if not rule_cls.code:
+        raise ValueError(f"{rule_cls.__name__} has no code")
+    if rule_cls.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, ordered by code."""
+    _load_builtin_rules()
+    return [REGISTRY[code]() for code in sorted(REGISTRY)]
+
+
+def _load_builtin_rules() -> None:
+    # Import for the registration side effect; idempotent.
+    from repro.devtools.simlint import rules as _rules  # noqa: F401
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+def run_rules(project: Project,
+              select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Run (optionally a subset of) the registered rules over *project*.
+
+    Per-line ``# simlint: disable=...`` directives are honoured here, so
+    every reporter sees the same post-suppression finding list.  Findings
+    come back sorted by location then code — stable for golden tests.
+    """
+    wanted = {code.strip() for code in select} if select else None
+    findings: List[Finding] = []
+    for rule in all_rules():
+        if wanted is not None and rule.code not in wanted:
+            continue
+        for finding in rule.check(project):
+            module = _module_for(project, finding.path)
+            if module is not None:
+                disabled = module.suppressed_codes(finding.line)
+                if finding.code in disabled or "all" in disabled:
+                    continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def _module_for(project: Project, rel: str) -> Optional[SourceModule]:
+    for module in project.modules:
+        if module.rel == rel:
+            return module
+    return None
+
+
+def lint_paths(paths: Sequence[Path], root: Optional[Path] = None,
+               select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Convenience wrapper: load *paths* and run the rules."""
+    return run_rules(load_modules(paths, root=root), select=select)

@@ -1,0 +1,36 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.devtools.simlint.engine import Finding, all_rules
+
+
+def render_text(findings: List[Finding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding + a tally."""
+    if not findings:
+        return "simlint: clean"
+    lines = [finding.render() for finding in findings]
+    by_code: dict = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    tally = ", ".join(f"{code} x{count}"
+                      for code, count in sorted(by_code.items()))
+    lines.append(f"simlint: {len(findings)} finding(s) ({tally})")
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding]) -> str:
+    """Stable JSON document: rule catalogue + findings + totals."""
+    document = {
+        "tool": "simlint",
+        "rules": {
+            rule.code: {"name": rule.name, "description": rule.description}
+            for rule in all_rules()
+        },
+        "findings": [finding.as_dict() for finding in findings],
+        "total": len(findings),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

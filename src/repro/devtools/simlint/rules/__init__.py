@@ -1,0 +1,28 @@
+"""Built-in simlint rules.
+
+Importing this package registers every rule with the engine registry
+(:data:`repro.devtools.simlint.engine.REGISTRY`).  Each module holds one
+rule, named after the invariant it guards:
+
+========  =====================================================
+SL001     determinism — no wall-clock or ambient randomness in
+          the simulated core
+SL002     layering — core never imports trace/experiments/cli
+          eagerly
+SL003     picklability — exceptions survive the worker-pool
+          boundary
+SL004     stats schema — every SimStats counter is surfaced
+SL005     cache key — every SimCell/MachineConfig field is hashed
+          or excluded
+SL006     no bare ``except:`` / swallowed ``BaseException``
+========  =====================================================
+"""
+
+from repro.devtools.simlint.rules import (  # noqa: F401
+    cache_key,
+    determinism,
+    exceptions,
+    layering,
+    picklability,
+    stats_schema,
+)

@@ -1,0 +1,134 @@
+"""SL005 — the result-cache key must cover every cell parameter.
+
+The on-disk cache returns yesterday's stats whenever a cell hashes the
+same; a ``SimCell`` field that changes simulation behaviour but is
+missing from :func:`repro.experiments.executor.cell_key` makes two
+*different* simulations collide — the PR 2 ``max_cycles`` bug, where a
+truncated run could satisfy a full-length request from cache.  The fix
+pattern is structural, so this rule enforces it structurally:
+
+* every ``SimCell`` dataclass field must be referenced inside
+  ``cell_key`` (hashed into the payload), **or** listed in the module's
+  ``CACHE_KEY_EXCLUDED`` frozenset — the documented set of
+  presentation-only fields (today: ``label``);
+* the ``config`` field must be hashed via ``asdict(cell.config)`` so
+  every present *and future* ``MachineConfig`` field participates
+  automatically (hashing ``str(config)`` or a hand-picked field list
+  would drift the same way);
+* exclusions that are not (or are no longer) ``SimCell`` fields are
+  flagged as stale, so the exclusion set cannot rot either.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.simlint.engine import (Finding, Project, Rule,
+                                           register)
+from repro.devtools.simlint.rules.common import (dataclass_fields,
+                                                 string_constants)
+
+EXECUTOR_MODULE = "repro.experiments.executor"
+CELL_CLASS = "SimCell"
+KEY_FUNCTION = "cell_key"
+EXCLUSION_NAME = "CACHE_KEY_EXCLUDED"
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_function(tree: ast.Module,
+                   name: str) -> Optional[ast.FunctionDef]:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_exclusions(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name) and t.id == EXCLUSION_NAME
+                        for t in node.targets):
+            return node
+    return None
+
+
+@register
+class CacheKeyRule(Rule):
+    code = "SL005"
+    name = "cache-key"
+    description = (
+        "every SimCell field must be hashed into cell_key() or listed in "
+        "CACHE_KEY_EXCLUDED; MachineConfig must enter the key via "
+        "asdict(cell.config) so new config fields can never be forgotten"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        module = project.module(EXECUTOR_MODULE)
+        if module is None:
+            return
+        cell_cls = _find_class(module.tree, CELL_CLASS)
+        key_func = _find_function(module.tree, KEY_FUNCTION)
+        if cell_cls is None or key_func is None:
+            return
+        fields = dataclass_fields(cell_cls)
+
+        exclusions_node = _find_exclusions(module.tree)
+        excluded = (string_constants(exclusions_node.value)
+                    if exclusions_node is not None else frozenset())
+
+        receiver = (key_func.args.args[0].arg
+                    if key_func.args.args else "cell")
+        hashed = set()
+        config_via_asdict = False
+        for node in ast.walk(key_func):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == receiver:
+                hashed.add(node.attr)
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id == "asdict":
+                for arg in node.args:
+                    if isinstance(arg, ast.Attribute) \
+                            and arg.attr == "config" \
+                            and isinstance(arg.value, ast.Name) \
+                            and arg.value.id == receiver:
+                        config_via_asdict = True
+
+        for name, node in fields.items():
+            if name in excluded:
+                if name in hashed:
+                    yield self.finding(
+                        module, exclusions_node or node,
+                        f"SimCell.{name} is listed in {EXCLUSION_NAME} "
+                        f"but also referenced in {KEY_FUNCTION}() — "
+                        f"remove one; a field cannot be both hashed and "
+                        f"excluded")
+                continue
+            if name not in hashed:
+                yield self.finding(
+                    module, node,
+                    f"SimCell.{name} is not hashed into "
+                    f"{KEY_FUNCTION}() and not listed in "
+                    f"{EXCLUSION_NAME}; two cells differing only in "
+                    f"{name} would collide in the result cache (the "
+                    f"max_cycles/CACHE_SCHEMA=2 bug)")
+        if "config" in fields and "config" not in excluded \
+                and not config_via_asdict:
+            yield self.finding(
+                module, key_func,
+                f"{KEY_FUNCTION}() must hash the machine configuration "
+                f"via asdict({receiver}.config) so every MachineConfig "
+                f"field — present and future — participates in the key")
+        for name in sorted(excluded - set(fields)):
+            yield self.finding(
+                module, exclusions_node,
+                f"{EXCLUSION_NAME} entry {name!r} is not a SimCell "
+                f"field — stale exclusion; delete it")

@@ -1,0 +1,147 @@
+"""Shared AST helpers for simlint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map each locally bound name to the qualified thing it imports.
+
+    ``import time``                → ``{"time": "time"}``
+    ``import os.path``             → ``{"os": "os"}``
+    ``import numpy.random as npr`` → ``{"npr": "numpy.random"}``
+    ``from time import time``      → ``{"time": "time.time"}``
+    ``from datetime import datetime as dt`` →
+    ``{"dt": "datetime.datetime"}``
+    """
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    names[alias.asname] = alias.name
+                else:
+                    # `import a.b` binds `a`.
+                    root = alias.name.split(".")[0]
+                    names[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue    # relative imports never hit stdlib modules
+            for alias in node.names:
+                local = alias.asname or alias.name
+                names[local] = f"{node.module}.{alias.name}"
+    return names
+
+
+def dotted_name(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]`` for Name/Attribute chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def resolve_qualified(node: ast.AST,
+                      imports: Dict[str, str]) -> Optional[str]:
+    """Qualified dotted name of *node*, resolved through *imports*.
+
+    Returns None when the chain does not start at an imported name —
+    locals shadowing a module name therefore cannot false-positive.
+    """
+    parts = dotted_name(node)
+    if not parts:
+        return None
+    qualified = imports.get(parts[0])
+    if qualified is None:
+        return None
+    return ".".join([qualified] + parts[1:])
+
+
+def is_type_checking_test(test: ast.AST) -> bool:
+    """True for ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:``."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def eager_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Statements executed at import time.
+
+    Descends into class bodies, ``try``/``with`` blocks and ``if``
+    branches (import-time control flow) but not into function bodies
+    (deferred) or ``if TYPE_CHECKING:`` bodies (never executed).
+    """
+    def walk(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in body:
+            yield stmt
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                if not is_type_checking_test(stmt.test):
+                    yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from walk(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                yield from walk(stmt.body)
+                for handler in stmt.handlers:
+                    yield from walk(handler.body)
+                yield from walk(stmt.orelse)
+                yield from walk(stmt.finalbody)
+            elif isinstance(stmt, ast.With):
+                yield from walk(stmt.body)
+    return walk(tree.body)
+
+
+def class_methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    """Directly defined methods of *cls*, by name."""
+    return {stmt.name: stmt for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def dataclass_fields(cls: ast.ClassDef) -> Dict[str, ast.AnnAssign]:
+    """Annotated instance fields of a (data)class body, by name.
+
+    Skips private names and ``ClassVar`` annotations.
+    """
+    fields: Dict[str, ast.AnnAssign] = {}
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        if stmt.target.id.startswith("_"):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields[stmt.target.id] = stmt
+    return fields
+
+
+def self_attribute_reads(func: ast.FunctionDef,
+                         self_name: str = "self") -> frozenset:
+    """Names of attributes accessed on *self_name* inside *func*."""
+    reads = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == self_name:
+            reads.add(node.attr)
+    return frozenset(reads)
+
+
+def string_constants(node: ast.AST) -> frozenset:
+    """Every string literal anywhere under *node*."""
+    return frozenset(
+        child.value for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str))

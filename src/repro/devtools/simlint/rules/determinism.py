@@ -1,0 +1,84 @@
+"""SL001 — the simulated core must be a pure function of its inputs.
+
+The whole reproduction rests on bit-identical serial/parallel runs (the
+executor assembles results in input order and diffs byte-for-byte, and
+the result cache replays stats across processes and days).  One
+``time.time()`` tie-breaker or module-level ``random.random()`` inside
+the timing model silently breaks that contract in ways the runtime tests
+only catch when the schedule happens to wobble.  This rule bans ambient
+wall-clock and randomness sources from :mod:`repro.core`,
+:mod:`repro.mop` and :mod:`repro.memory`.
+
+Seeded generators are the sanctioned pattern: construct
+``random.Random(seed)`` and thread it explicitly (as
+:mod:`repro.workloads.synthetic` does — workloads are outside this
+rule's scope precisely because they do it right).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.engine import (Finding, Project, Rule,
+                                           SourceModule, register)
+from repro.devtools.simlint.rules.common import import_map, resolve_qualified
+
+#: Packages that must stay deterministic.
+SCOPE = ("repro.core", "repro.mop", "repro.memory")
+
+#: Exact qualified callables that read wall-clock or entropy.
+BANNED = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "time.sleep",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "random.SystemRandom",
+})
+
+#: Prefixes banned wholesale: the module-level ``random.*`` functions all
+#: draw from the shared, unseeded global generator, and everything in
+#: ``secrets`` is entropy by definition.
+BANNED_PREFIXES = ("random.", "secrets.")
+
+#: The allowed exceptions under the banned prefixes.
+ALLOWED = frozenset({"random.Random"})
+
+
+@register
+class DeterminismRule(Rule):
+    code = "SL001"
+    name = "determinism"
+    description = (
+        "no wall-clock reads or ambient randomness inside the simulated "
+        "core (repro.core / repro.mop / repro.memory); pass seeds and "
+        "cycle counts instead"
+    )
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterator[Finding]:
+        if not module.in_package(*SCOPE):
+            return
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = resolve_qualified(node.func, imports)
+            if qualified is None:
+                continue
+            if qualified in ALLOWED:
+                continue
+            if qualified in BANNED or qualified.startswith(BANNED_PREFIXES):
+                yield self.finding(
+                    module, node,
+                    f"nondeterministic call {qualified}() in the simulated "
+                    f"core; results must be a pure function of (trace, "
+                    f"config, seed) — thread a seeded random.Random or the "
+                    f"cycle counter instead",
+                )

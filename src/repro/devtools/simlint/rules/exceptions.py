@@ -1,0 +1,79 @@
+"""SL006 — no bare ``except:`` and no swallowed ``BaseException``.
+
+A bare ``except:`` (or ``except BaseException:`` without a re-raise)
+eats ``KeyboardInterrupt`` and ``SystemExit`` — in this codebase that
+turns Ctrl-C during a grid run into a worker that *keeps simulating*,
+and hides the executor's own control-flow exceptions.  The few places
+that legitimately need to intercept everything (the fault-injection
+harness, whose whole job is to misbehave on purpose) are exempted by
+module, and any other deliberate use can carry a per-line suppression
+that documents itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.engine import (Finding, Project, Rule,
+                                           SourceModule, register)
+
+#: Modules allowed to intercept everything: the fault-injection harness
+#: exists to simulate arbitrary misbehaviour.
+EXEMPT_MODULES = ("repro.experiments.faults",)
+
+
+def _mentions_base_exception(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "BaseException"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "BaseException"
+    if isinstance(node, ast.Tuple):
+        return any(_mentions_base_exception(elt) for elt in node.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True if the handler body contains any ``raise`` of its own
+    (nested function bodies do not count — they run later, if ever)."""
+    stack = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    code = "SL006"
+    name = "exception-hygiene"
+    description = (
+        "no bare `except:` and no `except BaseException:` that fails to "
+        "re-raise, anywhere outside the fault-injection harness"
+    )
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterator[Finding]:
+        if module.in_package(*EXEMPT_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare `except:` swallows KeyboardInterrupt/SystemExit"
+                    " — catch a concrete exception type (SimulationError,"
+                    " OSError, ...) instead")
+            elif _mentions_base_exception(node.type) \
+                    and not _reraises(node):
+                yield self.finding(
+                    module, node,
+                    "`except BaseException:` without a re-raise swallows "
+                    "interpreter control-flow exceptions; re-raise, or "
+                    "catch Exception")

@@ -1,0 +1,84 @@
+"""SL002 — the core never imports observability or harness layers eagerly.
+
+PR 3's contract: an untraced simulation must never pay for (or even
+import) :mod:`repro.trace` — the bench harness asserts
+``"repro.trace" not in sys.modules`` after a plain run.  More broadly,
+the dependency arrow points one way: ``core/mop/memory/isa`` are the
+model; ``trace``, ``experiments`` and ``cli`` consume them.  A stray
+top-level import from a lower layer both inverts the architecture and
+reintroduces the eager-import cost this codebase already fought to
+remove.
+
+Lazy imports inside functions are fine (that *is* the sanctioned
+pattern), as are ``if TYPE_CHECKING:`` blocks — annotations are strings
+under ``from __future__ import annotations``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.engine import (Finding, Project, Rule,
+                                           SourceModule, register)
+from repro.devtools.simlint.rules.common import eager_statements
+
+#: Model-layer packages that must not know about the layers above.
+SCOPE = ("repro.core", "repro.mop", "repro.memory", "repro.isa")
+
+#: Packages the model layer may only import lazily (inside a function)
+#: or for type checking.
+FORBIDDEN = ("repro.trace", "repro.experiments", "repro.cli")
+
+
+def _forbidden_target(name: str) -> str:
+    """The forbidden package *name* belongs to, or '' if allowed."""
+    for target in FORBIDDEN:
+        if name == target or name.startswith(target + "."):
+            return target
+    return ""
+
+
+@register
+class LayeringRule(Rule):
+    code = "SL002"
+    name = "layering"
+    description = (
+        "repro.core/mop/memory/isa must not import repro.trace, "
+        "repro.experiments or repro.cli at module import time; use a "
+        "function-local import or an `if TYPE_CHECKING:` block"
+    )
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterator[Finding]:
+        if not module.in_package(*SCOPE):
+            return
+        for stmt in eager_statements(module.tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    target = _forbidden_target(alias.name)
+                    if target:
+                        yield self._finding(module, stmt, alias.name, target)
+            elif isinstance(stmt, ast.ImportFrom) and stmt.level == 0 \
+                    and stmt.module is not None:
+                target = _forbidden_target(stmt.module)
+                if target:
+                    yield self._finding(module, stmt, stmt.module, target)
+                    continue
+                # `from repro import trace` binds the subpackage too.
+                if stmt.module == "repro":
+                    for alias in stmt.names:
+                        target = _forbidden_target(f"repro.{alias.name}")
+                        if target:
+                            yield self._finding(
+                                module, stmt, f"repro.{alias.name}", target)
+
+    def _finding(self, module: SourceModule, stmt: ast.stmt,
+                 imported: str, target: str) -> Finding:
+        return self.finding(
+            module, stmt,
+            f"eager import of {imported} from the model layer "
+            f"({module.name}); {target} must only be imported lazily "
+            f"inside the function that needs it (untraced runs must "
+            f"never load it) or under `if TYPE_CHECKING:`",
+        )

@@ -1,0 +1,170 @@
+"""SL003 — every exception must survive the worker-pool boundary.
+
+The executor ships worker failures back to the dispatcher as pickled
+payloads; an exception whose ``__init__`` signature diverges from the
+``args`` it hands to ``Exception.__init__`` either explodes on unpickle
+(``TypeError: __init__() missing ... arguments`` — the PR 2
+``DeadlockError`` bug) or silently drops its diagnostic payload on the
+floor.  Default exception pickling reconstructs via ``cls(*self.args)``,
+so a class is safe only when one of these holds:
+
+* it defines no custom ``__init__`` (``args`` is the constructor call);
+* its ``__init__`` forwards **exactly its own parameters, in order** to
+  ``super().__init__(...)``;
+* it defines ``__reduce__`` (or ``__reduce_ex__`` /
+  ``__getnewargs__``) rebuilding the full payload.
+
+This rule finds exception classes (transitively, by base-name reachability
+within the linted tree) that satisfy none of the above.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.simlint.engine import (Finding, Project, Rule,
+                                           SourceModule, register)
+from repro.devtools.simlint.rules.common import class_methods
+
+#: Methods whose presence means the author took over pickling.
+_PICKLE_HOOKS = frozenset({
+    "__reduce__", "__reduce_ex__", "__getnewargs__", "__getnewargs_ex__",
+    "__getstate__",
+})
+
+#: Base names that seed "this is an exception" reachability.  Matching is
+#: by final identifier, which is exactly how humans name these things.
+_SEED_MARKERS = ("Error", "Exception", "Warning")
+_SEED_EXACT = frozenset({"BaseException", "KeyboardInterrupt", "SystemExit"})
+
+
+def _base_names(cls: ast.ClassDef) -> List[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Attribute):
+            names.append(base.attr)      # e.g. pickle.PicklingError
+        elif isinstance(base, ast.Name):
+            names.append(base.id)
+    return names
+
+
+def _looks_exceptional(name: str) -> bool:
+    return name in _SEED_EXACT or name.endswith(_SEED_MARKERS)
+
+
+def _exception_classes(project: Project
+                       ) -> Iterator[Tuple[SourceModule, ast.ClassDef]]:
+    """Every class def that is (transitively) an exception type."""
+    classes: List[Tuple[SourceModule, ast.ClassDef]] = []
+    bases: Dict[str, List[str]] = {}
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                classes.append((module, node))
+                bases.setdefault(node.name, []).extend(_base_names(node))
+    exceptional: Set[str] = {
+        name for name in bases if _looks_exceptional(name)}
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name in exceptional:
+                continue
+            if any(_looks_exceptional(parent) or parent in exceptional
+                   for parent in parents):
+                exceptional.add(name)
+                changed = True
+    for module, node in classes:
+        if node.name in exceptional:
+            yield module, node
+
+
+def _super_init_args(init: ast.FunctionDef) -> Optional[List[str]]:
+    """Positional ``Name`` args of the ``super().__init__(...)`` call.
+
+    None when there is no such call, or when the call is too clever to
+    verify statically (starred args, keywords, computed expressions).
+    """
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr == "__init__"):
+            continue
+        value = func.value
+        is_super = (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "super")
+        is_explicit_base = isinstance(value, ast.Name)
+        if not (is_super or is_explicit_base):
+            continue
+        if node.keywords:
+            return None
+        args = node.args
+        if is_explicit_base:
+            # BaseClass.__init__(self, ...) — drop the explicit self.
+            args = args[1:]
+        names = []
+        for arg in args:
+            if not isinstance(arg, ast.Name):
+                return None
+            names.append(arg.id)
+        return names
+    return None
+
+
+@register
+class PicklabilityRule(Rule):
+    code = "SL003"
+    name = "picklability"
+    description = (
+        "exception classes must round-trip through pickle: forward the "
+        "full __init__ signature to super().__init__, or define "
+        "__reduce__ (the executor ships worker exceptions across the "
+        "pool boundary)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module, cls in _exception_classes(project):
+            methods = class_methods(cls)
+            if _PICKLE_HOOKS & set(methods):
+                continue
+            init = methods.get("__init__")
+            if init is None:
+                continue
+            params = [arg.arg for arg in init.args.args[1:]]
+            if not params and not init.args.kwonlyargs:
+                continue
+            if init.args.vararg is not None:
+                # *args passthroughs are self-describing; trust them.
+                continue
+            if init.args.kwonlyargs:
+                yield self._finding(
+                    module, cls,
+                    "keyword-only __init__ parameters cannot be rebuilt "
+                    "by default exception pickling (cls(*args))")
+                continue
+            forwarded = _super_init_args(init)
+            if forwarded == params:
+                continue
+            if forwarded is None:
+                why = ("__init__ never forwards its arguments to "
+                       "super().__init__ verbatim")
+            else:
+                missing = [p for p in params if p not in forwarded]
+                why = (f"super().__init__ receives {forwarded!r} but "
+                       f"__init__ takes {params!r}"
+                       + (f" — {', '.join(missing)} would be lost or "
+                          f"crash on unpickle" if missing else ""))
+            yield self._finding(module, cls, why)
+
+    def _finding(self, module: SourceModule, cls: ast.ClassDef,
+                 why: str) -> Finding:
+        return self.finding(
+            module, cls,
+            f"exception {cls.name} will not survive pickling across the "
+            f"worker-pool boundary: {why}; define __reduce__ returning "
+            f"(type(self), (<full payload>)) like DeadlockError does",
+        )

@@ -1,0 +1,68 @@
+"""SL004 — every ``SimStats`` counter must be surfaced by an accessor.
+
+``SimStats`` is the schema of record: the result cache serializes it
+with ``dataclasses.asdict`` and rebuilds it with ``SimStats(**payload)``,
+and the report/metrics layers read it only through its methods and
+properties.  A counter that the pipeline increments but no ``SimStats``
+accessor (``summary()``, a property, ``replay_causes()``,
+``mop_funnel()``, ...) ever reads is schema drift: it silently bloats
+every cache entry and checkpoint line while being invisible in every
+rendered table — the counter *looks* collected but nobody can see it.
+
+This rule parses the ``SimStats`` class in ``repro.core.stats`` and
+flags any public dataclass field never read as ``self.<field>`` inside
+one of its own methods.  Genuinely write-only bookkeeping fields can be
+acknowledged explicitly with ``# simlint: disable=SL004`` on the field's
+definition line — the suppression then documents the decision in place.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.engine import (Finding, Project, Rule,
+                                           register)
+from repro.devtools.simlint.rules.common import (class_methods,
+                                                 dataclass_fields,
+                                                 self_attribute_reads)
+
+#: Where the schema lives and what it is called.
+STATS_MODULE = "repro.core.stats"
+STATS_CLASS = "SimStats"
+
+
+@register
+class StatsSchemaRule(Rule):
+    code = "SL004"
+    name = "stats-schema"
+    description = (
+        "every public SimStats dataclass field must be read by at least "
+        "one SimStats method/property (summary(), a derived metric, a "
+        "breakdown dict); write-only counters are invisible schema drift"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        module = project.module(STATS_MODULE)
+        if module is None:
+            return
+        stats_cls = None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == STATS_CLASS:
+                stats_cls = node
+                break
+        if stats_cls is None:
+            return
+        fields = dataclass_fields(stats_cls)
+        reads: set = set()
+        for method in class_methods(stats_cls).values():
+            reads |= self_attribute_reads(method)
+        for name, node in fields.items():
+            if name not in reads:
+                yield self.finding(
+                    module, node,
+                    f"SimStats.{name} is never read by any SimStats "
+                    f"accessor — surface it in summary() or a derived "
+                    f"metric (or acknowledge write-only status with a "
+                    f"suppression on this line)",
+                )

@@ -68,7 +68,8 @@ from collections import deque
 from dataclasses import asdict, dataclass, field
 from multiprocessing import Pool
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, TextIO, Tuple)
 
 from repro.core import MachineConfig, SimStats, simulate
 from repro.core.pipeline import DeadlockError
@@ -148,6 +149,16 @@ class CellInstrumentation:
     trace_dir: Optional[str] = None
     trace_limit: Optional[int] = None
     profile_dir: Optional[str] = None
+
+
+#: SimCell fields deliberately left out of :func:`cell_key`, with why.
+#: simlint's SL005 rule enforces that every other field is hashed, and
+#: that entries here never drift out of sync with the dataclass.
+#:
+#: * ``label`` — pure presentation: the column header a result is shown
+#:   under.  Two cells with different labels but identical parameters
+#:   *should* share one cached simulation.
+CACHE_KEY_EXCLUDED = frozenset({"label"})
 
 
 def _cell_filename(cell: SimCell) -> str:
@@ -407,11 +418,17 @@ class CellFailedError(RuntimeError):
         self.cell = cell
         self.outcome = outcome
 
+    def __reduce__(self) -> Tuple[type, tuple]:
+        # Default exception pickling would call CellFailedError(message)
+        # and crash on the missing arguments (SL003 / the DeadlockError
+        # bug); rebuild from the full payload instead.
+        return (type(self), (self.cell, self.outcome))
+
 
 class _NanRow(dict):
     """Dict whose missing keys read as NaN (for FailedStats breakdowns)."""
 
-    def __missing__(self, key):
+    def __missing__(self, key: object) -> float:
         return float("nan")
 
 
@@ -430,7 +447,7 @@ class FailedStats:
         self.outcome = outcome
         self.failed = True
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> float:
         if name.startswith("_"):
             raise AttributeError(name)
         return float("nan")
@@ -619,7 +636,7 @@ class Executor:
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 progress: bool = False, stream=None,
+                 progress: bool = False, stream: Optional[TextIO] = None,
                  cell_timeout: Optional[float] = None,
                  max_retries: int = 2,
                  retry_backoff: float = 0.25,
@@ -804,7 +821,8 @@ class Executor:
             return (index, cell, attempt)
         return (index, cell, attempt, self.instrumentation)
 
-    def _run_serial(self, work, record) -> None:
+    def _run_serial(self, work: List[Tuple[int, SimCell]],
+                    record: Callable[[int, CellOutcome], None]) -> None:
         """In-process execution with the same retry budget as the pool.
 
         No pool, no pickling — and no preemption, so ``cell_timeout``
@@ -824,13 +842,15 @@ class Executor:
 
     # -- parallel path ------------------------------------------------------
 
-    def _spawn_pool(self, jobs: int):
+    def _spawn_pool(self, jobs: int) -> Tuple[Any, set]:
+        # The pool is typed Any: worker-death detection must peek at the
+        # undocumented `_pool` worker list, which typeshed hides.
         pool = Pool(processes=jobs)
-        pids = {proc.pid for proc in pool._pool}
+        pids = {proc.pid for proc in pool._pool}  # type: ignore[attr-defined]
         return pool, pids
 
     @staticmethod
-    def _pool_broken(pool, pids) -> bool:
+    def _pool_broken(pool: Any, pids: set) -> bool:
         """True if any worker died (nonzero exit, or the pool's
         maintenance thread already replaced it — the pid set changed)."""
         procs = list(pool._pool)
@@ -841,7 +861,8 @@ class Executor:
     def _backoff(self, attempt: int) -> float:
         return self.retry_backoff * (2 ** (attempt - 1))
 
-    def _dispatch(self, pool, inflight, item) -> None:
+    def _dispatch(self, pool: Any, inflight: Dict[int, list],
+                  item: list) -> None:
         index, cell, attempt, _not_before = item
         deadline = (time.monotonic() + self.cell_timeout
                     if self.cell_timeout else None)
@@ -849,7 +870,10 @@ class Executor:
             _simulate_cell, (self._payload(index, cell, attempt),))
         inflight[index] = [result, cell, attempt, deadline]
 
-    def _finish_parallel(self, index, cell, outcome, todo, record) -> None:
+    def _finish_parallel(self, index: int, cell: SimCell,
+                         outcome: CellOutcome, todo: deque,
+                         record: Callable[[int, CellOutcome], None]
+                         ) -> None:
         """Handle a completed pool attempt: record, retry, or fall back."""
         if outcome.ok:
             record(index, outcome)
@@ -870,7 +894,9 @@ class Executor:
             return
         record(index, outcome)
 
-    def _run_pool(self, work, record, summary: RunSummary) -> None:
+    def _run_pool(self, work: List[Tuple[int, SimCell]],
+                  record: Callable[[int, CellOutcome], None],
+                  summary: RunSummary) -> None:
         jobs = min(self.jobs, len(work))
         # Dispatch in trace-identity order so workers reuse their
         # per-process trace caches as much as possible.

@@ -58,7 +58,7 @@ class JsonlTraceSink:
     def __enter__(self) -> "JsonlTraceSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -89,7 +89,7 @@ class RingBufferSink:
 class TeeSink:
     """Fans one event stream out to several sinks."""
 
-    def __init__(self, *sinks) -> None:
+    def __init__(self, *sinks: Optional[TraceSink]) -> None:
         self.sinks = [sink for sink in sinks if sink is not None]
 
     def emit(self, event: TraceEvent) -> None:

@@ -1,0 +1,18 @@
+# Known-bad fixture: wall-clock and ambient randomness in the simulated
+# core.  Copied under repro/core/ by the test harness; SL001 must flag
+# every call below.
+import random
+import time
+from os import urandom
+
+
+def tiebreak() -> float:
+    return time.time()
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def entropy() -> bytes:
+    return urandom(8)

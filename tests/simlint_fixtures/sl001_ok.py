@@ -1,0 +1,15 @@
+# Clean fixture for SL001: the sanctioned determinism patterns — a
+# seeded generator threaded explicitly, and cycle counters for time.
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def draw(rng: random.Random) -> float:
+    return rng.random()
+
+
+def elapsed(now_cycle: int, start_cycle: int) -> int:
+    return now_cycle - start_cycle

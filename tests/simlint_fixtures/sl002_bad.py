@@ -1,0 +1,11 @@
+# Known-bad fixture: the PR 3 regression — an eager repro.trace import
+# in the model layer.  Copied under repro/core/; SL002 must flag both
+# imports (the second is eager too: class bodies execute at import time).
+from repro.trace.events import TraceEvent
+
+
+class Recorder:
+    import repro.experiments  # noqa: F401
+
+    def note(self, event: TraceEvent) -> None:
+        self.last = event

@@ -1,0 +1,10 @@
+# Clean fixture for SL002: the sanctioned lazy-import patterns.
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.trace.events import TraceEvent
+
+
+def emit(event: "TraceEvent") -> None:
+    from repro.trace.sink import JsonlTraceSink
+    JsonlTraceSink("/tmp/t.jsonl").emit(event)

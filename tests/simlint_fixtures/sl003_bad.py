@@ -1,0 +1,9 @@
+# Known-bad fixture: the original DeadlockError shape — an exception
+# whose __init__ collapses its payload into a single message before
+# calling super().__init__, with no __reduce__.  Unpickling in the
+# worker-pool path raises TypeError (missing positional arguments).
+class StuckError(Exception):
+    def __init__(self, cycle: int, head: str) -> None:
+        super().__init__(f"stuck at cycle {cycle}: {head}")
+        self.cycle = cycle
+        self.head = head

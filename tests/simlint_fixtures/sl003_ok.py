@@ -1,0 +1,21 @@
+# Clean fixture for SL003: both sanctioned shapes — a __reduce__ that
+# rebuilds from the full payload, and an __init__ that forwards its
+# arguments to super().__init__ verbatim.
+from typing import Tuple
+
+
+class StuckError(Exception):
+    def __init__(self, cycle: int, head: str) -> None:
+        super().__init__(f"stuck at cycle {cycle}: {head}")
+        self.cycle = cycle
+        self.head = head
+
+    def __reduce__(self) -> Tuple[type, tuple]:
+        return (type(self), (self.cycle, self.head))
+
+
+class ForwardingError(Exception):
+    def __init__(self, cycle: int, head: str) -> None:
+        super().__init__(cycle, head)
+        self.cycle = cycle
+        self.head = head

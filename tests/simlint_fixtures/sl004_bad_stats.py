@@ -1,0 +1,14 @@
+# Known-bad fixture: a SimStats with a write-only counter.  Copied to
+# repro/core/stats.py by the test harness; SL004 must flag the field
+# that no accessor ever reads.
+from dataclasses import dataclass
+
+
+@dataclass
+class SimStats:
+    cycles: int = 0
+    fetched_ops: int = 0
+    ghost_counter: int = 0
+
+    def ipc(self) -> float:
+        return self.fetched_ops / max(1, self.cycles)

@@ -1,0 +1,17 @@
+# Clean fixture for SL004: every SimStats counter is surfaced by at
+# least one accessor, so nothing can silently stop being reported.
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    cycles: int = 0
+    fetched_ops: int = 0
+    ghost_counter: int = 0
+
+    def ipc(self) -> float:
+        return self.fetched_ops / max(1, self.cycles)
+
+    def extras(self) -> Dict[str, int]:
+        return {"ghost": self.ghost_counter}

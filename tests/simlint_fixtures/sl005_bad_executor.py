@@ -1,0 +1,30 @@
+# Known-bad fixture: a cell_key that forgets max_cycles (the PR 2 cache
+# collision), hashes the config as a string instead of asdict(), and
+# carries a stale exclusion.  Copied to repro/experiments/executor.py by
+# the test harness; SL005 must flag all three defects.
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class Config:
+    width: int = 8
+
+
+@dataclass
+class SimCell:
+    config: Config
+    profile: str
+    num_insts: int
+    seed: int
+    max_cycles: Optional[int] = None
+    label: str = ""
+
+
+CACHE_KEY_EXCLUDED = frozenset({"label", "colour"})
+
+
+def cell_key(cell: SimCell) -> str:
+    payload = f"{cell.config}|{cell.profile}|{cell.num_insts}|{cell.seed}"
+    return hashlib.sha256(payload.encode()).hexdigest()

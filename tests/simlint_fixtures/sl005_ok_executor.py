@@ -1,0 +1,36 @@
+# Clean fixture for SL005: every SimCell field is hashed or explicitly
+# excluded, and the config enters the key via asdict() so future Config
+# fields participate automatically.
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+
+@dataclass
+class Config:
+    width: int = 8
+
+
+@dataclass
+class SimCell:
+    config: Config
+    profile: str
+    num_insts: int
+    seed: int
+    max_cycles: Optional[int] = None
+    label: str = ""
+
+
+CACHE_KEY_EXCLUDED = frozenset({"label"})
+
+
+def cell_key(cell: SimCell) -> str:
+    payload = json.dumps({
+        "config": asdict(cell.config),
+        "profile": cell.profile,
+        "num_insts": cell.num_insts,
+        "seed": cell.seed,
+        "max_cycles": cell.max_cycles,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,19 @@
+# Known-bad fixture: a bare except and a swallowed BaseException.  The
+# first hides KeyboardInterrupt/SystemExit; the second eats them without
+# re-raising.  SL006 must flag both handlers.
+def drain(queue) -> int:
+    done = 0
+    while True:
+        try:
+            queue.pop()
+            done += 1
+        except:  # noqa: E722
+            break
+    return done
+
+
+def guard(fn) -> None:
+    try:
+        fn()
+    except BaseException:
+        pass

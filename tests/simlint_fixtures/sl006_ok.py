@@ -1,0 +1,19 @@
+# Clean fixture for SL006: narrow handlers, and a BaseException handler
+# that re-raises after cleanup.
+def drain(queue) -> int:
+    done = 0
+    while True:
+        try:
+            queue.pop()
+            done += 1
+        except IndexError:
+            break
+    return done
+
+
+def guard(fn, log) -> None:
+    try:
+        fn()
+    except BaseException:
+        log("interrupted")
+        raise

@@ -1,0 +1,222 @@
+"""Tests for the simlint invariant checker (SL001–SL006).
+
+Each rule gets a positive test (a known-bad fixture it must flag) and a
+negative test (the sanctioned variant it must pass).  Fixtures live in
+``tests/simlint_fixtures/`` and are planted into a temporary tree that
+mirrors the package layout — ``lint_paths(root=...)`` then scopes their
+dotted names exactly like the real ``src/repro`` tree, which is how the
+layer- and module-scoped rules see them.
+"""
+
+import json
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.simlint import SourceError, lint_paths
+from repro.devtools.simlint.cli import main as simlint_main
+from repro.cli import main as repro_main
+
+FIXTURES = Path(__file__).parent / "simlint_fixtures"
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: (bad fixture, clean fixture, destination inside the fake tree, code)
+RULE_CASES = [
+    ("sl001_bad.py", "sl001_ok.py", "repro/core/clock.py", "SL001"),
+    ("sl002_bad.py", "sl002_ok.py", "repro/core/hooks.py", "SL002"),
+    ("sl003_bad.py", "sl003_ok.py", "repro/experiments/errors.py",
+     "SL003"),
+    ("sl004_bad_stats.py", "sl004_ok_stats.py", "repro/core/stats.py",
+     "SL004"),
+    ("sl005_bad_executor.py", "sl005_ok_executor.py",
+     "repro/experiments/executor.py", "SL005"),
+    ("sl006_bad.py", "sl006_ok.py", "repro/experiments/pool_utils.py",
+     "SL006"),
+]
+
+
+def plant(tmp_path, fixture, dest_rel):
+    """Copy *fixture* to *dest_rel* inside a fake package tree."""
+    dest = tmp_path / dest_rel
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    dest.write_text((FIXTURES / fixture).read_text(encoding="utf-8"),
+                    encoding="utf-8")
+    return dest
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize(
+        "bad,ok,dest,code", RULE_CASES,
+        ids=[case[3] for case in RULE_CASES])
+    def test_bad_fixture_is_flagged(self, tmp_path, bad, ok, dest, code):
+        plant(tmp_path, bad, dest)
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert findings, f"{bad} produced no findings"
+        assert {f.code for f in findings} == {code}
+
+    @pytest.mark.parametrize(
+        "bad,ok,dest,code", RULE_CASES,
+        ids=[case[3] for case in RULE_CASES])
+    def test_clean_fixture_passes(self, tmp_path, bad, ok, dest, code):
+        plant(tmp_path, ok, dest)
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
+    def test_sl002_flags_class_body_import_too(self, tmp_path):
+        plant(tmp_path, "sl002_bad.py", "repro/core/hooks.py")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        # The top-level `from repro.trace...` import and the eager
+        # class-body `import repro.experiments` are both violations.
+        assert len(findings) == 2
+
+    def test_sl005_reports_all_three_defects(self, tmp_path):
+        plant(tmp_path, "sl005_bad_executor.py",
+              "repro/experiments/executor.py")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        messages = " ".join(f.message for f in findings)
+        assert "max_cycles" in messages          # forgotten field
+        assert "asdict" in messages              # config hashed as str
+        assert "stale" in messages               # 'colour' exclusion
+
+    def test_rules_ignore_modules_outside_their_layer(self, tmp_path):
+        # The same wall-clock calls are fine outside core/mop/memory:
+        # SL001 polices the simulated machine, not the tooling around it.
+        plant(tmp_path, "sl001_bad.py", "repro/experiments/timing.py")
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
+    def test_sl006_exempts_the_fault_harness(self, tmp_path):
+        plant(tmp_path, "sl006_bad.py", "repro/experiments/faults.py")
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
+
+class TestSuppressions:
+    def test_directive_silences_its_code(self, tmp_path):
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def t() -> float:\n"
+            "    return time.time()  # simlint: disable=SL001\n"
+        )
+        target = tmp_path / "repro" / "core" / "clock.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(source)
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
+    def test_directive_is_per_code(self, tmp_path):
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def t() -> float:\n"
+            "    return time.time()  # simlint: disable=SL006\n"
+        )
+        target = tmp_path / "repro" / "core" / "clock.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(source)
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert [f.code for f in findings] == ["SL001"]
+
+    def test_disable_all(self, tmp_path):
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def t() -> float:\n"
+            "    return time.time()  # simlint: disable=all\n"
+        )
+        target = tmp_path / "repro" / "core" / "clock.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(source)
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
+
+class TestHead:
+    def test_head_tree_is_clean(self):
+        findings = lint_paths([REPO_SRC / "repro"], root=REPO_SRC)
+        rendered = "\n".join(f.render() for f in findings)
+        assert findings == [], f"simlint findings at HEAD:\n{rendered}"
+
+
+class TestEngine:
+    def test_syntax_error_raises_source_error(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(SourceError):
+            lint_paths([tmp_path], root=tmp_path)
+
+    def test_source_error_pickles(self):
+        exc = SourceError(Path("x.py"), "bad syntax")
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.path == exc.path
+        assert clone.reason == exc.reason
+
+    def test_module_names_strip_src_layout(self, tmp_path):
+        from repro.devtools.simlint import load_modules
+        target = tmp_path / "src" / "repro" / "core" / "stats.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1\n")
+        project = load_modules([tmp_path], root=tmp_path)
+        assert project.module("repro.core.stats") is not None
+
+    def test_select_restricts_rules(self, tmp_path):
+        plant(tmp_path, "sl001_bad.py", "repro/core/clock.py")
+        assert lint_paths([tmp_path], root=tmp_path,
+                          select=["SL002"]) == []
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        plant(tmp_path, "sl001_bad.py", "repro/core/clock.py")
+        code = simlint_main([str(tmp_path), "--root", str(tmp_path)])
+        assert code == 1
+        assert "SL001" in capsys.readouterr().out
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        plant(tmp_path, "sl001_ok.py", "repro/core/clock.py")
+        code = simlint_main([str(tmp_path), "--root", str(tmp_path)])
+        assert code == 0
+        assert "simlint: clean" in capsys.readouterr().out
+
+    def test_exit_two_on_syntax_error(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        code = simlint_main([str(tmp_path), "--root", str(tmp_path)])
+        assert code == 2
+        assert "simlint: error" in capsys.readouterr().err
+
+    def test_json_report_and_output_file(self, tmp_path, capsys):
+        plant(tmp_path, "sl005_bad_executor.py",
+              "repro/experiments/executor.py")
+        out = tmp_path / "report" / "simlint.json"
+        code = simlint_main([str(tmp_path), "--root", str(tmp_path),
+                             "--format", "json",
+                             "--output", str(out)])
+        assert code == 1
+        document = json.loads(out.read_text())
+        assert document["tool"] == "simlint"
+        assert document["total"] == len(document["findings"]) > 0
+        assert set(document["rules"]) == {
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006"}
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert simlint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SL001", "SL002", "SL003", "SL004", "SL005",
+                     "SL006"):
+            assert code in out
+
+    def test_repro_lint_subcommand_forwards(self, tmp_path, capsys):
+        plant(tmp_path, "sl006_bad.py", "repro/experiments/pool.py")
+        code = repro_main(["lint", str(tmp_path),
+                           "--root", str(tmp_path)])
+        assert code == 1
+        assert "SL006" in capsys.readouterr().out
+
+    def test_repro_lint_subcommand_select(self, tmp_path, capsys):
+        plant(tmp_path, "sl006_bad.py", "repro/experiments/pool.py")
+        code = repro_main(["lint", str(tmp_path),
+                           "--root", str(tmp_path),
+                           "--select", "SL001"])
+        assert code == 0
+        capsys.readouterr()

@@ -83,10 +83,12 @@ class TestObservability:
         assert math.isnan(SimStats().iq_occupancy_quantile(0.5))
 
     def test_mop_funnel(self):
-        stats = SimStats(mop_pointers_created=40, mop_pending_heads=12,
-                         mops_formed=25, mop_pending_abandoned=3)
+        stats = SimStats(mop_pointers_created=40, mop_pointers_deleted=5,
+                         mop_pending_heads=12, mops_formed=25,
+                         mop_pending_abandoned=3)
         assert stats.mop_funnel() == {
-            "pointers": 40, "pending": 12, "formed": 25, "abandoned": 3}
+            "pointers": 40, "deleted": 5, "pending": 12, "formed": 25,
+            "abandoned": 3}
 
     def test_summary_mentions_replay_causes_only_when_present(self):
         plain = SimStats(cycles=10, committed_insts=5)
