@@ -23,6 +23,13 @@ Environment knobs:
 Every bench target's simulation grid flows through one session-wide
 :class:`repro.experiments.executor.Executor` installed by the autouse
 fixture below.
+
+Besides the rendered ``results/*.txt`` tables, every session writes the
+machine-readable ``results/timings.json`` (per-target wall clock from
+pytest's own call durations, plus the executor's cache/timing counters).
+Both the printed summary and the JSON are built from a **post-session**
+snapshot of the executor — counters captured at fixture setup would be
+permanently stale, showing 0 cache hits under ``REPRO_BENCH_CACHE=1``.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from __future__ import annotations
 import os
 import sys
 from pathlib import Path
+from typing import Dict
 
 import pytest
 
@@ -40,6 +48,14 @@ from repro.experiments.executor import (
 )
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Call-phase wall seconds per bench test id, filled by the hook below.
+_TARGET_DURATIONS: Dict[str, float] = {}
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _TARGET_DURATIONS[report.nodeid] = report.duration
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -93,7 +109,15 @@ def bench_retries():
 
 @pytest.fixture(scope="session", autouse=True)
 def bench_executor():
-    """Route every bench simulation through one shared executor."""
+    """Route every bench simulation through one shared executor.
+
+    Everything after the ``yield`` runs once the whole bench session is
+    over: the summary, the failure report and ``results/timings.json``
+    are all derived from the executor's counters *at that point*.  (An
+    earlier revision rendered cache-hit counts from a summary object
+    captured during setup, which read 0 hits under
+    ``REPRO_BENCH_CACHE=1`` no matter what the session did.)
+    """
     executor = Executor(jobs=bench_jobs(), cache=bench_cache(),
                         cell_timeout=bench_timeout(),
                         max_retries=bench_retries())
@@ -105,7 +129,26 @@ def bench_executor():
     failures = executor.failure_report()
     if failures:
         print(failures.render())
+    _write_timings(executor)
     set_default_executor(previous)
+
+
+def _write_timings(executor: Executor) -> None:
+    """Archive the machine-readable session timings document."""
+    from repro.perf.session import write_bench_timings
+    path = write_bench_timings(
+        RESULTS_DIR / "timings.json",
+        executor,
+        durations=dict(_TARGET_DURATIONS),
+        meta={
+            "insts": bench_insts(),
+            "jobs": executor.jobs,
+            "cache": executor.cache is not None,
+            "set": bench_set() or "all",
+        },
+    )
+    if executor.total_summary.cells:
+        print(f"bench timings -> {path}")
 
 
 def archive(name: str, text: str) -> None:

@@ -14,6 +14,9 @@ Installed as ``repro-sim`` (see pyproject).  Examples::
     repro-sim list
     repro lint                    # simlint static invariant checker
     repro lint --format json --select SL001,SL002
+    repro perf run --quick        # write BENCH_<sha>.json
+    repro perf check --baseline BENCH_baseline.json
+    repro perf report             # BENCH_*.json trajectory as markdown
 
 ``figure``/``table``/``report`` fan their simulation grids out over
 ``--jobs`` worker processes and cache per-cell results on disk
@@ -184,6 +187,67 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
 
+    perf = sub.add_parser(
+        "perf", help="continuous performance profiling and regression "
+                     "gating (BENCH_<sha>.json profiles)")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    perf_run = perf_sub.add_parser(
+        "run", help="measure the benchmark grid and write a profile")
+    perf_run.add_argument("--quick", action="store_true",
+                          help="CI lane: fewer benchmarks, instructions "
+                               "and repetitions")
+    perf_run.add_argument("--reps", type=int, default=None,
+                          help="repetitions per target (default: 3 quick "
+                               "/ 5 full)")
+    perf_run.add_argument("--insts", type=int, default=None,
+                          help="committed instructions per cell "
+                               "(default: 1500 quick / 6000 full)")
+    perf_run.add_argument("--benchmarks", default="",
+                          help="comma-separated subset (default: "
+                               "gap,vortex quick / all 12 full)")
+    perf_run.add_argument("--jobs", type=int, default=1,
+                          help="parallel workers per measurement run "
+                               "(default 1: serial timing is the least "
+                               "noisy)")
+    perf_run.add_argument("--seed", type=int, default=1)
+    perf_run.add_argument("--sha", default=None,
+                          help="version label for the profile (default: "
+                               "git short SHA, or $REPRO_PERF_SHA)")
+    perf_run.add_argument("--out", default=None, metavar="FILE",
+                          help="profile path (default: BENCH_<sha>.json "
+                               "in the current directory)")
+
+    perf_check = perf_sub.add_parser(
+        "check", help="compare a candidate profile against the baseline "
+                      "and exit 1 on regressions")
+    perf_check.add_argument("--baseline", default=None, metavar="FILE",
+                            help="baseline profile (default: "
+                                 "BENCH_baseline.json)")
+    perf_check.add_argument("--candidate", default=None, metavar="FILE",
+                            help="candidate profile (default: measure a "
+                                 "fresh one with the baseline's settings)")
+    perf_check.add_argument("--threshold", type=float, default=None,
+                            help="relative median change that counts as "
+                                 "a regression (default 0.2 = 20%%)")
+    perf_check.add_argument("--alpha", type=float, default=None,
+                            help="rank-test significance level "
+                                 "(default 0.05)")
+    perf_check.add_argument("--no-normalize", action="store_true",
+                            help="skip host-speed calibration "
+                                 "normalization")
+
+    perf_report = perf_sub.add_parser(
+        "report", help="render the BENCH_*.json trajectory as markdown")
+    perf_report.add_argument("profiles", nargs="*",
+                             help="profile files (default: BENCH_*.json "
+                                  "in --dir)")
+    perf_report.add_argument("--dir", default=".",
+                             help="directory to scan for BENCH_*.json "
+                                  "(default: .)")
+    perf_report.add_argument("--out", default=None, metavar="FILE",
+                             help="also write the markdown to FILE")
+
     cache = sub.add_parser("cache",
                            help="inspect or clear the result cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -306,6 +370,122 @@ def _cmd_lint(args) -> int:
     return simlint_main(argv)
 
 
+def _cmd_perf(args) -> int:
+    # Lazy import: the measurement layer should cost nothing unless
+    # asked for (same contract as repro.trace and simlint).
+    handler = {
+        "run": _cmd_perf_run,
+        "check": _cmd_perf_check,
+        "report": _cmd_perf_report,
+    }[args.perf_command]
+    return handler(args)
+
+
+def _perf_benchmarks(spec: str):
+    return [b.strip() for b in spec.split(",") if b.strip()] or None
+
+
+def _cmd_perf_run(args) -> int:
+    from pathlib import Path
+
+    from repro.perf import collect_profile, save_profile
+
+    def log(line: str) -> None:
+        print(line, file=sys.stderr)
+
+    profile = collect_profile(
+        quick=args.quick,
+        repetitions=args.reps,
+        num_insts=args.insts,
+        benchmarks=_perf_benchmarks(args.benchmarks),
+        seed=args.seed,
+        jobs=args.jobs,
+        sha=args.sha,
+        log=log,
+    )
+    out = Path(args.out) if args.out else None
+    path = save_profile(profile, Path.cwd(), out=out)
+    print(profile.summary())
+    print(f"profile written: {path}")
+    return 0
+
+
+def _cmd_perf_check(args) -> int:
+    from pathlib import Path
+
+    from repro.perf import (DEFAULT_ALPHA, DEFAULT_BASELINE,
+                            DEFAULT_THRESHOLD, PerfProfile, ProfileError,
+                            check_profiles, collect_profile)
+
+    baseline_file = Path(args.baseline or DEFAULT_BASELINE)
+    try:
+        baseline = PerfProfile.load(baseline_file)
+    except ProfileError as exc:
+        print(f"perf check: {exc}", file=sys.stderr)
+        return 2
+    if args.candidate:
+        try:
+            candidate = PerfProfile.load(Path(args.candidate))
+        except ProfileError as exc:
+            print(f"perf check: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # Measure a fresh candidate with the baseline's own settings so
+        # the grids are comparable by construction.
+        def log(line: str) -> None:
+            print(line, file=sys.stderr)
+        benchmarks = next(
+            (t.benchmarks for t in baseline.targets.values()
+             if t.benchmarks), None)
+        candidate = collect_profile(
+            quick=baseline.quick,
+            repetitions=baseline.repetitions or None,
+            num_insts=baseline.num_insts or None,
+            benchmarks=benchmarks,
+            seed=baseline.seed,
+            jobs=baseline.jobs,
+            log=log,
+        )
+    report = check_profiles(
+        baseline, candidate,
+        threshold=(args.threshold if args.threshold is not None
+                   else DEFAULT_THRESHOLD),
+        alpha=args.alpha if args.alpha is not None else DEFAULT_ALPHA,
+        normalize=not args.no_normalize,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_perf_report(args) -> int:
+    from pathlib import Path
+
+    from repro.perf import (discover_profiles, load_profiles,
+                            render_trajectory)
+
+    if args.profiles:
+        paths = [Path(p) for p in args.profiles]
+    else:
+        paths = discover_profiles(Path(args.dir))
+    profiles = load_profiles(paths)
+    if not profiles:
+        print(f"perf report: no perf profiles (BENCH_*.json) under "
+              f"{args.dir if not args.profiles else args.profiles}",
+              file=sys.stderr)
+        return 2
+    document = render_trajectory(profiles)
+    try:
+        print(document)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        sys.stderr.close()
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(document + "\n")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
@@ -341,6 +521,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "trace": _cmd_trace,
         "lint": _cmd_lint,
+        "perf": _cmd_perf,
         "cache": _cmd_cache,
         "list": _cmd_list,
     }[args.command]

@@ -15,6 +15,8 @@ SL004     stats schema — every SimStats counter is surfaced
 SL005     cache key — every SimCell/MachineConfig field is hashed
           or excluded
 SL006     no bare ``except:`` / swallowed ``BaseException``
+SL007     timing layer — wall-clock reads only in repro.perf,
+          repro.experiments and benchmarks/
 ========  =====================================================
 """
 
@@ -25,4 +27,5 @@ from repro.devtools.simlint.rules import (  # noqa: F401
     layering,
     picklability,
     stats_schema,
+    timing,
 )

@@ -1,0 +1,72 @@
+"""SL007 — wall-clock timing stays in the measurement layer.
+
+With ``repro perf`` gating CI on measured throughput, a stray
+``time.perf_counter()`` in the model or analysis layers is worse than a
+style problem: it is an unmeasured, unguarded timing side channel — a
+convenient place for ad-hoc benchmarking prints to creep in, skew the
+very numbers the perf profiles track, and (in the deterministic layers)
+threaten bit-identical replay.  This rule confines wall-clock reads to
+the three places that *are* the measurement layer:
+
+* :mod:`repro.perf` — the profiling subsystem itself,
+* :mod:`repro.experiments` — the executor's cell timing and timeouts,
+* ``benchmarks/`` — the pytest bench harness.
+
+:mod:`repro.core`, :mod:`repro.mop` and :mod:`repro.memory` are *not*
+re-checked here: SL001 already polices them (with a stricter ban that
+includes randomness), and double-reporting the same call under two codes
+would make every determinism finding noisier, not safer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.engine import (Finding, Project, Rule,
+                                           SourceModule, register)
+from repro.devtools.simlint.rules.common import import_map, resolve_qualified
+
+#: The sanctioned measurement layer.
+ALLOWED = ("repro.perf", "repro.experiments", "benchmarks")
+
+#: SL001's beat — skipped here so one bad call yields one finding.
+DELEGATED = ("repro.core", "repro.mop", "repro.memory")
+
+#: Qualified wall-clock reads this rule confines.
+BANNED = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+})
+
+
+@register
+class TimingLayerRule(Rule):
+    code = "SL007"
+    name = "timing-layer"
+    description = (
+        "wall-clock reads (time.time / time.perf_counter / ...) only in "
+        "the measurement layer: repro.perf, repro.experiments and "
+        "benchmarks/"
+    )
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterator[Finding]:
+        if module.in_package(*ALLOWED) or module.in_package(*DELEGATED):
+            return
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = resolve_qualified(node.func, imports)
+            if qualified in BANNED:
+                yield self.finding(
+                    module, node,
+                    f"wall-clock read {qualified}() outside the "
+                    f"measurement layer; timing belongs in repro.perf / "
+                    f"repro.experiments / benchmarks — pass measured "
+                    f"durations in as data instead",
+                )

@@ -696,6 +696,33 @@ class Executor:
         """Every cell lost across this executor's lifetime (falsy if none)."""
         return FailureReport(list(self.total_failures))
 
+    def counters(self) -> Dict[str, float]:
+        """Live snapshot of this executor's session counters.
+
+        Read at call time from :attr:`total_summary` and the attached
+        :class:`ResultCache`, so callers reporting on a whole session
+        (the bench harness, ``repro perf``) must call this *after* the
+        work has run — a snapshot taken at setup is permanently stale.
+        ``cache_gets_hit``/``cache_gets_missed`` come straight from the
+        cache's own get() accounting and are absent when caching is off.
+        """
+        summary = self.total_summary
+        counters: Dict[str, float] = {
+            "jobs": self.jobs,
+            "cells": summary.cells,
+            "simulated": summary.simulated,
+            "cache_hits": summary.cache_hits,
+            "failed": summary.failed,
+            "respawns": summary.respawns,
+            "hit_rate": summary.hit_rate,
+            "wall_seconds": summary.wall_seconds,
+            "sim_seconds": summary.sim_seconds,
+        }
+        if self.cache is not None:
+            counters["cache_gets_hit"] = self.cache.hits
+            counters["cache_gets_missed"] = self.cache.misses
+        return counters
+
     # -- main entry points --------------------------------------------------
 
     def run_cells(self, cells: Iterable[SimCell]

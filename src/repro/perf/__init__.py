@@ -1,0 +1,94 @@
+"""Continuous performance tracking: profiles, degradation gating, reports.
+
+The ``repro perf`` subsystem (perun-style, see ROADMAP):
+
+* ``repro perf run`` (:mod:`repro.perf.collector`) measures the
+  benchmark grid and writes a schema-versioned ``BENCH_<sha>.json``
+  profile (:mod:`repro.perf.schema`, :mod:`repro.perf.baseline`);
+* ``repro perf check`` (:mod:`repro.perf.detect`) compares a candidate
+  profile against the stored baseline with a nonparametric rank test
+  for timing metrics and exact-match gating for deterministic counters,
+  failing CI on regressions;
+* ``repro perf report`` (:mod:`repro.perf.report`) renders the recorded
+  trajectory as a markdown table for EXPERIMENTS.md.
+
+This package is measurement-layer code: it may read wall clocks (and is
+exempt from simlint's SL007 for exactly that reason), but it must never
+be imported by the simulation model — simlint's SL002 layering rule and
+the bench harness's no-trace-import guard keep the dependency arrow
+pointing here, not from here.
+"""
+
+from repro.perf.baseline import (
+    DEFAULT_BASELINE,
+    baseline_path,
+    discover_profiles,
+    load_profiles,
+    profile_filename,
+    profile_path,
+    save_profile,
+)
+from repro.perf.collector import (
+    DETERMINISTIC_COUNTERS,
+    PERF_TARGETS,
+    CollectionError,
+    PerfTarget,
+    collect_profile,
+    current_sha,
+)
+from repro.perf.detect import (
+    DEFAULT_ALPHA,
+    DEFAULT_THRESHOLD,
+    DegradationReport,
+    MetricCheck,
+    check_profiles,
+    rank_sum_p,
+)
+from repro.perf.report import render_trajectory
+from repro.perf.schema import (
+    PERF_SCHEMA,
+    BaselineMissingError,
+    PerfProfile,
+    ProfileError,
+    SchemaMismatchError,
+    TargetProfile,
+)
+from repro.perf.session import (
+    TIMINGS_SCHEMA,
+    bench_timings_payload,
+    session_counters,
+    write_bench_timings,
+)
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_BASELINE",
+    "DEFAULT_THRESHOLD",
+    "DETERMINISTIC_COUNTERS",
+    "PERF_SCHEMA",
+    "PERF_TARGETS",
+    "TIMINGS_SCHEMA",
+    "BaselineMissingError",
+    "CollectionError",
+    "DegradationReport",
+    "MetricCheck",
+    "PerfProfile",
+    "PerfTarget",
+    "ProfileError",
+    "SchemaMismatchError",
+    "TargetProfile",
+    "baseline_path",
+    "bench_timings_payload",
+    "check_profiles",
+    "collect_profile",
+    "current_sha",
+    "discover_profiles",
+    "load_profiles",
+    "profile_filename",
+    "profile_path",
+    "rank_sum_p",
+    "render_trajectory",
+    "save_profile",
+    "session_counters",
+    "write_bench_timings",
+]

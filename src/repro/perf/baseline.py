@@ -1,0 +1,75 @@
+"""The per-version profile store: ``BENCH_<sha>.json`` files at the
+repo root.
+
+Perun-style discipline: every recorded profile is one file, named by the
+short git SHA it measured, committed next to the code so the trajectory
+travels with the history.  ``BENCH_baseline.json`` is the distinguished
+profile CI gates against; promoting a new baseline is a deliberate
+``cp BENCH_<sha>.json BENCH_baseline.json`` in a reviewed commit, never
+something the tooling does implicitly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional
+
+from repro.perf.schema import PerfProfile, ProfileError
+
+#: The profile CI compares against.
+DEFAULT_BASELINE = "BENCH_baseline.json"
+
+#: Matches every stored profile, baseline included.
+_PROFILE_RE = re.compile(r"^BENCH_[A-Za-z0-9._-]+\.json$")
+
+
+def profile_filename(sha: str) -> str:
+    """Filesystem-safe ``BENCH_<sha>.json`` name for *sha*."""
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in sha)
+    return f"BENCH_{safe or 'local'}.json"
+
+
+def profile_path(root: Path, sha: str) -> Path:
+    return Path(root) / profile_filename(sha)
+
+
+def baseline_path(root: Path) -> Path:
+    return Path(root) / DEFAULT_BASELINE
+
+
+def discover_profiles(root: Path) -> List[Path]:
+    """Every ``BENCH_*.json`` under *root* (not recursive), sorted by
+    name so the listing is stable; load order for the trajectory is by
+    recorded timestamp, not filename."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    return sorted(path for path in root.iterdir()
+                  if path.is_file() and _PROFILE_RE.match(path.name))
+
+
+def load_profiles(paths: List[Path],
+                  strict: bool = False) -> List[PerfProfile]:
+    """Load *paths*, ordered by their recorded creation time.
+
+    Unreadable or schema-incompatible files are skipped unless *strict*
+    (the trajectory report must survive a directory holding profiles
+    from several schema eras; the CI gate must not).
+    """
+    profiles: List[PerfProfile] = []
+    for path in paths:
+        try:
+            profiles.append(PerfProfile.load(path))
+        except ProfileError:
+            if strict:
+                raise
+    profiles.sort(key=lambda profile: (profile.created, profile.sha))
+    return profiles
+
+
+def save_profile(profile: PerfProfile, root: Path,
+                 out: Optional[Path] = None) -> Path:
+    """Write *profile* to *out* (default: ``BENCH_<sha>.json`` in *root*)."""
+    path = Path(out) if out is not None else profile_path(root, profile.sha)
+    return profile.save(path)

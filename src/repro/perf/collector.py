@@ -1,0 +1,316 @@
+"""Measure a performance profile: the ``repro perf run`` engine.
+
+The benchmark grid is a small, fixed set of *targets*, each exercising a
+different hot path of the simulator through the PR 1–2 experiment
+executor (timeouts, retries and fault recovery included):
+
+* ``wakeup_select`` — the base / 2-cycle / macro-op scheduling loop, the
+  pipeline the paper's Figures 14/15 sweep and the ROADMAP's vectorized
+  kernel will attack first;
+* ``selectfree_replay`` — the select-free disciplines, dominated by the
+  replay/scoreboard machinery;
+* ``mop_detection`` — macro-op pipelines under both wakeup styles, where
+  the dependence-matrix MOP detection of Figures 8/9 is the extra cost
+  over plain 2-cycle scheduling.
+
+Each target's grid is simulated ``repetitions`` times with caching
+disabled (a timing sample must measure the simulator, not the cache) and
+the per-repetition wall clock becomes the profile's timing samples.  The
+deterministic counters of every repetition are cross-checked — a
+nondeterministic counter is a collection-time error, never data.  A
+separate cold+warm run through a throwaway cache records the executor's
+hit/miss behavior as exact counters, and a fixed reference workload is
+timed as the machine-speed calibration the detector normalizes by.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import MachineConfig, SchedulerKind, SimStats, WakeupStyle
+from repro.experiments.executor import Executor
+from repro.perf.schema import PerfProfile, TargetProfile
+
+#: SimStats fields that must be bit-identical run over run.  Summed over
+#: a target's grid they form the profile's behavioral fingerprint: any
+#: drift means the *simulation* changed, not the machine it ran on.
+DETERMINISTIC_COUNTERS: Tuple[str, ...] = (
+    "cycles",
+    "committed_insts",
+    "committed_ops",
+    "fetched_ops",
+    "issued_entries",
+    "issued_ops",
+    "iq_inserts",
+    "iq_insert_ops",
+    "replayed_ops",
+    "replay_raise",
+    "replay_pileup",
+    "replay_squash",
+    "mispredicted_branches",
+    "loads",
+    "dl1_load_misses",
+    "l2_load_misses",
+    "select_collisions",
+    "pileup_victims",
+    "mops_formed",
+    "mop_pointers_created",
+    "mop_pointers_deleted",
+    "mop_pending_heads",
+    "mop_pending_abandoned",
+)
+
+
+class CollectionError(RuntimeError):
+    """A measurement run violated its own invariants (nondeterminism,
+    failed cells) — the profile would be lies, so nothing is written."""
+
+
+@dataclass(frozen=True)
+class PerfTarget:
+    """One named benchmark target: a config grid over benchmarks."""
+
+    name: str
+    description: str
+    #: ``(label, scheduler, wakeup_style)`` triples; ``None`` wakeup
+    #: keeps the config default.
+    disciplines: Tuple[Tuple[str, SchedulerKind, Optional[WakeupStyle]], ...]
+
+    def configs(self) -> Dict[str, MachineConfig]:
+        grid: Dict[str, MachineConfig] = {}
+        for label, scheduler, wakeup in self.disciplines:
+            if wakeup is None:
+                grid[label] = MachineConfig.paper_default(
+                    scheduler=scheduler)
+            else:
+                grid[label] = MachineConfig.paper_default(
+                    scheduler=scheduler, wakeup_style=wakeup)
+        return grid
+
+
+#: The benchmark grid ``repro perf run`` measures, in run order.
+PERF_TARGETS: Tuple[PerfTarget, ...] = (
+    PerfTarget(
+        name="wakeup_select",
+        description="base vs pipelined vs macro-op scheduling loop",
+        disciplines=(
+            ("base", SchedulerKind.BASE, None),
+            ("2-cycle", SchedulerKind.TWO_CYCLE, None),
+            ("macro-op", SchedulerKind.MACRO_OP, WakeupStyle.WIRED_OR),
+        ),
+    ),
+    PerfTarget(
+        name="selectfree_replay",
+        description="select-free disciplines (replay/scoreboard machinery)",
+        disciplines=(
+            ("squash-dep", SchedulerKind.SELECT_FREE_SQUASH, None),
+            ("scoreboard", SchedulerKind.SELECT_FREE_SCOREBOARD, None),
+        ),
+    ),
+    PerfTarget(
+        name="mop_detection",
+        description="macro-op grouping under both wakeup-array styles",
+        disciplines=(
+            ("2-src", SchedulerKind.MACRO_OP, WakeupStyle.CAM_2SRC),
+            ("wired-OR", SchedulerKind.MACRO_OP, WakeupStyle.WIRED_OR),
+        ),
+    ),
+)
+
+#: Benchmarks per lane.  The quick lane is the CI gate (< 5 min budget
+#: including install); the full lane is the nightly profile.
+QUICK_BENCHMARKS: Tuple[str, ...] = ("gap", "vortex")
+FULL_BENCHMARKS: Optional[Tuple[str, ...]] = None  # None = all profiles
+
+QUICK_INSTS = 1_500
+FULL_INSTS = 6_000
+QUICK_REPETITIONS = 3
+FULL_REPETITIONS = 5
+
+#: Calibration reference: a fixed workload simulated under the base
+#: scheduler.  Deliberately small — it measures the host, not the tree.
+CALIBRATION_BENCHMARK = "gap"
+CALIBRATION_INSTS = 1_500
+CALIBRATION_REPS = 3
+
+
+def current_sha(root: Optional[Path] = None) -> str:
+    """Short git SHA of *root* (``REPRO_PERF_SHA`` overrides; ``local``
+    when neither is available, e.g. an sdist install)."""
+    env = os.environ.get("REPRO_PERF_SHA")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(root) if root else None,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "local"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "local"
+
+
+def _sum_counters(grid: Dict[str, Dict[str, SimStats]]) -> Dict[str, int]:
+    totals = {name: 0 for name in DETERMINISTIC_COUNTERS}
+    for row in grid.values():
+        for stats in row.values():
+            if getattr(stats, "failed", False):
+                raise CollectionError(
+                    f"cell {stats.cell_name} FAILED during measurement; "
+                    f"refusing to write a profile over missing data")
+            for name in DETERMINISTIC_COUNTERS:
+                totals[name] += int(getattr(stats, name))
+    return totals
+
+
+def _measure_target(target: PerfTarget, benchmarks: Sequence[str],
+                    num_insts: int, seed: int, repetitions: int,
+                    jobs: int,
+                    executor_factory: Callable[..., Executor],
+                    log: Callable[[str], None]) -> TargetProfile:
+    configs = target.configs()
+    profile = TargetProfile(
+        description=target.description,
+        benchmarks=list(benchmarks),
+        configs=list(configs),
+    )
+    counters: Optional[Dict[str, int]] = None
+    for rep in range(repetitions):
+        # A fresh cache-less executor per repetition: nothing warm
+        # survives between samples except the per-process trace cache,
+        # which is exactly the state a real experiment run would have.
+        executor = executor_factory(jobs=jobs, cache=None)
+        start = time.perf_counter()
+        grid = executor.run_grid(configs, benchmarks, num_insts, seed)
+        wall = time.perf_counter() - start
+        rep_counters = _sum_counters(grid)
+        if counters is None:
+            counters = rep_counters
+            profile.cells = executor.total_summary.cells
+            profile.sim_cycles = rep_counters["cycles"]
+        elif rep_counters != counters:
+            drifted = sorted(
+                name for name in counters
+                if counters[name] != rep_counters[name])
+            raise CollectionError(
+                f"target {target.name}: deterministic counters changed "
+                f"between repetitions ({', '.join(drifted)}) — the "
+                f"simulator is nondeterministic, refusing to profile")
+        profile.wall_seconds.append(wall)
+        profile.cells_per_sec.append(profile.cells / wall)
+        profile.cycles_per_sec.append(profile.sim_cycles / wall)
+        log(f"  {target.name} rep {rep + 1}/{repetitions}: "
+            f"{wall:.2f}s ({profile.cells} cells)")
+    assert counters is not None
+    profile.counters = counters
+    return profile
+
+
+def _exercise_cache(target: PerfTarget, benchmarks: Sequence[str],
+                    num_insts: int, seed: int, jobs: int,
+                    executor_factory: Callable[..., Executor]
+                    ) -> Dict[str, int]:
+    """Cold+warm run through a throwaway cache; exact-match counters.
+
+    The warm pass must hit on every cell — a drop in ``warm_hits`` means
+    the cache key or store semantics changed, which is behavioral drift
+    the timing samples would never attribute correctly.
+    """
+    from repro.experiments.executor import ResultCache
+    configs = target.configs()
+    with tempfile.TemporaryDirectory(prefix="repro-perf-cache-") as tmp:
+        cache = ResultCache(Path(tmp))
+        cold = executor_factory(jobs=jobs, cache=cache)
+        cold.run_grid(configs, benchmarks, num_insts, seed)
+        warm = executor_factory(jobs=jobs, cache=cache)
+        warm.run_grid(configs, benchmarks, num_insts, seed)
+        return {
+            "cold_cells": cold.total_summary.cells,
+            "cold_hits": cold.total_summary.cache_hits,
+            "warm_cells": warm.total_summary.cells,
+            "warm_hits": warm.total_summary.cache_hits,
+            "warm_misses": warm.total_summary.cells
+                           - warm.total_summary.cache_hits,
+        }
+
+
+def _calibrate(seed: int) -> List[float]:
+    """Time the fixed reference workload a few times (machine speed)."""
+    from repro.core import simulate
+    from repro.workloads import generate_trace, get_profile
+    samples: List[float] = []
+    trace = generate_trace(get_profile(CALIBRATION_BENCHMARK),
+                           CALIBRATION_INSTS, seed=seed)
+    config = MachineConfig.paper_default()
+    for _ in range(CALIBRATION_REPS):
+        start = time.perf_counter()
+        simulate(trace, config)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def collect_profile(quick: bool = False,
+                    repetitions: Optional[int] = None,
+                    num_insts: Optional[int] = None,
+                    benchmarks: Optional[Sequence[str]] = None,
+                    seed: int = 1,
+                    jobs: int = 1,
+                    sha: Optional[str] = None,
+                    executor_factory: Callable[..., Executor] = Executor,
+                    log: Callable[[str], None] = lambda line: None
+                    ) -> PerfProfile:
+    """Run the benchmark grid and return the measured :class:`PerfProfile`.
+
+    ``quick`` selects the CI lane (fewer benchmarks, instructions and
+    repetitions); every knob can still be overridden individually.
+    ``executor_factory`` exists for tests — it receives ``jobs=``/
+    ``cache=`` keyword arguments exactly like :class:`Executor`.
+    """
+    if repetitions is None:
+        repetitions = QUICK_REPETITIONS if quick else FULL_REPETITIONS
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    if num_insts is None:
+        num_insts = QUICK_INSTS if quick else FULL_INSTS
+    if benchmarks is None:
+        benchmarks = (QUICK_BENCHMARKS if quick
+                      else FULL_BENCHMARKS)
+    if benchmarks is None:
+        from repro.workloads import profile_names
+        benchmarks = list(profile_names())
+    profile = PerfProfile(
+        sha=sha if sha else current_sha(),
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        python=platform.python_version(),
+        platform=f"{platform.system()}-{platform.machine()}"
+                 f"-py{sys.version_info.major}.{sys.version_info.minor}",
+        quick=quick,
+        repetitions=repetitions,
+        num_insts=num_insts,
+        seed=seed,
+        jobs=jobs,
+    )
+    log(f"calibrating host speed "
+        f"({CALIBRATION_BENCHMARK}/{CALIBRATION_INSTS} insts "
+        f"x{CALIBRATION_REPS})")
+    profile.calibration_seconds = _calibrate(seed)
+    for target in PERF_TARGETS:
+        log(f"measuring {target.name}: {target.description}")
+        profile.targets[target.name] = _measure_target(
+            target, benchmarks, num_insts, seed, repetitions, jobs,
+            executor_factory, log)
+    log("exercising the result cache (cold + warm pass)")
+    profile.executor = _exercise_cache(
+        PERF_TARGETS[0], benchmarks, num_insts, seed, jobs,
+        executor_factory)
+    return profile

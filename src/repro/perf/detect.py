@@ -1,0 +1,327 @@
+"""Statistical degradation detection between two performance profiles.
+
+``repro perf check`` feeds a *baseline* and a *candidate*
+:class:`~repro.perf.schema.PerfProfile` through :func:`check_profiles`
+and fails on any confirmed regression.  Two different judgments are
+applied, matching the two metric kinds the schema separates:
+
+* **Timing metrics** (cells/sec and simulated-cycles/sec per target) are
+  noisy samples.  A metric is flagged only when *both* tests agree the
+  change is real and large: the relative change of the medians exceeds
+  ``threshold`` *and* — when each side has at least
+  :data:`MIN_SAMPLES_FOR_TEST` repetitions — a one-sided Mann-Whitney
+  rank test over the raw samples is significant at ``alpha``.  The rank
+  test is nonparametric on purpose: wall-clock samples on shared CI
+  runners are skewed and outlier-prone, so mean/t-test judgments would
+  both miss real slowdowns and cry wolf on noise.  With fewer samples
+  the threshold alone decides (noted in the finding).
+
+* **Deterministic counters** (simulated cycles, replayed ops, the MOP
+  funnel, warm-cache hits) must match *exactly*.  Any difference is
+  **behavioral drift** — the simulation itself changed — and fails the
+  check regardless of thresholds, so a semantic change can never hide
+  inside timing noise (nor masquerade as a "speedup").
+
+Cross-host comparability: when both profiles carry calibration samples,
+candidate throughputs are scaled by ``median(baseline calibration) /
+median(candidate calibration)`` before judging, so a faster or slower
+runner does not read as a code change.  ``normalize=False`` disables it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.schema import PerfProfile, TargetProfile, median
+
+#: Minimum per-side repetitions before the rank test has any power at
+#: all (with fewer samples, no rank arrangement can be significant, so
+#: the relative-change threshold decides alone).
+MIN_SAMPLES_FOR_TEST = 3
+
+#: Default relative-change threshold (0.2 == 20%) and significance level.
+DEFAULT_THRESHOLD = 0.2
+DEFAULT_ALPHA = 0.05
+
+#: Timing metrics judged per target; all are higher-is-better rates.
+TIMING_METRICS: Tuple[str, ...] = ("cells_per_sec", "cycles_per_sec")
+
+OK = "ok"
+REGRESSION = "regression"
+IMPROVEMENT = "improvement"
+DRIFT = "drift"
+ERROR = "error"
+
+
+def rank_sum_p(baseline: Sequence[float],
+               current: Sequence[float]) -> float:
+    """One-sided Mann-Whitney p-value that *current* ranks below
+    *baseline* (small p ⇒ current values are genuinely smaller).
+
+    Normal approximation with tie correction and continuity correction —
+    exact enumeration is pointless at the 3–10 repetitions profiles
+    carry, and the approximation is standard there.  All-tied input
+    (zero variance across both groups) returns 1.0: identical samples
+    are never evidence of degradation.
+    """
+    n_base, n_cur = len(baseline), len(current)
+    if not n_base or not n_cur:
+        return 1.0
+    pooled = sorted(
+        [(value, 0) for value in baseline] + [(value, 1) for value in current])
+    # Average ranks over tie groups.
+    ranks: List[float] = [0.0] * len(pooled)
+    tie_sizes: List[int] = []
+    index = 0
+    while index < len(pooled):
+        stop = index
+        while (stop + 1 < len(pooled)
+               and pooled[stop + 1][0] == pooled[index][0]):
+            stop += 1
+        rank = (index + stop) / 2.0 + 1.0
+        for position in range(index, stop + 1):
+            ranks[position] = rank
+        tie_sizes.append(stop - index + 1)
+        index = stop + 1
+    rank_current = sum(rank for rank, (_value, group) in zip(ranks, pooled)
+                       if group == 1)
+    u_current = rank_current - n_cur * (n_cur + 1) / 2.0
+    total = n_base + n_cur
+    mu = n_base * n_cur / 2.0
+    tie_term = sum(size ** 3 - size for size in tie_sizes)
+    variance = (n_base * n_cur / 12.0) * (
+        (total + 1) - tie_term / (total * (total - 1)))
+    if variance <= 0.0:
+        # Every pooled value tied: the groups are indistinguishable.
+        return 1.0
+    z = (u_current - mu + 0.5) / math.sqrt(variance)
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass
+class MetricCheck:
+    """The verdict for one metric of one target."""
+
+    target: str
+    metric: str
+    kind: str                    # "timing" | "counter"
+    verdict: str                 # ok / regression / improvement / drift
+    baseline: float
+    current: float
+    rel_change: float = 0.0
+    p_value: Optional[float] = None
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict in (REGRESSION, DRIFT, ERROR)
+
+    def render(self) -> str:
+        head = f"{self.verdict.upper():<11} {self.target}.{self.metric}"
+        if self.kind == "counter":
+            body = f"{self.baseline:.0f} -> {self.current:.0f}"
+        else:
+            body = (f"{self.baseline:.2f} -> {self.current:.2f}"
+                    f" ({self.rel_change:+.1%})")
+            if self.p_value is not None:
+                body += f" p={self.p_value:.3f}"
+        line = f"{head}: {body}"
+        if self.note:
+            line += f" [{self.note}]"
+        return line
+
+
+@dataclass
+class DegradationReport:
+    """Everything ``repro perf check`` decided, renderable for humans."""
+
+    baseline_sha: str = ""
+    candidate_sha: str = ""
+    threshold: float = DEFAULT_THRESHOLD
+    alpha: float = DEFAULT_ALPHA
+    normalization: Optional[float] = None
+    checks: List[MetricCheck] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[MetricCheck]:
+        return [check for check in self.checks if check.failed]
+
+    @property
+    def regressions(self) -> List[MetricCheck]:
+        return [c for c in self.checks if c.verdict == REGRESSION]
+
+    @property
+    def drifts(self) -> List[MetricCheck]:
+        return [c for c in self.checks if c.verdict == DRIFT]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"perf check: baseline {self.baseline_sha}"
+            f" vs candidate {self.candidate_sha}"
+            f" (threshold {self.threshold:.0%}, alpha {self.alpha})"
+        ]
+        if self.normalization is not None:
+            lines.append(
+                f"  host-speed normalization x{self.normalization:.3f}"
+                f" (from calibration samples)")
+        interesting = [c for c in self.checks if c.verdict != OK]
+        for check in interesting:
+            lines.append(f"  {check.render()}")
+        okay = len(self.checks) - len(interesting)
+        if okay:
+            lines.append(f"  {okay} metric(s) ok")
+        if self.ok:
+            lines.append("perf check: PASS")
+        else:
+            lines.append(
+                f"perf check: FAIL — {len(self.regressions)} timing "
+                f"regression(s), {len(self.drifts)} behavioral drift(s), "
+                f"{len([c for c in self.checks if c.verdict == ERROR])} "
+                f"error(s)")
+        return "\n".join(lines)
+
+
+def _judge_timing(target: str, metric: str,
+                  base_samples: Sequence[float],
+                  cur_samples: Sequence[float],
+                  threshold: float, alpha: float,
+                  scale: float) -> MetricCheck:
+    scaled = [value * scale for value in cur_samples]
+    base_med = median(list(base_samples))
+    cur_med = median(scaled)
+    check = MetricCheck(target=target, metric=metric, kind="timing",
+                        verdict=OK, baseline=base_med, current=cur_med)
+    if not base_samples or not cur_samples:
+        check.verdict = ERROR
+        check.note = "missing samples"
+        return check
+    if base_med <= 0 or math.isnan(base_med) or math.isnan(cur_med):
+        check.verdict = ERROR
+        check.note = "non-positive baseline median"
+        return check
+    check.rel_change = (cur_med - base_med) / base_med
+    testable = (len(base_samples) >= MIN_SAMPLES_FOR_TEST
+                and len(cur_samples) >= MIN_SAMPLES_FOR_TEST)
+    if check.rel_change < -threshold:
+        if testable:
+            check.p_value = rank_sum_p(base_samples, scaled)
+            if check.p_value < alpha:
+                check.verdict = REGRESSION
+            else:
+                check.note = (f"median -{-check.rel_change:.1%} but not "
+                              f"significant at alpha={alpha}")
+        else:
+            check.verdict = REGRESSION
+            check.note = (f"only {min(len(base_samples), len(cur_samples))}"
+                          f" repetition(s): threshold-only judgment")
+    elif check.rel_change > threshold:
+        check.verdict = IMPROVEMENT
+        if testable:
+            # p that the *baseline* ranks below the candidate.
+            check.p_value = rank_sum_p(scaled, list(base_samples))
+    return check
+
+
+def _judge_counters(target: str, base: TargetProfile,
+                    cur: TargetProfile) -> List[MetricCheck]:
+    checks: List[MetricCheck] = []
+    names = sorted(set(base.counters) | set(cur.counters))
+    for name in names:
+        in_base = name in base.counters
+        in_cur = name in cur.counters
+        base_value = base.counters.get(name, 0)
+        cur_value = cur.counters.get(name, 0)
+        check = MetricCheck(
+            target=target, metric=name, kind="counter", verdict=OK,
+            baseline=float(base_value), current=float(cur_value))
+        if not in_base or not in_cur:
+            check.verdict = DRIFT
+            check.note = ("counter missing from "
+                          + ("baseline" if not in_base else "candidate")
+                          + " — schema-compatible layout change; "
+                            "re-record the baseline if intended")
+        elif base_value != cur_value:
+            check.verdict = DRIFT
+            check.note = ("deterministic counter changed — behavioral "
+                          "drift, not timing noise")
+        checks.append(check)
+    return checks
+
+
+def _executor_checks(base: Dict[str, int],
+                     cur: Dict[str, int]) -> List[MetricCheck]:
+    checks: List[MetricCheck] = []
+    for name in sorted(set(base) | set(cur)):
+        base_value = base.get(name)
+        cur_value = cur.get(name)
+        check = MetricCheck(
+            target="executor_cache", metric=name, kind="counter",
+            verdict=OK,
+            baseline=float(base_value if base_value is not None else -1),
+            current=float(cur_value if cur_value is not None else -1))
+        if base_value != cur_value:
+            check.verdict = DRIFT
+            check.note = "executor cache behavior changed"
+        checks.append(check)
+    return checks
+
+
+def check_profiles(baseline: PerfProfile, candidate: PerfProfile,
+                   threshold: float = DEFAULT_THRESHOLD,
+                   alpha: float = DEFAULT_ALPHA,
+                   normalize: bool = True) -> DegradationReport:
+    """Compare *candidate* against *baseline*; never raises on content
+    differences — everything becomes a verdict in the report."""
+    report = DegradationReport(
+        baseline_sha=baseline.sha, candidate_sha=candidate.sha,
+        threshold=threshold, alpha=alpha)
+    scale = 1.0
+    if (normalize and baseline.calibration_seconds
+            and candidate.calibration_seconds):
+        base_cal = median(baseline.calibration_seconds)
+        cand_cal = median(candidate.calibration_seconds)
+        if base_cal > 0 and cand_cal > 0:
+            # Throughputs scale inversely with per-op cost: a candidate
+            # host that needs 2x the seconds per reference sim gets its
+            # throughput credited 2x before comparison.
+            scale = cand_cal / base_cal
+            report.normalization = scale
+    for name, base_target in baseline.targets.items():
+        cur_target = candidate.targets.get(name)
+        if cur_target is None:
+            report.checks.append(MetricCheck(
+                target=name, metric="present", kind="counter",
+                verdict=ERROR, baseline=1.0, current=0.0,
+                note="target missing from candidate profile"))
+            continue
+        if base_target.num_differs(cur_target):
+            report.checks.append(MetricCheck(
+                target=name, metric="grid", kind="counter", verdict=ERROR,
+                baseline=float(base_target.cells),
+                current=float(cur_target.cells),
+                note=("grid shape differs (cells/benchmarks/configs); "
+                      "profiles are not comparable — re-record the "
+                      "baseline with matching settings")))
+            continue
+        for metric in TIMING_METRICS:
+            report.checks.append(_judge_timing(
+                name, metric,
+                getattr(base_target, metric), getattr(cur_target, metric),
+                threshold, alpha, scale))
+        report.checks.extend(_judge_counters(name, base_target, cur_target))
+    for name in candidate.targets:
+        if name not in baseline.targets:
+            report.checks.append(MetricCheck(
+                target=name, metric="present", kind="counter",
+                verdict=ERROR, baseline=0.0, current=1.0,
+                note="target missing from baseline profile — re-record "
+                     "the baseline"))
+    report.checks.extend(
+        _executor_checks(baseline.executor, candidate.executor))
+    return report

@@ -1,0 +1,58 @@
+"""Render the ``BENCH_*.json`` trajectory as a markdown table.
+
+``repro perf report`` output is pasted into EXPERIMENTS.md's
+"Performance tracking" section: one row per recorded profile (ordered by
+creation time), one throughput column per benchmark target, plus the
+run's shape so quick- and full-lane profiles are never read as
+comparable rows by accident.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.perf.schema import PerfProfile, median
+
+
+def _throughput(profile: PerfProfile, target: str) -> str:
+    data = profile.targets.get(target)
+    if data is None or not data.cells_per_sec:
+        return "—"
+    cells = median(data.cells_per_sec)
+    cycles = median(data.cycles_per_sec)
+    return f"{cells:.2f} ({cycles:,.0f} cyc/s)"
+
+
+def render_trajectory(profiles: List[PerfProfile]) -> str:
+    """Markdown table over *profiles* (already in trajectory order)."""
+    if not profiles:
+        return ("No `BENCH_*.json` profiles found — record one with "
+                "`repro perf run`.")
+    targets: List[str] = []
+    for profile in profiles:
+        for name in profile.targets:
+            if name not in targets:
+                targets.append(name)
+    header = (["sha", "recorded", "lane", "reps", "insts"]
+              + [f"{name} cells/s" for name in targets])
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for profile in profiles:
+        row = [
+            profile.sha,
+            profile.created or "?",
+            "quick" if profile.quick else "full",
+            str(profile.repetitions),
+            str(profile.num_insts),
+        ] + [_throughput(profile, name) for name in targets]
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    lines.append(
+        "Throughput cells show the median cells/sec over the profile's "
+        "repetitions (simulated cycles/sec in parentheses).  Only rows "
+        "with the same lane, reps and insts are comparable; `repro perf "
+        "check` additionally normalizes by each profile's host-speed "
+        "calibration.")
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""The performance-profile schema: what one ``BENCH_<sha>.json`` holds.
+
+A *profile* is one measured snapshot of this repository's simulation
+throughput at one code version: for every benchmark target, the
+wall-clock samples of ``repetitions`` independent runs (and the derived
+cells/sec and simulated-cycles/sec throughputs), plus the deterministic
+simulation counters those runs produced.  Profiles are written by
+``repro perf run`` (:mod:`repro.perf.collector`), compared by
+``repro perf check`` (:mod:`repro.perf.detect`) and rendered as a
+trajectory by ``repro perf report`` (:mod:`repro.perf.report`).
+
+Two metric kinds live side by side, and the split is the whole design:
+
+* **timing samples** (wall seconds, cells/sec, cycles/sec, the
+  calibration loop) are noisy measurements — per-repetition sample
+  lists, judged statistically with a rank test and a relative-change
+  threshold;
+* **deterministic counters** (simulated cycles, replayed ops, the MOP
+  funnel, cache hit/miss counts from the warm-cache exercise) must be
+  *bit-identical* between runs of the same code — any difference is
+  behavioral drift, reported separately from timing noise and never
+  excused by a threshold.
+
+``PERF_SCHEMA`` versions the file layout; a loader refuses a profile
+written under a different schema (comparing across layouts would turn
+real regressions into KeyErrors or silently vacuous passes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Bump when the profile layout or the meaning of a metric changes.
+PERF_SCHEMA = 1
+
+#: Sanity marker so an arbitrary JSON file is never mistaken for a profile.
+PROFILE_KIND = "repro-perf-profile"
+
+
+class ProfileError(Exception):
+    """A profile file could not be used (missing / unreadable / wrong)."""
+
+
+class BaselineMissingError(ProfileError):
+    """The baseline profile does not exist.
+
+    ``repro perf check`` cannot run without one; the fix is to record it
+    (``repro perf run --out BENCH_baseline.json``), not to pass quietly.
+    """
+
+
+class SchemaMismatchError(ProfileError):
+    """The profile was written under an incompatible ``PERF_SCHEMA``."""
+
+    def __init__(self, path: os.PathLike, found: Any) -> None:
+        super().__init__(
+            f"{path}: profile schema {found!r} != supported {PERF_SCHEMA}"
+            f" — re-record it with this version's 'repro perf run'")
+        self.path = path
+        self.found = found
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.found))
+
+
+@dataclass
+class TargetProfile:
+    """Measurements for one benchmark target (one simulation grid).
+
+    ``wall_seconds`` has one entry per repetition; ``cells_per_sec`` and
+    ``cycles_per_sec`` are the per-repetition throughputs derived from
+    it.  ``counters`` are the deterministic simulation counters summed
+    over the grid's cells — identical for every repetition (the
+    collector verifies this at measurement time, so a profile can never
+    carry nondeterministic "counters").
+    """
+
+    description: str = ""
+    benchmarks: List[str] = field(default_factory=list)
+    configs: List[str] = field(default_factory=list)
+    cells: int = 0
+    #: Total simulated cycles across the grid (deterministic).
+    sim_cycles: int = 0
+    wall_seconds: List[float] = field(default_factory=list)
+    cells_per_sec: List[float] = field(default_factory=list)
+    cycles_per_sec: List[float] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def num_differs(self, other: "TargetProfile") -> bool:
+        """True when the two measurements ran different grids — their
+        timing samples measure different work and must not be compared."""
+        return (self.cells != other.cells
+                or self.benchmarks != other.benchmarks
+                or self.configs != other.configs)
+
+
+@dataclass
+class PerfProfile:
+    """One ``BENCH_<sha>.json``: a per-version performance snapshot."""
+
+    sha: str = "local"
+    created: str = ""
+    python: str = ""
+    platform: str = ""
+    quick: bool = False
+    repetitions: int = 0
+    num_insts: int = 0
+    seed: int = 1
+    jobs: int = 1
+    #: Machine-speed reference: seconds to simulate a fixed reference
+    #: workload, one sample per calibration repetition.  ``repro perf
+    #: check`` uses the baseline/candidate ratio to normalize throughput
+    #: comparisons across hosts of different speeds.
+    calibration_seconds: List[float] = field(default_factory=list)
+    #: Deterministic executor-cache exercise: a grid run cold then warm
+    #: through a throwaway cache must hit exactly ``cells`` times.
+    executor: Dict[str, int] = field(default_factory=dict)
+    targets: Dict[str, TargetProfile] = field(default_factory=dict)
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "schema": PERF_SCHEMA,
+            "kind": PROFILE_KIND,
+        }
+        payload.update(asdict(self))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any],
+                  source: os.PathLike = "<memory>") -> "PerfProfile":
+        if (payload.get("kind") != PROFILE_KIND
+                or payload.get("schema") != PERF_SCHEMA):
+            raise SchemaMismatchError(source, payload.get("schema"))
+        targets = {
+            name: TargetProfile(**target)
+            for name, target in payload.get("targets", {}).items()
+        }
+        fields = {key: payload[key] for key in (
+            "sha", "created", "python", "platform", "quick", "repetitions",
+            "num_insts", "seed", "jobs", "calibration_seconds", "executor",
+        ) if key in payload}
+        return cls(targets=targets, **fields)
+
+    def save(self, path: os.PathLike) -> Path:
+        """Atomically write this profile to *path* (pretty-printed: the
+        file is committed to git, so diffs should be reviewable)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(self.to_dict(), sort_keys=True, indent=2)
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        tmp.write_text(text + "\n")
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "PerfProfile":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            raise BaselineMissingError(
+                f"no profile at {path} — record one with "
+                f"'repro perf run --out {path}'") from None
+        except OSError as exc:
+            raise ProfileError(f"cannot read {path}: {exc}") from exc
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ProfileError(f"{path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise SchemaMismatchError(path, None)
+        return cls.from_dict(payload, source=path)
+
+    # -- convenience --------------------------------------------------------
+
+    def summary(self) -> str:
+        lines = [
+            f"perf profile {self.sha} ({'quick' if self.quick else 'full'}"
+            f", {self.repetitions} reps, {self.num_insts} insts"
+            f", jobs={self.jobs})",
+        ]
+        for name, target in self.targets.items():
+            med = _median(target.cells_per_sec)
+            cyc = _median(target.cycles_per_sec)
+            lines.append(
+                f"  {name}: {target.cells} cells"
+                f" | {med:.2f} cells/s | {cyc:,.0f} sim cycles/s"
+                f" | {target.sim_cycles} cycles")
+        if self.executor:
+            hits = self.executor.get("warm_hits", 0)
+            total = self.executor.get("warm_cells", 0)
+            lines.append(f"  executor cache: {hits}/{total} warm hits")
+        return "\n".join(lines)
+
+
+def _median(samples: List[float]) -> float:
+    """Median without :mod:`statistics` edge-case surprises on empties."""
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+#: Optional export used by the detector and report modules.
+median = _median

@@ -1,0 +1,68 @@
+"""Machine-readable bench-session timings (``benchmarks/results/timings.json``).
+
+The pytest bench harness used to archive only the rendered tables
+(``results/*.txt``); this module gives it a structured counterpart the
+perf tooling and CI can consume.  The payload is assembled from a
+**post-session** snapshot of the executor's counters: the bench
+``conftest`` calls :func:`write_bench_timings` from its fixture
+finalizer, *after* every bench target has run, so cache hit counts and
+wall-clock totals reflect the whole session rather than whatever state
+the executor happened to have at fixture setup (the stale-snapshot bug
+this module replaced printed 0 cache hits under ``REPRO_BENCH_CACHE=1``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.experiments.executor import Executor
+
+#: Bump when the timings payload layout changes.
+TIMINGS_SCHEMA = 1
+
+
+def session_counters(executor: Executor) -> Dict[str, Any]:
+    """Live snapshot of *executor*'s session counters.
+
+    Must be called after the work being reported on has finished — the
+    numbers are read from the executor (and its cache) at call time.
+    """
+    counters = executor.counters()
+    counters["per_cell_seconds"] = dict(
+        executor.total_summary.cell_seconds)
+    return counters
+
+
+def bench_timings_payload(executor: Executor,
+                          durations: Optional[Dict[str, float]] = None,
+                          meta: Optional[Dict[str, Any]] = None
+                          ) -> Dict[str, Any]:
+    """The ``timings.json`` document for one bench session.
+
+    ``durations`` maps bench test id -> wall seconds (pytest's call-phase
+    duration); ``meta`` carries the harness knobs (insts, jobs, cache).
+    """
+    payload: Dict[str, Any] = {
+        "schema": TIMINGS_SCHEMA,
+        "kind": "repro-bench-timings",
+        "meta": dict(meta or {}),
+        "targets": dict(durations or {}),
+        "executor": session_counters(executor),
+    }
+    return payload
+
+
+def write_bench_timings(path: os.PathLike, executor: Executor,
+                        durations: Optional[Dict[str, float]] = None,
+                        meta: Optional[Dict[str, Any]] = None) -> Path:
+    """Write the session timings document to *path* (atomic)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = bench_timings_payload(executor, durations, meta)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    tmp.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    tmp.replace(path)
+    return path

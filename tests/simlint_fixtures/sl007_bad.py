@@ -1,0 +1,15 @@
+"""Known-bad: wall-clock timing outside the measurement layer."""
+
+import time
+from time import perf_counter
+
+
+def render_with_timing(render) -> str:
+    start = time.perf_counter()          # SL007: timing in a model layer
+    text = render()
+    elapsed = perf_counter() - start     # SL007: from-import form too
+    return f"{text} ({elapsed:.3f}s)"
+
+
+def stamp() -> float:
+    return time.time()                   # SL007: ambient wall clock

@@ -1,0 +1,10 @@
+"""Clean: durations arrive as data measured by the harness/executor."""
+
+
+def render_with_timing(render, elapsed_seconds: float) -> str:
+    text = render()
+    return f"{text} ({elapsed_seconds:.3f}s)"
+
+
+def stamp(now_seconds: float) -> float:
+    return now_seconds

@@ -1,0 +1,246 @@
+"""Perf-profiling integration: collector, CLI, store and bench timings.
+
+These run real (tiny) simulations through the experiment executor, so
+they prove the whole measurement path end to end: collect a profile,
+save it as ``BENCH_<sha>.json``, gate a candidate against it via the
+CLI, and render the trajectory report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.core import MachineConfig, SchedulerKind
+from repro.experiments.executor import Executor, ResultCache
+from repro.perf import (
+    DETERMINISTIC_COUNTERS,
+    PERF_TARGETS,
+    PerfProfile,
+    bench_timings_payload,
+    collect_profile,
+    current_sha,
+    discover_profiles,
+    load_profiles,
+    render_trajectory,
+)
+from repro.perf.collector import CollectionError
+
+BENCH = ["gap"]
+N = 300
+REPS = 2
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return collect_profile(quick=True, repetitions=REPS, num_insts=N,
+                           benchmarks=BENCH, sha="testsha")
+
+
+class TestCollect:
+    def test_measures_every_target(self, profile):
+        assert set(profile.targets) == {t.name for t in PERF_TARGETS}
+        for target in profile.targets.values():
+            assert len(target.cells_per_sec) == REPS
+            assert all(v > 0 for v in target.cells_per_sec)
+            assert target.cells == len(BENCH) * len(target.configs)
+
+    def test_counters_are_complete_and_positive(self, profile):
+        for target in profile.targets.values():
+            assert set(target.counters) == set(DETERMINISTIC_COUNTERS)
+            assert target.counters["cycles"] > 0
+            assert target.counters["committed_insts"] > 0
+
+    def test_collection_is_deterministic(self):
+        again = collect_profile(quick=True, repetitions=1, num_insts=N,
+                                benchmarks=BENCH, sha="testsha2")
+        once = collect_profile(quick=True, repetitions=1, num_insts=N,
+                               benchmarks=BENCH, sha="testsha2")
+        for name in again.targets:
+            assert (again.targets[name].counters
+                    == once.targets[name].counters)
+
+    def test_cache_exercise_warm_pass_hits_every_cell(self, profile):
+        executor = profile.executor
+        assert executor["cold_cells"] == executor["warm_cells"] > 0
+        assert executor["cold_hits"] == 0
+        assert executor["warm_hits"] == executor["warm_cells"]
+        assert executor["warm_misses"] == 0
+
+    def test_calibration_recorded(self, profile):
+        assert len(profile.calibration_seconds) == 3
+        assert all(s > 0 for s in profile.calibration_seconds)
+
+    def test_sha_and_lane_recorded(self, profile):
+        assert profile.sha == "testsha"
+        assert profile.quick is True
+        assert profile.num_insts == N
+
+    def test_sha_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_SHA", "deadbee")
+        assert current_sha() == "deadbee"
+
+    def test_failed_cell_aborts_collection(self):
+        from repro.experiments.executor import FailedStats
+
+        class FailingExecutor(Executor):
+            def run_grid(self, *args, **kwargs):
+                grid = super().run_grid(*args, **kwargs)
+                label = next(iter(grid))
+                bench = next(iter(grid[label]))
+                grid[label][bench] = FailedStats(f"{bench}/{label}")
+                return grid
+
+        with pytest.raises(CollectionError, match="FAILED"):
+            collect_profile(quick=True, repetitions=1, num_insts=N,
+                            benchmarks=BENCH, sha="x",
+                            executor_factory=FailingExecutor)
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            collect_profile(repetitions=0)
+
+
+class TestStore:
+    def test_save_load_round_trip(self, profile, tmp_path):
+        path = profile.save(tmp_path / "BENCH_testsha.json")
+        clone = PerfProfile.load(path)
+        assert clone.to_dict() == profile.to_dict()
+
+    def test_discover_ignores_other_json(self, profile, tmp_path):
+        profile.save(tmp_path / "BENCH_testsha.json")
+        (tmp_path / "notes.json").write_text("{}")
+        found = discover_profiles(tmp_path)
+        assert [p.name for p in found] == ["BENCH_testsha.json"]
+
+    def test_load_profiles_skips_corrupt_unless_strict(self, profile,
+                                                       tmp_path):
+        profile.save(tmp_path / "BENCH_good.json")
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        paths = discover_profiles(tmp_path)
+        assert len(paths) == 2
+        loaded = load_profiles(paths)
+        assert [p.sha for p in loaded] == ["testsha"]
+        with pytest.raises(Exception):
+            load_profiles(paths, strict=True)
+
+
+class TestCli:
+    def test_run_then_check_then_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_baseline.json"
+        code = repro_main(["perf", "run", "--quick",
+                           "--reps", "1", "--insts", str(N),
+                           "--benchmarks", "gap",
+                           "--sha", "baseline", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        capsys.readouterr()
+
+        code = repro_main(["perf", "check", "--baseline", str(out),
+                           "--candidate", str(out)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+        code = repro_main(["perf", "report", str(out)])
+        assert code == 0
+        report = capsys.readouterr().out
+        assert "baseline" in report
+        assert "quick" in report
+
+    def test_check_against_fresh_collection(self, tmp_path, capsys):
+        # No --candidate: check re-measures with the baseline's own
+        # settings.  Timings differ but counters must match exactly.
+        out = tmp_path / "BENCH_baseline.json"
+        repro_main(["perf", "run", "--quick", "--reps", "1",
+                    "--insts", str(N), "--benchmarks", "gap",
+                    "--sha", "baseline", "--out", str(out)])
+        code = repro_main(["perf", "check", "--baseline", str(out),
+                           "--threshold", "100"])
+        output = capsys.readouterr().out
+        assert code == 0, output
+        assert "PASS" in output
+
+    def test_report_renders_trajectory_dir(self, tmp_path, capsys):
+        for sha in ("aaa1111", "bbb2222"):
+            repro_main(["perf", "run", "--quick", "--reps", "1",
+                        "--insts", str(N), "--benchmarks", "gap",
+                        "--sha", sha, "--out",
+                        str(tmp_path / f"BENCH_{sha}.json")])
+        capsys.readouterr()
+        code = repro_main(["perf", "report", "--dir", str(tmp_path)])
+        assert code == 0
+        report = capsys.readouterr().out
+        assert "aaa1111" in report and "bbb2222" in report
+
+    def test_report_empty_dir_errors(self, tmp_path, capsys):
+        code = repro_main(["perf", "report", "--dir", str(tmp_path)])
+        assert code == 2
+        assert "no perf profiles" in capsys.readouterr().err
+
+
+class TestTrajectory:
+    def test_render_is_a_markdown_table(self, profile):
+        text = render_trajectory([profile])
+        assert text.startswith("| sha |")
+        assert "| testsha |" in text
+        assert "cells/s" in text
+        assert "quick" in text
+
+
+class TestBenchTimings:
+    """The bench harness bugfix: timings are a *post-session* snapshot."""
+
+    def grid(self):
+        return {"base": MachineConfig.paper_default(
+            scheduler=SchedulerKind.BASE)}
+
+    def test_payload_reflects_post_session_state(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        executor = Executor(jobs=1, cache=cache)
+
+        # The buggy revision snapshotted here — before any work ran —
+        # and would report 0 cells / 0 hits forever after.
+        stale = dict(executor.counters())
+        assert stale["cells"] == 0 and stale["cache_hits"] == 0
+
+        executor.run_grid(self.grid(), BENCH, N, seed=1)   # cold
+        executor.run_grid(self.grid(), BENCH, N, seed=1)   # warm
+
+        payload = bench_timings_payload(
+            executor, durations={"bench_x": 1.25}, meta={"insts": N})
+        counters = payload["executor"]
+        assert counters["cells"] == 2
+        assert counters["cache_hits"] == 1
+        assert counters["hit_rate"] == 0.5
+        assert counters["cache_gets_hit"] == 1
+        assert payload["targets"] == {"bench_x": 1.25}
+        assert payload["meta"] == {"insts": N}
+        assert payload["schema"] == 1
+        assert counters["per_cell_seconds"]
+
+    def test_write_bench_timings_is_valid_json(self, tmp_path):
+        executor = Executor(jobs=1, cache=None)
+        executor.run_grid(self.grid(), BENCH, N, seed=1)
+        from repro.perf.session import write_bench_timings
+        path = write_bench_timings(tmp_path / "timings.json", executor)
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "repro-bench-timings"
+        assert payload["executor"]["cells"] == 1
+
+
+class TestExecutorCounters:
+    def test_counters_without_cache(self):
+        executor = Executor(jobs=1, cache=None)
+        executor.run_grid(self.grid(), BENCH, N, seed=1)
+        counters = executor.counters()
+        assert counters["cells"] == 1
+        assert counters["simulated"] == 1
+        assert counters["failed"] == 0
+        assert counters["wall_seconds"] > 0
+        assert "cache_gets_hit" not in counters
+
+    def grid(self):
+        return {"base": MachineConfig.paper_default(
+            scheduler=SchedulerKind.BASE)}

@@ -1,0 +1,322 @@
+"""Degradation-detector edge cases (`repro.perf.detect`).
+
+The contract under test: `repro perf check` exits 0 on an identical
+profile, 1 on an injected >=20% throughput slowdown or on *any*
+deterministic-counter drift, and 2 on operational errors (missing
+baseline, schema mismatch).  Statistical edges — zero-variance samples,
+a single repetition, noisy-but-insignificant medians — must each resolve
+deliberately, never by crashing or silently passing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.perf import (
+    PERF_SCHEMA,
+    DegradationReport,
+    PerfProfile,
+    SchemaMismatchError,
+    TargetProfile,
+    check_profiles,
+    rank_sum_p,
+)
+from repro.perf.detect import DRIFT, ERROR, IMPROVEMENT, OK, REGRESSION
+
+
+def make_profile(sha="base", cells_per_sec=(100.0, 101.0, 99.0, 100.5,
+                                            102.0),
+                 counters=None, calibration=(0.5, 0.5, 0.5),
+                 executor=None, cells=6):
+    samples = list(cells_per_sec)
+    target = TargetProfile(
+        description="test target",
+        benchmarks=["gap", "vortex"],
+        configs=["base", "macro-op"],
+        cells=cells,
+        sim_cycles=5000,
+        wall_seconds=[cells / value for value in samples],
+        cells_per_sec=samples,
+        cycles_per_sec=[value * 50 for value in samples],
+        counters=dict(counters if counters is not None
+                      else {"cycles": 5000, "replayed_ops": 40,
+                            "mops_formed": 120}),
+    )
+    return PerfProfile(
+        sha=sha,
+        created="2026-08-08T00:00:00+00:00",
+        python="3.11",
+        platform="test",
+        quick=True,
+        repetitions=len(samples),
+        num_insts=1500,
+        calibration_seconds=list(calibration),
+        executor=dict(executor if executor is not None
+                      else {"warm_cells": 6, "warm_hits": 6}),
+        targets={"grid": target},
+    )
+
+
+def scaled(profile, factor, sha="cand"):
+    clone = PerfProfile.from_dict(profile.to_dict())
+    clone.sha = sha
+    target = clone.targets["grid"]
+    target.cells_per_sec = [v * factor for v in target.cells_per_sec]
+    target.cycles_per_sec = [v * factor for v in target.cycles_per_sec]
+    target.wall_seconds = [v / factor for v in target.wall_seconds]
+    return clone
+
+
+class TestRankSum:
+    def test_identical_samples_not_significant(self):
+        assert rank_sum_p([1.0, 1.0, 1.0], [1.0, 1.0, 1.0]) == 1.0
+
+    def test_clear_separation_is_significant(self):
+        base = [100.0, 101.0, 99.0, 100.0, 102.0]
+        cur = [75.0, 74.0, 76.0, 75.0, 73.0]
+        assert rank_sum_p(base, cur) < 0.01
+
+    def test_higher_current_not_flagged(self):
+        base = [100.0, 101.0, 99.0]
+        cur = [150.0, 151.0, 149.0]
+        assert rank_sum_p(base, cur) > 0.9
+
+    def test_empty_side_is_inconclusive(self):
+        assert rank_sum_p([], [1.0]) == 1.0
+        assert rank_sum_p([1.0], []) == 1.0
+
+
+class TestCheckProfiles:
+    def test_identical_profiles_pass(self):
+        base = make_profile()
+        report = check_profiles(base, make_profile(sha="same"))
+        assert report.ok
+        assert all(c.verdict == OK for c in report.checks)
+
+    def test_injected_slowdown_fails(self):
+        base = make_profile()
+        report = check_profiles(base, scaled(base, 0.75))
+        verdicts = {(c.target, c.metric): c.verdict
+                    for c in report.checks}
+        assert verdicts[("grid", "cells_per_sec")] == REGRESSION
+        assert not report.ok
+
+    def test_small_change_passes(self):
+        base = make_profile()
+        report = check_profiles(base, scaled(base, 0.95))
+        assert report.ok
+
+    def test_improvement_is_not_a_failure(self):
+        base = make_profile()
+        report = check_profiles(base, scaled(base, 1.5))
+        assert report.ok
+        assert any(c.verdict == IMPROVEMENT for c in report.checks)
+
+    def test_counter_drift_fails_even_with_identical_timing(self):
+        base = make_profile()
+        cand = make_profile(sha="cand")
+        cand.targets["grid"].counters["replayed_ops"] += 1
+        report = check_profiles(base, cand)
+        assert not report.ok
+        drift = [c for c in report.checks if c.verdict == DRIFT]
+        assert [c.metric for c in drift] == ["replayed_ops"]
+
+    def test_new_counter_is_drift(self):
+        base = make_profile()
+        cand = make_profile(sha="cand")
+        cand.targets["grid"].counters["brand_new"] = 7
+        report = check_profiles(base, cand)
+        assert [c.metric for c in report.drifts] == ["brand_new"]
+
+    def test_cache_exercise_drift_fails(self):
+        base = make_profile()
+        cand = make_profile(sha="cand",
+                            executor={"warm_cells": 6, "warm_hits": 0})
+        report = check_profiles(base, cand)
+        assert not report.ok
+        assert any(c.target == "executor_cache" and c.verdict == DRIFT
+                   for c in report.checks)
+
+    def test_zero_variance_identical_passes(self):
+        base = make_profile(cells_per_sec=(100.0, 100.0, 100.0))
+        cand = make_profile(sha="cand",
+                            cells_per_sec=(100.0, 100.0, 100.0))
+        assert check_profiles(base, cand).ok
+
+    def test_zero_variance_big_drop_fails(self):
+        base = make_profile(cells_per_sec=(100.0, 100.0, 100.0, 100.0))
+        cand = make_profile(sha="cand",
+                            cells_per_sec=(70.0, 70.0, 70.0, 70.0))
+        report = check_profiles(base, cand)
+        assert not report.ok
+        assert report.regressions
+
+    def test_single_repetition_uses_threshold_only(self):
+        base = make_profile(cells_per_sec=(100.0,))
+        bad = make_profile(sha="bad", cells_per_sec=(70.0,))
+        report = check_profiles(base, bad)
+        assert not report.ok
+        regression = report.regressions[0]
+        assert "repetition" in regression.note
+        ok = check_profiles(base, make_profile(sha="ok",
+                                               cells_per_sec=(99.0,)))
+        assert ok.ok
+
+    def test_noisy_overlap_is_not_significant(self):
+        # Median drops 24.8% but the samples interleave: the rank test
+        # refuses to call it at alpha=0.05, and the check must say so
+        # rather than fail.
+        base = make_profile(cells_per_sec=(100.0, 101.0, 250.0))
+        cand = make_profile(sha="cand",
+                            cells_per_sec=(75.0, 76.0, 240.0))
+        report = check_profiles(base, cand)
+        assert report.ok
+        noted = [c for c in report.checks
+                 if c.metric == "cells_per_sec"]
+        assert "not significant" in noted[0].note
+
+    def test_missing_target_is_an_error(self):
+        base = make_profile()
+        cand = make_profile(sha="cand")
+        del cand.targets["grid"]
+        report = check_profiles(base, cand)
+        assert not report.ok
+        assert any(c.verdict == ERROR for c in report.checks)
+
+    def test_grid_shape_mismatch_is_an_error_not_a_regression(self):
+        base = make_profile()
+        cand = make_profile(sha="cand", cells=12)
+        report = check_profiles(base, cand)
+        assert not report.ok
+        assert any(c.metric == "grid" and c.verdict == ERROR
+                   for c in report.checks)
+        assert not report.regressions
+
+
+class TestNormalization:
+    def test_slower_host_is_normalized_away(self):
+        # Candidate host is 2x slower: raw throughput halves, but its
+        # calibration doubles, so the check normalizes back to parity.
+        base = make_profile(calibration=(0.5, 0.5, 0.5))
+        cand = scaled(base, 0.5)
+        cand.calibration_seconds = [1.0, 1.0, 1.0]
+        assert check_profiles(base, cand).ok
+
+    def test_without_normalization_the_same_delta_fails(self):
+        base = make_profile(calibration=(0.5, 0.5, 0.5))
+        cand = scaled(base, 0.5)
+        cand.calibration_seconds = [1.0, 1.0, 1.0]
+        report = check_profiles(base, cand, normalize=False)
+        assert not report.ok
+
+    def test_real_slowdown_survives_normalization(self):
+        # Same host speed (identical calibration), genuinely slower
+        # code: normalization must not absolve it.
+        base = make_profile()
+        report = check_profiles(base, scaled(base, 0.7))
+        assert not report.ok
+
+    def test_missing_calibration_skips_normalization(self):
+        base = make_profile(calibration=())
+        report = check_profiles(base, scaled(base, 1.0, sha="cand"))
+        assert report.normalization is None
+        assert report.ok
+
+
+class TestSchemaAndStore:
+    def test_schema_mismatch_refused(self, tmp_path):
+        path = tmp_path / "BENCH_old.json"
+        payload = make_profile().to_dict()
+        payload["schema"] = PERF_SCHEMA + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SchemaMismatchError):
+            PerfProfile.load(path)
+
+    def test_arbitrary_json_refused(self, tmp_path):
+        path = tmp_path / "BENCH_junk.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(SchemaMismatchError):
+            PerfProfile.load(path)
+
+    def test_round_trip(self, tmp_path):
+        profile = make_profile()
+        path = profile.save(tmp_path / "BENCH_base.json")
+        clone = PerfProfile.load(path)
+        assert clone.to_dict() == profile.to_dict()
+
+
+class TestCheckCli:
+    def save(self, profile, tmp_path, name):
+        return profile.save(tmp_path / name)
+
+    def test_identical_exits_zero(self, tmp_path, capsys):
+        base = self.save(make_profile(), tmp_path, "BENCH_baseline.json")
+        code = repro_main(["perf", "check", "--baseline", str(base),
+                           "--candidate", str(base)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_one(self, tmp_path, capsys):
+        profile = make_profile()
+        base = self.save(profile, tmp_path, "BENCH_baseline.json")
+        cand = self.save(scaled(profile, 0.75), tmp_path, "BENCH_c.json")
+        code = repro_main(["perf", "check", "--baseline", str(base),
+                           "--candidate", str(cand)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "FAIL" in out
+
+    def test_counter_drift_exits_one(self, tmp_path, capsys):
+        profile = make_profile()
+        base = self.save(profile, tmp_path, "BENCH_baseline.json")
+        drifted = make_profile(sha="cand")
+        drifted.targets["grid"].counters["cycles"] += 1
+        cand = self.save(drifted, tmp_path, "BENCH_c.json")
+        code = repro_main(["perf", "check", "--baseline", str(base),
+                           "--candidate", str(cand)])
+        assert code == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        code = repro_main(["perf", "check", "--baseline",
+                           str(tmp_path / "BENCH_absent.json"),
+                           "--candidate",
+                           str(tmp_path / "BENCH_absent.json")])
+        assert code == 2
+        assert "perf check" in capsys.readouterr().err
+
+    def test_schema_mismatch_exits_two(self, tmp_path, capsys):
+        payload = make_profile().to_dict()
+        payload["schema"] = 999
+        stale = tmp_path / "BENCH_stale.json"
+        stale.write_text(json.dumps(payload))
+        code = repro_main(["perf", "check", "--baseline", str(stale),
+                           "--candidate", str(stale)])
+        assert code == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_threshold_flag_loosens_the_gate(self, tmp_path, capsys):
+        profile = make_profile()
+        base = self.save(profile, tmp_path, "BENCH_baseline.json")
+        cand = self.save(scaled(profile, 0.75), tmp_path, "BENCH_c.json")
+        code = repro_main(["perf", "check", "--baseline", str(base),
+                           "--candidate", str(cand),
+                           "--threshold", "0.5"])
+        assert code == 0
+        capsys.readouterr()
+
+
+class TestReportRender:
+    def test_render_mentions_failure_counts(self):
+        base = make_profile()
+        report = check_profiles(base, scaled(base, 0.7))
+        text = report.render()
+        assert "FAIL" in text
+        assert "timing regression" in text
+
+    def test_empty_report_is_a_pass(self):
+        assert DegradationReport().ok

@@ -1,4 +1,4 @@
-"""Tests for the simlint invariant checker (SL001–SL006).
+"""Tests for the simlint invariant checker (SL001–SL007).
 
 Each rule gets a positive test (a known-bad fixture it must flag) and a
 negative test (the sanctioned variant it must pass).  Fixtures live in
@@ -33,6 +33,8 @@ RULE_CASES = [
      "repro/experiments/executor.py", "SL005"),
     ("sl006_bad.py", "sl006_ok.py", "repro/experiments/pool_utils.py",
      "SL006"),
+    ("sl007_bad.py", "sl007_ok.py", "repro/analysis/timed_render.py",
+     "SL007"),
 ]
 
 
@@ -87,6 +89,30 @@ class TestRuleFixtures:
     def test_sl006_exempts_the_fault_harness(self, tmp_path):
         plant(tmp_path, "sl006_bad.py", "repro/experiments/faults.py")
         assert lint_paths([tmp_path], root=tmp_path) == []
+
+    def test_sl007_exempts_the_measurement_layer(self, tmp_path):
+        # The same wall-clock reads are the whole point inside the perf
+        # subsystem, the executor and the bench harness.
+        plant(tmp_path, "sl007_bad.py", "repro/perf/collector_extra.py")
+        plant(tmp_path, "sl007_bad.py", "repro/experiments/timers.py")
+        plant(tmp_path, "sl007_bad.py", "benchmarks/warmup.py")
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
+    def test_sl007_defers_the_core_to_sl001(self, tmp_path):
+        # One bad call inside repro.core must yield exactly one finding
+        # (SL001's), not an SL001+SL007 double report.
+        plant(tmp_path, "sl007_bad.py", "repro/core/clocked.py")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert findings
+        assert {f.code for f in findings} == {"SL001"}
+
+    def test_sl007_flags_every_wall_clock_read(self, tmp_path):
+        plant(tmp_path, "sl007_bad.py", "repro/trace/latency.py")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        # time.perf_counter(), the from-import perf_counter() and
+        # time.time() are three distinct violations.
+        assert len(findings) == 3
+        assert {f.code for f in findings} == {"SL007"}
 
 
 class TestSuppressions:
@@ -196,14 +222,15 @@ class TestCli:
         assert document["tool"] == "simlint"
         assert document["total"] == len(document["findings"]) > 0
         assert set(document["rules"]) == {
-            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006"}
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
+            "SL007"}
         capsys.readouterr()
 
     def test_list_rules(self, capsys):
         assert simlint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("SL001", "SL002", "SL003", "SL004", "SL005",
-                     "SL006"):
+                     "SL006", "SL007"):
             assert code in out
 
     def test_repro_lint_subcommand_forwards(self, tmp_path, capsys):
