@@ -19,6 +19,10 @@ Environment knobs:
 * ``REPRO_BENCH_RETRIES`` — attempts beyond the first for a failed cell
   (default 2).  Cells lost anyway are rendered as ``FAILED`` and listed
   in a failure report after the session summary.
+* ``REPRO_BENCH_BACKEND`` — simulation kernel for every bench cell
+  (``python`` golden reference or ``numpy``; default: each config's
+  own field, i.e. python).  Results are bit-identical either way, so
+  the archived tables never depend on the choice.
 
 Every bench target's simulation grid flows through one session-wide
 :class:`repro.experiments.executor.Executor` installed by the autouse
@@ -107,6 +111,10 @@ def bench_retries():
     return int(os.environ.get("REPRO_BENCH_RETRIES", "2"))
 
 
+def bench_backend():
+    return os.environ.get("REPRO_BENCH_BACKEND") or None
+
+
 @pytest.fixture(scope="session", autouse=True)
 def bench_executor():
     """Route every bench simulation through one shared executor.
@@ -120,7 +128,8 @@ def bench_executor():
     """
     executor = Executor(jobs=bench_jobs(), cache=bench_cache(),
                         cell_timeout=bench_timeout(),
-                        max_retries=bench_retries())
+                        max_retries=bench_retries(),
+                        backend=bench_backend())
     previous = set_default_executor(executor)
     yield executor
     summary = executor.total_summary

@@ -39,6 +39,7 @@ import sys
 from typing import List, Optional
 
 from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.core.backend import BACKEND_NAMES
 from repro.experiments.executor import Executor, ResultCache
 from repro.workloads import generate_trace, get_profile, profile_names
 from repro.workloads.kernels import KERNELS, kernel_trace
@@ -89,6 +90,11 @@ def _add_executor_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--profile-dir", default=None, metavar="DIR",
                      help="cProfile each cell into DIR/<cell>.prof "
                           "(inspect with 'python -m pstats')")
+    sub.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                     help="simulation kernel for every cell (default: "
+                          "each config's own backend field, i.e. "
+                          "python); results are bit-identical and "
+                          "share one cache entry")
 
 
 def _executor_from(args) -> Executor:
@@ -99,7 +105,8 @@ def _executor_from(args) -> Executor:
                     fail_fast=args.fail_fast,
                     trace_dir=args.trace_dir,
                     trace_limit=args.trace_limit,
-                    profile_dir=args.profile_dir)
+                    profile_dir=args.profile_dir,
+                    backend=args.backend)
 
 
 def _report_summary(executor: Executor) -> int:
@@ -132,6 +139,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="issue queue entries; 0 = unrestricted")
     run.add_argument("--mop-size", type=int, default=2)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--backend", default="python", choices=BACKEND_NAMES,
+                     help="simulation kernel (bit-identical results; "
+                          "numpy adds vectorized scheduling and "
+                          "idle-cycle fast-forward)")
     run.add_argument("--trace", default=None, metavar="FILE",
                      help="write a JSONL pipeline trace (replay with "
                           "'repro-sim trace FILE')")
@@ -211,6 +222,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(default 1: serial timing is the least "
                                "noisy)")
     perf_run.add_argument("--seed", type=int, default=1)
+    perf_run.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                          help="simulation kernel to measure (default: "
+                               "python); recorded in the profile, and "
+                               "'perf check' refuses to compare "
+                               "profiles from different kernels")
     perf_run.add_argument("--sha", default=None,
                           help="version label for the profile (default: "
                                "git short SHA, or $REPRO_PERF_SHA)")
@@ -270,6 +286,7 @@ def _cmd_run(args) -> int:
         wakeup_style=WakeupStyle(args.wakeup),
         iq_size=None if args.iq_size == 0 else args.iq_size,
         mop_size=args.mop_size,
+        backend=args.backend,
     )
     sink = None
     if args.trace:
@@ -401,6 +418,7 @@ def _cmd_perf_run(args) -> int:
         seed=args.seed,
         jobs=args.jobs,
         sha=args.sha,
+        backend=args.backend,
         log=log,
     )
     out = Path(args.out) if args.out else None
@@ -466,7 +484,7 @@ def _cmd_perf_report(args) -> int:
     if args.profiles:
         paths = [Path(p) for p in args.profiles]
     else:
-        paths = discover_profiles(Path(args.dir))
+        paths = discover_profiles(Path(args.dir), search_up=True)
     profiles = load_profiles(paths)
     if not profiles:
         print(f"perf report: no perf profiles (BENCH_*.json) under "

@@ -31,11 +31,21 @@ __all__ = [
     "SimStats",
     "SimulationError",
     "DeadlockError",
+    "BACKEND_NAMES",
+    "BackendUnavailableError",
+    "available_backends",
+    "get_backend",
 ]
+
+_BACKEND_EXPORTS = ("BACKEND_NAMES", "BackendUnavailableError",
+                    "available_backends", "get_backend")
 
 
 def __getattr__(name: str) -> Any:
     if name in ("Processor", "simulate", "SimulationError", "DeadlockError"):
         from repro.core import pipeline
         return getattr(pipeline, name)
+    if name in _BACKEND_EXPORTS:
+        from repro.core import backend
+        return getattr(backend, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,116 @@
+"""Simulation-kernel backends: one timing model, two implementations.
+
+The cycle-level semantics of the machine live in
+:class:`repro.core.pipeline.Processor` — the dependency-free pure-Python
+*golden reference*.  The ``numpy`` backend
+(:mod:`repro.core.backend.numpy_kernel`) reimplements the hot scheduling
+loops — wakeup/broadcast bookkeeping, oldest-first select, the
+scoreboard collision check, and the dependence-matrix MOP detection of
+Figures 8/9 — on numpy bit-vector/bit-matrix operations, plus an
+idle-cycle fast-forward for stall-dominated stretches.
+
+The contract between the two is **bit identity**: for any trace and any
+:class:`~repro.core.config.MachineConfig`, both backends produce the
+same :class:`~repro.core.stats.SimStats` field for field, raise the same
+picklable errors at the same cycle, and (when instrumented) emit the
+same trace events.  ``tests/test_backend_parity.py`` enforces this with
+a randomized differential harness; because of it, the experiment
+executor's result cache deliberately leaves ``config.backend`` out of
+the cell key — the two backends *share* cached results.
+
+Layering: this package is the only place in ``src/repro`` allowed to
+import :mod:`numpy` (simlint rule SL008), and it does so lazily — the
+reference model, and any host without numpy, never pays the import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only
+    from repro.core.pipeline import Processor
+
+#: Canonical backend names, in preference order for documentation.
+BACKEND_PYTHON = "python"
+BACKEND_NUMPY = "numpy"
+BACKEND_NAMES: Tuple[str, ...] = (BACKEND_PYTHON, BACKEND_NUMPY)
+
+
+class BackendUnavailableError(RuntimeError):
+    """The requested backend cannot run on this host.
+
+    Raised when the ``numpy`` backend is selected but :mod:`numpy` is
+    not importable.  Message-only, so it survives pickling across the
+    experiment executor's worker-pool boundary unchanged (SL003).
+    """
+
+
+def _load_python_processor() -> "type[Processor]":
+    from repro.core.pipeline import Processor
+    return Processor
+
+
+def _load_numpy_processor() -> "type[Processor]":
+    try:
+        import numpy  # noqa: F401  (availability probe)
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            f"backend 'numpy' needs the numpy package, which is not "
+            f"importable here ({exc}); install numpy or run with "
+            f"backend='python'") from exc
+    from repro.core.backend.numpy_kernel import NumpyProcessor
+    return NumpyProcessor
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One selectable simulation kernel."""
+
+    name: str
+    description: str
+    #: lazy loader so selecting ``python`` never imports numpy (and a
+    #: missing numpy only fails when the numpy backend is actually used).
+    _loader: Callable[[], "type[Processor]"] = field(repr=False)
+
+    def processor_class(self) -> "type[Processor]":
+        """The :class:`~repro.core.pipeline.Processor` subclass to run."""
+        return self._loader()
+
+    def available(self) -> bool:
+        """Can this backend run on the current host?"""
+        try:
+            self.processor_class()
+        except BackendUnavailableError:
+            return False
+        return True
+
+
+_REGISTRY: Dict[str, Backend] = {
+    BACKEND_PYTHON: Backend(
+        name=BACKEND_PYTHON,
+        description="pure-Python golden reference (dependency-free)",
+        _loader=_load_python_processor,
+    ),
+    BACKEND_NUMPY: Backend(
+        name=BACKEND_NUMPY,
+        description="vectorized numpy scheduling kernel (bit-identical)",
+        _loader=_load_numpy_processor,
+    ),
+}
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name; raises ``ValueError`` on unknowns."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose one of "
+            f"{', '.join(sorted(_REGISTRY))}") from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends that can run on this host."""
+    return tuple(name for name, backend in _REGISTRY.items()
+                 if backend.available())

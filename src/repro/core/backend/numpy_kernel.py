@@ -1,0 +1,602 @@
+"""The numpy simulation kernel: vectorized scheduling loops.
+
+:class:`NumpyProcessor` subclasses the golden-reference
+:class:`~repro.core.pipeline.Processor` and swaps the per-cycle hot
+paths for array code while keeping every *semantic* decision in the
+shared reference methods.  The contract is **bit identity** (see
+:mod:`repro.core.backend`): the rewrites below change how the ready set
+is stored and how inert cycles are traversed, never what issues when.
+
+Three mechanisms carry the speedup:
+
+1. **Slot-table ready set.**  The reference keeps ready entries in a
+   lazily-cleaned binary heap that is popped and re-pushed every cycle
+   an entry stays deferred.  Here the ready set is a structure-of-arrays
+   (seq, max(ready_cycle, lockout_until)) over reusable slots; select
+   computes the selectable mask with one compare per slot and visits
+   survivors oldest-first.  Above :data:`_VECTOR_MIN_SLOTS` live slots
+   the mask and ordering run as numpy bit-vector ops (compare,
+   ``flatnonzero``, ``argsort``); below it, numpy's fixed per-call cost
+   exceeds the scan, so the same mask is evaluated over the plain-list
+   slot mirrors.  Slots are reclaimed *eagerly* (the reference's
+   ``_drop_ready`` hook), so the table also answers "when can anything
+   next issue?" exactly — which enables:
+
+2. **Idle-cycle fast-forward.**  When the next cycle provably does no
+   work — no due events, nothing selectable, insert blocked or idle,
+   fetch stalled or drained, commit head incomplete — the kernel jumps
+   straight to the earliest cycle that *can* act (next event, next
+   ready/lockout release, group-buffer head, pending-tail deadline,
+   fetch restart, watchdog/MOP-split deadlines) and bulk-accounts the
+   per-cycle statistics the reference would have accrued (occupancy
+   histogram, fetch/ROB/IQ stall counters).  Stall-dominated regions
+   (memory-bound or mispredict-heavy traces) collapse to O(events).
+
+3. **Vectorized dependence matrix.**  :class:`NumpyMopDetector` builds
+   Figure 9's dependence matrix with one broadcasted equality compare
+   (writers × readers × source position) into preallocated buffers,
+   then derives each operand's last in-window writer with a masked
+   running maximum.
+
+This module is the one place in ``src/repro`` allowed to import numpy
+(simlint SL008); it is only imported once the ``numpy`` backend is
+actually selected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.core.issue_queue import READY, IQEntry
+from repro.core.pipeline import (
+    EVENT_BROADCAST,
+    EVENT_COMPLETE,
+    EVENT_MISS,
+    MOP_SPLIT_TIMEOUT,
+    WATCHDOG_CYCLES,
+    DeadlockError,
+    Processor,
+)
+from repro.core.scheduler.base import COLLISION_SCOREBOARD
+from repro.core.stats import SimStats
+from repro.core.uop import FU_NONE, Uop
+from repro.mop.detection import MopDetector, _Record
+
+#: "no slot / never" marker in the int64 ready-set mirrors; far above
+#: any reachable cycle count yet safe to compare without overflow.
+_NEVER = 2 ** 62
+
+#: live-slot span above which the select scan materializes the slot
+#: mirrors as int64 arrays and runs the mask/order as numpy ops.  The
+#: fixed per-call cost of the vector chain (~1µs per op) only amortizes
+#: once the scan covers a few dozen slots; below that the same mask is
+#: evaluated over the plain lists.  Both paths visit the same slots in
+#: the same (seq) order, so the threshold is invisible to results.
+_VECTOR_MIN_SLOTS = 48
+
+#: detection-window size below which the broadcasted dependence-matrix
+#: build costs more than the reference's last-writer dict scan (the
+#: matrix is O(n² · nsrc) cells versus the scan's O(n · nsrc) dict
+#: lookups, and numpy charges ~1µs per array op regardless of size).
+#: The window is two insert groups (2 × width), so machines up to
+#: 16-wide take the scalar path; the vector path carries wider windows
+#: and is exercised directly by the parity tests.
+_VECTOR_MIN_WINDOW = 32
+
+
+class NumpyMopDetector(MopDetector):
+    """Figure 9 dependence matrix on numpy broadcasting.
+
+    Only the matrix construction (``_dependences``) is vectorized; tail
+    selection and the independent-MOP pass reuse the reference scans so
+    every heuristic decision stays shared code.  The detection window is
+    tiny (two insert groups), so all buffers are preallocated once and
+    every array op writes into them — the per-group cost is the compare
+    chain itself, not allocator traffic.
+    """
+
+    def __init__(self, config: MachineConfig, pointers) -> None:
+        super().__init__(config, pointers)
+        self._alloc(2 * config.width, 2)
+
+    def _alloc(self, w: int, nsrc: int) -> None:
+        self._w = w
+        self._nsrc_cap = nsrc
+        # Register ids are non-negative; -1 (writes nothing) and -2 (no
+        # operand at this position) can never compare equal, so padded
+        # cells fall out of the matrix.
+        self._dest = np.full(w, -1, dtype=np.int64)
+        self._srcs = np.full((w, nsrc), -2, dtype=np.int64)
+        # Writer index + 1, so 0 means "no in-window writer" after the
+        # masked running max.
+        self._ramp = (np.arange(w, dtype=np.int64) + 1)[:, None, None]
+        # before[i, j] ⇔ i strictly precedes j in the window.
+        self._before = np.triu(np.ones((w, w), dtype=np.bool_), 1)[:, :, None]
+        self._m3 = np.empty((w, w, nsrc), dtype=np.bool_)
+        self._i3 = np.empty((w, w, nsrc), dtype=np.int64)
+        self._prod = np.empty((w, nsrc), dtype=np.int64)
+
+    def _dependences(
+        self, window: List[_Record]
+    ) -> Dict[Tuple[int, int], int]:
+        n = len(window)
+        if n < _VECTOR_MIN_WINDOW:
+            return super()._dependences(window)
+        nsrc = 0
+        for record in window:
+            if len(record.srcs) > nsrc:
+                nsrc = len(record.srcs)
+        if nsrc == 0:
+            return {}
+        if n > self._w or nsrc > self._nsrc_cap:
+            self._alloc(max(n, self._w), max(nsrc, self._nsrc_cap))
+        dest = self._dest[:n]
+        srcs = self._srcs[:n, :nsrc]
+        dest.fill(-1)
+        srcs.fill(-2)
+        for j, record in enumerate(window):
+            if record.dest is not None:
+                dest[j] = record.dest
+            for p, src in enumerate(record.srcs):
+                srcs[j, p] = src
+        # m3[i, j, p]: op i writes the register op j reads at source
+        # position p, with i strictly earlier in the window.
+        m3 = self._m3[:n, :n, :nsrc]
+        np.equal(dest[:, None, None], srcs[None, :, :], out=m3)
+        m3 &= self._before[:n, :n]
+        # Each operand's producer is its *last* in-window writer: the
+        # running max over the writer axis of the masked index ramp.
+        i3 = self._i3[:n, :n, :nsrc]
+        np.multiply(self._ramp[:n], m3, out=i3)
+        prod = self._prod[:n, :nsrc]
+        i3.max(axis=0, out=prod)
+        if not prod.any():
+            return {}
+        deps: Dict[Tuple[int, int], int] = {}
+        for j, row in enumerate(prod.tolist()):
+            for p, writer in enumerate(row):
+                if writer:
+                    deps[(j, p)] = writer - 1
+        return deps
+
+
+class NumpyProcessor(Processor):
+    """Vectorized simulation kernel (the ``numpy`` backend).
+
+    Every override below is a re-expression of the corresponding
+    reference method over the ready-set slot table; order-sensitive
+    decisions (oldest-first select, collision scan order, stall
+    attribution) are made identically, so stats — and traces, when a
+    sink is attached — match the reference bit for bit.
+    """
+
+    detector_cls = NumpyMopDetector
+
+    def __init__(self, config: MachineConfig, trace, sink=None) -> None:
+        super().__init__(config, trace, sink=sink)
+        # Ready-set slot table.  ``_slot_next[i]`` is max(ready_cycle,
+        # lockout_until) for the live entry in slot i (_NEVER when slot
+        # i is free); ``_slot_seq`` mirrors entry.seq for oldest-first
+        # ordering.  Kept as plain lists — the common small-set scans
+        # and the idle-gate minimum read them directly, and the vector
+        # path materializes int64 views on demand.
+        cap = 64
+        self._slot_next: List[int] = [_NEVER] * cap
+        self._slot_seq: List[int] = [_NEVER] * cap
+        self._slot_entries: List[Optional[IQEntry]] = [None] * cap
+        self._slot_free: List[int] = list(range(cap - 1, -1, -1))
+        self._slot_top = 0          # exclusive upper bound of live slots
+        self._slot_count = 0        # live READY entries
+        # Lower bound on min(_slot_next) over live slots; may go stale
+        # *low* after a slot is freed (harmless: one empty scan, which
+        # refreshes it exactly) but is never stale high, so it soundly
+        # gates both the select scan and the idle fast-forward.
+        self._slot_min_next = _NEVER
+
+    # ------------------------------------------------------------------
+    # Ready-set slot management
+    # ------------------------------------------------------------------
+
+    def _grow_slots(self) -> None:
+        old = len(self._slot_next)
+        self._slot_next.extend([_NEVER] * old)
+        self._slot_seq.extend([_NEVER] * old)
+        self._slot_entries.extend([None] * old)
+        self._slot_free.extend(range(2 * old - 1, old - 1, -1))
+
+    def _free_slot(self, slot: int, entry: IQEntry) -> None:
+        entries = self._slot_entries
+        entries[slot] = None
+        self._slot_next[slot] = _NEVER
+        self._slot_seq[slot] = _NEVER
+        self._slot_free.append(slot)
+        self._slot_count -= 1
+        entry.backend_slot = None
+        # Keep the scan span tight: pull the high-water mark back over
+        # any trailing run of free slots.
+        top = self._slot_top
+        if slot + 1 == top:
+            while top and entries[top - 1] is None:
+                top -= 1
+            self._slot_top = top
+
+    def _drop_ready(self, entry: IQEntry) -> None:
+        # Reference hook: a READY entry left the ready set without being
+        # selected (rescind or scoreboard pileup).  Reclaim its slot so
+        # the table holds exactly the READY entries.
+        slot = entry.backend_slot
+        if slot is not None and self._slot_entries[slot] is entry:
+            self._free_slot(slot, entry)
+
+    def _make_ready(
+        self,
+        entry: IQEntry,
+        now: int,
+        earliest_select: Optional[int] = None,
+    ) -> None:
+        entry.state = READY
+        entry.ready_cycle = earliest_select if earliest_select is not None \
+            else now
+        if self._sink is not None:
+            self._emit_entry("wakeup", entry, entry.ready_cycle)
+        slot = entry.backend_slot
+        if slot is None or self._slot_entries[slot] is not entry:
+            # Not resident (or the remembered slot was recycled to some
+            # other entry in the meantime): allocate.
+            if not self._slot_free:
+                self._grow_slots()
+            slot = self._slot_free.pop()
+            self._slot_entries[slot] = entry
+            entry.backend_slot = slot
+            self._slot_count += 1
+            if slot >= self._slot_top:
+                self._slot_top = slot + 1
+        self._slot_seq[slot] = entry.seq
+        nxt = entry.ready_cycle
+        if entry.lockout_until > nxt:
+            nxt = entry.lockout_until
+        self._slot_next[slot] = nxt
+        if nxt < self._slot_min_next:
+            self._slot_min_next = nxt
+        if self.discipline.speculative_wakeup:
+            bt = entry.ready_cycle + self.discipline.broadcast_offset(
+                entry.sched_latency)
+            entry.broadcast_cycle = bt
+            entry.spec_broadcast_cycle = bt
+            self._push_event(bt, (EVENT_BROADCAST, entry, bt))
+
+    # ------------------------------------------------------------------
+    # Select
+    # ------------------------------------------------------------------
+
+    def _selectable(self, now: int) -> List[int]:
+        """Slots selectable this cycle, oldest (seq) first."""
+        top = self._slot_top
+        if top >= _VECTOR_MIN_SLOTS:
+            nxt = np.array(self._slot_next[:top], dtype=np.int64)
+            cand = np.flatnonzero(nxt <= now)
+            if cand.size > 1:
+                seq = np.array(self._slot_seq[:top], dtype=np.int64)
+                cand = cand[np.argsort(seq[cand])]
+            return cand.tolist()
+        nxt_list = self._slot_next
+        slots = [i for i in range(top) if nxt_list[i] <= now]
+        if len(slots) > 1:
+            slots.sort(key=self._slot_seq.__getitem__)
+        return slots
+
+    def _next_ready_time(self) -> int:
+        """Exact min over live slots of max(ready, lockout) (_NEVER when
+        the ready set is empty; free slots hold _NEVER)."""
+        if not self._slot_count:
+            return _NEVER
+        top = self._slot_top
+        if top >= _VECTOR_MIN_SLOTS:
+            return int(np.array(self._slot_next[:top],
+                                dtype=np.int64).min())
+        return min(self._slot_next[:top])
+
+    def _select(self, now: int, slots: int,
+                fu_avail: Dict[str, int]) -> None:
+        leftover: Optional[List[int]] = None
+        if self._slot_count and self._slot_min_next <= now:
+            cand = self._selectable(now)
+            leftover = []
+            scoreboard = (self.discipline.collision_mode
+                          == COLLISION_SCOREBOARD)
+            entries = self._slot_entries
+            stats = self.stats
+            for pos, slot in enumerate(cand):
+                if slots <= 0:
+                    leftover.extend(cand[pos:])
+                    break
+                entry = entries[slot]
+                if (entry is None or entry.state != READY
+                        or entry.pending_tail):
+                    # Mirrors the reference's stale-pop drop.  Eager
+                    # reclamation makes this unreachable, but a missed
+                    # transition must degrade to the reference's lazy
+                    # cleanup, not to a double issue.
+                    if entry is not None:
+                        self._free_slot(slot, entry)
+                    continue
+                fu = entry.head.fu_class
+                if fu != FU_NONE and fu_avail.get(fu, 0) <= 0:
+                    # Deferred in place; its seq keeps its priority.
+                    leftover.append(slot)
+                    continue
+                if scoreboard and not self._operands_truly_ready(entry,
+                                                                 now):
+                    # Pileup victim burns the slot (Section 6.5); the
+                    # _pileup_replay -> _drop_ready hook frees its slot.
+                    slots -= 1
+                    stats.pileup_victims += 1
+                    self._pileup_replay(entry, now)
+                    continue
+                self._free_slot(slot, entry)
+                self._issue(entry, now, fu_avail)
+                slots -= 1
+            # Deferred entries may remain; refresh the scan gate exactly.
+            self._slot_min_next = self._next_ready_time()
+        if self.discipline.speculative_wakeup:
+            self._handle_collisions(now, leftover)
+
+    def _handle_collisions(self, now: int,
+                           leftover: Optional[List[int]] = None) -> None:
+        # Same visit set and (seq-sorted) order as the reference scan:
+        # ready-this-cycle entries that select did not issue.  When the
+        # select scan ran, those are exactly its leftover slots — in
+        # order — so the mask is not recomputed.
+        if leftover is None:
+            if not self._slot_count or self._slot_min_next > now:
+                return
+            leftover = self._selectable(now)
+        for slot in leftover:
+            entry = self._slot_entries[slot]
+            if (entry is None or entry.state != READY
+                    or entry.pending_tail):
+                if entry is not None:
+                    self._free_slot(slot, entry)
+                continue
+            self._collide(entry, now)
+
+    # ------------------------------------------------------------------
+    # One cycle (lean re-statement of the reference _cycle)
+    # ------------------------------------------------------------------
+
+    def _cycle(self) -> None:
+        self.now = now = self.now + 1
+
+        occ = self.iq.occupied
+        hist = self._occ_hist
+        hist[occ] = hist.get(occ, 0) + 1
+
+        fu_avail = dict(self._fu_limits)
+        reserved = self._fu_reserved_future.pop(now, None)
+        if reserved:
+            for fu, count in reserved.items():
+                fu_avail[fu] = fu_avail.get(fu, 0) - count
+        slots = self.config.width - self._sequencing_future.pop(now, 0)
+
+        events = self._events.pop(now, None)
+        if events:
+            if len(events) > 1:
+                # Same priority order as the reference's sorted() — the
+                # sort is stable, so ties keep insertion order.
+                events.sort(key=_event_kind)
+            for event in events:
+                kind = event[0]
+                if kind == EVENT_COMPLETE:
+                    self._on_complete(event[1], event[2])
+                elif kind == EVENT_MISS:
+                    self._on_load_miss(event[1], event[2], event[3])
+                else:
+                    self._on_broadcast(event[1], event[2])
+
+        self._expire_pending(now)
+        if (now - self._last_issue_cycle > MOP_SPLIT_TIMEOUT
+                and len(self.iq)):
+            self._split_stuck_mop(now)
+        self._select(now, slots, fu_avail)
+        self._insert(now)
+        self._fetch(now)
+        self._commit(now)
+
+    # ------------------------------------------------------------------
+    # Insert fast path (no macro-op formation)
+    # ------------------------------------------------------------------
+
+    def _insert(self, now: int) -> None:
+        if self.formation is not None:
+            return super()._insert(now)
+        # Non-MOP disciplines only ever produce SOLO directives with unit
+        # cost; skip the directive objects and admit raw uops directly.
+        buffer = self._group_buffer
+        queue = self._insert_queue
+        while buffer and buffer[0][0] <= now:
+            _ready, group = buffer.popleft()
+            queue.extend(group)
+        if not queue:
+            return
+        width = self.config.width
+        rob_size = self.config.rob_size
+        rob = self.rob
+        iq = self.iq
+        stats = self.stats
+        inserted = 0
+        while queue and inserted < width:
+            if len(rob) + 1 > rob_size:
+                stats.rob_full_stall_cycles += 1
+                break
+            if not iq.has_space(1):
+                stats.iq_full_stall_cycles += 1
+                break
+            self._insert_solo(queue.popleft(), now)
+            inserted += 1
+
+    def _insert_head_stall(self) -> Optional[str]:
+        """Which full resource blocks the insert-queue head (else None).
+
+        Mirrors the reference ``_insert`` head checks so skipped cycles
+        charge the same stall counter the per-cycle loop would have.
+        """
+        head = self._insert_queue[0]
+        if self.formation is None or isinstance(head, Uop):
+            rob_cost = iq_cost = 1
+        else:
+            cost = self._directive_cost(head)
+            rob_cost, iq_cost = cost["rob"], cost["iq"]
+        if len(self.rob) + rob_cost > self.config.rob_size:
+            return "rob"
+        if iq_cost and not self.iq.has_space(iq_cost):
+            return "iq"
+        return None
+
+    # ------------------------------------------------------------------
+    # Idle-cycle fast-forward
+    # ------------------------------------------------------------------
+
+    def _idle_until(self) -> Optional[Tuple[int, bool, Optional[str]]]:
+        """Provably-inert stretch ahead, if any.
+
+        Returns ``(target, fetch_stalls, insert_stall)`` meaning cycles
+        ``now+1 .. target-1`` would each run the full reference _cycle
+        without changing any state except the per-cycle counters named
+        by the flags — so the run loop may jump to ``target - 1`` after
+        bulk-accounting them.  ``None`` when the very next cycle may do
+        real work.
+        """
+        now = self.now
+        # Cheapest gates first: the ready set (one compare against a
+        # sound lower bound) and the ROB head (commit drains whenever
+        # it is complete).
+        if self._slot_min_next <= now + 1 and self._slot_count:
+            return None
+        rob = self.rob
+        if rob and rob[0].completed:
+            return None
+        cap = self._last_commit_cycle + WATCHDOG_CYCLES + 1
+        if len(self.iq):
+            split = self._last_issue_cycle + MOP_SPLIT_TIMEOUT + 1
+            if split < cap:
+                cap = split
+        # Insert: a ready group-buffer head means formation/insert work.
+        buffer = self._group_buffer
+        if buffer:
+            head_ready = buffer[0][0]
+            if head_ready <= now + 1:
+                return None
+            if head_ready < cap:
+                cap = head_ready
+        insert_stall: Optional[str] = None
+        if self._insert_queue:
+            insert_stall = self._insert_head_stall()
+            if insert_stall is None:
+                return None  # head admits next cycle
+        # Fetch: inert only when drained, gated, or stalled.
+        frontend = self.frontend
+        fetch_stalls = False
+        if (len(buffer)
+                >= self.config.effective_frontend_depth + 4):
+            pass  # group buffer full: fetch_group is not even called
+        elif frontend.waiting_branch is not None:
+            fetch_stalls = True  # resolution arrives via an event
+        elif frontend.exhausted:
+            pass
+        elif frontend.stalled_until > now + 1:
+            fetch_stalls = True
+            if frontend.stalled_until < cap:
+                cap = frontend.stalled_until
+        else:
+            return None  # fetch proceeds next cycle
+        # Select: the table holds exactly the READY entries, so their
+        # earliest max(ready, lockout) bounds the next possible issue,
+        # pileup, or collision.
+        if self._slot_count:
+            next_ready = self._next_ready_time()
+            self._slot_min_next = next_ready
+            if next_ready <= now + 1:
+                return None
+            if next_ready < cap:
+                cap = next_ready
+        # Events wake consumers, complete entries, discover misses.
+        events = self._events
+        if events:
+            next_event = min(events)
+            if next_event < cap:
+                cap = next_event
+        # Pending macro-op heads abandon their tails at a deadline.
+        if self._pending_entries:
+            deadline = min(self._pending_deadline.values(), default=cap)
+            if deadline < cap:
+                cap = deadline
+        if cap <= now + 1:
+            return None
+        return cap, fetch_stalls, insert_stall
+
+    def _skip_to(self, target: int, fetch_stalls: bool,
+                 insert_stall: Optional[str]) -> None:
+        """Jump to ``target - 1``, bulk-accruing per-cycle counters."""
+        delta = target - 1 - self.now
+        occ = self.iq.occupied
+        self._occ_hist[occ] = self._occ_hist.get(occ, 0) + delta
+        stats = self.stats
+        if fetch_stalls:
+            stats.fetch_stall_cycles += delta
+        if insert_stall == "rob":
+            stats.rob_full_stall_cycles += delta
+        elif insert_stall == "iq":
+            stats.iq_full_stall_cycles += delta
+        # Reference cycles pop these per-cycle reservation keys as they
+        # pass; drop any that the jump steps over (they could only have
+        # mattered to a select, and nothing is selectable in the gap).
+        for table in (self._fu_reserved_future, self._sequencing_future):
+            if table:
+                for key in [k for k in table if k < target]:
+                    del table[key]
+        self.now = target - 1
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> SimStats:
+        while not self._finished():
+            self._cycle()
+            if max_cycles is not None and self.now >= max_cycles:
+                break
+            if self.now - self._last_commit_cycle > WATCHDOG_CYCLES:
+                raise DeadlockError(
+                    f"no commit for {WATCHDOG_CYCLES} cycles at cycle "
+                    f"{self.now}; rob={len(self.rob)} iq={len(self.iq)} "
+                    f"head={self.rob[0] if self.rob else None}",
+                    cycle=self.now,
+                    pending={
+                        "rob": len(self.rob),
+                        "iq": len(self.iq),
+                        "last_commit_cycle": self._last_commit_cycle,
+                        "head": repr(self.rob[0]) if self.rob else None,
+                    },
+                )
+            # A drained machine is inert forever; let the loop condition
+            # end the run at the reference's cycle, not the watchdog cap.
+            idle = None if self._finished() else self._idle_until()
+            if idle is not None:
+                target, fetch_stalls, insert_stall = idle
+                if max_cycles is not None and target > max_cycles:
+                    target = max_cycles
+                if target > self.now + 1:
+                    self._skip_to(target, fetch_stalls, insert_stall)
+        self.stats.cycles = self.now
+        self.stats.iq_occupancy_hist = {
+            str(occ): cycles
+            for occ, cycles in sorted(self._occ_hist.items())
+        }
+        return self.stats
+
+
+def _event_kind(event: tuple) -> int:
+    return event[0]

@@ -100,6 +100,16 @@ class MachineConfig:
     scheduler: SchedulerKind = SchedulerKind.BASE
     wakeup_style: WakeupStyle = WakeupStyle.WIRED_OR
 
+    # -- simulation kernel backend ---------------------------------------------
+    #: which scheduling-kernel implementation runs this machine:
+    #: ``"python"`` is the dependency-free golden reference,
+    #: ``"numpy"`` the vectorized kernel (bit-identical stats, faster).
+    #: A pure host-side choice: it must never change simulated behaviour,
+    #: which is why the result cache hashes everything here *except* it
+    #: (see ``repro.experiments.executor.cell_key``) and the differential
+    #: harness in ``tests/test_backend_parity.py`` enforces parity.
+    backend: str = "python"
+
     # -- macro-op machinery (Sections 4 and 5) ---------------------------------
     #: extra pipeline stages charged for MOP formation (Figure 15 sweep).
     extra_mop_stages: int = 0
@@ -139,6 +149,16 @@ class MachineConfig:
                              "configuration) and 8 (the detection scope)")
         if self.sched_loop_depth < 1:
             raise ValueError("sched_loop_depth must be at least 1")
+        # Local import: backend imports pipeline, which imports config.
+        from repro.core.backend import BACKEND_NAMES
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose one of "
+                f"{', '.join(sorted(BACKEND_NAMES))}")
+
+    def with_backend(self, backend: str) -> "MachineConfig":
+        """Return a copy running a different simulation kernel backend."""
+        return replace(self, backend=backend)
 
     # -- derived quantities ------------------------------------------------
 

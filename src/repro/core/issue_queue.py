@@ -50,6 +50,8 @@ class IQEntry:
         "lockout_until",
         "replay_count",
         "collided",
+        "in_ready_heap",
+        "backend_slot",
     )
 
     _next_eid = 0
@@ -80,6 +82,14 @@ class IQEntry:
         self.lockout_until = 0
         self.replay_count = 0
         self.collided = False
+        #: True while this entry sits in the scheduler's ready heap; a
+        #: rescind→re-wake cycle must update the existing heap slot's
+        #: entry in place rather than push a duplicate (the duplicate
+        #: would grow the heap without bound under replay storms).
+        self.in_ready_heap = False
+        #: index into the vectorized backend's ready-set arrays (None in
+        #: the reference backend, which keeps its ready set in a heap).
+        self.backend_slot: Optional[int] = None
 
     # -- structure ----------------------------------------------------------
 

@@ -167,7 +167,16 @@ class Processor:
     sink the tracing machinery is never imported and every would-be
     emission costs a single attribute check, so untraced runs are
     bit-identical to pre-trace builds.
+
+    This class is simultaneously the ``python`` backend — the golden
+    reference every other simulation kernel (see
+    :mod:`repro.core.backend`) must match bit for bit.  Subclasses may
+    swap the MOP detector implementation via :attr:`detector_cls`.
     """
+
+    #: detection implementation hook (the numpy backend substitutes its
+    #: vectorized dependence-matrix detector here).
+    detector_cls = MopDetector
 
     def __init__(self, config: MachineConfig, trace: Trace,
                  sink: Optional["TraceSink"] = None) -> None:
@@ -206,7 +215,7 @@ class Processor:
         if self.discipline.uses_macro_ops:
             self.pointers = PointerCache(config.mop_detection_delay)
             self.formation = MopFormation(config, self.pointers)
-            self.detector = MopDetector(config, self.pointers)
+            self.detector = self.detector_cls(config, self.pointers)
         else:
             self.pointers = None
             self.formation = None
@@ -421,6 +430,7 @@ class Processor:
             consumer.src_ready_cycle[idx] = None
             if consumer.state == READY:
                 consumer.state = WAITING
+                self._drop_ready(consumer)
                 if self._sink is not None:
                     self._emit_entry("squash", consumer, now, cause)
             elif consumer.state == ISSUED:
@@ -486,7 +496,13 @@ class Processor:
             else now
         if self._sink is not None:
             self._emit_entry("wakeup", entry, entry.ready_cycle)
-        heapq.heappush(self._ready_heap, (entry.seq, entry.eid, entry))
+        # An entry rescinded while READY stays physically in the heap
+        # (as a stale WAITING pop-and-drop); re-waking it must not push
+        # a second copy — duplicates grow the heap without bound under
+        # replay storms and double every select scan.
+        if not entry.in_ready_heap:
+            entry.in_ready_heap = True
+            heapq.heappush(self._ready_heap, (entry.seq, entry.eid, entry))
         if self.discipline.speculative_wakeup:
             bt = entry.ready_cycle + self.discipline.broadcast_offset(
                 entry.sched_latency)
@@ -499,6 +515,7 @@ class Processor:
         requeue: List[IQEntry] = []
         while slots > 0 and heap:
             _seq, _eid, entry = heapq.heappop(heap)
+            entry.in_ready_heap = False
             if entry.state != READY or entry.pending_tail:
                 continue
             if entry.ready_cycle > now or entry.lockout_until > now:
@@ -510,7 +527,9 @@ class Processor:
                 continue
             if (self.discipline.collision_mode == COLLISION_SCOREBOARD
                     and not self._operands_truly_ready(entry, now)):
-                # Pileup victim: burns the issue slot, then replays.
+                # Pileup victim: burns the issue slot, then replays —
+                # Section 6.5's semantics (pileup victims consume real
+                # issue bandwidth, unlike squash-dep collisions).
                 slots -= 1
                 self.stats.pileup_victims += 1
                 self._pileup_replay(entry, now)
@@ -518,6 +537,9 @@ class Processor:
             self._issue(entry, now, fu_avail)
             slots -= 1
         for entry in requeue:
+            # Re-heaped under the same (seq, eid) key, so deferred
+            # entries keep their oldest-first priority next cycle.
+            entry.in_ready_heap = True
             heapq.heappush(heap, (entry.seq, entry.eid, entry))
         if self.discipline.speculative_wakeup:
             self._handle_collisions(now)
@@ -547,6 +569,7 @@ class Processor:
         """
         offset = self.discipline.broadcast_offset
         entry.state = WAITING
+        self._drop_ready(entry)
         entry.lockout_until = max(entry.lockout_until,
                                   now + self.config.dispatch_depth)
         self._note_replay(entry, now, REPLAY_PILEUP)
@@ -563,24 +586,41 @@ class Processor:
                 entry.src_ready[idx] = False
                 entry.src_ready_cycle[idx] = None
 
+    def _drop_ready(self, entry: IQEntry) -> None:
+        """Hook: *entry* just left READY without being popped by select.
+
+        The heap tolerates the stale occupant (it is dropped on pop), so
+        the reference does nothing; backends keeping an eagerly-maintained
+        ready set override this to reclaim the entry's slot.
+        """
+
     def _handle_collisions(self, now: int) -> None:
-        """Select-free: entries ready this cycle but not selected."""
-        for _seq, _eid, entry in self._ready_heap:
+        """Select-free: entries ready this cycle but not selected.
+
+        Iterated in (seq, eid) order — not raw heap order — so the squash
+        events the collision pass emits appear in a canonical order that
+        any backend's ready-set representation can reproduce exactly.
+        """
+        for _seq, _eid, entry in sorted(self._ready_heap):
             if (entry.state != READY or entry.pending_tail
                     or entry.ready_cycle > now
                     or entry.lockout_until > now):
                 continue
-            if entry.collided:
-                continue
-            entry.collided = True
-            self.stats.select_collisions += 1
-            if self.discipline.collision_mode == COLLISION_SQUASH:
-                # Rescind the speculative broadcast before any dependent
-                # can issue: no pileup victims exist in this configuration.
-                entry.broadcast_cycle = None
-                entry.spec_broadcast_cycle = None
-                if self._sink is not None:
-                    self._emit_entry("squash", entry, now, REPLAY_SQUASH)
+            self._collide(entry, now)
+
+    def _collide(self, entry: IQEntry, now: int) -> None:
+        """Record one select collision on a ready-but-unselected entry."""
+        if entry.collided:
+            return
+        entry.collided = True
+        self.stats.select_collisions += 1
+        if self.discipline.collision_mode == COLLISION_SQUASH:
+            # Rescind the speculative broadcast before any dependent
+            # can issue: no pileup victims exist in this configuration.
+            entry.broadcast_cycle = None
+            entry.spec_broadcast_cycle = None
+            if self._sink is not None:
+                self._emit_entry("squash", entry, now, REPLAY_SQUASH)
 
     # ------------------------------------------------------------------
     # Issue
@@ -999,5 +1039,9 @@ def simulate(
     """
     if config is None:
         config = MachineConfig.paper_default()
-    processor = Processor(config, trace, sink=sink)
+    # Late import: repro.core.backend imports this module for the
+    # python (reference) backend's processor class.
+    from repro.core.backend import get_backend
+    processor_cls = get_backend(config.backend).processor_class()
+    processor = processor_cls(config, trace, sink=sink)
     return processor.run(max_cycles=max_cycles)

@@ -17,6 +17,9 @@ SL005     cache key — every SimCell/MachineConfig field is hashed
 SL006     no bare ``except:`` / swallowed ``BaseException``
 SL007     timing layer — wall-clock reads only in repro.perf,
           repro.experiments and benchmarks/
+SL008     numpy confinement — numpy imports only inside
+          repro.core.backend (the reference model stays
+          dependency-free)
 ========  =====================================================
 """
 
@@ -25,6 +28,7 @@ from repro.devtools.simlint.rules import (  # noqa: F401
     determinism,
     exceptions,
     layering,
+    numpy_confinement,
     picklability,
     stats_schema,
     timing,

@@ -1,0 +1,67 @@
+"""SL008 — numpy stays confined to the ``repro.core.backend`` package.
+
+The pure-Python golden reference is the portable model: it must import
+and run on a bare interpreter, which is exactly what the default CI lane
+proves by running the suite without numpy installed.  The vectorized
+kernel is an *optional* backend behind :mod:`repro.core.backend`'s lazy
+loaders, so that package (and only that package) may import numpy —
+anywhere else, even a function-local ``import numpy`` would make a code
+path silently numpy-dependent and break the reference's portability
+contract the moment someone calls it.
+
+Unlike SL002 this is a *total* confinement rule: lazy imports are not a
+sanctioned escape hatch, because the backend registry is already the one
+sanctioned lazy boundary.  Tests and benchmarks are out of scope (they
+live outside ``src/repro``); the parity suite guards its numpy use with
+an availability skip instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.engine import (Finding, Project, Rule,
+                                           SourceModule, register)
+
+#: The only package allowed to import numpy.
+ALLOWED_PACKAGE = "repro.core.backend"
+
+
+def _is_numpy(name: str) -> bool:
+    return name == "numpy" or name.startswith("numpy.")
+
+
+@register
+class NumpyConfinementRule(Rule):
+    code = "SL008"
+    name = "numpy-confinement"
+    description = (
+        "numpy may only be imported inside repro.core.backend (lazily "
+        "loaded when the numpy backend is selected); everywhere else "
+        "the model must stay dependency-free, even in function-local "
+        "imports"
+    )
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterator[Finding]:
+        if module.in_package(ALLOWED_PACKAGE):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_numpy(alias.name):
+                        yield self._finding(module, node, alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module is not None and _is_numpy(node.module):
+                yield self._finding(module, node, node.module)
+
+    def _finding(self, module: SourceModule, node: ast.stmt,
+                 imported: str) -> Finding:
+        return self.finding(
+            module, node,
+            f"import of {imported} outside {ALLOWED_PACKAGE} "
+            f"({module.name}); the golden reference must run without "
+            f"numpy — route vectorized code through the backend "
+            f"registry instead",
+        )

@@ -65,7 +65,7 @@ import sys
 import time
 import traceback as traceback_module
 from collections import deque
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from multiprocessing import Pool
 from pathlib import Path
 from typing import (Any, Callable, Dict, Iterable, List, Optional,
@@ -86,7 +86,10 @@ DEFAULT_INSTS = 10_000
 #: 2: ``max_cycles`` joined the cell key.
 #: 3: scheduler-observability counters joined ``SimStats`` (older entries
 #:    would load with those fields silently zero).
-CACHE_SCHEMA = 3
+#: 4: ``backend`` joined ``MachineConfig`` and is deliberately left out
+#:    of the key — the backends are parity-tested bit-identical
+#:    (tests/test_backend_parity.py), so both share one cached result.
+CACHE_SCHEMA = 4
 
 #: Per-process trace cache; workers inherit (fork) or refill (spawn) it.
 _trace_cache: Dict[Tuple[str, int, int], Trace] = {}
@@ -176,9 +179,16 @@ def cell_key(cell: SimCell) -> str:
     are deliberately not part of the key — bump :data:`CACHE_SCHEMA`
     when simulator semantics change.
     """
+    config = asdict(cell.config)
+    # The simulation kernel is not part of the result's identity: the
+    # backends are parity-tested bit-identical (CACHE_SCHEMA 4), so a
+    # numpy-backed run may satisfy a python-backed request and vice
+    # versa.  Were it hashed, every --backend flip would cold-start the
+    # whole grid for identical numbers.
+    del config["backend"]
     payload = {
         "schema": CACHE_SCHEMA,
-        "config": asdict(cell.config),
+        "config": config,
         "profile": asdict(get_profile(cell.benchmark)),
         "num_insts": cell.num_insts,
         "seed": cell.seed,
@@ -629,6 +639,11 @@ class Executor:
     * ``profile_dir`` — run each cell under :mod:`cProfile`, one
       ``.prof`` file per cell (inspect with ``python -m pstats``).
 
+    ``backend`` overrides the simulation kernel of every grid config
+    (``None`` respects each config's own ``backend`` field).  Safe to
+    flip freely: the kernels are parity-tested bit-identical and share
+    one cache entry, so the override changes wall-clock only.
+
     Either knob forces real simulations: cache lookups are skipped (a
     cached result has no events to replay), but fresh results are still
     written back to the cache.
@@ -645,7 +660,8 @@ class Executor:
                  checkpoint: Optional[os.PathLike] = None,
                  trace_dir: Optional[os.PathLike] = None,
                  trace_limit: Optional[int] = None,
-                 profile_dir: Optional[os.PathLike] = None) -> None:
+                 profile_dir: Optional[os.PathLike] = None,
+                 backend: Optional[str] = None) -> None:
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
         self.cache = cache
@@ -671,6 +687,12 @@ class Executor:
                 trace_limit=trace_limit,
                 profile_dir=str(profile_dir) if profile_dir else None)
             if trace_dir or profile_dir else None)
+        if backend is not None:
+            from repro.core.backend import get_backend
+            get_backend(backend)  # fail fast on unknown names
+        #: Simulation-kernel override applied to every grid config
+        #: (``None`` = respect each config's own ``backend`` field).
+        self.backend = backend
         #: Summary of the most recent :meth:`run_cells` call.
         self.last_summary: Optional[RunSummary] = None
         #: Per-cell outcomes (simulated or failed; hits are not re-run)
@@ -822,6 +844,9 @@ class Executor:
         the whole grid away.
         """
         names = list(benchmarks) if benchmarks else list(profile_names())
+        if self.backend is not None:
+            configs = {label: replace(config, backend=self.backend)
+                       for label, config in configs.items()}
         cells = [SimCell(benchmark, label, config, num_insts, seed,
                          max_cycles)
                  for benchmark in names

@@ -38,15 +38,31 @@ def baseline_path(root: Path) -> Path:
     return Path(root) / DEFAULT_BASELINE
 
 
-def discover_profiles(root: Path) -> List[Path]:
+def discover_profiles(root: Path, search_up: bool = False) -> List[Path]:
     """Every ``BENCH_*.json`` under *root* (not recursive), sorted by
     name so the listing is stable; load order for the trajectory is by
-    recorded timestamp, not filename."""
+    recorded timestamp, not filename.
+
+    With *search_up*, an empty *root* falls back to the nearest ancestor
+    directory that holds profiles.  ``repro perf report`` uses this so
+    the trajectory is rooted at the committed ``BENCH_baseline.json``
+    even when invoked from a subdirectory of the repo — a baseline-only
+    checkout must render one row, never an empty report.
+    """
     root = Path(root)
-    if not root.is_dir():
-        return []
-    return sorted(path for path in root.iterdir()
-                  if path.is_file() and _PROFILE_RE.match(path.name))
+    candidates = [root]
+    if search_up:
+        candidates += list(root.resolve().parents)
+    for directory in candidates:
+        if not directory.is_dir():
+            continue
+        found = sorted(path for path in directory.iterdir()
+                       if path.is_file() and _PROFILE_RE.match(path.name))
+        if found:
+            return found
+        if not search_up:
+            break
+    return []
 
 
 def load_profiles(paths: List[Path],
@@ -58,12 +74,23 @@ def load_profiles(paths: List[Path],
     from several schema eras; the CI gate must not).
     """
     profiles: List[PerfProfile] = []
+    seen = set()
     for path in paths:
         try:
-            profiles.append(PerfProfile.load(path))
+            profile = PerfProfile.load(path)
         except ProfileError:
             if strict:
                 raise
+            continue
+        # Promoting a baseline is `cp BENCH_<sha>.json BENCH_baseline.json`,
+        # so the same measurement often exists under two filenames; one
+        # trajectory row per measurement.
+        key = (profile.sha, profile.created, profile.quick,
+               profile.repetitions, profile.num_insts)
+        if key in seen:
+            continue
+        seen.add(key)
+        profiles.append(profile)
     profiles.sort(key=lambda profile: (profile.created, profile.sha))
     return profiles
 

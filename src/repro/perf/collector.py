@@ -175,7 +175,7 @@ def _sum_counters(grid: Dict[str, Dict[str, SimStats]]) -> Dict[str, int]:
 
 def _measure_target(target: PerfTarget, benchmarks: Sequence[str],
                     num_insts: int, seed: int, repetitions: int,
-                    jobs: int,
+                    jobs: int, backend: Optional[str],
                     executor_factory: Callable[..., Executor],
                     log: Callable[[str], None]) -> TargetProfile:
     configs = target.configs()
@@ -189,7 +189,7 @@ def _measure_target(target: PerfTarget, benchmarks: Sequence[str],
         # A fresh cache-less executor per repetition: nothing warm
         # survives between samples except the per-process trace cache,
         # which is exactly the state a real experiment run would have.
-        executor = executor_factory(jobs=jobs, cache=None)
+        executor = executor_factory(jobs=jobs, cache=None, backend=backend)
         start = time.perf_counter()
         grid = executor.run_grid(configs, benchmarks, num_insts, seed)
         wall = time.perf_counter() - start
@@ -218,6 +218,7 @@ def _measure_target(target: PerfTarget, benchmarks: Sequence[str],
 
 def _exercise_cache(target: PerfTarget, benchmarks: Sequence[str],
                     num_insts: int, seed: int, jobs: int,
+                    backend: Optional[str],
                     executor_factory: Callable[..., Executor]
                     ) -> Dict[str, int]:
     """Cold+warm run through a throwaway cache; exact-match counters.
@@ -230,9 +231,9 @@ def _exercise_cache(target: PerfTarget, benchmarks: Sequence[str],
     configs = target.configs()
     with tempfile.TemporaryDirectory(prefix="repro-perf-cache-") as tmp:
         cache = ResultCache(Path(tmp))
-        cold = executor_factory(jobs=jobs, cache=cache)
+        cold = executor_factory(jobs=jobs, cache=cache, backend=backend)
         cold.run_grid(configs, benchmarks, num_insts, seed)
-        warm = executor_factory(jobs=jobs, cache=cache)
+        warm = executor_factory(jobs=jobs, cache=cache, backend=backend)
         warm.run_grid(configs, benchmarks, num_insts, seed)
         return {
             "cold_cells": cold.total_summary.cells,
@@ -266,6 +267,7 @@ def collect_profile(quick: bool = False,
                     seed: int = 1,
                     jobs: int = 1,
                     sha: Optional[str] = None,
+                    backend: Optional[str] = None,
                     executor_factory: Callable[..., Executor] = Executor,
                     log: Callable[[str], None] = lambda line: None
                     ) -> PerfProfile:
@@ -273,8 +275,15 @@ def collect_profile(quick: bool = False,
 
     ``quick`` selects the CI lane (fewer benchmarks, instructions and
     repetitions); every knob can still be overridden individually.
+    ``backend`` selects the simulation kernel for every measured cell
+    (``None`` = the configs' own default, i.e. pure Python); the choice
+    is recorded in the profile so ``repro perf check`` never compares
+    kernels against each other unknowingly.  Calibration always runs the
+    pure-Python reference — it measures *host* speed, and must stay
+    comparable across profiles regardless of kernel.
     ``executor_factory`` exists for tests — it receives ``jobs=``/
-    ``cache=`` keyword arguments exactly like :class:`Executor`.
+    ``cache=``/``backend=`` keyword arguments exactly like
+    :class:`Executor`.
     """
     if repetitions is None:
         repetitions = QUICK_REPETITIONS if quick else FULL_REPETITIONS
@@ -299,6 +308,7 @@ def collect_profile(quick: bool = False,
         num_insts=num_insts,
         seed=seed,
         jobs=jobs,
+        backend=backend if backend else "python",
     )
     log(f"calibrating host speed "
         f"({CALIBRATION_BENCHMARK}/{CALIBRATION_INSTS} insts "
@@ -308,9 +318,9 @@ def collect_profile(quick: bool = False,
         log(f"measuring {target.name}: {target.description}")
         profile.targets[target.name] = _measure_target(
             target, benchmarks, num_insts, seed, repetitions, jobs,
-            executor_factory, log)
+            backend, executor_factory, log)
     log("exercising the result cache (cold + warm pass)")
     profile.executor = _exercise_cache(
-        PERF_TARGETS[0], benchmarks, num_insts, seed, jobs,
+        PERF_TARGETS[0], benchmarks, num_insts, seed, jobs, backend,
         executor_factory)
     return profile

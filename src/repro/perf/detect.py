@@ -281,6 +281,18 @@ def check_profiles(baseline: PerfProfile, candidate: PerfProfile,
     report = DegradationReport(
         baseline_sha=baseline.sha, candidate_sha=candidate.sha,
         threshold=threshold, alpha=alpha)
+    if baseline.backend != candidate.backend:
+        # The kernels are bit-identical on counters, but their timing
+        # samples measure different code paths: flag it loudly instead
+        # of letting a kernel swap masquerade as a perf change.
+        report.checks.append(MetricCheck(
+            target="profile", metric="backend", kind="counter",
+            verdict=ERROR, baseline=0.0, current=1.0,
+            note=(f"simulation kernels differ (baseline "
+                  f"{baseline.backend!r} vs candidate "
+                  f"{candidate.backend!r}); timing is not comparable — "
+                  f"re-record one side with the matching --backend")))
+        return report
     scale = 1.0
     if (normalize and baseline.calibration_seconds
             and candidate.calibration_seconds):

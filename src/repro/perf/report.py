@@ -33,7 +33,7 @@ def render_trajectory(profiles: List[PerfProfile]) -> str:
         for name in profile.targets:
             if name not in targets:
                 targets.append(name)
-    header = (["sha", "recorded", "lane", "reps", "insts"]
+    header = (["sha", "recorded", "lane", "backend", "reps", "insts"]
               + [f"{name} cells/s" for name in targets])
     lines = [
         "| " + " | ".join(header) + " |",
@@ -44,6 +44,7 @@ def render_trajectory(profiles: List[PerfProfile]) -> str:
             profile.sha,
             profile.created or "?",
             "quick" if profile.quick else "full",
+            profile.backend,
             str(profile.repetitions),
             str(profile.num_insts),
         ] + [_throughput(profile, name) for name in targets]
@@ -52,7 +53,7 @@ def render_trajectory(profiles: List[PerfProfile]) -> str:
     lines.append(
         "Throughput cells show the median cells/sec over the profile's "
         "repetitions (simulated cycles/sec in parentheses).  Only rows "
-        "with the same lane, reps and insts are comparable; `repro perf "
-        "check` additionally normalizes by each profile's host-speed "
-        "calibration.")
+        "with the same lane, backend, reps and insts are comparable; "
+        "`repro perf check` additionally normalizes by each profile's "
+        "host-speed calibration.")
     return "\n".join(lines)

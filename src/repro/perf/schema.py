@@ -111,6 +111,11 @@ class PerfProfile:
     num_insts: int = 0
     seed: int = 1
     jobs: int = 1
+    #: Simulation kernel the measured cells ran on ("python" golden
+    #: reference or "numpy" vectorized; calibration is always python).
+    #: Profiles written before the field existed default to "python" —
+    #: the only kernel that existed then.
+    backend: str = "python"
     #: Machine-speed reference: seconds to simulate a fixed reference
     #: workload, one sample per calibration repetition.  ``repro perf
     #: check`` uses the baseline/candidate ratio to normalize throughput
@@ -143,7 +148,8 @@ class PerfProfile:
         }
         fields = {key: payload[key] for key in (
             "sha", "created", "python", "platform", "quick", "repetitions",
-            "num_insts", "seed", "jobs", "calibration_seconds", "executor",
+            "num_insts", "seed", "jobs", "backend", "calibration_seconds",
+            "executor",
         ) if key in payload}
         return cls(targets=targets, **fields)
 

@@ -1,0 +1,11 @@
+# Known-bad fixture: numpy leaking out of the backend package.  The
+# eager module-level import, the aliased submodule import and the
+# function-local "lazy" import are all violations — confinement is
+# total outside repro.core.backend.
+import numpy as np
+from numpy.linalg import norm
+
+
+def centroid(points):
+    import numpy
+    return numpy.mean(np.asarray(points), axis=0), norm(points[0])

@@ -1,0 +1,15 @@
+# Sanctioned variant: the model stays dependency-free and reaches the
+# vectorized kernel only through the backend registry's lazy loader.
+from repro.core.backend import get_backend
+
+
+def processor_for(config):
+    return get_backend(config.backend).processor_class()
+
+
+def centroid(points):
+    total = [0.0] * len(points[0])
+    for point in points:
+        for i, value in enumerate(point):
+            total[i] += value
+    return [value / len(points) for value in total]

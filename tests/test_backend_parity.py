@@ -1,0 +1,193 @@
+"""Randomized differential harness: numpy backend vs golden reference.
+
+The contract of :mod:`repro.core.backend` is **bit identity** — for any
+trace and any :class:`MachineConfig`, both backends produce the same
+:class:`SimStats` field for field, emit the same trace events when
+instrumented, and raise the same picklable error at the same cycle when
+the run fails.  This suite enforces that contract on seeded synthetic
+workloads across every scheduling discipline, which is also what makes
+it safe for the experiment executor to leave ``backend`` out of its
+cache key.
+
+The numpy-dependent tests skip (not fail) on hosts without numpy: the
+pure-Python reference is the portable model, and the default CI lane
+deliberately runs without numpy installed.
+"""
+
+import filecmp
+import pickle
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle, simulate
+from repro.core.backend import get_backend
+from repro.core.pipeline import DeadlockError, ReplayStormError
+from repro.trace import JsonlTraceSink
+from repro.workloads import generate_trace, get_profile
+from tests.conftest import TraceBuilder
+
+requires_numpy = pytest.mark.skipif(
+    not get_backend("numpy").available(),
+    reason="numpy backend not available on this host")
+
+#: Every discipline, with the wakeup styles that matter to it.
+DISCIPLINES = (
+    ("base", SchedulerKind.BASE, None),
+    ("2-cycle", SchedulerKind.TWO_CYCLE, None),
+    ("macro-op-2src", SchedulerKind.MACRO_OP, WakeupStyle.CAM_2SRC),
+    ("macro-op-wor", SchedulerKind.MACRO_OP, WakeupStyle.WIRED_OR),
+    ("sf-squash", SchedulerKind.SELECT_FREE_SQUASH, None),
+    ("sf-scoreboard", SchedulerKind.SELECT_FREE_SCOREBOARD, None),
+)
+
+#: Seeded corpus: (workload profile, generator seed, instruction count).
+#: Three profiles with different stall characters — gap is issue-bound,
+#: mcf is memory-bound (exercises the idle fast-forward), gcc is
+#: branchy — times distinct seeds for generator-level variety.
+CORPUS = (
+    ("gap", 1, 900),
+    ("gap", 17, 900),
+    ("mcf", 5, 900),
+    ("gcc", 11, 900),
+)
+
+
+def _config(kind, wakeup, **overrides):
+    kwargs = {"scheduler": kind, "iq_size": overrides.pop("iq_size", 32)}
+    if wakeup is not None:
+        kwargs["wakeup_style"] = wakeup
+    kwargs.update(overrides)
+    return MachineConfig(**kwargs)
+
+
+def _both(trace, config, **simulate_kwargs):
+    py = simulate(trace, replace(config, backend="python"),
+                  **simulate_kwargs)
+    np_ = simulate(trace, replace(config, backend="numpy"),
+                   **simulate_kwargs)
+    return py, np_
+
+
+@requires_numpy
+@pytest.mark.parametrize("label,kind,wakeup",
+                         DISCIPLINES, ids=[d[0] for d in DISCIPLINES])
+@pytest.mark.parametrize("workload,seed,n",
+                         CORPUS, ids=[f"{c[0]}-s{c[1]}" for c in CORPUS])
+def test_stats_bit_identical(workload, seed, n, label, kind, wakeup):
+    trace = generate_trace(get_profile(workload), n, seed=seed)
+    py, np_ = _both(trace, _config(kind, wakeup))
+    assert asdict(py) == asdict(np_)
+
+
+@requires_numpy
+def test_stats_bit_identical_unrestricted_iq():
+    # iq_size=None (Figure 14's unrestricted queue) grows the ready set
+    # far past the vector/scalar threshold, exercising the numpy scan.
+    trace = generate_trace(get_profile("gcc"), 1200, seed=3)
+    config = _config(SchedulerKind.SELECT_FREE_SQUASH, None, iq_size=None)
+    py, np_ = _both(trace, config)
+    assert asdict(py) == asdict(np_)
+
+
+@requires_numpy
+def test_stats_bit_identical_long_memory_latency():
+    # Deep memory stalls maximize the idle fast-forward; every skipped
+    # cycle must still accrue the same per-cycle counters.
+    trace = generate_trace(get_profile("mcf"), 900, seed=7)
+    config = _config(SchedulerKind.BASE, None, memory_latency=400)
+    py, np_ = _both(trace, config)
+    assert asdict(py) == asdict(np_)
+
+
+@requires_numpy
+@pytest.mark.parametrize("label,kind,wakeup", [
+    ("base", SchedulerKind.BASE, None),
+    ("macro-op-wor", SchedulerKind.MACRO_OP, WakeupStyle.WIRED_OR),
+    ("sf-scoreboard", SchedulerKind.SELECT_FREE_SCOREBOARD, None),
+], ids=["base", "macro-op-wor", "sf-scoreboard"])
+def test_traces_byte_identical(tmp_path, label, kind, wakeup):
+    # Instrumented runs must emit the same events in the same order —
+    # wakeups, selects, squashes, replays — not just the same totals.
+    trace = generate_trace(get_profile("gap"), 700, seed=9)
+    paths = []
+    for backend in ("python", "numpy"):
+        path = tmp_path / f"{backend}.jsonl"
+        sink = JsonlTraceSink(str(path))
+        try:
+            simulate(trace, replace(_config(kind, wakeup),
+                                    backend=backend), sink=sink)
+        finally:
+            sink.close()
+        paths.append(path)
+    assert filecmp.cmp(*map(str, paths), shallow=False), \
+        f"trace divergence for {label}"
+
+
+def _miss_chain_trace():
+    """A load that misses to memory plus a dependent chain: replays."""
+    tb = TraceBuilder()
+    tb.load(dest=1, base=9, mem_hint=2)
+    tb.alu(dest=2, srcs=(1,))
+    tb.alu(dest=3, srcs=(2,))
+    return tb.build()
+
+
+@requires_numpy
+def test_replay_storm_error_parity():
+    # With replay_limit=0 the first replay aborts the run; both backends
+    # must fail at the same cycle with the same payload, and the error
+    # must survive the executor's pickle boundary intact.
+    trace = _miss_chain_trace()
+    errors = []
+    for backend in ("python", "numpy"):
+        config = MachineConfig(replay_limit=0, backend=backend)
+        with pytest.raises(ReplayStormError) as info:
+            simulate(trace, config)
+        errors.append(pickle.loads(pickle.dumps(info.value)))
+    py, np_ = errors
+    assert type(py) is type(np_)
+    assert py.args == np_.args
+    assert (py.cycle, py.seq, py.pc, py.replays) \
+        == (np_.cycle, np_.seq, np_.pc, np_.replays)
+
+
+@requires_numpy
+def test_deadlock_error_parity(monkeypatch):
+    # Force the watchdog with a tiny bound and a miss longer than it;
+    # the numpy backend's fast-forward must arrive at the same watchdog
+    # cycle the reference reaches one cycle at a time, with the same
+    # machine snapshot in the payload.
+    import repro.core.backend.numpy_kernel as numpy_kernel
+    import repro.core.pipeline as pipeline
+    monkeypatch.setattr(pipeline, "WATCHDOG_CYCLES", 60)
+    monkeypatch.setattr(numpy_kernel, "WATCHDOG_CYCLES", 60)
+    trace = _miss_chain_trace()
+    errors = []
+    for backend in ("python", "numpy"):
+        config = MachineConfig(memory_latency=5000, backend=backend)
+        with pytest.raises(DeadlockError) as info:
+            simulate(trace, config)
+        errors.append(pickle.loads(pickle.dumps(info.value)))
+    py, np_ = errors
+    assert type(py) is type(np_)
+    assert py.args == np_.args
+    assert py.cycle == np_.cycle
+    assert py.pending == np_.pending
+
+
+def test_python_backend_needs_no_numpy():
+    # The reference path must be importable and runnable on hosts
+    # without numpy: selecting backend="python" may not import the
+    # numpy kernel module (lazy loaders in repro.core.backend).
+    import sys
+    trace = _miss_chain_trace()
+    preloaded = "repro.core.backend.numpy_kernel" in sys.modules
+    simulate(trace, MachineConfig(backend="python"))
+    if not preloaded:
+        assert "repro.core.backend.numpy_kernel" not in sys.modules
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        MachineConfig(backend="fortran")

@@ -24,6 +24,20 @@ class TestRun:
         assert main(["run", "gap", "--insts", "500",
                      "--mop-size", "4"]) == 0
 
+    def test_backend_flag_is_bit_identical(self, capsys):
+        from repro.core.backend import get_backend
+        if not get_backend("numpy").available():
+            pytest.skip("numpy backend unavailable on this host")
+        assert main(["run", "gap", "--insts", "800"]) == 0
+        python_out = capsys.readouterr().out
+        assert main(["run", "gap", "--insts", "800",
+                     "--backend", "numpy"]) == 0
+        assert capsys.readouterr().out == python_out
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "gap", "--backend", "fortran"])
+
     def test_unknown_workload(self):
         with pytest.raises(KeyError):
             main(["run", "nosuchthing"])

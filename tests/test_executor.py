@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.core import MachineConfig, SchedulerKind
+from repro.core.backend import get_backend
 from repro.experiments import figure14
 from repro.experiments.executor import (
     Executor,
@@ -59,6 +60,55 @@ class TestCellKey:
         config = MachineConfig.paper_default()
         assert cell_key(SimCell("gap", "a", config, N, 1)) == \
             cell_key(SimCell("gap", "b", config, N, 1))
+
+
+class TestBackendKnob:
+    def test_backend_excluded_from_cell_key(self):
+        """Backends are parity-tested bit-identical, so both map to one
+        cache entry (CACHE_SCHEMA 4)."""
+        config = MachineConfig.paper_default()
+        a = SimCell("gap", "x", config, N, 1)
+        b = SimCell("gap", "x",
+                    dataclasses.replace(config, backend="numpy"), N, 1)
+        assert cell_key(a) == cell_key(b)
+
+    def test_backends_share_one_cache_entry(self, tmp_path):
+        """A numpy-backend run must hit a python-populated cache on
+        every cell — that sharing is the point of excluding the field,
+        and it holds even on hosts without numpy (hits never load it)."""
+        configs = grid_configs()
+        cache_dir = tmp_path / "cache"
+        cold = Executor(jobs=1, cache=ResultCache(cache_dir),
+                        backend="python")
+        first = cold.run_grid(configs, BENCH, N)
+        assert cold.last_summary.simulated == 4
+        warm = Executor(jobs=1, cache=ResultCache(cache_dir),
+                        backend="numpy")
+        second = warm.run_grid(configs, BENCH, N)
+        assert warm.last_summary.cache_hits == 4
+        assert warm.last_summary.simulated == 0
+        assert first == second
+
+    @pytest.mark.skipif(not get_backend("numpy").available(),
+                        reason="numpy backend unavailable on this host")
+    def test_override_rewrites_every_config(self):
+        executor = Executor(jobs=1, backend="numpy")
+        grid = executor.run_grid(grid_configs(), ["gap"], N)
+        recorded = {cell.config.backend
+                    for cell in executor.last_outcomes}
+        assert recorded == {"numpy"}
+        assert grid  # the override changed selection, not results shape
+
+    def test_none_respects_config_field(self):
+        executor = Executor(jobs=1)
+        executor.run_grid(grid_configs(), ["gap"], N)
+        recorded = {cell.config.backend
+                    for cell in executor.last_outcomes}
+        assert recorded == {"python"}
+
+    def test_unknown_backend_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Executor(jobs=1, backend="fortran")
 
 
 class TestSerialParallelEquality:

@@ -77,6 +77,22 @@ class TestCollect:
         assert profile.sha == "testsha"
         assert profile.quick is True
         assert profile.num_insts == N
+        assert profile.backend == "python"
+
+    def test_backend_threaded_to_every_executor(self):
+        built = []
+
+        class RecordingExecutor(Executor):
+            def __init__(self, **kwargs):
+                built.append(kwargs.get("backend"))
+                super().__init__(**kwargs)
+
+        profile = collect_profile(quick=True, repetitions=1, num_insts=N,
+                                  benchmarks=BENCH, sha="x",
+                                  backend="python",
+                                  executor_factory=RecordingExecutor)
+        assert profile.backend == "python"
+        assert built and set(built) == {"python"}
 
     def test_sha_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_PERF_SHA", "deadbee")
@@ -125,6 +141,43 @@ class TestStore:
         assert [p.sha for p in loaded] == ["testsha"]
         with pytest.raises(Exception):
             load_profiles(paths, strict=True)
+
+    def test_discover_searches_upward_when_asked(self, profile, tmp_path):
+        # A baseline-only checkout viewed from a subdirectory must still
+        # root the trajectory at the committed baseline.
+        profile.save(tmp_path / "BENCH_baseline.json")
+        subdir = tmp_path / "src" / "repro"
+        subdir.mkdir(parents=True)
+        assert discover_profiles(subdir) == []
+        found = discover_profiles(subdir, search_up=True)
+        assert [p.name for p in found] == ["BENCH_baseline.json"]
+
+    def test_load_profiles_dedupes_promoted_baseline(self, profile,
+                                                     tmp_path):
+        # Promotion is `cp BENCH_<sha>.json BENCH_baseline.json`: the
+        # same measurement under two filenames is one trajectory row.
+        profile.save(tmp_path / "BENCH_testsha.json")
+        profile.save(tmp_path / "BENCH_baseline.json")
+        loaded = load_profiles(discover_profiles(tmp_path))
+        assert len(loaded) == 1
+
+
+class TestReportTrajectory:
+    def test_report_from_subdir_renders_baseline_row(self, profile,
+                                                     tmp_path, capsys,
+                                                     monkeypatch):
+        # Regression: with only BENCH_baseline.json at the root and the
+        # command run from a subdirectory, the report used to come back
+        # empty (exit 2); the upward search makes the baseline the
+        # trajectory root.
+        profile.save(tmp_path / "BENCH_baseline.json")
+        subdir = tmp_path / "analysis"
+        subdir.mkdir()
+        monkeypatch.chdir(subdir)
+        code = repro_main(["perf", "report"])
+        assert code == 0
+        report = capsys.readouterr().out
+        assert "testsha" in report
 
 
 class TestCli:

@@ -195,6 +195,26 @@ class TestCheckProfiles:
                    for c in report.checks)
         assert not report.regressions
 
+    def test_backend_mismatch_is_an_error_not_a_regression(self):
+        base = make_profile()
+        cand = make_profile(sha="cand")
+        cand.backend = "numpy"
+        report = check_profiles(base, cand)
+        assert not report.ok
+        assert [c.metric for c in report.checks] == ["backend"]
+        assert report.checks[0].verdict == ERROR
+        assert "kernel" in report.checks[0].note
+        assert not report.regressions
+
+    def test_pre_backend_profiles_default_to_python(self):
+        # A profile written before the field existed deserializes as
+        # python-backend and stays comparable with a fresh python run.
+        payload = make_profile().to_dict()
+        del payload["backend"]
+        old = PerfProfile.from_dict(payload)
+        assert old.backend == "python"
+        assert check_profiles(old, make_profile(sha="new")).ok
+
 
 class TestNormalization:
     def test_slower_host_is_normalized_away(self):

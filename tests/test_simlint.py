@@ -1,4 +1,4 @@
-"""Tests for the simlint invariant checker (SL001–SL007).
+"""Tests for the simlint invariant checker (SL001–SL008).
 
 Each rule gets a positive test (a known-bad fixture it must flag) and a
 negative test (the sanctioned variant it must pass).  Fixtures live in
@@ -35,6 +35,8 @@ RULE_CASES = [
      "SL006"),
     ("sl007_bad.py", "sl007_ok.py", "repro/analysis/timed_render.py",
      "SL007"),
+    ("sl008_bad.py", "sl008_ok.py", "repro/mop/matrix_detect.py",
+     "SL008"),
 ]
 
 
@@ -113,6 +115,21 @@ class TestRuleFixtures:
         # time.time() are three distinct violations.
         assert len(findings) == 3
         assert {f.code for f in findings} == {"SL007"}
+
+    def test_sl008_exempts_the_backend_package(self, tmp_path):
+        # The vectorized kernel is the one sanctioned numpy home.
+        plant(tmp_path, "sl008_bad.py",
+              "repro/core/backend/vector_extra.py")
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
+    def test_sl008_flags_lazy_imports_too(self, tmp_path):
+        # Unlike SL002, confinement is total: the module-level import,
+        # the from-import and the function-local import are three
+        # distinct violations.
+        plant(tmp_path, "sl008_bad.py", "repro/core/pipeline_extra.py")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert len(findings) == 3
+        assert {f.code for f in findings} == {"SL008"}
 
 
 class TestSuppressions:
@@ -223,7 +240,7 @@ class TestCli:
         assert document["total"] == len(document["findings"]) > 0
         assert set(document["rules"]) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
-            "SL007"}
+            "SL007", "SL008"}
         capsys.readouterr()
 
     def test_list_rules(self, capsys):
