@@ -12,6 +12,11 @@ Installed as ``repro-sim`` (see pyproject).  Examples::
     repro-sim report --jobs 4
     repro-sim cache info
     repro-sim list
+    repro serve --port 8537       # simulation-as-a-service job server
+    repro submit --benchmarks gap,vortex --schedulers base,macro-op --wait
+    repro status <job-id>         # per-cell progress
+    repro result <job-id>         # merged grid (JSON)
+    repro cancel <job-id>
     repro lint                    # simlint static invariant checker
     repro lint --format json --select SL001,SL002
     repro perf run --quick        # write BENCH_<sha>.json
@@ -30,6 +35,13 @@ retried ``--max-retries`` times and then rendered as ``FAILED`` in the
 table while the rest of the grid completes; a failure report goes to
 stderr and the exit code is 1.  ``--fail-fast`` aborts at the first lost
 cell instead.
+
+``serve`` runs the resilient job server (:mod:`repro.service`):
+bounded admission queue with 429-style shedding, write-ahead journal
+with crash recovery, in-flight dedup, graceful SIGTERM drain, and
+``/healthz`` + ``/metrics``.  ``submit``/``status``/``result``/
+``cancel`` are its client side; ``submit`` retries shed submissions
+with backoff automatically.
 """
 
 from __future__ import annotations
@@ -270,6 +282,87 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", default=None,
                        help="result cache directory (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache.add_argument("--max-entries", type=int, default=None,
+                       help="LRU capacity to report/enforce for this "
+                            "invocation (default: "
+                            "$REPRO_CACHE_MAX_ENTRIES or unbounded)")
+
+    serve = sub.add_parser(
+        "serve", help="run the resilient simulation job server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8537,
+                       help="listen port (0 = pick a free one; the "
+                            "bound address is printed on startup)")
+    serve.add_argument("--state-dir", default=".repro-service",
+                       help="journal + shared result cache directory "
+                            "(default: .repro-service) — keep it stable "
+                            "across restarts or crash recovery cannot "
+                            "find the journal")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="queued jobs admitted before submissions "
+                            "are shed with a retryable 429 (default 32)")
+    serve.add_argument("--sessions", type=int, default=2,
+                       help="concurrent job sessions (default 2)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock limit per job (default: none)")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="how long SIGTERM waits for running jobs "
+                            "(default: forever; unfinished jobs stay "
+                            "journaled either way)")
+    serve.add_argument("--cache-max-entries", type=int, default=None,
+                       help="LRU capacity of the shared result cache "
+                            "(default: $REPRO_CACHE_MAX_ENTRIES or "
+                            "unbounded)")
+    serve.add_argument("--executor-jobs", type=int, default=2,
+                       help="worker processes per job session "
+                            "(default 2)")
+    serve.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-cell wall-clock limit (default: "
+                            "$REPRO_CELL_TIMEOUT or unlimited)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="attempts beyond the first per failed cell")
+
+    def _add_client_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8537)
+
+    submit = sub.add_parser(
+        "submit", help="submit an experiment grid to a job server")
+    _add_client_flags(submit)
+    submit.add_argument("--spec", default=None, metavar="FILE",
+                        help="JSON job spec file ('-' for stdin); "
+                             "overrides the flags below")
+    submit.add_argument("--benchmarks", default="gap",
+                        help="comma-separated benchmark names")
+    submit.add_argument("--schedulers", default="base,macro-op",
+                        help="comma-separated scheduler kinds; each "
+                             "becomes one config column")
+    submit.add_argument("--insts", type=int, default=None,
+                        help="committed instructions per cell")
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes, then print "
+                             "its result JSON")
+    submit.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="give up on --wait after SECONDS")
+
+    status = sub.add_parser(
+        "status", help="job status (all jobs when no id is given)")
+    _add_client_flags(status)
+    status.add_argument("job_id", nargs="?", default=None)
+
+    result = sub.add_parser(
+        "result", help="fetch a job's merged result grid as JSON")
+    _add_client_flags(result)
+    result.add_argument("job_id")
+
+    cancel = sub.add_parser("cancel", help="cancel a queued/running job")
+    _add_client_flags(cancel)
+    cancel.add_argument("job_id")
 
     sub.add_parser("list", help="list benchmarks and kernels")
     return parser
@@ -505,17 +598,112 @@ def _cmd_perf_report(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    cache = ResultCache(args.cache_dir)
+    cache = ResultCache(args.cache_dir, max_entries=args.max_entries)
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached results from {cache.root}")
     else:
-        entries = cache.entries()
-        size = cache.size_bytes()
-        print(f"cache dir: {cache.root}")
-        print(f"entries:   {len(entries)}")
-        print(f"size:      {size / 1024.0:.1f} KiB")
+        info = cache.info()
+        capacity = ("unbounded" if info["capacity"] is None
+                    else str(info["capacity"]))
+        print(f"cache dir: {info['root']}")
+        print(f"entries:   {info['entries']}")
+        print(f"size:      {info['size_bytes'] / 1024.0:.1f} KiB")
+        print(f"capacity:  {capacity}")
+        print(f"evictions: {info['evictions']}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    # Lazy import: the service layer costs nothing unless asked for
+    # (same contract as simlint and repro.perf).
+    from repro.service import run_server
+    return run_server(host=args.host, port=args.port,
+                      state_dir=args.state_dir,
+                      queue_limit=args.queue_limit,
+                      sessions=args.sessions,
+                      job_timeout=args.job_timeout,
+                      drain_timeout=args.drain_timeout,
+                      cache_max_entries=args.cache_max_entries,
+                      executor_jobs=args.executor_jobs,
+                      cell_timeout=args.cell_timeout,
+                      max_retries=args.max_retries)
+
+
+def _client_from(args):
+    from repro.service import ServiceClient
+    return ServiceClient(host=args.host, port=args.port)
+
+
+def _print_json(payload) -> None:
+    import json
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _client_call(call) -> int:
+    from repro.service import ServiceError
+    try:
+        payload = call()
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    except TimeoutError as exc:
+        print(f"timed out: {exc}", file=sys.stderr)
+        return 1
+    _print_json(payload)
+    return 0
+
+
+def _submit_spec(args) -> dict:
+    import json
+    if args.spec:
+        if args.spec == "-":
+            return json.loads(sys.stdin.read())
+        with open(args.spec, encoding="utf-8") as handle:
+            return json.load(handle)
+    spec: dict = {
+        "benchmarks": [b.strip() for b in args.benchmarks.split(",")
+                       if b.strip()],
+        "configs": {
+            kind.strip(): {"scheduler": kind.strip()}
+            for kind in args.schedulers.split(",") if kind.strip()},
+        "seed": args.seed,
+    }
+    if args.insts is not None:
+        spec["num_insts"] = args.insts
+    return spec
+
+
+def _cmd_submit(args) -> int:
+    client = _client_from(args)
+    spec = _submit_spec(args)
+
+    def call():
+        accepted = client.submit(spec)
+        if not args.wait:
+            return accepted
+        client.wait(accepted["id"], timeout=args.timeout)
+        return client.result(accepted["id"])
+
+    return _client_call(call)
+
+
+def _cmd_status(args) -> int:
+    client = _client_from(args)
+    if args.job_id:
+        return _client_call(lambda: client.status(args.job_id))
+    return _client_call(
+        lambda: {"health": client.healthz(), **client.jobs()})
+
+
+def _cmd_result(args) -> int:
+    client = _client_from(args)
+    return _client_call(lambda: client.result(args.job_id))
+
+
+def _cmd_cancel(args) -> int:
+    client = _client_from(args)
+    return _client_call(lambda: client.cancel(args.job_id))
 
 
 def _cmd_list(_args) -> int:
@@ -541,6 +729,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "perf": _cmd_perf,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "result": _cmd_result,
+        "cancel": _cmd_cancel,
         "list": _cmd_list,
     }[args.command]
     return handler(args)

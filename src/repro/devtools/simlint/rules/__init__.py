@@ -20,10 +20,13 @@ SL007     timing layer — wall-clock reads only in repro.perf,
 SL008     numpy confinement — numpy imports only inside
           repro.core.backend (the reference model stays
           dependency-free)
+SL009     no blocking calls (time.sleep, sync subprocess,
+          socket/HTTP ops) inside repro.service coroutines
 ========  =====================================================
 """
 
 from repro.devtools.simlint.rules import (  # noqa: F401
+    blocking,
     cache_key,
     determinism,
     exceptions,

@@ -1,0 +1,120 @@
+"""SL009 — no blocking calls inside ``repro.service`` coroutines.
+
+The job server's resilience story (admission control, per-connection
+deadlines, graceful drain) rests on one invariant: the event loop is
+never blocked.  A single ``time.sleep`` or synchronous
+``subprocess.run`` inside a coroutine stalls *every* connection and
+job session at once — the whole class of bug the service exists to
+prevent in its clients.  This rule statically bans the common blocking
+primitives inside ``async def`` bodies of :mod:`repro.service`:
+
+* ``time.sleep`` — use ``await asyncio.sleep(...)``,
+* synchronous :mod:`subprocess` calls — use
+  ``asyncio.create_subprocess_exec``,
+* blocking socket/HTTP ops (``socket.*``, ``http.client.*``,
+  ``urllib.request.urlopen``) — use ``asyncio.open_connection`` or
+  ship the work to a thread.
+
+Scope and limits, deliberately:
+
+* Only *coroutine bodies* are checked.  The synchronous CLI client
+  (:mod:`repro.service.client`) blocks by design — it runs in the
+  operator's process, not the server's event loop — and the journal's
+  ``fsync`` runs in plain methods the manager calls knowingly.
+* Plain ``def`` functions nested inside a coroutine are exempt: the
+  sanctioned way to block is precisely to define one and hand it to
+  ``loop.run_in_executor(...)``.
+* This is a lexical check; it cannot trace a coroutine calling a sync
+  helper that blocks.  It catches the direct, common cases cheaply.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.engine import (Finding, Project, Rule,
+                                           SourceModule, register)
+from repro.devtools.simlint.rules.common import import_map, resolve_qualified
+
+#: The async service layer this rule polices.
+SCOPE = ("repro.service",)
+
+#: Exact qualified calls that block the calling thread.
+BANNED_CALLS = frozenset({
+    "time.sleep",
+    "urllib.request.urlopen",
+})
+
+#: Qualified-name prefixes whose every call is a blocking primitive.
+BANNED_PREFIXES = (
+    "subprocess.",
+    "socket.",
+    "http.client.",
+)
+
+#: What to suggest instead, keyed by the offending root.
+_HINTS = {
+    "time.sleep": "await asyncio.sleep(...)",
+    "subprocess.": "asyncio.create_subprocess_exec(...)",
+    "socket.": "asyncio.open_connection(...) / start_server(...)",
+    "http.client.": "asyncio.open_connection(...) or a worker thread",
+    "urllib.request.urlopen": "a worker thread via loop.run_in_executor",
+}
+
+
+def _hint(qualified: str) -> str:
+    for root, hint in _HINTS.items():
+        if qualified == root or qualified.startswith(root):
+            return hint
+    return "an asyncio equivalent"  # pragma: no cover - exhaustive above
+
+
+def _coroutine_statements(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk *func*'s body without descending into nested ``def``s.
+
+    A nested plain ``def`` is the ``run_in_executor`` idiom — it blocks
+    on a worker thread, which is sanctioned.  Nested ``async def``s are
+    visited on their own by the caller's module walk.
+    """
+    stack: list = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # a nested def is its own scope, not this coroutine
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class BlockingInCoroutineRule(Rule):
+    code = "SL009"
+    name = "no-blocking-in-service-coroutines"
+    description = (
+        "no blocking calls (time.sleep, sync subprocess, socket/HTTP "
+        "ops) inside repro.service coroutines; the event loop must "
+        "never stall"
+    )
+
+    def check_module(self, module: SourceModule,
+                     project: Project) -> Iterator[Finding]:
+        if not module.in_package(*SCOPE):
+            return
+        imports = import_map(module.tree)
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in _coroutine_statements(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                qualified = resolve_qualified(node.func, imports)
+                if qualified is None:
+                    continue
+                if qualified in BANNED_CALLS \
+                        or qualified.startswith(BANNED_PREFIXES):
+                    yield self.finding(
+                        module, node,
+                        f"blocking call {qualified}() inside coroutine "
+                        f"{func.name}() stalls the whole event loop; "
+                        f"use {_hint(qualified)}",
+                    )

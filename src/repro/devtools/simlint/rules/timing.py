@@ -10,6 +10,9 @@ the three places that *are* the measurement layer:
 
 * :mod:`repro.perf` — the profiling subsystem itself,
 * :mod:`repro.experiments` — the executor's cell timing and timeouts,
+* :mod:`repro.service` — the job server's deadlines, drain timeouts
+  and client polling/backoff (SL009 separately keeps blocking calls
+  out of its coroutines),
 * ``benchmarks/`` — the pytest bench harness.
 
 :mod:`repro.core`, :mod:`repro.mop` and :mod:`repro.memory` are *not*
@@ -27,8 +30,10 @@ from repro.devtools.simlint.engine import (Finding, Project, Rule,
                                            SourceModule, register)
 from repro.devtools.simlint.rules.common import import_map, resolve_qualified
 
-#: The sanctioned measurement layer.
-ALLOWED = ("repro.perf", "repro.experiments", "benchmarks")
+#: The sanctioned measurement layer (plus the service layer, whose
+#: deadlines and backoff are wall-clock by nature).
+ALLOWED = ("repro.perf", "repro.experiments", "repro.service",
+           "benchmarks")
 
 #: SL001's beat — skipped here so one bad call yields one finding.
 DELEGATED = ("repro.core", "repro.mop", "repro.memory")
@@ -49,8 +54,8 @@ class TimingLayerRule(Rule):
     name = "timing-layer"
     description = (
         "wall-clock reads (time.time / time.perf_counter / ...) only in "
-        "the measurement layer: repro.perf, repro.experiments and "
-        "benchmarks/"
+        "the measurement layer: repro.perf, repro.experiments, "
+        "repro.service and benchmarks/"
     )
 
     def check_module(self, module: SourceModule,
@@ -67,6 +72,6 @@ class TimingLayerRule(Rule):
                     module, node,
                     f"wall-clock read {qualified}() outside the "
                     f"measurement layer; timing belongs in repro.perf / "
-                    f"repro.experiments / benchmarks — pass measured "
-                    f"durations in as data instead",
+                    f"repro.experiments / repro.service / benchmarks — "
+                    f"pass measured durations in as data instead",
                 )

@@ -58,18 +58,21 @@ regardless of completion order.
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import json
 import os
 import sys
 import time
 import traceback as traceback_module
+import multiprocessing
+import signal
 from collections import deque
 from dataclasses import asdict, dataclass, field, replace
 from multiprocessing import Pool
 from pathlib import Path
-from typing import (Any, Callable, Dict, Iterable, List, Optional,
-                    Sequence, TextIO, Tuple)
+from typing import (Any, AsyncIterator, Callable, Dict, Iterable, List,
+                    Optional, Sequence, TextIO, Tuple)
 
 from repro.core import MachineConfig, SimStats, simulate
 from repro.core.pipeline import DeadlockError
@@ -96,6 +99,25 @@ _trace_cache: Dict[Tuple[str, int, int], Trace] = {}
 
 #: Poll interval of the parallel dispatch loop, seconds.
 _POLL_SECONDS = 0.005
+
+
+def _pool_worker_init() -> None:
+    """Reset signal state in a fresh pool worker.
+
+    Workers forked from an asyncio host inherit its installed signal
+    handlers and wakeup fd, which makes ``Pool.terminate()``'s SIGTERM
+    a no-op Python callback instead of a kill — the worker survives and
+    ``Pool.join()`` blocks forever (exactly the drain hang an async
+    server must never have).  Restore the default disposition so
+    terminate means terminate; ignore SIGINT so a ^C on the host is not
+    amplified by every worker.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # non-main thread / closed fd
+        pass
 
 
 def workload_trace(benchmark: str, num_insts: int = DEFAULT_INSTS,
@@ -220,12 +242,34 @@ class ResultCache:
     atomic path, or written by an incompatible :class:`SimStats` layout)
     are quarantined — renamed to ``*.corrupt`` — so they stop shadowing
     the slot and miss forever.
+
+    ``max_entries`` (or ``REPRO_CACHE_MAX_ENTRIES``) bounds the store:
+    every :meth:`put` that pushes the entry count past the capacity
+    evicts the least-recently-used entries (recency is file mtime — a
+    :meth:`get` hit touches its entry, so a shared read-through tier
+    keeps hot cells resident).  Evictions are counted per instance and
+    accumulated across processes in an ``evictions.json`` sidecar, which
+    ``repro-sim cache info`` and the service ``/metrics`` endpoint
+    report.  ``max_entries=None`` (the default) keeps the historical
+    unbounded behavior.
     """
 
-    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+    #: Sidecar (at the cache root, outside the ``*/*.json`` entry glob)
+    #: accumulating the eviction count across processes, best-effort.
+    EVICTIONS_FILE = "evictions.json"
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None,
+                 max_entries: Optional[int] = None) -> None:
         self.root = Path(cache_dir) if cache_dir else default_cache_dir()
+        if max_entries is None:
+            env = os.environ.get("REPRO_CACHE_MAX_ENTRIES")
+            max_entries = int(env) if env else None
+        self.max_entries = (max_entries
+                            if max_entries and max_entries > 0 else None)
         self.hits = 0
         self.misses = 0
+        #: Entries this instance evicted (the sidecar holds the total).
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key[2:]}.json"
@@ -245,6 +289,10 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # LRU touch; losing the race is harmless
+        except OSError:
+            pass
         return stats
 
     @staticmethod
@@ -272,6 +320,69 @@ class ResultCache:
         tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
         tmp.write_text(json.dumps(payload, sort_keys=True))
         tmp.replace(path)
+        if self.max_entries is not None:
+            self._enforce_capacity()
+
+    def _enforce_capacity(self) -> None:
+        """Evict least-recently-used entries beyond ``max_entries``."""
+        entries = self.entries()
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        by_age: List[Tuple[int, Path]] = []
+        for path in entries:
+            try:
+                by_age.append((path.stat().st_mtime_ns, path))
+            except OSError:
+                continue  # concurrently removed: already gone
+        by_age.sort()
+        evicted = 0
+        for _mtime, path in by_age[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
+            self._bump_evictions_total(evicted)
+
+    def _evictions_total_path(self) -> Path:
+        return self.root / self.EVICTIONS_FILE
+
+    def evictions_total(self) -> int:
+        """Evictions accumulated across every process, best-effort."""
+        try:
+            payload = json.loads(self._evictions_total_path().read_text())
+            return int(payload["evictions"])
+        except (OSError, ValueError, TypeError, KeyError):
+            return 0
+
+    def _bump_evictions_total(self, count: int) -> None:
+        # Read-modify-write with an atomic replace: concurrent evictors
+        # may lose increments, which only ever under-counts — acceptable
+        # for an operational metric.
+        total = self.evictions_total() + count
+        path = self._evictions_total_path()
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps({"evictions": total}))
+            tmp.replace(path)
+        except OSError:
+            pass
+
+    def info(self) -> Dict[str, Any]:
+        """Capacity/occupancy/eviction snapshot (for CLI and /metrics)."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "size_bytes": self.size_bytes(),
+            "capacity": self.max_entries,
+            "evictions": self.evictions_total(),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
 
     def entries(self) -> List[Path]:
         if not self.root.is_dir():
@@ -374,6 +485,10 @@ class CellOutcome:
     :class:`~repro.core.pipeline.DeadlockError`, the ``cycle`` and
     ``pending`` snapshot.  ``via_fallback`` marks results obtained by the
     final in-process serial attempt after the pool kept failing.
+    ``via_cache`` marks outcomes resolved from the result cache (or a
+    run checkpoint) without simulating — only streamed interfaces
+    (``on_outcome`` / :meth:`Executor.run_async`) ever see these;
+    ``attempts`` is 0 for them.
     """
 
     status: str
@@ -385,6 +500,7 @@ class CellOutcome:
     attempts: int = 1
     seconds: float = 0.0
     via_fallback: bool = False
+    via_cache: bool = False
 
     @property
     def ok(self) -> bool:
@@ -628,6 +744,10 @@ class Executor:
       errors one last in-process attempt (rescues pool/pickling flakes).
     * ``fail_fast`` — raise :class:`CellFailedError` at the first lost
       cell instead of degrading.
+    * ``start_method`` — multiprocessing start method for the pool
+      (default: ``REPRO_MP_START_METHOD`` or the platform default).
+      Multi-threaded hosts (the job service) must use ``"spawn"``;
+      forking under threads can produce an unkillable worker.
     * ``checkpoint`` — JSONL path for :class:`RunCheckpoint` (default:
       ``REPRO_CHECKPOINT``); used only when ``cache`` is None, since the
       cache already persists per-cell results as they finish.
@@ -661,7 +781,8 @@ class Executor:
                  trace_dir: Optional[os.PathLike] = None,
                  trace_limit: Optional[int] = None,
                  profile_dir: Optional[os.PathLike] = None,
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None,
+                 start_method: Optional[str] = None) -> None:
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
         self.cache = cache
@@ -693,6 +814,16 @@ class Executor:
         #: Simulation-kernel override applied to every grid config
         #: (``None`` = respect each config's own ``backend`` field).
         self.backend = backend
+        #: Multiprocessing start method for the worker pool.  ``None``
+        #: keeps the platform default (fork on Linux: fastest, inherits
+        #: warm trace caches).  Multi-threaded hosts — the job service in
+        #: particular — must pass ``"spawn"``: forking while other
+        #: threads run can copy a held lock into the child, leaving a
+        #: worker that can never finish nor be join()ed.
+        if start_method is None:
+            start_method = (os.environ.get("REPRO_MP_START_METHOD")
+                            or None)
+        self.start_method = start_method
         #: Summary of the most recent :meth:`run_cells` call.
         self.last_summary: Optional[RunSummary] = None
         #: Per-cell outcomes (simulated or failed; hits are not re-run)
@@ -747,7 +878,10 @@ class Executor:
 
     # -- main entry points --------------------------------------------------
 
-    def run_cells(self, cells: Iterable[SimCell]
+    def run_cells(self, cells: Iterable[SimCell],
+                  on_outcome: Optional[
+                      Callable[[SimCell, CellOutcome], None]] = None,
+                  stop: Optional[Callable[[], bool]] = None
                   ) -> Dict[SimCell, SimStats]:
         """Simulate every distinct cell; return ``{cell: stats}``.
 
@@ -759,6 +893,14 @@ class Executor:
         :attr:`last_outcomes` / :meth:`failure_report` — unless
         ``fail_fast`` is set, in which case :class:`CellFailedError` is
         raised at the first loss.
+
+        ``on_outcome`` is invoked with ``(cell, outcome)`` as each cell
+        resolves — cache/checkpoint hits included (as ``via_cache``
+        outcomes) — which is the streaming hook :meth:`run_async` and
+        the job service build on.  ``stop`` is polled by the dispatch
+        loops; once it returns True no further cell is started and the
+        call returns with the unresolved cells simply absent.  Both
+        default to None and leave the batch path bit-identical.
         """
         start = time.perf_counter()
         ordered = list(dict.fromkeys(cells))
@@ -782,6 +924,10 @@ class Executor:
                     summary.cache_hits += 1
                     done += 1
                     self._emit(done, len(ordered), cell, "cached")
+                    if on_outcome is not None:
+                        on_outcome(cell, CellOutcome(
+                            status="ok", stats=stats, attempts=0,
+                            via_cache=True))
                     continue
             pending.append((index, cell, key))
 
@@ -810,6 +956,8 @@ class Executor:
                 text = f"FAILED ({outcome.status})"
             done += 1
             self._emit(done, len(ordered), cell, text)
+            if on_outcome is not None:
+                on_outcome(cell, outcome)
             if self.fail_fast and not outcome.ok:
                 raise CellFailedError(cell, outcome)
 
@@ -817,9 +965,9 @@ class Executor:
             if pending:
                 work = [(index, cell) for index, cell, _key in pending]
                 if self.jobs == 1 or len(work) == 1:
-                    self._run_serial(work, record)
+                    self._run_serial(work, record, stop)
                 else:
-                    self._run_pool(work, record, summary)
+                    self._run_pool(work, record, summary, stop)
         finally:
             summary.wall_seconds = time.perf_counter() - start
             self.last_summary = summary
@@ -866,6 +1014,55 @@ class Executor:
             grid[benchmark] = row
         return grid
 
+    async def run_async(self, cells: Iterable[SimCell],
+                        stop: Optional[Callable[[], bool]] = None
+                        ) -> AsyncIterator[Tuple[SimCell, CellOutcome]]:
+        """Async session: yield ``(cell, outcome)`` as cells complete.
+
+        The blocking batch machinery (:meth:`run_cells` — pool dispatch,
+        retries, timeouts, cache writes) runs unchanged on a worker
+        thread; outcomes are handed to the running event loop as they
+        resolve, so an asyncio server can stream per-cell progress while
+        the fleet simulates.  Cache/checkpoint hits are yielded too,
+        flagged ``via_cache``.  ``stop`` is polled by the dispatch loop
+        (see :meth:`run_cells`); after it trips, unstarted cells are
+        never yielded.
+
+        One executor must not host two concurrent sessions — the
+        summary/outcome bookkeeping is per-call, not thread-safe.  The
+        job service gives each concurrent session its own executor (they
+        share one :class:`ResultCache`, which is multi-process safe).
+        """
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        sentinel = object()
+
+        def emit(item: object) -> None:
+            try:
+                loop.call_soon_threadsafe(queue.put_nowait, item)
+            except RuntimeError:
+                # The loop closed under us (consumer torn down while the
+                # worker thread drains); nothing left to deliver to.
+                pass
+
+        def runner() -> None:
+            try:
+                self.run_cells(
+                    cells,
+                    on_outcome=lambda cell, outcome: emit((cell, outcome)),
+                    stop=stop)
+            finally:
+                emit(sentinel)
+
+        future = loop.run_in_executor(None, runner)
+        while True:
+            item = await queue.get()
+            if item is sentinel:
+                break
+            yield item  # type: ignore[misc]
+        # Surface exceptions (fail_fast's CellFailedError in particular).
+        await future
+
     # -- serial path --------------------------------------------------------
 
     def _payload(self, index: int, cell: SimCell, attempt: int) -> Tuple:
@@ -874,18 +1071,26 @@ class Executor:
         return (index, cell, attempt, self.instrumentation)
 
     def _run_serial(self, work: List[Tuple[int, SimCell]],
-                    record: Callable[[int, CellOutcome], None]) -> None:
+                    record: Callable[[int, CellOutcome], None],
+                    stop: Optional[Callable[[], bool]] = None) -> None:
         """In-process execution with the same retry budget as the pool.
 
         No pool, no pickling — and no preemption, so ``cell_timeout``
         cannot be enforced here (a hung cell hangs the run, exactly as
-        any direct :func:`simulate` call would).
+        any direct :func:`simulate` call would).  ``stop`` is polled
+        between cells and between retry attempts.
         """
         for index, cell in work:
+            if stop is not None and stop():
+                return
             outcome = None
             for attempt in range(1, self.max_retries + 2):
-                if attempt > 1 and self.retry_backoff > 0:
-                    time.sleep(self.retry_backoff * (2 ** (attempt - 2)))
+                if attempt > 1:
+                    if stop is not None and stop():
+                        return
+                    if self.retry_backoff > 0:
+                        time.sleep(
+                            self.retry_backoff * (2 ** (attempt - 2)))
                 _i, outcome = _simulate_cell(
                     self._payload(index, cell, attempt))
                 if outcome.ok:
@@ -897,7 +1102,12 @@ class Executor:
     def _spawn_pool(self, jobs: int) -> Tuple[Any, set]:
         # The pool is typed Any: worker-death detection must peek at the
         # undocumented `_pool` worker list, which typeshed hides.
-        pool = Pool(processes=jobs)
+        if self.start_method is not None:
+            context = multiprocessing.get_context(self.start_method)
+            pool = context.Pool(processes=jobs,
+                                initializer=_pool_worker_init)
+        else:
+            pool = Pool(processes=jobs, initializer=_pool_worker_init)
         pids = {proc.pid for proc in pool._pool}  # type: ignore[attr-defined]
         return pool, pids
 
@@ -948,7 +1158,8 @@ class Executor:
 
     def _run_pool(self, work: List[Tuple[int, SimCell]],
                   record: Callable[[int, CellOutcome], None],
-                  summary: RunSummary) -> None:
+                  summary: RunSummary,
+                  stop: Optional[Callable[[], bool]] = None) -> None:
         jobs = min(self.jobs, len(work))
         # Dispatch in trace-identity order so workers reuse their
         # per-process trace caches as much as possible.
@@ -965,6 +1176,11 @@ class Executor:
         pool, pids = self._spawn_pool(jobs)
         try:
             while todo or suspects or inflight:
+                if stop is not None and stop():
+                    # Abandon everything not yet resolved: the pool is
+                    # terminated by the finally clause and unresolved
+                    # cells stay absent from the results.
+                    return
                 now = time.monotonic()
                 # -- dispatch ------------------------------------------
                 if suspects and not inflight:

@@ -33,6 +33,31 @@ The value is a semicolon-separated list of rules::
 Example::
 
     REPRO_FAULT_INJECT="gap/base=raise:2;vortex/*=hang"
+
+Service-layer faults (:mod:`repro.service`) share the same environment
+variable and rule syntax; the pattern matches a *fault point* name in
+the ``serve/`` namespace instead of a cell name, so one spec can target
+both layers without ambiguity.  Points are probed via
+:func:`maybe_inject_service`, with a per-process attempt counter per
+point so ``:N`` windows work.  Service points additionally understand:
+
+  - ``kill`` — ``os._exit`` the *server* process itself (unlike cell
+    rules, there is no daemonic-worker guard: killing the server
+    mid-job is precisely the crash-recovery scenario under test),
+  - ``torn-write`` — handled by the journal: write a truncated record
+    (no trailing newline), flush it to disk, then raise
+    :class:`InjectedFault` — the torn tail a crash mid-``write()``
+    leaves behind,
+  - ``slow-client`` — handled by the HTTP client: stall mid-request for
+    :data:`SLOW_CLIENT_SECONDS` to exercise the server's read timeout.
+
+Points probed today: ``serve/journal/<event>`` (each journal append),
+``serve/job/<job-id>`` (as a worker picks the job up), and
+``client/send`` (before the client transmits a request body).
+
+Example::
+
+    REPRO_FAULT_INJECT="serve/journal/accept=torn-write:1;serve/job/*=kill"
 """
 
 from __future__ import annotations
@@ -56,7 +81,15 @@ HANG_SECONDS = 3600.0
 #: Exit code used by ``kill`` faults (distinctive in worker post-mortems).
 KILL_EXIT_CODE = 43
 
-KINDS = ("raise", "deadlock", "hang", "kill", "raise-parallel")
+KINDS = ("raise", "deadlock", "hang", "kill", "raise-parallel",
+         "torn-write", "slow-client")
+
+#: Kinds meaningful at service points; cell-level injection ignores the
+#: service-only ones (a ``torn-write`` rule can never hit a simulation).
+SERVICE_KINDS = ("raise", "hang", "kill", "torn-write", "slow-client")
+
+#: How long a ``slow-client`` fault stalls the client mid-request.
+SLOW_CLIENT_SECONDS = 1.0
 
 
 class InjectedFault(RuntimeError):
@@ -161,6 +194,59 @@ def _trigger(rule: FaultRule, cell_name: str, attempt: int) -> None:
 def maybe_inject(cell_name: str, attempt: int) -> None:
     """Fire the first matching active rule for this cell attempt, if any."""
     for rule in active_rules():
-        if rule.applies(cell_name, attempt):
+        if rule.kind not in ("torn-write", "slow-client") \
+                and rule.applies(cell_name, attempt):
             _trigger(rule, cell_name, attempt)
             return
+
+
+# ---------------------------------------------------------------------------
+# Service-layer injection
+# ---------------------------------------------------------------------------
+
+#: Per-process ``point -> times probed`` counter, so service rules with
+#: an ``:N`` attempt window fire N times then go quiet.
+_service_probes: dict = {}
+
+
+def reset_service_probes() -> None:
+    """Forget the per-point attempt counters (test isolation)."""
+    _service_probes.clear()
+
+
+def maybe_inject_service(point: str) -> Optional[str]:
+    """Probe fault *point* (e.g. ``serve/journal/accept``) against the
+    active rules.
+
+    ``raise``/``hang``/``kill`` trigger inline (and at service points,
+    ``kill`` really does ``os._exit`` — the server process is the
+    target).  ``torn-write`` and ``slow-client`` cannot be simulated
+    here because only the caller knows what a torn write or a stalled
+    send *is* at its point, so their kind is returned for the caller to
+    act on.  Returns None when no rule matches.
+    """
+    if not os.environ.get(ENV_VAR):
+        return None
+    attempt = _service_probes.get(point, 0) + 1
+    _service_probes[point] = attempt
+    for rule in active_rules():
+        if rule.kind not in SERVICE_KINDS:
+            continue
+        if not rule.applies(point, attempt):
+            continue
+        if rule.kind == "raise":
+            raise InjectedFault(
+                f"injected service fault at {point} (attempt {attempt})")
+        if rule.kind == "hang":
+            time.sleep(HANG_SECONDS)
+            raise InjectedFault(
+                f"hang fault at {point} outlived its sleep")
+        if rule.kind == "kill":
+            os._exit(KILL_EXIT_CODE)
+        return rule.kind
+    return None
+
+
+def slow_client_stall() -> None:
+    """Stall the (synchronous) client for the slow-client window."""
+    time.sleep(SLOW_CLIENT_SECONDS)

@@ -1,0 +1,58 @@
+"""Simulation-as-a-service: a resilient async job server for sweeps.
+
+``repro serve`` wraps the fault-tolerant experiment executor
+(:mod:`repro.experiments.executor`) in a long-running, multi-tenant
+HTTP/JSON service, promoting PR 2's per-cell primitives — structured
+:class:`~repro.experiments.executor.CellOutcome`, wall-clock timeouts,
+bounded retries, checkpointed partial results — from CLI flags to a
+server that degrades gracefully under bursty sweep traffic:
+
+* **Admission control and backpressure** — a bounded job queue; once it
+  is full, submissions are shed with a structured, retryable
+  ``429``-style error instead of hanging or silently dropping.
+* **In-flight deduplication** — identical cells submitted by concurrent
+  clients are simulated once; later jobs await the first run's outcome.
+* **Shared read-through result tier** — every session shares one
+  LRU-bounded :class:`~repro.experiments.executor.ResultCache`, whose
+  hit rate and evictions surface on ``/metrics``.
+* **Crash recovery** — every accepted job is recorded in a write-ahead
+  journal *before* the client is acknowledged; a killed server replays
+  the journal on restart and resumes every non-terminal job, with
+  already-completed cells resolving from the cache instead of being
+  recomputed.
+* **Graceful drain** — SIGTERM stops admission (503, retryable) and
+  lets queued + running jobs finish before exit.
+* **Observability** — ``/healthz`` and ``/metrics`` expose queue depth,
+  shed/retry/timeout counters, dedup hits and cache statistics.
+
+The implementation is stdlib-only: a hand-rolled HTTP/1.1 layer over
+:func:`asyncio.start_server` and an :mod:`http.client`-based synchronous
+CLI client (``repro submit`` / ``status`` / ``result`` / ``cancel``).
+Fault injection for every failure mode above lives in
+:mod:`repro.experiments.faults` (``REPRO_FAULT_INJECT`` with ``serve/*``
+point patterns); simlint rule SL009 statically bans blocking calls
+inside this package's coroutines.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (Job, JobManager, JobState, Overloaded,
+                                ServiceDraining, ServiceMetrics)
+from repro.service.journal import JobJournal
+from repro.service.protocol import JobSpec, SpecError
+from repro.service.server import JobServer, run_server
+
+__all__ = [
+    "Job",
+    "JobJournal",
+    "JobManager",
+    "JobServer",
+    "JobSpec",
+    "JobState",
+    "Overloaded",
+    "ServiceClient",
+    "ServiceDraining",
+    "ServiceError",
+    "ServiceMetrics",
+    "SpecError",
+    "run_server",
+]

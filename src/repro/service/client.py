@@ -1,0 +1,156 @@
+"""Synchronous HTTP client for the job service (``repro submit`` etc.).
+
+Built on :mod:`http.client` so the CLI needs nothing beyond the stdlib.
+The client honours the server's backpressure contract: a 429/503 with
+``retryable: true`` is retried with exponential backoff (bounded), so
+``repro submit --wait`` survives a queue-full burst or a draining
+server without the operator scripting around it.
+
+The ``client/send`` fault point (kind ``slow-client``) stalls between
+connect and send to exercise the server's per-connection read deadline.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+#: Submission retry schedule on retryable (429/503) responses.
+SUBMIT_RETRIES = 5
+BACKOFF_BASE = 0.25
+BACKOFF_CAP = 4.0
+
+#: Polling cadence for :meth:`ServiceClient.wait`.
+POLL_SECONDS = 0.25
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service (or a transport failure)."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        message = (payload.get("error")
+                   if isinstance(payload, dict) else None)
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+
+    def __reduce__(self):
+        return (type(self), (self.status, self.payload))
+
+    @property
+    def retryable(self) -> bool:
+        return bool(self.payload.get("retryable"))
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        value = self.payload.get("retry_after")
+        return float(value) if value is not None else None
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` instance at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8537,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            if os.environ.get("REPRO_FAULT_INJECT"):
+                from repro.experiments.faults import (maybe_inject_service,
+                                                      slow_client_stall)
+                conn.connect()
+                if maybe_inject_service("client/send") == "slow-client":
+                    slow_client_stall()
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            if not 200 <= response.status < 300:
+                raise ServiceError(response.status, decoded)
+            return decoded
+        except (ConnectionError, TimeoutError, OSError,
+                http.client.HTTPException) as exc:
+            raise ServiceError(0, {
+                "error": f"cannot reach {self.host}:{self.port}: "
+                         f"{type(exc).__name__}: {exc}",
+                "retryable": True}) from exc
+        finally:
+            conn.close()
+
+    # -- API ----------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request("GET", "/jobs")
+
+    def submit(self, spec: Dict[str, Any],
+               retries: int = SUBMIT_RETRIES) -> Dict[str, Any]:
+        """Submit a job spec, backing off on retryable shed responses."""
+        delay = BACKOFF_BASE
+        for attempt in range(retries + 1):
+            try:
+                return self._request("POST", "/jobs", body=spec)
+            except ServiceError as exc:
+                if attempt >= retries or not exc.retryable:
+                    raise
+                pause = exc.retry_after or delay
+                time.sleep(min(pause, BACKOFF_CAP))
+                delay = min(delay * 2, BACKOFF_CAP)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; return its status.
+
+        Transient transport errors (the server restarting mid-recovery)
+        are tolerated until *timeout*; the journal guarantees the job
+        itself survives them.
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        terminal = {"done", "failed", "cancelled", "timeout"}
+        while True:
+            try:
+                status = self.status(job_id)
+                if status.get("state") in terminal:
+                    return status
+            except ServiceError as exc:
+                if not exc.retryable and exc.status != 0:
+                    raise
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still not terminal after {timeout}s")
+            time.sleep(POLL_SECONDS)

@@ -1,0 +1,630 @@
+"""Job lifecycle: admission control, dedup, sessions, crash recovery.
+
+The :class:`JobManager` is the scheduling loop of the service (the
+paper's analogy one level up: jobs are the instructions, sessions the
+issue ports, the admission queue the reservation station):
+
+* **Admission** — :meth:`JobManager.submit` validates the spec, writes
+  the job to the write-ahead journal, then enqueues it.  A full queue
+  sheds the submission with :class:`Overloaded` (HTTP 429 material);
+  a draining server sheds with :class:`ServiceDraining` (503).  Both
+  are structured and retryable — never a hang, never a silent drop.
+* **Sessions** — ``sessions`` worker coroutines pull jobs off the queue
+  and run each job's cells through its own
+  :class:`~repro.experiments.executor.Executor` (the fleet), streaming
+  per-cell outcomes into the job as they complete.
+* **Dedup** — before dispatching a cell, a session consults the shared
+  in-flight map (``cell_key -> Future``): a cell another session is
+  already simulating is awaited, not re-run.  Cells neither in flight
+  nor cached are registered so *later* arrivals dedup against us.
+  An owner that aborts resolves its futures with ``None``; waiters
+  retry the cell themselves on the next round (bounded), so one
+  cancelled job can never strand another.
+* **Recovery** — :meth:`JobManager.recover` replays the journal:
+  non-terminal jobs are requeued from their persisted specs, and their
+  previously completed cells resolve instantly from the shared result
+  cache — accepted work is never lost and cached cells are never
+  recomputed.
+* **Drain** — :meth:`JobManager.drain` stops admission and waits for
+  every queued + running job to reach a terminal state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import uuid
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.experiments.executor import (CellOutcome, Executor, ResultCache,
+                                        cell_key)
+from repro.service.journal import JobJournal
+from repro.service.protocol import JobSpec
+
+#: How many times a session re-tries cells whose in-flight owner aborted
+#: before declaring them lost.
+DEDUP_ROUNDS = 3
+
+
+class Overloaded(RuntimeError):
+    """The admission queue is full; the submission was shed (HTTP 429)."""
+
+    def __init__(self, queue_depth: int, queue_limit: int) -> None:
+        super().__init__(
+            f"admission queue full ({queue_depth}/{queue_limit})")
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+
+    def __reduce__(self):
+        return (type(self), (self.queue_depth, self.queue_limit))
+
+
+class ServiceDraining(RuntimeError):
+    """The server is draining; no new work is admitted (HTTP 503)."""
+
+
+class CancelConflict(RuntimeError):
+    """The job already reached a terminal state (HTTP 409)."""
+
+
+class JobState:
+    """Job lifecycle states (plain strings: they travel as JSON)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED, TIMEOUT})
+
+
+@dataclass
+class ServiceMetrics:
+    """Monotonic service counters, surfaced on ``/metrics``."""
+
+    accepted: int = 0
+    shed: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    job_timeouts: int = 0
+    #: Jobs requeued from the journal after a restart.
+    recovered: int = 0
+    #: Torn journal lines skipped during recovery.
+    journal_torn_lines: int = 0
+    #: Cells resolved by awaiting another job's in-flight simulation.
+    dedup_hits: int = 0
+    #: Cells resolved from the shared result cache at job level.
+    cache_hits: int = 0
+    #: Simulation attempts beyond the first, summed over cells.
+    cell_retries: int = 0
+    #: Cells whose final outcome was a per-cell wall-clock timeout.
+    cell_timeouts: int = 0
+    #: Worker pools respawned by the executors (timeouts/worker deaths).
+    pool_respawns: int = 0
+    #: Requests that failed inside a handler (HTTP 500s).
+    internal_errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class Job:
+    """One accepted grid submission and everything known about it."""
+
+    def __init__(self, job_id: str, spec: JobSpec,
+                 recovered: bool = False) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.cells = spec.cells()
+        self.keys = [cell_key(cell) for cell in self.cells]
+        self.state = JobState.QUEUED
+        self.error = ""
+        self.recovered = recovered
+        #: index -> {"status", "via", "attempts"} for resolved cells.
+        self.cell_records: Dict[int, Dict[str, Any]] = {}
+        #: index -> SimStats for cells resolved in this process.
+        self.results: Dict[int, Any] = {}
+        #: Set to abandon the job's remaining work (cancel / timeout /
+        #: drain).  ``stop`` alone does not decide the final state:
+        #: only an explicit client cancel flips ``cancel_requested``.
+        self.stop = asyncio.Event()
+        #: A client asked for cancellation (terminal); a drain-stop
+        #: leaves this False so the job stays journal-recoverable.
+        self.cancel_requested = False
+        #: Set exactly once, when the job reaches a terminal state.
+        self.finished = asyncio.Event()
+
+    @property
+    def total_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def resolved_cells(self) -> int:
+        return len(self.cell_records)
+
+    @property
+    def ok_cells(self) -> int:
+        return sum(1 for rec in self.cell_records.values()
+                   if rec["status"] == "ok")
+
+    def record(self, index: int, outcome: CellOutcome, via: str) -> None:
+        self.cell_records[index] = {
+            "status": outcome.status,
+            "via": via,
+            "attempts": outcome.attempts,
+        }
+        if outcome.ok and outcome.stats is not None:
+            self.results[index] = outcome.stats
+
+    def status_payload(self) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for rec in self.cell_records.values():
+            counts[rec["status"]] = counts.get(rec["status"], 0) + 1
+        return {
+            "id": self.id,
+            "state": self.state,
+            "error": self.error,
+            "recovered": self.recovered,
+            "cells": {
+                "total": self.total_cells,
+                "resolved": self.resolved_cells,
+                "ok": self.ok_cells,
+                "by_status": counts,
+            },
+            "cell_detail": [
+                {
+                    "index": index,
+                    "name": self.cells[index].name,
+                    **self.cell_records.get(index,
+                                            {"status": "pending"}),
+                }
+                for index in range(self.total_cells)
+            ],
+        }
+
+
+def _new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+class JobManager:
+    """Admission, scheduling, dedup, recovery and drain for jobs.
+
+    ``executor_factory`` builds one fresh
+    :class:`~repro.experiments.executor.Executor` per job run; each
+    session needs its own because a single executor's bookkeeping is
+    not reentrant.  All factories should share ``cache`` — that is the
+    read-through tier dedup and recovery lean on.
+    """
+
+    def __init__(self, *,
+                 cache: ResultCache,
+                 journal: JobJournal,
+                 executor_factory: Optional[Callable[[], Executor]] = None,
+                 queue_limit: int = 32,
+                 sessions: int = 2,
+                 job_timeout: Optional[float] = None) -> None:
+        self.cache = cache
+        self.journal = journal
+        self.executor_factory = executor_factory or (
+            lambda: Executor(jobs=2, cache=cache))
+        self.queue_limit = max(1, queue_limit)
+        self.session_count = max(1, sessions)
+        self.job_timeout = (job_timeout
+                            if job_timeout and job_timeout > 0 else None)
+        self.jobs: Dict[str, Job] = {}
+        self.metrics = ServiceMetrics()
+        self.draining = False
+        #: cell_key -> Future[Optional[CellOutcome]] for cells some
+        #: session is currently simulating.
+        self._inflight: Dict[str, "asyncio.Future[Optional[CellOutcome]]"] \
+            = {}
+        self._queue: "asyncio.Queue[Optional[str]]" = asyncio.Queue()
+        self._sessions: List["asyncio.Task[None]"] = []
+
+    # -- admission ----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet picked up by a session."""
+        return sum(1 for job in self.jobs.values()
+                   if job.state == JobState.QUEUED)
+
+    @property
+    def running_count(self) -> int:
+        return sum(1 for job in self.jobs.values()
+                   if job.state == JobState.RUNNING)
+
+    def submit(self, payload: Any) -> Job:
+        """Validate, journal (write-ahead) and enqueue one submission.
+
+        Raises :class:`~repro.service.protocol.SpecError` (400),
+        :class:`Overloaded` (429) or :class:`ServiceDraining` (503).
+        """
+        if self.draining:
+            raise ServiceDraining("server is draining; retry elsewhere")
+        depth = self.queue_depth
+        if depth >= self.queue_limit:
+            self.metrics.shed += 1
+            raise Overloaded(depth, self.queue_limit)
+        spec = JobSpec.from_payload(payload)
+        job = Job(_new_job_id(), spec)
+        # Write-ahead: the journal record precedes the ack and the
+        # enqueue, so an accepted job is recoverable by construction.
+        self.journal.accept(job.id, spec.to_payload())
+        self.jobs[job.id] = job
+        self._queue.put_nowait(job.id)
+        self.metrics.accepted += 1
+        return job
+
+    def get(self, job_id: str) -> Job:
+        return self.jobs[job_id]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or running job; conflict if already terminal."""
+        job = self.jobs[job_id]
+        if job.state in JobState.TERMINAL:
+            raise CancelConflict(
+                f"job {job_id} already {job.state}")
+        job.cancel_requested = True
+        job.stop.set()
+        if job.state == JobState.QUEUED:
+            # The session that eventually dequeues it skips terminal jobs.
+            self._finalize(job, JobState.CANCELLED)
+        return job
+
+    # -- recovery -----------------------------------------------------------
+
+    def recover(self) -> int:
+        """Replay the journal; requeue every non-terminal job.
+
+        Completed cells of a requeued job are deliberately *not*
+        restored in memory: re-running the job resolves them from the
+        shared result cache (as ``via_cache`` outcomes), which is both
+        simpler and self-verifying — the cache, not the journal, is the
+        source of truth for results.  Terminal jobs are restored so
+        clients can still query their status/results after a restart.
+        """
+        replay = self.journal.load()
+        self.metrics.journal_torn_lines += replay.torn_lines
+        requeued = 0
+        for job_id, record in replay.jobs.items():
+            if job_id in self.jobs:
+                continue
+            try:
+                spec = JobSpec.from_payload(record.spec)
+            except Exception:
+                # A spec that journaled fine but no longer validates
+                # (e.g. a benchmark profile was removed) cannot run.
+                self.metrics.journal_torn_lines += 1
+                continue
+            job = Job(job_id, spec, recovered=True)
+            if record.terminal:
+                job.state = record.state or JobState.DONE
+                for index, cell in record.cells.items():
+                    if 0 <= index < job.total_cells:
+                        job.cell_records[index] = {
+                            "status": cell.get("status", ""),
+                            "via": cell.get("via", ""),
+                            "attempts": 0,
+                        }
+                job.finished.set()
+            else:
+                self._queue.put_nowait(job.id)
+                self.metrics.recovered += 1
+                requeued += 1
+            self.jobs[job.id] = job
+        return requeued
+
+    # -- sessions -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the session workers (idempotent)."""
+        while len(self._sessions) < self.session_count:
+            self._sessions.append(
+                asyncio.create_task(
+                    self._session(len(self._sessions))))
+
+    async def _session(self, index: int) -> None:
+        while True:
+            job_id = await self._queue.get()
+            if job_id is None:
+                return
+            job = self.jobs.get(job_id)
+            if job is None or job.state != JobState.QUEUED:
+                continue  # cancelled while queued, or stale entry
+            await self._process(job)
+
+    async def _process(self, job: Job) -> None:
+        from repro.experiments.faults import (InjectedFault,
+                                              maybe_inject_service)
+        job.state = JobState.RUNNING
+        self.journal.state(job.id, JobState.RUNNING)
+        try:
+            maybe_inject_service(f"serve/job/{job.id}")
+            if self.job_timeout is not None:
+                await asyncio.wait_for(self._run_job(job),
+                                       timeout=self.job_timeout)
+            else:
+                await self._run_job(job)
+        except asyncio.TimeoutError:
+            job.stop.set()  # unblock the executor thread promptly
+            self.metrics.job_timeouts += 1
+            self._finalize(job, JobState.TIMEOUT,
+                           error=f"exceeded job timeout "
+                                 f"{self.job_timeout:.1f}s")
+            return
+        except InjectedFault as exc:
+            self._finalize(job, JobState.FAILED, error=str(exc))
+            return
+        except asyncio.CancelledError:
+            job.stop.set()
+            self._finalize(job, JobState.FAILED,
+                           error="server stopped mid-job")
+            raise
+        except Exception as exc:  # never let a job kill the session
+            self._finalize(job, JobState.FAILED,
+                           error=f"{type(exc).__name__}: {exc}")
+            return
+        if job.cancel_requested:
+            self._finalize(job, JobState.CANCELLED)
+        elif job.stop.is_set():
+            # Drain stop: the job is interrupted, not finished.  Leave
+            # it non-terminal (back to queued, journaled as such) so
+            # the next start requeues it — a terminal state here would
+            # silently lose acked work across a restart.
+            job.state = JobState.QUEUED
+            self.journal.state(job.id, JobState.QUEUED)
+        elif job.ok_cells == job.total_cells:
+            self._finalize(job, JobState.DONE)
+        else:
+            self._finalize(job, JobState.FAILED,
+                           error=f"{job.total_cells - job.ok_cells} "
+                                 f"cell(s) failed")
+
+    def _finalize(self, job: Job, state: str, error: str = "") -> None:
+        if job.state in JobState.TERMINAL:
+            return
+        job.state = state
+        job.error = error
+        self.journal.state(job.id, state)
+        if state == JobState.DONE:
+            self.metrics.completed += 1
+        elif state == JobState.FAILED:
+            self.metrics.failed += 1
+        elif state == JobState.CANCELLED:
+            self.metrics.cancelled += 1
+        job.finished.set()
+
+    # -- the per-job scheduling loop ---------------------------------------
+
+    async def _run_job(self, job: Job) -> None:
+        pending: Set[int] = {
+            index for index in range(job.total_cells)
+            if index not in job.cell_records}
+        for _round in range(DEDUP_ROUNDS):
+            if not pending or job.stop.is_set():
+                return
+            pending = await self._run_round(job, pending)
+        for index in sorted(pending):
+            # An owner aborted repeatedly and we exhausted the rounds.
+            job.record(index, CellOutcome(
+                status="error", error_type="DedupLost",
+                error="in-flight owner aborted repeatedly"), via="dedup")
+            self._journal_cell(job, index)
+
+    async def _run_round(self, job: Job, indices: Set[int]) -> Set[int]:
+        """Resolve *indices*: cache, dedup-wait, or own simulation.
+
+        Returns the indices left unresolved (their in-flight owner
+        aborted), for the caller to retry.
+        """
+        loop = asyncio.get_running_loop()
+        own: Dict[str, List[int]] = {}
+        own_futures: Dict[str, "asyncio.Future[Optional[CellOutcome]]"] = {}
+        waits: Dict[str, List[int]] = {}
+        wait_futures: Dict[str, "asyncio.Future[Optional[CellOutcome]]"] = {}
+        for index in sorted(indices):
+            key = job.keys[index]
+            if key in own:
+                own[key].append(index)
+                continue
+            if key in waits:
+                waits[key].append(index)
+                continue
+            inflight = self._inflight.get(key)
+            if inflight is not None and not inflight.done():
+                waits[key] = [index]
+                wait_futures[key] = inflight
+                self.metrics.dedup_hits += 1
+                continue
+            stats = self.cache.get(key)
+            if stats is not None:
+                self.metrics.cache_hits += 1
+                job.record(index, CellOutcome(
+                    status="ok", stats=stats, attempts=0,
+                    via_cache=True), via="cache")
+                self._journal_cell(job, index)
+                continue
+            own[key] = [index]
+            future: "asyncio.Future[Optional[CellOutcome]]" = \
+                loop.create_future()
+            own_futures[key] = future
+            self._inflight[key] = future
+        unresolved: Set[int] = set()
+        if own:
+            try:
+                await self._simulate_own(job, own, own_futures)
+            finally:
+                # Whatever we never resolved (stop, timeout-cancel,
+                # executor exception): release the in-flight slots and
+                # wake the waiters with None so they self-serve.
+                for key, future in own_futures.items():
+                    if self._inflight.get(key) is future:
+                        del self._inflight[key]
+                    if not future.done():
+                        future.set_result(None)
+                        unresolved.update(own[key])
+        for key, indices_for_key in waits.items():
+            outcome = await self._await_shared(job, wait_futures[key])
+            if outcome is None:
+                unresolved.update(indices_for_key)
+                continue
+            for index in indices_for_key:
+                job.record(index, outcome, via="dedup")
+                self._journal_cell(job, index)
+        if job.stop.is_set():
+            return set()
+        return unresolved
+
+    async def _simulate_own(self, job: Job, own: Dict[str, List[int]],
+                            own_futures: Dict[
+                                str,
+                                "asyncio.Future[Optional[CellOutcome]]"],
+                            ) -> None:
+        key_by_cell = {job.cells[indices[0]]: key
+                       for key, indices in own.items()}
+        executor = self.executor_factory()
+        try:
+            session = executor.run_async(
+                list(key_by_cell), stop=job.stop.is_set)
+            async for cell, outcome in session:
+                key = key_by_cell[cell]
+                for index in own[key]:
+                    job.record(index, outcome, via="sim")
+                    self._journal_cell(job, index)
+                self.metrics.cell_retries += max(0, outcome.attempts - 1)
+                if outcome.status == "timeout":
+                    self.metrics.cell_timeouts += 1
+                future = own_futures.get(key)
+                if future is not None and not future.done():
+                    future.set_result(outcome)
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+        finally:
+            summary = executor.last_summary
+            if summary is not None:
+                self.metrics.pool_respawns += summary.respawns
+
+    async def _await_shared(
+            self, job: Job,
+            future: "asyncio.Future[Optional[CellOutcome]]",
+    ) -> Optional[CellOutcome]:
+        """Wait for another session's cell, or for our job's stop."""
+        if future.done():
+            return future.result()
+        stop_task = asyncio.create_task(job.stop.wait())
+        try:
+            await asyncio.wait({future, stop_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            stop_task.cancel()
+        if future.done():
+            return future.result()
+        return None  # stopped first; caller sees job.stop and bails
+
+    def _journal_cell(self, job: Job, index: int) -> None:
+        record = job.cell_records[index]
+        self.journal.cell(job.id, index, job.keys[index],
+                          record["status"], record["via"])
+
+    # -- results ------------------------------------------------------------
+
+    def result_payload(self, job: Job) -> Dict[str, Any]:
+        """Merged grid results, cache-backed for recovered jobs."""
+        grid: Dict[str, Dict[str, Any]] = {}
+        failed: List[str] = []
+        for index, cell in enumerate(job.cells):
+            row = grid.setdefault(cell.benchmark, {})
+            stats = job.results.get(index)
+            if stats is None and job.state in JobState.TERMINAL:
+                # Recovered job: the stats live in the shared cache.
+                stats = self.cache.get(job.keys[index])
+            if stats is not None:
+                row[cell.label] = asdict(stats)
+            else:
+                record = job.cell_records.get(index)
+                row[cell.label] = None
+                if record is not None and record["status"] != "ok":
+                    failed.append(cell.name)
+        return {
+            "id": job.id,
+            "state": job.state,
+            "partial": job.state not in JobState.TERMINAL
+            or job.ok_cells < job.total_cells,
+            "results": grid,
+            "failed_cells": failed,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        self.draining = True
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission, wait for all jobs to finish; True if clean.
+
+        On timeout, remaining jobs are stopped (their state becomes
+        ``failed``) and False is returned — the journal still holds
+        them, so a restart can pick them back up.
+        """
+        self.begin_drain()
+        outstanding = [job for job in self.jobs.values()
+                       if job.state not in JobState.TERMINAL]
+        if outstanding:
+            waiter = asyncio.gather(
+                *(job.finished.wait() for job in outstanding))
+            try:
+                if timeout is not None:
+                    await asyncio.wait_for(waiter, timeout=timeout)
+                else:
+                    await waiter
+            except asyncio.TimeoutError:
+                for job in outstanding:
+                    job.stop.set()
+                await self.stop()
+                return False
+        await self.stop()
+        return True
+
+    async def stop(self) -> None:
+        """Terminate the session workers (queued jobs stay journaled)."""
+        for _ in self._sessions:
+            self._queue.put_nowait(None)
+        if self._sessions:
+            await asyncio.gather(*self._sessions, return_exceptions=True)
+        self._sessions.clear()
+
+    # -- observability ------------------------------------------------------
+
+    def state_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = dict(self.metrics.as_dict())
+        payload.update({
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.queue_limit,
+            "running": self.running_count,
+            "sessions": self.session_count,
+            "inflight_cells": len(self._inflight),
+            "jobs_by_state": self.state_counts(),
+            "draining": self.draining,
+            "cache": self.cache.info(),
+        })
+        return payload
+
+    def healthz_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.queue_limit,
+            "running": self.running_count,
+            "jobs_by_state": self.state_counts(),
+        }

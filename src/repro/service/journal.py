@@ -1,0 +1,182 @@
+"""Write-ahead job journal: accepted work survives a dead server.
+
+The durability contract of the service is *ack implies journal*: a job
+is appended here (and the record flushed — fsynced for accept/terminal
+events) **before** the client sees its 202, so any job a client was
+told about can be recovered from disk.  The journal is append-only
+JSONL; records are::
+
+    {"schema": 1, "event": "accept", "id": ..., "spec": {...}}
+    {"schema": 1, "event": "cell", "id": ..., "index": 3,
+     "key": "<cell_key>", "status": "ok", "via": "sim"}
+    {"schema": 1, "event": "state", "id": ..., "state": "done"}
+
+Recovery (:meth:`JobJournal.load`) folds the records per job: a job
+with an ``accept`` but no terminal ``state`` was in flight when the
+server died and must be requeued; its completed cells are *not* listed
+for re-execution — their results live in the shared result cache, so
+re-running the job resolves them as hits.  A torn tail line (the
+half-record a crash mid-``write`` leaves) is skipped and counted, never
+fatal — exactly the failure the ``torn-write`` fault kind injects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO
+
+#: Journal line layout version.
+JOURNAL_SCHEMA = 1
+
+#: Job states that end a job's life (no requeue on recovery).
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled", "timeout"})
+
+
+@dataclass
+class JobRecord:
+    """Everything the journal knows about one job after a replay."""
+
+    spec: Dict[str, Any]
+    state: Optional[str] = None
+    cells: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+@dataclass
+class JournalReplay:
+    """The fold of a journal file: jobs in acceptance order, torn count."""
+
+    jobs: Dict[str, JobRecord] = field(default_factory=dict)
+    torn_lines: int = 0
+
+
+class JobJournal:
+    """Append-only JSONL write-ahead log of job lifecycle events."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._handle: Optional[TextIO] = None
+        #: Records appended by this instance (observability).
+        self.appended = 0
+        #: The last write was (injected as) torn: the next record must
+        #: open with a newline or it would merge into the torn tail.
+        self._torn = False
+
+    # -- writing ------------------------------------------------------------
+
+    def _open(self) -> TextIO:
+        if self._handle is None or self._handle.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        return self._handle
+
+    def _append(self, record: Dict[str, Any], sync: bool) -> None:
+        record = {"schema": JOURNAL_SCHEMA, **record}
+        line = json.dumps(record, sort_keys=True)
+        handle = self._open()
+        if os.environ.get("REPRO_FAULT_INJECT"):
+            from repro.experiments.faults import (InjectedFault,
+                                                  maybe_inject_service)
+            kind = maybe_inject_service(
+                f"serve/journal/{record['event']}")
+            if kind == "torn-write":
+                # A crash mid-write: half a record, no newline, and the
+                # bytes really on disk so the *next* process sees them.
+                handle.write(line[:max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                self._torn = True
+                raise InjectedFault(
+                    f"torn journal write at {record['event']}")
+        if self._torn:
+            # Seal the torn tail so this record stays parseable (the
+            # loader skips the half-record, not everything after it).
+            handle.write("\n")
+            self._torn = False
+        handle.write(line + "\n")
+        handle.flush()
+        if sync:
+            os.fsync(handle.fileno())
+        self.appended += 1
+
+    def accept(self, job_id: str, spec: Dict[str, Any]) -> None:
+        """Record an accepted job — MUST precede the client's ack."""
+        self._append({"event": "accept", "id": job_id, "spec": spec},
+                     sync=True)
+
+    def cell(self, job_id: str, index: int, key: str, status: str,
+             via: str) -> None:
+        """Record one resolved cell (progress; cheap, flush-only)."""
+        self._append({"event": "cell", "id": job_id, "index": index,
+                      "key": key, "status": status, "via": via},
+                     sync=False)
+
+    def state(self, job_id: str, state: str) -> None:
+        """Record a job state transition (fsynced when terminal)."""
+        self._append({"event": "state", "id": job_id, "state": state},
+                     sync=state in TERMINAL_STATES)
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+
+    # -- replay -------------------------------------------------------------
+
+    def load(self) -> JournalReplay:
+        """Fold the journal into per-job records, tolerating torn lines."""
+        replay = JournalReplay()
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return replay
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                replay.torn_lines += 1
+                continue
+            if not isinstance(record, dict) \
+                    or record.get("schema") != JOURNAL_SCHEMA:
+                replay.torn_lines += 1
+                continue
+            event = record.get("event")
+            job_id = record.get("id")
+            if not isinstance(job_id, str):
+                replay.torn_lines += 1
+                continue
+            if event == "accept":
+                spec = record.get("spec")
+                if not isinstance(spec, dict):
+                    replay.torn_lines += 1
+                    continue
+                replay.jobs[job_id] = JobRecord(spec=spec)
+            elif event == "cell":
+                job = replay.jobs.get(job_id)
+                if job is None:
+                    continue  # cell for a job we never saw accepted
+                try:
+                    index = int(record["index"])
+                except (KeyError, TypeError, ValueError):
+                    replay.torn_lines += 1
+                    continue
+                job.cells[index] = {
+                    "key": record.get("key", ""),
+                    "status": record.get("status", ""),
+                    "via": record.get("via", ""),
+                }
+            elif event == "state":
+                job = replay.jobs.get(job_id)
+                if job is not None:
+                    job.state = record.get("state")
+            else:
+                replay.torn_lines += 1
+        return replay

@@ -1,0 +1,171 @@
+"""Job-submission wire format: specs, validation, result encoding.
+
+A *job* is one experiment grid — the same ``benchmarks x configs`` shape
+:meth:`repro.experiments.executor.Executor.run_grid` takes — expressed
+as JSON::
+
+    {
+      "benchmarks": ["gap", "vortex"],
+      "configs": {
+        "base":     {"scheduler": "base"},
+        "macro-op": {"scheduler": "macro-op", "mop_size": 2}
+      },
+      "num_insts": 2000,
+      "seed": 1,
+      "max_cycles": null
+    }
+
+Config dicts accept exactly the :class:`~repro.core.MachineConfig`
+fields (enums by value); unknown fields, unknown benchmarks and
+out-of-bounds budgets are rejected with :class:`SpecError` before the
+job is accepted, so the queue only ever holds runnable work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core import MachineConfig, SchedulerKind, WakeupStyle
+from repro.experiments.executor import DEFAULT_INSTS, SimCell
+from repro.workloads import profile_names
+
+#: Admission-time sanity bounds: a single job may not monopolise the
+#: fleet.  Split bigger sweeps into several jobs (the shared cache and
+#: in-flight dedup make that free).
+MAX_CELLS_PER_JOB = 256
+MAX_INSTS_PER_CELL = 200_000
+
+
+class SpecError(ValueError):
+    """A job submission payload is malformed (HTTP 400 material)."""
+
+
+def _coerce_field(field: dataclasses.Field, value: Any) -> Any:
+    """Coerce a JSON value onto one MachineConfig field, enums by value."""
+    if field.name == "scheduler":
+        return SchedulerKind(value)
+    if field.name == "wakeup_style":
+        return WakeupStyle(value)
+    return value
+
+
+def config_from_dict(payload: Dict[str, Any]) -> MachineConfig:
+    """Build a :class:`MachineConfig` from a JSON dict, strictly.
+
+    Unknown keys are an error — a typoed ``mop_sizee`` silently running
+    the default grid would be a far worse failure mode than a 400.
+    """
+    if not isinstance(payload, dict):
+        raise SpecError(f"config must be an object, got {payload!r}")
+    fields = {f.name: f for f in dataclasses.fields(MachineConfig)}
+    unknown = sorted(set(payload) - set(fields))
+    if unknown:
+        raise SpecError(
+            f"unknown config field(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(fields))}")
+    kwargs = {}
+    for name, value in payload.items():
+        try:
+            kwargs[name] = _coerce_field(fields[name], value)
+        except (ValueError, TypeError) as exc:
+            raise SpecError(f"bad config field {name}={value!r}: {exc}") \
+                from None
+    try:
+        return MachineConfig(**kwargs)
+    except (ValueError, TypeError) as exc:
+        raise SpecError(f"bad config: {exc}") from None
+
+
+def config_to_dict(config: MachineConfig) -> Dict[str, Any]:
+    """JSON-safe dict for *config* (enums by value) — journal format."""
+    payload = dataclasses.asdict(config)
+    for name, value in payload.items():
+        if isinstance(value, enum.Enum):
+            payload[name] = value.value
+    return payload
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated grid submission.
+
+    ``configs`` is an ordered label->config tuple so the result grid
+    renders columns in submission order, exactly like ``run_grid``.
+    """
+
+    benchmarks: Tuple[str, ...]
+    configs: Tuple[Tuple[str, MachineConfig], ...]
+    num_insts: int = DEFAULT_INSTS
+    seed: int = 1
+    max_cycles: Optional[int] = None
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise SpecError("job spec must be a JSON object")
+        known = {"benchmarks", "configs", "num_insts", "seed",
+                 "max_cycles"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise SpecError(
+                f"unknown spec field(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}")
+        benchmarks = payload.get("benchmarks")
+        if not benchmarks or not isinstance(benchmarks, list):
+            raise SpecError("spec needs a non-empty 'benchmarks' list")
+        valid = set(profile_names())
+        bad = sorted(set(benchmarks) - valid)
+        if bad:
+            raise SpecError(
+                f"unknown benchmark(s) {', '.join(map(str, bad))}; "
+                f"known: {', '.join(sorted(valid))}")
+        raw_configs = payload.get("configs")
+        if not raw_configs or not isinstance(raw_configs, dict):
+            raise SpecError("spec needs a non-empty 'configs' object")
+        configs = tuple(
+            (str(label), config_from_dict(config))
+            for label, config in raw_configs.items())
+        num_insts = payload.get("num_insts", DEFAULT_INSTS)
+        if not isinstance(num_insts, int) \
+                or not 1 <= num_insts <= MAX_INSTS_PER_CELL:
+            raise SpecError(
+                f"num_insts must be an int in [1, {MAX_INSTS_PER_CELL}]"
+                f", got {num_insts!r}")
+        seed = payload.get("seed", 1)
+        if not isinstance(seed, int):
+            raise SpecError(f"seed must be an int, got {seed!r}")
+        max_cycles = payload.get("max_cycles")
+        if max_cycles is not None and (
+                not isinstance(max_cycles, int) or max_cycles < 1):
+            raise SpecError(
+                f"max_cycles must be a positive int or null, "
+                f"got {max_cycles!r}")
+        cell_count = len(benchmarks) * len(configs)
+        if cell_count > MAX_CELLS_PER_JOB:
+            raise SpecError(
+                f"job would hold {cell_count} cells; the per-job limit "
+                f"is {MAX_CELLS_PER_JOB} — split the sweep (the shared "
+                f"cache dedupes across jobs)")
+        return cls(benchmarks=tuple(benchmarks), configs=configs,
+                   num_insts=num_insts, seed=seed, max_cycles=max_cycles)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Inverse of :meth:`from_payload` — the journal's spec format."""
+        return {
+            "benchmarks": list(self.benchmarks),
+            "configs": {label: config_to_dict(config)
+                        for label, config in self.configs},
+            "num_insts": self.num_insts,
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+        }
+
+    def cells(self) -> List[SimCell]:
+        """The grid, flattened in ``run_grid``'s benchmark-major order."""
+        return [SimCell(benchmark, label, config, self.num_insts,
+                        self.seed, self.max_cycles)
+                for benchmark in self.benchmarks
+                for label, config in self.configs]

@@ -1,0 +1,350 @@
+"""The HTTP face of the service: asyncio server, routes, signals.
+
+Stdlib-only by design: a small hand-rolled HTTP/1.1 layer over
+:func:`asyncio.start_server`.  The protocol subset is deliberately
+minimal — ``Content-Length`` bodies only (no chunked uploads), one
+request per connection — because every client we ship speaks exactly
+that, and less parser is less attack/bug surface.
+
+Routes::
+
+    GET  /healthz               liveness + queue snapshot
+    GET  /metrics               counters, cache info, jobs by state
+    GET  /jobs                  id -> state summary of every known job
+    POST /jobs                  submit a grid  -> 202 {"id": ...}
+    GET  /jobs/<id>             status + per-cell progress
+    GET  /jobs/<id>/result      merged grid (partial while running)
+    POST /jobs/<id>/cancel      cancel a queued/running job
+
+Every error is structured JSON: ``{"error": ..., "retryable": bool}``
+with ``retry_after`` on 429/503 — a shed client always knows it may
+simply try again, and nothing ever hangs or silently drops.
+
+On SIGTERM/SIGINT the server stops admitting (503), finishes queued and
+running jobs (bounded by ``--drain-timeout``), syncs the journal and
+exits — and anything still unfinished is journaled, so the next start
+picks it up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.experiments.executor import Executor, ResultCache
+from repro.service.jobs import (CancelConflict, JobManager, Overloaded,
+                                ServiceDraining)
+from repro.service.journal import JobJournal
+from repro.service.protocol import SpecError
+
+#: Largest request body we will read (a full 256-cell spec is ~50 KiB).
+MAX_BODY_BYTES = 1 << 20
+
+#: Per-connection read deadline: a stalled (or ``slow-client``-faulted)
+#: peer may not pin a connection handler forever.
+READ_TIMEOUT = 10.0
+
+#: Suggested client back-off, sent with 429/503 responses.
+RETRY_AFTER_SECONDS = 2
+
+
+class _HttpError(Exception):
+    """Internal: turn into a structured JSON error response."""
+
+    def __init__(self, status: int, message: str,
+                 retryable: bool = False,
+                 retry_after: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retryable = retryable
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        return (type(self), (self.status, self.message,
+                             self.retryable, self.retry_after))
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class JobServer:
+    """Asyncio HTTP server wired to a :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self.started = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Recover journaled jobs, start sessions, bind the socket."""
+        requeued = self.manager.recover()
+        if requeued:
+            print(f"recovered {requeued} unfinished job(s) from journal",
+                  flush=True)
+        await self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self.started.set()
+        # A parseable address line: tests bind port 0 and scrape this.
+        print(f"listening on http://{self.host}:{self.port}", flush=True)
+        return self.host, self.port
+
+    def request_shutdown(self) -> None:
+        """Flip to draining; :meth:`serve_forever` takes it from there."""
+        self.manager.begin_drain()
+        self._shutdown.set()
+
+    async def serve_forever(self,
+                            drain_timeout: Optional[float] = None) -> bool:
+        """Run until a shutdown is requested, then drain and exit."""
+        await self._shutdown.wait()
+        print("draining: admission closed, finishing jobs...", flush=True)
+        clean = await self.manager.drain(timeout=drain_timeout)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.manager.journal.close()
+        print(f"drained {'cleanly' if clean else 'with unfinished jobs'}",
+              flush=True)
+        return clean
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=READ_TIMEOUT)
+            except asyncio.TimeoutError:
+                await self._send(writer, 408, self._error_payload(
+                    "request read timed out", retryable=True))
+                return
+            except _HttpError as exc:
+                await self._send_error(writer, exc)
+                return
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            try:
+                status, payload = self._route(method, path, body)
+            except _HttpError as exc:
+                await self._send_error(writer, exc)
+                return
+            except Exception as exc:  # pragma: no cover - last resort
+                self.manager.metrics.internal_errors += 1
+                await self._send_error(writer, _HttpError(
+                    500, f"{type(exc).__name__}: {exc}"))
+                return
+            await self._send(writer, status, payload)
+        except (ConnectionError, BrokenPipeError):
+            pass  # peer went away mid-response; nothing to salvage
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            ) -> Tuple[str, str, Optional[Any]]:
+        request_line = (await reader.readline()).decode(
+            "latin-1", "replace").strip()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line "
+                                  f"{request_line!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            line = raw.decode("latin-1", "replace").strip()
+            if not line:
+                break
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = 0
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body: Optional[Any] = None
+        if length:
+            raw_body = await reader.readexactly(length)
+            try:
+                body = json.loads(raw_body)
+            except ValueError:
+                raise _HttpError(400, "body is not valid JSON") from None
+        return method.upper(), target.split("?", 1)[0], body
+
+    # -- routing ------------------------------------------------------------
+
+    def _route(self, method: str, path: str,
+               body: Optional[Any]) -> Tuple[int, Dict[str, Any]]:
+        manager = self.manager
+        if path == "/healthz" and method == "GET":
+            return 200, manager.healthz_payload()
+        if path == "/metrics" and method == "GET":
+            return 200, manager.metrics_payload()
+        if path == "/jobs":
+            if method == "GET":
+                return 200, {"jobs": {
+                    job_id: job.state
+                    for job_id, job in manager.jobs.items()}}
+            if method == "POST":
+                return self._submit(body)
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/jobs/"):
+            return self._job_route(method, path)
+        raise _HttpError(404, f"no route {path}")
+
+    def _submit(self, body: Optional[Any]) -> Tuple[int, Dict[str, Any]]:
+        if body is None:
+            raise _HttpError(400, "POST /jobs needs a JSON body")
+        try:
+            job = self.manager.submit(body)
+        except SpecError as exc:
+            raise _HttpError(400, str(exc)) from None
+        except Overloaded as exc:
+            raise _HttpError(429, str(exc), retryable=True,
+                             retry_after=RETRY_AFTER_SECONDS) from None
+        except ServiceDraining as exc:
+            raise _HttpError(503, str(exc), retryable=True,
+                             retry_after=RETRY_AFTER_SECONDS) from None
+        return 202, {"id": job.id, "state": job.state,
+                     "cells": job.total_cells}
+
+    def _job_route(self, method: str,
+                   path: str) -> Tuple[int, Dict[str, Any]]:
+        parts = path.strip("/").split("/")
+        # parts[0] == "jobs"; then <id> [, action]
+        if len(parts) not in (2, 3):
+            raise _HttpError(404, f"no route {path}")
+        job_id = parts[1]
+        try:
+            job = self.manager.get(job_id)
+        except KeyError:
+            raise _HttpError(404, f"no job {job_id!r}") from None
+        if len(parts) == 2:
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            return 200, job.status_payload()
+        action = parts[2]
+        if action == "result":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            return 200, self.manager.result_payload(job)
+        if action == "cancel":
+            if method != "POST":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            try:
+                job = self.manager.cancel(job_id)
+            except CancelConflict as exc:
+                raise _HttpError(409, str(exc)) from None
+            return 200, {"id": job.id, "state": job.state}
+        raise _HttpError(404, f"no route {path}")
+
+    # -- responses ----------------------------------------------------------
+
+    @staticmethod
+    def _error_payload(message: str, retryable: bool = False,
+                       retry_after: Optional[int] = None,
+                       ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"error": message,
+                                   "retryable": retryable}
+        if retry_after is not None:
+            payload["retry_after"] = retry_after
+        return payload
+
+    async def _send_error(self, writer: asyncio.StreamWriter,
+                          exc: _HttpError) -> None:
+        await self._send(writer, exc.status, self._error_payload(
+            exc.message, retryable=exc.retryable,
+            retry_after=exc.retry_after))
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, status: int,
+                    payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+async def _serve(manager: JobManager, host: str, port: int,
+                 drain_timeout: Optional[float],
+                 install_signals: bool = True) -> bool:
+    server = JobServer(manager, host=host, port=port)
+    if install_signals:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, server.request_shutdown)
+    await server.start()
+    return await server.serve_forever(drain_timeout=drain_timeout)
+
+
+def run_server(*, host: str = "127.0.0.1", port: int = 8537,
+               state_dir: str = ".repro-service",
+               queue_limit: int = 32, sessions: int = 2,
+               job_timeout: Optional[float] = None,
+               drain_timeout: Optional[float] = None,
+               cache_max_entries: Optional[int] = None,
+               executor_jobs: int = 2,
+               cell_timeout: Optional[float] = None,
+               max_retries: int = 2,
+               install_signals: bool = True) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    Returns a process exit code: 0 for a clean drain, 1 if the drain
+    timed out with jobs unfinished (they stay journaled either way).
+    """
+    state = Path(state_dir)
+    state.mkdir(parents=True, exist_ok=True)
+    cache = ResultCache(state / "cache", max_entries=cache_max_entries)
+    journal = JobJournal(state / "journal.jsonl")
+
+    def executor_factory() -> Executor:
+        # start_method="spawn": the server's event loop plus session
+        # runner threads make fork() unsafe — a forked worker can
+        # inherit a lock held by another thread (or the loop's signal
+        # plumbing) and become impossible to terminate, hanging the
+        # drain.  Spawned workers start clean and always die on demand.
+        return Executor(jobs=executor_jobs, cache=cache,
+                        cell_timeout=cell_timeout,
+                        max_retries=max_retries,
+                        start_method="spawn")
+
+    manager = JobManager(cache=cache, journal=journal,
+                         executor_factory=executor_factory,
+                         queue_limit=queue_limit, sessions=sessions,
+                         job_timeout=job_timeout)
+    clean = asyncio.run(_serve(manager, host, port, drain_timeout,
+                               install_signals=install_signals))
+    return 0 if clean else 1

@@ -1,0 +1,14 @@
+"""Known-bad: blocking calls inside repro.service coroutines."""
+
+import socket
+import subprocess
+import time
+from time import sleep
+
+
+async def handle(host: str, port: int) -> bytes:
+    time.sleep(0.1)
+    sleep(0.1)
+    subprocess.run(["repro-sim", "list"], check=False)
+    sock = socket.create_connection((host, port))
+    return sock.recv(1)

@@ -1,0 +1,22 @@
+"""Clean: asyncio equivalents, blocking work shipped to a thread."""
+
+import asyncio
+import time
+
+
+async def handle() -> None:
+    await asyncio.sleep(0.1)
+    loop = asyncio.get_running_loop()
+
+    def probe() -> None:
+        # Nested plain def: runs on a worker thread via
+        # run_in_executor, where blocking is the whole point.
+        time.sleep(0.1)
+
+    await loop.run_in_executor(None, probe)
+
+
+def poll() -> None:
+    # A synchronous helper (the CLI client side): not a coroutine,
+    # free to block its own thread.
+    time.sleep(0.1)

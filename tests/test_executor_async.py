@@ -1,0 +1,188 @@
+"""Tests for Executor.run_async streaming and the LRU-bounded cache.
+
+Both features exist for the job service (:mod:`repro.service`) but are
+plain executor API, tested here without any server in the loop:
+
+* :meth:`Executor.run_async` must stream the same outcomes, bit for
+  bit, that the batch :meth:`Executor.run_cells` path returns — the
+  async session is a delivery mechanism, never a different simulation.
+* ``ResultCache(max_entries=...)`` must evict least-recently-*used*
+  entries (a ``get`` hit refreshes recency), count evictions, and
+  persist the running total across instances.
+"""
+
+import asyncio
+import os
+
+from repro.core import MachineConfig, SchedulerKind
+from repro.core.stats import SimStats
+from repro.experiments.executor import Executor, ResultCache, SimCell
+
+N = 900
+
+
+def grid_cells(num_insts=N):
+    configs = {
+        "base": MachineConfig.paper_default(scheduler=SchedulerKind.BASE),
+        "mop": MachineConfig.paper_default(
+            scheduler=SchedulerKind.MACRO_OP),
+    }
+    return [SimCell(bench, label, config, num_insts, seed=1)
+            for bench in ("gap", "vortex")
+            for label, config in configs.items()]
+
+
+async def collect(executor, cells, stop=None):
+    streamed = []
+    async for cell, outcome in executor.run_async(cells, stop=stop):
+        streamed.append((cell, outcome))
+    return streamed
+
+
+class TestRunAsync:
+    def test_streams_every_cell_and_matches_batch(self, tmp_path):
+        cells = grid_cells()
+        batch = Executor(jobs=1, cache=None).run_cells(cells)
+        streaming = Executor(jobs=1, cache=None)
+        streamed = asyncio.run(collect(streaming, cells))
+        assert {cell.name for cell, _ in streamed} == \
+            {cell.name for cell in cells}
+        for cell, outcome in streamed:
+            assert outcome.ok
+            # The streamed stats must be bit-identical to the batch run.
+            assert outcome.stats == batch[cell]
+
+    def test_streams_cache_hits_with_via_cache(self, tmp_path):
+        cells = grid_cells()
+        cache = ResultCache(tmp_path / "cache")
+        Executor(jobs=1, cache=cache).run_cells(cells)
+        warm = Executor(jobs=1, cache=cache)
+        streamed = asyncio.run(collect(warm, cells))
+        assert len(streamed) == len(cells)
+        assert all(outcome.via_cache for _, outcome in streamed)
+        assert all(outcome.attempts == 0 for _, outcome in streamed)
+
+    def test_stop_halts_the_stream_early(self):
+        cells = grid_cells()
+        seen = []
+
+        def stop():
+            return len(seen) >= 1
+
+        async def run():
+            executor = Executor(jobs=1, cache=None)
+            async for cell, outcome in executor.run_async(cells,
+                                                          stop=stop):
+                seen.append(cell)
+
+        asyncio.run(run())
+        assert 1 <= len(seen) < len(cells)
+
+    def test_batch_path_unchanged_by_on_outcome(self):
+        cells = grid_cells()
+        plain = Executor(jobs=1, cache=None).run_cells(cells)
+        observed = []
+        hooked = Executor(jobs=1, cache=None).run_cells(
+            cells, on_outcome=lambda cell, o: observed.append(cell.name))
+        assert plain == hooked
+        assert sorted(observed) == sorted(cell.name for cell in cells)
+
+
+def fake_entry(cache, index):
+    """Plant one distinct entry; returns its key."""
+    key = f"{index:02d}" + "e" * 60
+    cell = SimCell("gap", f"c{index}", MachineConfig.paper_default(),
+                   100 + index, 1)
+    cache.put(key, cell, SimStats(cycles=index))
+    return key
+
+
+def set_age(cache, key, seconds_ago):
+    """Pin an entry's mtime so LRU ordering is explicit, not racy."""
+    path = cache._path(key)
+    stamp = path.stat().st_mtime - seconds_ago
+    os.utime(path, (stamp, stamp))
+
+
+class TestCacheLru:
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for i in range(8):
+            fake_entry(cache, i)
+        assert len(cache.entries()) == 8
+        assert cache.evictions == 0
+
+    def test_capacity_evicts_oldest(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_entries=3)
+        keys = [fake_entry(cache, i) for i in range(3)]
+        for age, key in zip((30, 20, 10), keys):
+            set_age(cache, key, age)
+        newest = fake_entry(cache, 3)
+        assert len(cache.entries()) == 3
+        assert cache.get(keys[0]) is None          # oldest evicted
+        assert cache.get(keys[1]) is not None
+        assert cache.get(newest) is not None
+        assert cache.evictions == 1
+
+    def test_get_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_entries=3)
+        keys = [fake_entry(cache, i) for i in range(3)]
+        for age, key in zip((30, 20, 10), keys):
+            set_age(cache, key, age)
+        assert cache.get(keys[0]) is not None      # touch the oldest
+        fake_entry(cache, 3)
+        # keys[1] is now the least recently used, not the touched one.
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+
+    def test_eviction_total_persists_across_instances(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_entries=2)
+        keys = [fake_entry(cache, i) for i in range(2)]
+        for age, key in zip((30, 20), keys):
+            set_age(cache, key, age)
+        fake_entry(cache, 2)
+        assert cache.evictions == 1
+        reopened = ResultCache(tmp_path / "c", max_entries=2)
+        assert reopened.evictions == 0             # per instance
+        assert reopened.evictions_total() == 1     # persisted sidecar
+        assert reopened.info()["evictions"] == 1
+
+    def test_env_var_sets_capacity(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "5")
+        cache = ResultCache(tmp_path / "c")
+        assert cache.max_entries == 5
+        monkeypatch.delenv("REPRO_CACHE_MAX_ENTRIES")
+        assert ResultCache(tmp_path / "c").max_entries is None
+
+    def test_info_payload(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_entries=4)
+        key = fake_entry(cache, 0)
+        cache.get(key)
+        cache.get("ff" + "0" * 60)
+        info = cache.info()
+        assert info["entries"] == 1
+        assert info["capacity"] == 4
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["evictions"] == 0
+
+    def test_eviction_survives_real_executor_traffic(self, tmp_path):
+        """Capacity bounds a real grid run; results stay correct."""
+        cells = grid_cells()
+        cache = ResultCache(tmp_path / "c", max_entries=2)
+        results = Executor(jobs=1, cache=cache).run_cells(cells)
+        assert len(results) == len(cells)
+        assert len(cache.entries()) == 2
+        assert cache.evictions_total() == len(cells) - 2
+
+    def test_cache_info_cli_reports_capacity(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.cli import main as repro_main
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        cache = ResultCache(tmp_path / "c", max_entries=1)
+        for i in range(2):
+            fake_entry(cache, i)
+        assert repro_main(["cache", "info", "--max-entries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity:  1" in out
+        assert "evictions: 1" in out

@@ -1,0 +1,693 @@
+"""Tests for the resilient job service (repro.service).
+
+Layer by layer: spec validation (protocol), the write-ahead journal
+(including torn tails), the job manager (admission control, shedding,
+in-flight dedup, cancel/timeout, crash recovery), the HTTP server, and
+the retrying client.  Deterministic timing uses a stub executor whose
+cells are plain ``asyncio.sleep``s; real-simulation coverage uses tiny
+grids so a full job run costs well under a second.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.stats import SimStats
+from repro.experiments.executor import (CellOutcome, Executor, ResultCache,
+                                        cell_key)
+from repro.experiments.faults import reset_service_probes
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (Job, JobManager, JobState, Overloaded,
+                                ServiceDraining)
+from repro.service.journal import JobJournal
+from repro.service.protocol import JobSpec, SpecError
+from repro.service.server import JobServer
+
+SPEC = {
+    "benchmarks": ["gap"],
+    "configs": {
+        "base": {"scheduler": "base"},
+        "mop": {"scheduler": "macro-op"},
+    },
+    "num_insts": 240,
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class StubExecutor:
+    """run_async-compatible stand-in with controllable cell latency."""
+
+    def __init__(self, delay=0.0, log=None, cache=None):
+        self.delay = delay
+        self.log = log if log is not None else []
+        self.cache = cache
+        self.last_summary = None
+
+    async def run_async(self, cells, stop=None):
+        for cell in cells:
+            if stop is not None and stop():
+                return
+            if self.delay:
+                await asyncio.sleep(self.delay)
+            if stop is not None and stop():
+                return
+            self.log.append(cell.name)
+            stats = SimStats(cycles=cell.num_insts)
+            if self.cache is not None:
+                self.cache.put(cell_key(cell), cell, stats)
+            yield cell, CellOutcome(status="ok", stats=stats)
+
+
+def make_manager(tmp_path, *, factory=None, queue_limit=4, sessions=1,
+                 job_timeout=None, cache=None):
+    cache = cache if cache is not None else ResultCache(tmp_path / "cache")
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    return JobManager(
+        cache=cache, journal=journal,
+        executor_factory=factory or (lambda: Executor(jobs=1, cache=cache)),
+        queue_limit=queue_limit, sessions=sessions,
+        job_timeout=job_timeout)
+
+
+async def finish(manager, job, timeout=30.0):
+    await asyncio.wait_for(job.finished.wait(), timeout=timeout)
+    await manager.stop()
+    return job
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        spec = JobSpec.from_payload(SPEC)
+        assert JobSpec.from_payload(spec.to_payload()) == spec
+
+    def test_cells_are_benchmark_major(self):
+        spec = JobSpec.from_payload(
+            {**SPEC, "benchmarks": ["gap", "vortex"]})
+        assert [c.name for c in spec.cells()] == [
+            "gap/base", "gap/mop", "vortex/base", "vortex/mop"]
+
+    @pytest.mark.parametrize("mutation", [
+        {"benchmarks": []},
+        {"benchmarks": ["not-a-benchmark"]},
+        {"configs": {}},
+        {"configs": {"x": {"mop_sizee": 2}}},
+        {"configs": {"x": {"scheduler": "quantum"}}},
+        {"num_insts": 0},
+        {"num_insts": 10**9},
+        {"seed": "one"},
+        {"max_cycles": -5},
+        {"surprise": True},
+    ])
+    def test_bad_specs_rejected(self, mutation):
+        with pytest.raises(SpecError):
+            JobSpec.from_payload({**SPEC, **mutation})
+
+    def test_cell_count_limit(self):
+        configs = {f"c{i}": {"mop_size": 2 + i % 3} for i in range(40)}
+        payload = {"benchmarks": ["gap"] * 1, "configs": configs}
+        # 40 cells is fine; 40 benchmarks x 40 configs is not.
+        JobSpec.from_payload({**SPEC, "configs": configs})
+        with pytest.raises(SpecError, match="per-job limit"):
+            JobSpec.from_payload({
+                "benchmarks": ["gap", "vortex"] * 4,
+                "configs": configs})
+        del payload
+
+
+class TestJournal:
+    def test_fold_accept_cells_state(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.accept("job1", {"spec": 1})
+        journal.cell("job1", 0, "k0", "ok", "sim")
+        journal.cell("job1", 1, "k1", "ok", "cache")
+        journal.state("job1", "done")
+        journal.accept("job2", {"spec": 2})
+        journal.close()
+        replay = JobJournal(tmp_path / "j.jsonl").load()
+        assert replay.torn_lines == 0
+        assert replay.jobs["job1"].terminal
+        assert replay.jobs["job1"].cells[1]["via"] == "cache"
+        assert not replay.jobs["job2"].terminal
+
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path)
+        journal.accept("job1", {})
+        journal.close()
+        with path.open("a") as handle:
+            handle.write('{"schema": 1, "event": "state", "id": "jo')
+        replay = JobJournal(path).load()
+        assert replay.torn_lines == 1
+        assert "job1" in replay.jobs
+
+    def test_alien_and_orphan_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"schema": 99, "event": "accept", "id": "a", "spec": {}}\n'
+            '{"schema": 1, "event": "cell", "id": "ghost", "index": 0,'
+            ' "key": "k", "status": "ok", "via": "sim"}\n')
+        replay = JobJournal(path).load()
+        assert replay.jobs == {}
+        assert replay.torn_lines == 1  # alien schema; orphan cell is ok
+
+    def test_missing_file_is_empty(self, tmp_path):
+        replay = JobJournal(tmp_path / "absent.jsonl").load()
+        assert replay.jobs == {} and replay.torn_lines == 0
+
+
+class TestAdmission:
+    def test_ack_implies_journal(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job = manager.submit(SPEC)   # sessions never started
+            replay = JobJournal(tmp_path / "journal.jsonl").load()
+            assert job.id in replay.jobs
+            assert not replay.jobs[job.id].terminal
+        run(scenario())
+
+    def test_queue_full_sheds_with_overloaded(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path, queue_limit=2)
+            manager.submit(SPEC)
+            manager.submit(SPEC)
+            with pytest.raises(Overloaded) as err:
+                manager.submit(SPEC)
+            assert err.value.queue_limit == 2
+            assert manager.metrics.shed == 1
+            assert manager.metrics.accepted == 2
+        run(scenario())
+
+    def test_draining_rejects_submissions(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            manager.begin_drain()
+            with pytest.raises(ServiceDraining):
+                manager.submit(SPEC)
+        run(scenario())
+
+    def test_bad_spec_never_journaled(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            with pytest.raises(SpecError):
+                manager.submit({**SPEC, "benchmarks": ["nope"]})
+            replay = JobJournal(tmp_path / "journal.jsonl").load()
+            assert replay.jobs == {}
+        run(scenario())
+
+
+class TestJobExecution:
+    def test_job_runs_to_done_with_results(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job = manager.submit(SPEC)
+            await manager.start()
+            await finish(manager, job)
+            assert job.state == JobState.DONE
+            payload = manager.result_payload(job)
+            assert not payload["partial"]
+            assert set(payload["results"]["gap"]) == {"base", "mop"}
+            assert payload["results"]["gap"]["base"]["cycles"] > 0
+            status = job.status_payload()
+            assert status["cells"]["ok"] == 2
+            return manager.metrics
+        metrics = run(scenario())
+        assert metrics.completed == 1
+
+    def test_duplicate_job_resolves_from_cache(self, tmp_path):
+        async def scenario():
+            manager = make_manager(tmp_path)
+            await manager.start()
+            first = manager.submit(SPEC)
+            await asyncio.wait_for(first.finished.wait(), 30)
+            second = manager.submit(SPEC)
+            await finish(manager, second)
+            assert second.state == JobState.DONE
+            vias = {rec["via"]
+                    for rec in second.cell_records.values()}
+            assert vias == {"cache"}
+            assert manager.metrics.cache_hits == 2
+        run(scenario())
+
+    def test_failed_cell_fails_job_structurally(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "gap/base=raise")
+        async def scenario():
+            cache = ResultCache(tmp_path / "cache")
+            manager = make_manager(
+                tmp_path, cache=cache,
+                factory=lambda: Executor(jobs=1, cache=cache,
+                                         max_retries=0,
+                                         serial_fallback=False))
+            job = manager.submit(SPEC)
+            await manager.start()
+            await finish(manager, job)
+            assert job.state == JobState.FAILED
+            assert "1 cell(s) failed" in job.error
+            payload = manager.result_payload(job)
+            assert payload["results"]["gap"]["base"] is None
+            assert payload["results"]["gap"]["mop"] is not None
+            assert payload["failed_cells"] == ["gap/base"]
+        run(scenario())
+
+
+class TestDedup:
+    def test_identical_cells_simulated_once(self, tmp_path):
+        log = []
+
+        async def scenario():
+            manager = make_manager(
+                tmp_path, sessions=2,
+                factory=lambda: StubExecutor(delay=0.05, log=log))
+            one = manager.submit(SPEC)
+            two = manager.submit(SPEC)
+            await manager.start()
+            await asyncio.wait_for(one.finished.wait(), 10)
+            await finish(manager, two, timeout=10)
+            assert one.state == JobState.DONE
+            assert two.state == JobState.DONE
+            assert manager.metrics.dedup_hits >= 1
+            return manager
+        run(scenario())
+        # Two jobs, two unique cells: each simulated exactly once.
+        assert sorted(log) == ["gap/base", "gap/mop"]
+
+    def test_waiter_retries_when_owner_aborts(self, tmp_path):
+        async def scenario():
+            calls = {"n": 0}
+
+            class FlakyStub(StubExecutor):
+                async def run_async(self, cells, stop=None):
+                    calls["n"] += 1
+                    if calls["n"] == 1:
+                        # First owner dies before resolving anything.
+                        raise RuntimeError("owner lost")
+                    async for item in super().run_async(cells,
+                                                        stop=stop):
+                        yield item
+
+            manager = make_manager(
+                tmp_path, sessions=2,
+                factory=lambda: FlakyStub(delay=0.05))
+            one = manager.submit(SPEC)
+            two = manager.submit(SPEC)
+            await manager.start()
+            await asyncio.wait_for(one.finished.wait(), 10)
+            await finish(manager, two, timeout=10)
+            # The first job failed, but the second self-served instead
+            # of hanging on the dead owner's futures.
+            assert one.state == JobState.FAILED
+            assert two.state == JobState.DONE
+        run(scenario())
+
+
+class TestCancelAndTimeout:
+    def test_cancel_running_job(self, tmp_path):
+        async def scenario():
+            manager = make_manager(
+                tmp_path, factory=lambda: StubExecutor(delay=0.2))
+            job = manager.submit(SPEC)
+            await manager.start()
+            while job.state != JobState.RUNNING:
+                await asyncio.sleep(0.01)
+            manager.cancel(job.id)
+            await finish(manager, job, timeout=10)
+            assert job.state == JobState.CANCELLED
+            assert manager.metrics.cancelled == 1
+        run(scenario())
+
+    def test_cancel_queued_job(self, tmp_path):
+        async def scenario():
+            manager = make_manager(
+                tmp_path, factory=lambda: StubExecutor(delay=0.2),
+                sessions=1)
+            first = manager.submit(SPEC)
+            second = manager.submit(SPEC)
+            manager.cancel(second.id)
+            assert second.state == JobState.CANCELLED
+            await manager.start()
+            await finish(manager, first, timeout=10)
+            assert first.state == JobState.DONE
+        run(scenario())
+
+    def test_cancel_terminal_job_conflicts(self, tmp_path):
+        from repro.service.jobs import CancelConflict
+
+        async def scenario():
+            manager = make_manager(
+                tmp_path, factory=lambda: StubExecutor())
+            job = manager.submit(SPEC)
+            await manager.start()
+            await finish(manager, job, timeout=10)
+            with pytest.raises(CancelConflict):
+                manager.cancel(job.id)
+        run(scenario())
+
+    def test_job_timeout(self, tmp_path):
+        async def scenario():
+            manager = make_manager(
+                tmp_path, factory=lambda: StubExecutor(delay=5.0),
+                job_timeout=0.2)
+            job = manager.submit(SPEC)
+            await manager.start()
+            await finish(manager, job, timeout=10)
+            assert job.state == JobState.TIMEOUT
+            assert manager.metrics.job_timeouts == 1
+            assert "timeout" in job.error
+        run(scenario())
+
+    def test_drain_waits_for_running_jobs(self, tmp_path):
+        async def scenario():
+            manager = make_manager(
+                tmp_path, factory=lambda: StubExecutor(delay=0.05))
+            job = manager.submit(SPEC)
+            await manager.start()
+            clean = await manager.drain(timeout=10)
+            assert clean
+            assert job.state == JobState.DONE
+            with pytest.raises(ServiceDraining):
+                manager.submit(SPEC)
+        run(scenario())
+
+    def test_drain_timeout_leaves_jobs_recoverable(self, tmp_path):
+        """A drain that gives up must NOT mark the interrupted jobs
+        terminal: a ``cancelled``/``failed`` journal record would stop
+        the next start from requeueing acked work (silent job loss)."""
+        async def scenario():
+            manager = make_manager(
+                tmp_path, factory=lambda: StubExecutor(delay=0.5))
+            job = manager.submit(SPEC)
+            await manager.start()
+            clean = await manager.drain(timeout=0.1)
+            assert not clean
+            # Interrupted, not cancelled: back to queued, non-terminal.
+            assert job.state == JobState.QUEUED
+            assert manager.metrics.cancelled == 0
+            manager.journal.close()
+        run(scenario())
+
+        replay = JobJournal(tmp_path / "journal.jsonl").load()
+        record = next(iter(replay.jobs.values()))
+        assert not record.terminal
+
+        # And a fresh manager on the same journal requeues it.
+        fresh = make_manager(tmp_path,
+                             factory=lambda: StubExecutor())
+
+        async def recovered():
+            assert fresh.recover() == 1
+            await fresh.start()
+            job = next(iter(fresh.jobs.values()))
+            await finish(fresh, job, timeout=10)
+            assert job.state == JobState.DONE
+        run(recovered())
+
+
+class TestRecovery:
+    def test_non_terminal_job_requeued_and_completed(self, tmp_path):
+        async def seed():
+            manager = make_manager(tmp_path)
+            job = manager.submit(SPEC)    # journaled, never run
+            return job.id
+        job_id = run(seed())
+
+        async def recovered():
+            manager = make_manager(tmp_path)
+            assert manager.recover() == 1
+            assert manager.metrics.recovered == 1
+            job = manager.get(job_id)
+            assert job.recovered
+            await manager.start()
+            await finish(manager, job)
+            assert job.state == JobState.DONE
+            payload = manager.result_payload(job)
+            assert payload["results"]["gap"]["base"] is not None
+        run(recovered())
+
+    def test_recovery_resolves_cached_cells_without_resim(self, tmp_path):
+        async def seed():
+            manager = make_manager(tmp_path)
+            job = manager.submit(SPEC)
+            await manager.start()
+            await finish(manager, job)
+            # Forge a crash: strip the terminal state so the job looks
+            # in-flight, exactly what a kill-mid-run journal holds.
+            manager.journal.close()
+            path = tmp_path / "journal.jsonl"
+            lines = [line for line in path.read_text().splitlines()
+                     if '"state": "done"' not in line]
+            path.write_text("\n".join(lines) + "\n")
+            return job.id
+        job_id = run(seed())
+
+        log = []
+
+        async def recovered():
+            cache = ResultCache(tmp_path / "cache")
+            manager = make_manager(
+                tmp_path, cache=cache,
+                factory=lambda: StubExecutor(log=log, cache=cache))
+            assert manager.recover() == 1
+            job = manager.get(job_id)
+            await manager.start()
+            await finish(manager, job)
+            assert job.state == JobState.DONE
+            vias = {rec["via"] for rec in job.cell_records.values()}
+            assert vias == {"cache"}
+        run(recovered())
+        assert log == []   # nothing was re-simulated
+
+    def test_terminal_jobs_restored_not_requeued(self, tmp_path):
+        async def seed():
+            manager = make_manager(tmp_path)
+            job = manager.submit(SPEC)
+            await manager.start()
+            await finish(manager, job)
+            return job.id
+        job_id = run(seed())
+
+        async def recovered():
+            manager = make_manager(tmp_path)
+            assert manager.recover() == 0
+            job = manager.get(job_id)
+            assert job.state == JobState.DONE
+            assert job.recovered
+            # Results still served, straight from the shared cache.
+            payload = manager.result_payload(job)
+            assert payload["results"]["gap"]["mop"]["cycles"] > 0
+        run(recovered())
+
+    def test_torn_write_fails_job_but_journal_recovers(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT",
+                           "serve/journal/cell=torn-write:1")
+        reset_service_probes()
+
+        async def scenario():
+            manager = make_manager(
+                tmp_path, factory=lambda: StubExecutor())
+            job = manager.submit(SPEC)
+            await manager.start()
+            await finish(manager, job)
+            assert job.state == JobState.FAILED
+            assert "torn journal write" in job.error
+            return job.id
+        job_id = run(scenario())
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        replay = JobJournal(tmp_path / "journal.jsonl").load()
+        assert replay.torn_lines == 1
+        assert replay.jobs[job_id].terminal   # failed state survived
+
+
+def _http(host, port, method, path, body=None):
+    """One blocking HTTP request (for use via run_in_executor)."""
+    import http.client
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+class TestHttpServer:
+    def test_routes_and_errors(self, tmp_path):
+        async def scenario():
+            manager = make_manager(
+                tmp_path, factory=lambda: StubExecutor())
+            server = JobServer(manager, port=0)
+            host, port = await server.start()
+            loop = asyncio.get_running_loop()
+
+            async def req(method, path, body=None):
+                return await loop.run_in_executor(
+                    None, _http, host, port, method, path, body)
+
+            status, health = await req("GET", "/healthz")
+            assert (status, health["status"]) == (200, "ok")
+            status, _ = await req("GET", "/metrics")
+            assert status == 200
+            status, error = await req("GET", "/nope")
+            assert status == 404
+            status, error = await req("PUT", "/jobs")
+            assert status == 405
+            status, error = await req("POST", "/jobs",
+                                      {"benchmarks": ["zz"],
+                                       "configs": {"a": {}}})
+            assert status == 400 and not error["retryable"]
+            status, accepted = await req("POST", "/jobs", SPEC)
+            assert status == 202
+            job_id = accepted["id"]
+            status, _ = await req("GET", f"/jobs/{job_id}")
+            assert status == 200
+            status, _ = await req("GET", "/jobs/ghost")
+            assert status == 404
+            server.request_shutdown()
+            assert await server.serve_forever(drain_timeout=10)
+        run(scenario())
+
+    def test_queue_full_returns_retryable_429(self, tmp_path):
+        async def scenario():
+            manager = make_manager(
+                tmp_path, queue_limit=1, sessions=1,
+                factory=lambda: StubExecutor(delay=0.5))
+            server = JobServer(manager, port=0)
+            host, port = await server.start()
+            loop = asyncio.get_running_loop()
+
+            async def submit():
+                return await loop.run_in_executor(
+                    None, _http, host, port, "POST", "/jobs", SPEC)
+
+            status, _ = await submit()
+            assert status == 202          # picked up by the session
+            while manager.queue_depth < 1:
+                status, _ = await submit()
+                assert status == 202
+            status, shed = await submit()
+            assert status == 429
+            assert shed["retryable"] is True
+            assert shed["retry_after"] >= 1
+            server.request_shutdown()
+            await server.serve_forever(drain_timeout=10)
+        run(scenario())
+
+    def test_draining_returns_503(self, tmp_path):
+        async def scenario():
+            manager = make_manager(
+                tmp_path, factory=lambda: StubExecutor())
+            server = JobServer(manager, port=0)
+            host, port = await server.start()
+            manager.begin_drain()
+            loop = asyncio.get_running_loop()
+            status, error = await loop.run_in_executor(
+                None, _http, host, port, "POST", "/jobs", SPEC)
+            assert status == 503 and error["retryable"] is True
+            status, health = await loop.run_in_executor(
+                None, _http, host, port, "GET", "/healthz")
+            assert health["status"] == "draining"
+            server.request_shutdown()
+            await server.serve_forever(drain_timeout=10)
+        run(scenario())
+
+
+class _ServerThread:
+    """A live JobServer on a daemon thread, for sync-client tests."""
+
+    def __init__(self, tmp_path, **manager_kw):
+        self.tmp_path = tmp_path
+        self.manager_kw = manager_kw
+        self.address = None
+        self._ready = threading.Event()
+        self._loop = None
+        self._server = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        manager = make_manager(self.tmp_path, **self.manager_kw)
+        self._server = JobServer(manager, port=0)
+        self._loop = asyncio.get_running_loop()
+        self.address = await self._server.start()
+        self._ready.set()
+        await self._server.serve_forever(drain_timeout=10)
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10), "server thread never came up"
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._server.request_shutdown)
+        self._thread.join(timeout=30)
+
+
+class TestClient:
+    def test_submit_wait_result_cancel(self, tmp_path):
+        with _ServerThread(tmp_path,
+                           factory=lambda: StubExecutor(delay=0.05)) \
+                as served:
+            host, port = served.address
+            client = ServiceClient(host, port)
+            accepted = client.submit(SPEC)
+            status = client.wait(accepted["id"], timeout=30)
+            assert status["state"] == "done"
+            result = client.result(accepted["id"])
+            assert result["results"]["gap"]["base"]["cycles"] == 240
+            with pytest.raises(ServiceError) as err:
+                client.cancel(accepted["id"])
+            assert err.value.status == 409
+
+    def test_submit_retries_through_shedding(self, tmp_path):
+        with _ServerThread(tmp_path, queue_limit=1, sessions=1,
+                           factory=lambda: StubExecutor(delay=0.3)) \
+                as served:
+            host, port = served.address
+            client = ServiceClient(host, port)
+            accepted = [client.submit(SPEC) for _ in range(4)]
+            assert len({a["id"] for a in accepted}) == 4
+            for item in accepted:
+                assert client.wait(item["id"], timeout=60)[
+                    "state"] == "done"
+            shed = client.metrics()["shed"]
+            assert shed >= 1   # at least one submission was shed+retried
+
+    def test_unreachable_server_is_retryable_error(self):
+        client = ServiceClient("127.0.0.1", 1, timeout=0.5)
+        with pytest.raises(ServiceError) as err:
+            client.healthz()
+        assert err.value.status == 0
+        assert err.value.retryable
+
+    def test_slow_client_fault_trips_server_deadline(self, tmp_path,
+                                                     monkeypatch):
+        import repro.service.server as server_mod
+        monkeypatch.setattr(server_mod, "READ_TIMEOUT", 0.2)
+        monkeypatch.setattr(
+            "repro.experiments.faults.SLOW_CLIENT_SECONDS", 0.6)
+        with _ServerThread(tmp_path,
+                           factory=lambda: StubExecutor()) as served:
+            host, port = served.address
+            monkeypatch.setenv("REPRO_FAULT_INJECT",
+                               "client/send=slow-client:1")
+            reset_service_probes()
+            client = ServiceClient(host, port)
+            with pytest.raises(ServiceError) as err:
+                client.submit(SPEC, retries=0)
+            # The server enforces its read deadline: the stalled client
+            # either reads the 408 or finds the connection torn down
+            # under it (broken pipe) — both structured and retryable.
+            assert err.value.status in (0, 408)
+            assert err.value.retryable
+            monkeypatch.delenv("REPRO_FAULT_INJECT")
+            # The connection after the stalled one is served normally.
+            assert client.healthz()["status"] == "ok"

@@ -1,4 +1,4 @@
-"""Tests for the simlint invariant checker (SL001–SL008).
+"""Tests for the simlint invariant checker (SL001–SL009).
 
 Each rule gets a positive test (a known-bad fixture it must flag) and a
 negative test (the sanctioned variant it must pass).  Fixtures live in
@@ -37,6 +37,8 @@ RULE_CASES = [
      "SL007"),
     ("sl008_bad.py", "sl008_ok.py", "repro/mop/matrix_detect.py",
      "SL008"),
+    ("sl009_bad.py", "sl009_ok.py", "repro/service/handlers.py",
+     "SL009"),
 ]
 
 
@@ -130,6 +132,35 @@ class TestRuleFixtures:
         findings = lint_paths([tmp_path], root=tmp_path)
         assert len(findings) == 3
         assert {f.code for f in findings} == {"SL008"}
+
+    def test_sl009_flags_every_blocking_call(self, tmp_path):
+        plant(tmp_path, "sl009_bad.py", "repro/service/handlers.py")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        # time.sleep, the from-import sleep, subprocess.run and
+        # socket.create_connection are four distinct violations.
+        assert len(findings) == 4
+        assert {f.code for f in findings} == {"SL009"}
+
+    def test_sl009_only_polices_the_service_layer(self, tmp_path):
+        # The same calls outside repro.service are someone else's
+        # business (the executor blocks in worker threads by design).
+        plant(tmp_path, "sl009_bad.py", "repro/experiments/pool_aux.py")
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
+    def test_sl009_ignores_sync_functions_in_service(self, tmp_path):
+        # The synchronous CLI client lives in repro.service and blocks
+        # by design; only coroutine bodies are policed.
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def poll() -> None:\n"
+            "    time.sleep(0.1)\n"
+        )
+        target = tmp_path / "repro" / "service" / "client_extra.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(source)
+        assert lint_paths([tmp_path], root=tmp_path) == []
 
 
 class TestSuppressions:
@@ -240,14 +271,14 @@ class TestCli:
         assert document["total"] == len(document["findings"]) > 0
         assert set(document["rules"]) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
-            "SL007", "SL008"}
+            "SL007", "SL008", "SL009"}
         capsys.readouterr()
 
     def test_list_rules(self, capsys):
         assert simlint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("SL001", "SL002", "SL003", "SL004", "SL005",
-                     "SL006", "SL007"):
+                     "SL006", "SL007", "SL008", "SL009"):
             assert code in out
 
     def test_repro_lint_subcommand_forwards(self, tmp_path, capsys):

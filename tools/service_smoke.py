@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Service smoke: concurrent load, worker kills, SIGTERM + restart.
+
+The CI-facing proof of the service's durability contract, against real
+server processes:
+
+1. Start ``repro serve`` with worker-kill faults armed
+   (``REPRO_FAULT_INJECT``): some cells kill their pool worker on the
+   first attempt, some flake only in the pool — the executor's
+   respawn/retry machinery has to absorb both under load.
+2. Fire wave 1 of concurrent submissions (default 100 clients at
+   once) drawn from a small pool of distinct specs, so the in-flight
+   dedup and the shared cache both get hammered.  Every submission
+   must eventually be acked with a 202 (the client retries through
+   429 shedding).
+3. SIGTERM the server mid-test with a short drain budget, restart it
+   on the same port and state dir — and fire wave 2 *while* the
+   restart is happening, so clients race the 503s and the connection
+   refusals.  The journal must carry every wave-1 job across.
+4. Wait for all accepted jobs to reach a terminal state.  Assert:
+   **zero lost jobs** (every acked id is known and ``done``), merged
+   results **byte-identical** to an uninterrupted serial in-process
+   run of each spec, and a clean ``/healthz``.
+
+Exit code 0 on success; non-zero with a diagnosis on any violation.
+
+Usage::
+
+    python tools/service_smoke.py [--submissions 200] [--insts 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.executor import Executor  # noqa: E402
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+from repro.service.protocol import JobSpec  # noqa: E402
+
+#: Faults armed on the server: gap/base kills its pool worker once,
+#: vortex/mop flakes only inside the pool (serial fallback recovers).
+FAULTS = "gap/base=kill:1;vortex/mop=raise-parallel:1"
+
+SPEC_POOL = [
+    {"benchmarks": ["gap"], "configs": {
+        "base": {"scheduler": "base"},
+        "mop": {"scheduler": "macro-op"}}},
+    {"benchmarks": ["vortex"], "configs": {
+        "base": {"scheduler": "base"},
+        "mop": {"scheduler": "macro-op"}}},
+    {"benchmarks": ["gap", "vortex"], "configs": {
+        "2cyc": {"scheduler": "2-cycle"}}},
+    {"benchmarks": ["gzip"], "configs": {
+        "sfree": {"scheduler": "select-free-squash-dep"},
+        "base": {"scheduler": "base"}}},
+]
+
+
+def log(message: str) -> None:
+    print(f"[smoke +{time.monotonic() - START:6.1f}s] {message}",
+          flush=True)
+
+
+START = time.monotonic()
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_server(port: int, state_dir: Path, *,
+                 faults: str = "") -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    env.pop("REPRO_FAULT_INJECT", None)
+    if faults:
+        env["REPRO_FAULT_INJECT"] = faults
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", str(port), "--state-dir", str(state_dir),
+         "--sessions", "2", "--executor-jobs", "2",
+         "--queue-limit", "16", "--drain-timeout", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    for _ in range(200):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if re.search(r"listening on http", line):
+            return proc
+    raise RuntimeError("server never printed its address")
+
+
+def drain_output(proc: subprocess.Popen) -> None:
+    """Keep the server's pipe from filling (we don't need the text)."""
+    import threading
+
+    def pump():
+        for _line in proc.stdout:
+            pass
+
+    threading.Thread(target=pump, daemon=True).start()
+
+
+def submit_wave(client: ServiceClient, specs, insts: int,
+                workers: int = 32):
+    """Submit each spec concurrently; returns the acked job ids."""
+
+    def one(index_spec):
+        index, spec = index_spec
+        payload = {**spec, "num_insts": insts, "seed": 1}
+        # Generous retry budget: submissions must survive 429 bursts,
+        # a draining server AND the restart gap.
+        for attempt in range(60):
+            try:
+                return client.submit(payload, retries=0)["id"]
+            except ServiceError as exc:
+                if not exc.retryable:
+                    raise
+                time.sleep(min(0.25 * (attempt + 1), 2.0))
+        raise RuntimeError(f"submission {index} never acked")
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(one, enumerate(specs)))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--submissions", type=int, default=200)
+    parser.add_argument("--insts", type=int, default=300)
+    parser.add_argument("--wait-timeout", type=float, default=600.0)
+    args = parser.parse_args()
+
+    state_dir = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
+    port = free_port()
+    client = ServiceClient("127.0.0.1", port, timeout=30)
+    specs = [SPEC_POOL[i % len(SPEC_POOL)]
+             for i in range(args.submissions)]
+    half = len(specs) // 2
+
+    log(f"phase 1: server on :{port} with worker-kill faults "
+        f"({FAULTS})")
+    proc = start_server(port, state_dir, faults=FAULTS)
+    drain_output(proc)
+
+    log(f"wave 1: {half} concurrent submissions")
+    with ThreadPoolExecutor(max_workers=1) as racer:
+        wave1 = racer.submit(submit_wave, client, specs[:half],
+                             args.insts)
+        # SIGTERM while wave 1 is still submitting/running, so jobs
+        # are interrupted mid-flight and clients race the 503s, the
+        # refused connections, and the restart.
+        time.sleep(1.0)
+        log("SIGTERM mid-test (drain budget 2s)")
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+        log(f"server 1 exited rc={rc} (1 = jobs still journaled)")
+        proc = start_server(port, state_dir)
+        drain_output(proc)
+        log("server 2 up, journal replayed")
+        accepted = wave1.result()
+    log(f"wave 1 acked: {len(accepted)} jobs (across the restart)")
+
+    log(f"wave 2: {len(specs) - half} submissions against server 2")
+    accepted += submit_wave(client, specs[half:], args.insts)
+    log(f"total acked: {len(accepted)}")
+    assert len(accepted) == args.submissions
+
+    log("waiting for every accepted job to reach a terminal state")
+    deadline = time.monotonic() + args.wait_timeout
+    failures = []
+    for job_id in accepted:
+        remaining = max(5.0, deadline - time.monotonic())
+        status = client.wait(job_id, timeout=remaining)
+        if status["state"] != "done":
+            failures.append((job_id, status["state"],
+                             status.get("error", "")))
+    if failures:
+        log(f"LOST/FAILED jobs: {failures[:10]}"
+            f"{' ...' if len(failures) > 10 else ''}")
+        return 1
+    log(f"all {len(accepted)} jobs done — zero lost")
+
+    known = client.jobs()["jobs"]
+    missing = [job_id for job_id in accepted if job_id not in known]
+    if missing:
+        log(f"jobs missing from the server: {missing}")
+        return 1
+
+    log("checking results are byte-identical to serial reference runs")
+    for spec in SPEC_POOL:
+        payload = {**spec, "num_insts": args.insts, "seed": 1}
+        parsed = JobSpec.from_payload(payload)
+        reference = Executor(jobs=1, cache=None).run_cells(parsed.cells())
+        sample = [job_id for job_id, raw in zip(accepted, specs)
+                  if raw == spec][0]
+        grid = client.result(sample)["results"]
+        for cell in parsed.cells():
+            got = grid[cell.benchmark][cell.label]
+            want = asdict(reference[cell])
+            if got != want:
+                log(f"MISMATCH {cell.name}: service={got} "
+                    f"reference={want}")
+                return 1
+    log("results match the serial reference bit for bit")
+
+    health = client.healthz()
+    metrics = client.metrics()
+    log(f"healthz: {health['status']} queue_depth="
+        f"{health['queue_depth']}")
+    log("metrics: " + json.dumps({
+        key: metrics[key] for key in
+        ("accepted", "shed", "completed", "failed", "recovered",
+         "dedup_hits", "cache_hits", "cell_retries", "pool_respawns",
+         "journal_torn_lines")}))
+    if health["status"] != "ok":
+        log("healthz not clean")
+        return 1
+    if metrics["failed"]:
+        log("server reports failed jobs")
+        return 1
+
+    proc.send_signal(signal.SIGTERM)
+    rc = proc.wait(timeout=60)
+    log(f"final drain rc={rc}")
+    return 0 if rc == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
