@@ -198,8 +198,9 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: src/repro "
                            "in a checkout, else the installed package)")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
-                      dest="lint_format", help="report format")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text", dest="lint_format",
+                      help="report format")
     lint.add_argument("--select", default="",
                       help="comma-separated rule codes (default: all)")
     lint.add_argument("--root", default=None,
@@ -207,6 +208,16 @@ def _build_parser() -> argparse.ArgumentParser:
                            "from (default: inferred per file)")
     lint.add_argument("--output", default=None, metavar="FILE",
                       help="also write the report to FILE")
+    lint.add_argument("--sarif", default=None, metavar="FILE",
+                      help="additionally write a SARIF 2.1.0 log to FILE")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the incremental analysis cache")
+    lint.add_argument("--cache-file", default=None, metavar="FILE",
+                      help="incremental cache location (default: "
+                           ".simlint-cache.json next to the lint root)")
+    lint.add_argument("--changed", action="store_true",
+                      help="report findings only for files changed "
+                           "versus git HEAD (plus untracked files)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
 
@@ -475,6 +486,14 @@ def _cmd_lint(args) -> int:
         argv += ["--root", args.root]
     if args.output:
         argv += ["--output", args.output]
+    if args.sarif:
+        argv += ["--sarif", args.sarif]
+    if args.no_cache:
+        argv += ["--no-cache"]
+    if args.cache_file:
+        argv += ["--cache-file", args.cache_file]
+    if args.changed:
+        argv += ["--changed"]
     if args.list_rules:
         argv += ["--list-rules"]
     return simlint_main(argv)

@@ -1,0 +1,76 @@
+"""Name/import AST helpers shared by rules *and* the dataflow engine.
+
+These used to live in :mod:`repro.devtools.simlint.rules.common`, but
+importing any ``rules.*`` submodule executes the ``rules`` package
+init, which imports every rule module — and the dataflow rules import
+the dataflow engine.  The engine therefore takes these helpers from
+here, keeping the import graph acyclic:
+
+    astutil  <-  dataflow  <-  rules.*  <-  rules (package init)
+       ^------------------------'
+
+:mod:`rules.common` re-exports them, so rule code keeps its idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map each locally bound name to the qualified thing it imports.
+
+    ``import time``                → ``{"time": "time"}``
+    ``import os.path``             → ``{"os": "os"}``
+    ``import numpy.random as npr`` → ``{"npr": "numpy.random"}``
+    ``from time import time``      → ``{"time": "time.time"}``
+    ``from datetime import datetime as dt`` →
+    ``{"dt": "datetime.datetime"}``
+    """
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    names[alias.asname] = alias.name
+                else:
+                    # `import a.b` binds `a`.
+                    root = alias.name.split(".")[0]
+                    names[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue    # relative imports never hit stdlib modules
+            for alias in node.names:
+                local = alias.asname or alias.name
+                names[local] = f"{node.module}.{alias.name}"
+    return names
+
+
+def dotted_name(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]`` for Name/Attribute chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def resolve_qualified(node: ast.AST,
+                      imports: Dict[str, str]) -> Optional[str]:
+    """Qualified dotted name of *node*, resolved through *imports*.
+
+    Returns None when the chain does not start at an imported name —
+    locals shadowing a module name therefore cannot false-positive.
+    """
+    parts = dotted_name(node)
+    if not parts:
+        return None
+    qualified = imports.get(parts[0])
+    if qualified is None:
+        return None
+    return ".".join([qualified] + parts[1:])

@@ -2,18 +2,28 @@
 
 Exit status: 0 clean, 1 findings, 2 operational error (unreadable or
 syntactically invalid source).
+
+The dataflow rules (SL010-SL013) use an incremental cache by default
+(``.simlint-cache.json`` next to the lint root): a warm re-lint
+re-analyzes only modules whose content hash changed plus their
+call-graph dependents.  ``--no-cache`` forces a cold run; the cache is
+an optimisation only and never changes findings.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
-from repro.devtools.simlint.engine import (SourceError, all_rules,
+from repro.devtools.simlint.dataflow.cache import (AnalysisCache,
+                                                   default_cache_path)
+from repro.devtools.simlint.engine import (Finding, SourceError, all_rules,
                                            lint_paths)
-from repro.devtools.simlint.reporters import render_json, render_text
+from repro.devtools.simlint.reporters import (render_json, render_sarif,
+                                              render_text)
 
 
 def _default_paths() -> List[Path]:
@@ -29,13 +39,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description=("AST-based invariant checker for the repro codebase: "
-                     "determinism, layering, picklability, schema and "
-                     "cache-key completeness, exception hygiene"),
+                     "determinism and taint dataflow, layering, "
+                     "picklability, schema and cache-key completeness, "
+                     "exception hygiene, blocking and fork safety"),
     )
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to lint "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=["text", "json"],
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
                         default="text", help="report format")
     parser.add_argument("--select", default="",
                         help="comma-separated rule codes to run "
@@ -45,9 +56,48 @@ def build_parser() -> argparse.ArgumentParser:
                              "from (default: inferred per file)")
     parser.add_argument("--output", type=Path, default=None, metavar="FILE",
                         help="also write the report to FILE")
+    parser.add_argument("--sarif", type=Path, default=None, metavar="FILE",
+                        help="additionally write a SARIF 2.1.0 log to "
+                             "FILE (independent of --format, so one run "
+                             "feeds both the gate and the upload)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental analysis cache "
+                             "(force a cold dataflow run)")
+    parser.add_argument("--cache-file", type=Path, default=None,
+                        metavar="FILE",
+                        help="incremental cache location (default: "
+                             ".simlint-cache.json next to the lint root)")
+    parser.add_argument("--changed", action="store_true",
+                        help="report findings only for files changed "
+                             "versus git HEAD (plus untracked files); "
+                             "analysis still sees the whole tree")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
+
+
+def _git_changed_files() -> Optional[Set[Path]]:
+    """Changed-vs-HEAD plus untracked files, resolved; None on failure."""
+    changed: Set[Path] = set()
+    for command in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(command, capture_output=True,
+                                  text=True, check=True)
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        for line in proc.stdout.splitlines():
+            if line.strip():
+                changed.add(Path(line.strip()).resolve())
+    return changed
+
+
+def _filter_changed(findings: List[Finding],
+                    changed: Set[Path]) -> List[Finding]:
+    return [finding for finding in findings
+            if Path(finding.path).resolve() in changed]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -59,17 +109,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     paths = args.paths or _default_paths()
     select = [code for code in args.select.split(",") if code.strip()] \
         or None
+    cache = None
+    if not args.no_cache:
+        cache_path = args.cache_file or default_cache_path(Path(paths[0]))
+        if cache_path is not None:
+            cache = AnalysisCache(cache_path)
     try:
-        findings = lint_paths(paths, root=args.root, select=select)
+        findings = lint_paths(paths, root=args.root, select=select,
+                              cache=cache)
     except SourceError as exc:
         print(f"simlint: error: {exc}", file=sys.stderr)
         return 2
-    report = (render_json(findings) if args.format == "json"
-              else render_text(findings))
+    if args.changed:
+        changed = _git_changed_files()
+        if changed is None:
+            print("simlint: error: --changed requires a git checkout",
+                  file=sys.stderr)
+            return 2
+        findings = _filter_changed(findings, changed)
+    renderers = {"text": render_text, "json": render_json,
+                 "sarif": render_sarif}
+    report = renderers[args.format](findings)
     print(report)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(report + "\n")
+    if args.sarif is not None:
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(render_sarif(findings) + "\n")
     return 1 if findings else 0
 
 

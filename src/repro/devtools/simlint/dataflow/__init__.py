@@ -1,0 +1,45 @@
+"""Project-wide dataflow analysis for simlint.
+
+PR 4's rules were per-module pattern matchers: SL001 only saw a
+wall-clock read *textually inside* the core packages, SL009 only a
+blocking call *directly inside* a service coroutine.  One helper one
+module away escaped both.  This subpackage closes that gap with a
+small, dependency-free (``ast`` only) dataflow engine layered on the
+existing :class:`~repro.devtools.simlint.engine.Project` model:
+
+``symbols``
+    Per-module symbol tables and an import resolver that follows
+    aliases and package re-exports to in-tree definitions, plus
+    attribute-type inference (``self.journal = journal`` with an
+    annotated parameter types the attribute).
+``cfg``
+    An intraprocedural statement-level control-flow graph with a
+    reaching *must-pass* analysis (used by SL013's "a journal fsync
+    dominates the 202 send") and the worklist driver the taint
+    propagation runs on.
+``callgraph``
+    Function extraction and call-site resolution — plain calls,
+    ``module.func``, ``self.method`` through in-tree classes, and
+    attribute calls through inferred attribute types — folded into a
+    project call graph with reachability fixed points (transitive
+    blocking for SL011, transitive ``os.fsync`` for SL013).
+``taint``
+    A label lattice (wall-clock, ambient randomness) propagated
+    through assignments, returns and cross-module calls via function
+    summaries, with sink detection for SL010 (``SimStats`` fields,
+    ``cell_key``/``SimCell`` inputs, ``TraceEvent`` payloads).
+``cache``
+    An incremental analysis cache keyed on file content hashes: a warm
+    re-lint re-analyzes only changed modules and their call-graph
+    dependents, loading everything else from the cached records.
+``analysis``
+    The orchestrator: :func:`get_analysis` memoizes one
+    :class:`~repro.devtools.simlint.dataflow.analysis.ProjectAnalysis`
+    per project, which every dataflow rule shares.
+"""
+
+from repro.devtools.simlint.dataflow.analysis import (ProjectAnalysis,
+                                                      get_analysis)
+from repro.devtools.simlint.dataflow.cache import AnalysisCache
+
+__all__ = ["AnalysisCache", "ProjectAnalysis", "get_analysis"]

@@ -1,0 +1,421 @@
+"""The dataflow orchestrator: one shared analysis per lint run.
+
+:func:`get_analysis` memoizes one :class:`ProjectAnalysis` per
+:class:`~repro.devtools.simlint.engine.Project` instance, so the four
+dataflow rules (SL010-SL013) share a single pass.  The analysis runs
+in phases:
+
+1. **Symbols** — per-module symbol tables (from the incremental cache
+   for unchanged modules, freshly extracted otherwise) and the
+   project-wide :class:`Resolver`.
+2. **Extraction** — :class:`FunctionInfo` records with resolved call
+   sites, again cache-or-fresh.  ``reanalyzed`` records exactly which
+   modules went through fresh extraction — the incremental tests
+   assert on it.
+3. **Reachability** — two call-graph fixed points over *all* records:
+   transitive blocking (SL011) with per-function witness chains, and
+   transitive ``os.fsync`` (feeds SL013's journal detection).
+4. **Taint** — the interprocedural summary fixed point, then one
+   recording pass per fresh function collecting SL010 findings.
+5. **Ack ordering** — per fresh function, the CFG must-pass check that
+   a journalling call dominates every 202 send (SL013 findings).
+6. **Persist** — updated records written back through the cache.
+
+Findings computed here are stored on the records (and therefore
+cached); the rule classes only translate them into engine findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.devtools.simlint.dataflow import catalog
+from repro.devtools.simlint.dataflow.cache import (AnalysisCache,
+                                                   content_hash,
+                                                   invalid_modules)
+from repro.devtools.simlint.dataflow.callgraph import (FunctionExtractor,
+                                                       FunctionInfo,
+                                                       PoolEntry,
+                                                       local_types)
+from repro.devtools.simlint.dataflow.cfg import CFG, must_pass
+from repro.devtools.simlint.dataflow.symbols import (DefId, ModuleSymbols,
+                                                     Resolver, module_symbols,
+                                                     split_def_id)
+from repro.devtools.simlint.dataflow.taint import (TaintFinding,
+                                                   TaintSummary,
+                                                   analyze_function)
+from repro.devtools.simlint.astutil import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.devtools.simlint.engine import Project
+
+
+@dataclass
+class BlockingChain:
+    """Witness for "this function transitively blocks"."""
+
+    #: The blocking primitive at the end of the chain (``time.sleep``).
+    primitive: str
+    #: Line *inside this function* where the chain starts (the direct
+    #: blocking call, or the call into the blocking callee).
+    line: int
+    col: int
+    #: Next hop, None when the primitive is called directly.
+    callee: Optional[DefId] = None
+
+
+class ProjectAnalysis:
+    """All dataflow facts for one project, computed once."""
+
+    def __init__(self, project: "Project",
+                 cache: Optional[AnalysisCache] = None) -> None:
+        self.project = project
+        self._cache = cache
+        cached = cache.load() if cache is not None else {}
+        self._hashes = {module.name: content_hash(module.text)
+                        for module in project.modules}
+        #: Module names re-extracted this run (changed + dependents).
+        self.reanalyzed: Set[str] = invalid_modules(self._hashes, cached)
+
+        self.symbols: Dict[str, ModuleSymbols] = {}
+        self.functions_by_module: Dict[str, List[FunctionInfo]] = {}
+        self.pool_entries: List[Tuple[str, PoolEntry]] = []
+        self._pool_by_module: Dict[str, List[PoolEntry]] = {}
+        self._load_symbols(cached)
+        self.resolver = Resolver(self.symbols)
+        self._load_functions(cached)
+        self.functions: Dict[DefId, FunctionInfo] = {
+            info.id: info
+            for infos in self.functions_by_module.values()
+            for info in infos}
+
+        self._rcallers = self._reverse_calls()
+        self.blocking_chain: Dict[DefId, BlockingChain] = {}
+        self._compute_blocking_reach()
+        self.journal_reach: Set[DefId] = self._compute_journal_reach()
+        self._compute_taint()
+        self._compute_ack()
+        self._persist()
+
+    # -- phase 1/2: symbols and functions ------------------------------------
+
+    def _load_symbols(self, cached: Dict[str, Dict]) -> None:
+        for module in self.project.modules:
+            record = cached.get(module.name)
+            if module.name not in self.reanalyzed and record is not None:
+                self.symbols[module.name] = ModuleSymbols.from_dict(
+                    record["symbols"])
+            else:
+                self.symbols[module.name] = module_symbols(
+                    module, self.project)
+
+    def _load_functions(self, cached: Dict[str, Dict]) -> None:
+        for module in self.project.modules:
+            record = cached.get(module.name)
+            if module.name not in self.reanalyzed and record is not None:
+                infos = [FunctionInfo.from_dict(item)
+                         for item in record.get("functions", [])]
+                pools = [PoolEntry.from_dict(item)
+                         for item in record.get("pool_entries", [])]
+            else:
+                extractor = FunctionExtractor(
+                    module, self.symbols[module.name], self.resolver)
+                infos, pools = extractor.extract()
+            self.functions_by_module[module.name] = infos
+            self._pool_by_module[module.name] = pools
+            self.pool_entries.extend(
+                (module.name, entry) for entry in pools)
+
+    # -- phase 3: call-graph reachability ------------------------------------
+
+    def _reverse_calls(self) -> Dict[DefId, List[Tuple[DefId, int, int]]]:
+        reverse: Dict[DefId, List[Tuple[DefId, int, int]]] = {}
+        for fid, info in self.functions.items():
+            for site in info.calls:
+                if site.target is not None:
+                    reverse.setdefault(site.target, []).append(
+                        (fid, site.line, site.col))
+        return reverse
+
+    def _compute_blocking_reach(self) -> None:
+        queue: deque = deque()
+        for fid, info in self.functions.items():
+            if info.module in catalog.BLOCKING_EXEMPT_MODULES:
+                continue
+            if info.blocking:
+                line, col, qualified = min(info.blocking)
+                self.blocking_chain[fid] = BlockingChain(
+                    primitive=qualified, line=line, col=col)
+                queue.append(fid)
+        while queue:
+            fid = queue.popleft()
+            chain = self.blocking_chain[fid]
+            for caller, line, col in self._rcallers.get(fid, ()):
+                if caller in self.blocking_chain:
+                    continue
+                if self.functions[caller].module \
+                        in catalog.BLOCKING_EXEMPT_MODULES:
+                    continue
+                self.blocking_chain[caller] = BlockingChain(
+                    primitive=chain.primitive, line=line, col=col,
+                    callee=fid)
+                queue.append(caller)
+
+    def blocking_path(self, fid: DefId) -> List[str]:
+        """Human-readable witness: callee hops ending at the primitive."""
+        path: List[str] = []
+        seen: Set[DefId] = set()
+        current: Optional[DefId] = fid
+        while current is not None and current not in seen:
+            seen.add(current)
+            chain = self.blocking_chain.get(current)
+            if chain is None:
+                break
+            if chain.callee is None:
+                path.append(chain.primitive)
+                break
+            module, qualname = split_def_id(chain.callee)
+            path.append(f"{module}.{qualname}")
+            current = chain.callee
+        return path
+
+    def _compute_journal_reach(self) -> Set[DefId]:
+        reach: Set[DefId] = set()
+        queue: deque = deque()
+        for fid, info in self.functions.items():
+            for site in info.calls:
+                if site.external == "os.fsync":
+                    reach.add(fid)
+                    queue.append(fid)
+                    break
+        while queue:
+            fid = queue.popleft()
+            for caller, _, _ in self._rcallers.get(fid, ()):
+                if caller not in reach:
+                    reach.add(caller)
+                    queue.append(caller)
+        return reach
+
+    # -- phase 4: taint ------------------------------------------------------
+
+    def _compute_taint(self) -> None:
+        summaries: Dict[DefId, TaintSummary] = {}
+        fresh: List[DefId] = []
+        for fid, info in self.functions.items():
+            if info.node is None:
+                summaries[fid] = TaintSummary.from_dict(info.summary)
+            else:
+                summaries[fid] = TaintSummary()
+                fresh.append(fid)
+        types: Dict[DefId, Dict[str, DefId]] = {
+            fid: local_types(self.functions[fid].node,
+                             self.functions[fid].module,
+                             self.functions[fid].class_id,
+                             self.resolver)
+            for fid in fresh}
+        # Direct sources seed the first round implicitly (analyze reads
+        # them off the AST); iterate to the interprocedural fixed point.
+        fresh_set = set(fresh)
+        queue: deque = deque(fresh)
+        queued = set(fresh)
+        rounds = 0
+        limit = max(64, 8 * len(fresh) or 64)
+        while queue and rounds < limit * 4:
+            rounds += 1
+            fid = queue.popleft()
+            queued.discard(fid)
+            info = self.functions[fid]
+            summary, _ = analyze_function(info, self.resolver,
+                                          types[fid], summaries,
+                                          self.functions)
+            if summaries[fid].merge(summary):
+                for caller, _, _ in self._rcallers.get(fid, ()):
+                    if caller in fresh_set and caller not in queued:
+                        queue.append(caller)
+                        queued.add(caller)
+        for fid in fresh:
+            info = self.functions[fid]
+            info.summary = summaries[fid].to_dict()
+            _, findings = analyze_function(info, self.resolver,
+                                           types[fid], summaries,
+                                           self.functions)
+            info.taint_findings = [item.to_dict() for item in findings]
+        self.summaries = summaries
+
+    def taint_findings(self, module_name: str
+                       ) -> Iterator[Tuple[FunctionInfo, TaintFinding]]:
+        for info in self.functions_by_module.get(module_name, []):
+            for payload in info.taint_findings:
+                yield info, TaintFinding.from_dict(payload)
+
+    # -- phase 5: ack-implies-journal (SL013) --------------------------------
+
+    def _compute_ack(self) -> None:
+        for module_name in self.reanalyzed:
+            for info in self.functions_by_module.get(module_name, []):
+                if info.node is not None:
+                    info.ack_findings = self._ack_findings(info)
+
+    def _ack_findings(self, info: FunctionInfo) -> List[Dict]:
+        sites = {(site.line, site.col): site for site in info.calls}
+        cfg = CFG.build(info.node)
+        marked: Set[int] = set()
+        sends: Dict[int, Tuple[int, int, str]] = {}
+        for index, stmt in cfg.statements():
+            journals = False
+            send: Optional[Tuple[int, int, str]] = None
+            for node in _own_exprs(stmt):
+                if isinstance(node, ast.Call):
+                    site = sites.get((node.lineno, node.col_offset))
+                    if self._call_journals(site):
+                        journals = True
+                    hit = self._send_202(node, site)
+                    if hit is not None:
+                        send = hit
+            if isinstance(stmt, ast.Return) \
+                    and _returns_202(stmt.value):
+                send = (stmt.lineno, stmt.col_offset,
+                        "returning a 202 response")
+            if journals:
+                marked.add(index)
+            elif send is not None:
+                sends[index] = send
+        if not sends:
+            return []
+        protected = must_pass(cfg, marked)
+        return [{"line": line, "col": col, "what": what}
+                for index, (line, col, what) in sorted(sends.items())
+                if not protected.get(index, False)]
+
+    def _call_journals(self, site) -> bool:
+        if site is None:
+            return False
+        if site.external == "os.fsync":
+            return True
+        if site.target is not None and site.target in self.journal_reach:
+            return True
+        # Lexical fallback: any ``*.journal*.method(...)`` call counts
+        # as journalling even when the receiver could not be typed —
+        # conservative in the quiet direction for an ordering check.
+        parts = site.text.split(".") if site.text else []
+        return any("journal" in part for part in parts[:-1])
+
+    @staticmethod
+    def _send_202(call: ast.Call, site) -> Optional[Tuple[int, int, str]]:
+        tail = ""
+        if site is not None and site.text:
+            tail = site.text.rsplit(".", 1)[-1]
+        else:
+            parts = dotted_name(call.func)
+            tail = parts[-1] if parts else ""
+        if "send" not in tail.lower():
+            return None
+        has_202 = any(isinstance(arg, ast.Constant) and arg.value == 202
+                      for arg in call.args)
+        has_202 = has_202 or any(
+            isinstance(kw.value, ast.Constant) and kw.value.value == 202
+            for kw in call.keywords)
+        if not has_202:
+            return None
+        return (call.lineno, call.col_offset, f"{tail}(202, ...)")
+
+    def ack_findings(self, module_name: str
+                     ) -> Iterator[Tuple[FunctionInfo, Dict]]:
+        for info in self.functions_by_module.get(module_name, []):
+            for payload in info.ack_findings:
+                yield info, payload
+
+    # -- phase 6: persistence ------------------------------------------------
+
+    def _persist(self) -> None:
+        if self._cache is None:
+            return
+        records: Dict[str, Dict] = {}
+        for module in self.project.modules:
+            name = module.name
+            records[name] = {
+                "hash": self._hashes[name],
+                "deps": sorted(self._module_deps(name)),
+                "symbols": self.symbols[name].to_dict(),
+                "functions": [info.to_dict()
+                              for info in self.functions_by_module[name]],
+                "pool_entries": [entry.to_dict()
+                                 for entry in self._pool_by_module[name]],
+            }
+        self._cache.save(records)
+
+    def _module_deps(self, name: str) -> Set[str]:
+        """In-tree modules whose change must invalidate *name*."""
+        deps: Set[str] = set()
+        for qualified in self.symbols[name].imports.values():
+            module, _ = self.resolver._split(qualified)
+            if module is not None and module != name:
+                deps.add(module)
+        return deps
+
+
+def _own_exprs(stmt: ast.AST) -> Iterator[ast.AST]:
+    """Expressions belonging to *stmt* itself, not its sub-statements.
+
+    CFG nodes for compound statements represent only the header; their
+    bodies are separate nodes, so scanning the full subtree here would
+    double-count (a journal call inside an ``if`` body would mark the
+    ``if`` header).
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        roots: List[ast.AST] = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, ast.Try):
+        roots = []
+    elif isinstance(stmt, ast.ExceptHandler):
+        roots = [stmt.type] if stmt.type is not None else []
+    elif isinstance(stmt, ast.Match):
+        roots = [stmt.subject]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        roots = []
+    else:
+        roots = [stmt]
+    for root in roots:
+        stack: List[ast.AST] = [root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _returns_202(value: Optional[ast.expr]) -> bool:
+    return (isinstance(value, ast.Tuple) and bool(value.elts)
+            and isinstance(value.elts[0], ast.Constant)
+            and value.elts[0].value == 202)
+
+
+#: One analysis per project instance; keyed by identity because a
+#: Project is immutable for the duration of a run.
+_MEMO: Dict[int, ProjectAnalysis] = {}
+
+
+def get_analysis(project: "Project") -> ProjectAnalysis:
+    """The shared analysis for *project*, computing it on first use.
+
+    The incremental cache is picked up from ``project.analysis_cache``
+    (an :class:`AnalysisCache` the CLI attaches); library callers that
+    never attach one get a plain uncached run.
+    """
+    existing = _MEMO.get(id(project))
+    if existing is not None and existing.project is project:
+        return existing
+    cache = getattr(project, "analysis_cache", None)
+    analysis = ProjectAnalysis(project, cache=cache)
+    _MEMO.clear()
+    _MEMO[id(project)] = analysis
+    return analysis

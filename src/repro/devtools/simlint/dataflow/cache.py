@@ -1,0 +1,102 @@
+"""Incremental analysis cache keyed on file content hashes.
+
+One JSON file holds, per module, the content hash it was analysed at
+plus everything the orchestrator needs to skip re-analysis: the symbol
+table, the serialised :class:`FunctionInfo` records (call sites, taint
+summaries, cached SL010/SL013 findings), pool entry points, and the
+module's in-tree import dependencies.
+
+Invalidation is the reverse-dependency closure: a module is re-analysed
+when its own text changed *or* any module it (transitively) imports
+changed or disappeared.  Dependencies of unchanged modules are read
+from the cache itself — same text means same imports, so the cached
+edges are exact for them, and changed modules are already invalid.
+
+The cache is an optimisation, never a correctness input: a missing,
+unreadable, corrupt or schema-mismatched file degrades to a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import deque
+from pathlib import Path
+from typing import Dict, Optional, Set
+
+#: Bump when any serialised record shape changes.
+SCHEMA_VERSION = 1
+
+#: Default cache file name, created next to the lint root.
+DEFAULT_CACHE_NAME = ".simlint-cache.json"
+
+
+def content_hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """Load/store of per-module analysis records."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, Dict]:
+        """Cached records by module name; {} when cold or unusable."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != SCHEMA_VERSION:
+            return {}
+        modules = payload.get("modules")
+        return modules if isinstance(modules, dict) else {}
+
+    def save(self, records: Dict[str, Dict]) -> None:
+        """Atomic write; failure to persist is not a lint failure."""
+        payload = {"schema": SCHEMA_VERSION, "modules": records}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True),
+                           encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def invalid_modules(hashes: Dict[str, str],
+                    cached: Dict[str, Dict]) -> Set[str]:
+    """Module names needing re-analysis for the current project state.
+
+    *hashes* maps every current module to its content hash; *cached*
+    is :meth:`AnalysisCache.load` output.  Returns current modules
+    whose text changed, that are new, or that transitively depend on a
+    changed/deleted module.
+    """
+    changed = {name for name, digest in hashes.items()
+               if cached.get(name, {}).get("hash") != digest}
+    deleted = set(cached) - set(hashes)
+    reverse: Dict[str, Set[str]] = {}
+    for name, record in cached.items():
+        for dep in record.get("deps", []):
+            reverse.setdefault(dep, set()).add(name)
+    invalid: Set[str] = set(changed) | deleted
+    queue = deque(invalid)
+    while queue:
+        module = queue.popleft()
+        for dependent in reverse.get(module, ()):  # callers of module
+            if dependent not in invalid:
+                invalid.add(dependent)
+                queue.append(dependent)
+    return invalid & set(hashes)
+
+
+def default_cache_path(root: Path) -> Optional[Path]:
+    """Where the CLI keeps the cache for a lint rooted at *root*."""
+    base = root if root.is_dir() else root.parent
+    return base / DEFAULT_CACHE_NAME

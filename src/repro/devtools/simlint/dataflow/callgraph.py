@@ -1,0 +1,525 @@
+"""Function extraction, call-site resolution and the project call graph.
+
+Every function and method in the project (nested defs included) becomes
+one serialisable :class:`FunctionInfo` holding exactly what the global
+phases need: resolved call sites, direct blocking/source calls, uses of
+module-level state, and (filled in later by the taint phase) a
+:class:`~repro.devtools.simlint.dataflow.taint.TaintSummary`.
+
+Call resolution covers the shapes this repo writes:
+
+* ``helper()`` — same-module functions and imported names,
+* ``mod.func()`` / ``mod.Class(...)`` — through the import map,
+* ``self.method()`` — method resolution on the enclosing in-tree class
+  (single-inheritance MRO walk),
+* ``self.attr.method()`` / ``var.method()`` — through attribute types
+  inferred from ``__init__`` and local ``var = ClassName(...)`` /
+  annotated-parameter types.
+
+Anything else resolves to ``None`` and the analyses stay conservative.
+Calls *inside nested plain defs* belong to the nested function's own
+info, never the parent's — a nested ``def`` is the sanctioned
+``run_in_executor`` idiom and must not leak its callees into the
+enclosing coroutine's call edges (SL009's contract, kept project-wide).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.devtools.simlint.dataflow import catalog
+from repro.devtools.simlint.dataflow.symbols import (DefId, ModuleSymbols,
+                                                     Resolver, def_id)
+from repro.devtools.simlint.astutil import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.devtools.simlint.engine import SourceModule
+
+#: Method names that mutate their receiver in place.
+MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear",
+})
+
+#: Pool dispatch methods whose first positional argument is a worker
+#: entry point.
+POOL_DISPATCH = frozenset({
+    "apply_async", "apply", "map", "map_async", "imap",
+    "imap_unordered", "starmap", "starmap_async", "submit",
+})
+
+
+@dataclass
+class CallSite:
+    """One call expression, as resolved as we could make it."""
+
+    line: int
+    col: int
+    #: In-tree definition id of the callee (function, method or class).
+    target: Optional[DefId] = None
+    #: External qualified name (``time.sleep``) when the chain leaves
+    #: the tree; None when unresolvable either way.
+    external: Optional[str] = None
+    #: The call as written, for messages (``self.manager.submit``).
+    text: str = ""
+    #: True for ``obj.method(...)`` where the receiver is an instance —
+    #: the callee's ``self`` occupies parameter index 0.
+    instance_call: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "target": self.target,
+                "external": self.external, "text": self.text,
+                "instance_call": self.instance_call}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CallSite":
+        return cls(line=payload["line"], col=payload["col"],
+                   target=payload.get("target"),
+                   external=payload.get("external"),
+                   text=payload.get("text", ""),
+                   instance_call=payload.get("instance_call", False))
+
+
+@dataclass
+class GlobalUse:
+    """One use of module-level state from inside a function."""
+
+    module: str        # module owning the global
+    name: str          # the global's name
+    line: int
+    col: int
+    store: bool = False      # rebound via ``global`` + assignment
+    mutate: bool = False     # mutated in place (append/update/[k]=...)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"module": self.module, "name": self.name,
+                "line": self.line, "col": self.col,
+                "store": self.store, "mutate": self.mutate}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "GlobalUse":
+        return cls(module=payload["module"], name=payload["name"],
+                   line=payload["line"], col=payload["col"],
+                   store=payload.get("store", False),
+                   mutate=payload.get("mutate", False))
+
+
+@dataclass
+class PoolEntry:
+    """A function handed to a worker pool as an entry point."""
+
+    target: DefId
+    line: int
+    via: str            # "initializer", "dispatch", "process-target"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"target": self.target, "line": self.line, "via": self.via}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PoolEntry":
+        return cls(target=payload["target"], line=payload["line"],
+                   via=payload["via"])
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the global phases know about one function."""
+
+    module: str
+    qualname: str
+    lineno: int
+    end_lineno: int
+    col: int
+    is_async: bool = False
+    is_nested: bool = False
+    #: Enclosing class id for methods, else None.
+    class_id: Optional[DefId] = None
+    params: List[str] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    #: Direct blocking-primitive calls: (line, col, qualified).
+    blocking: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: Direct taint-source calls: (line, col, qualified, label).
+    sources: List[Tuple[int, int, str, str]] = field(default_factory=list)
+    global_uses: List[GlobalUse] = field(default_factory=list)
+    #: Filled by the taint phase (serialised summary dict).
+    summary: Optional[Dict] = None
+    #: SL010 findings discovered inside this function (dicts).
+    taint_findings: List[Dict] = field(default_factory=list)
+    #: SL013 findings discovered inside this function (dicts).
+    ack_findings: List[Dict] = field(default_factory=list)
+    #: The AST node — only present for freshly analysed modules.
+    node: Optional[ast.AST] = field(default=None, repr=False, compare=False)
+
+    @property
+    def id(self) -> DefId:
+        return def_id(self.module, self.qualname)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "module": self.module, "qualname": self.qualname,
+            "lineno": self.lineno, "end_lineno": self.end_lineno,
+            "col": self.col, "is_async": self.is_async,
+            "is_nested": self.is_nested, "class_id": self.class_id,
+            "params": list(self.params),
+            "calls": [call.to_dict() for call in self.calls],
+            "blocking": [list(item) for item in self.blocking],
+            "sources": [list(item) for item in self.sources],
+            "global_uses": [use.to_dict() for use in self.global_uses],
+            "summary": self.summary,
+            "taint_findings": list(self.taint_findings),
+            "ack_findings": list(self.ack_findings),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FunctionInfo":
+        return cls(
+            module=payload["module"], qualname=payload["qualname"],
+            lineno=payload["lineno"], end_lineno=payload["end_lineno"],
+            col=payload["col"], is_async=payload.get("is_async", False),
+            is_nested=payload.get("is_nested", False),
+            class_id=payload.get("class_id"),
+            params=list(payload.get("params", [])),
+            calls=[CallSite.from_dict(item)
+                   for item in payload.get("calls", [])],
+            blocking=[tuple(item) for item in payload.get("blocking", [])],
+            sources=[tuple(item) for item in payload.get("sources", [])],
+            global_uses=[GlobalUse.from_dict(item)
+                         for item in payload.get("global_uses", [])],
+            summary=payload.get("summary"),
+            taint_findings=list(payload.get("taint_findings", [])),
+            ack_findings=list(payload.get("ack_findings", [])),
+        )
+
+
+def own_statements(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk *func*'s body without descending into nested defs/lambdas.
+
+    A nested ``def`` statement itself *is* yielded (it belongs to the
+    parent's scope — the parent binds the name), but its body is not.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class FunctionExtractor:
+    """Builds :class:`FunctionInfo` records for one module."""
+
+    def __init__(self, module: "SourceModule", symbols: ModuleSymbols,
+                 resolver: Resolver) -> None:
+        self.module = module
+        self.symbols = symbols
+        self.resolver = resolver
+        self.functions: List[FunctionInfo] = []
+        self.pool_entries: List[PoolEntry] = []
+
+    def extract(self) -> Tuple[List[FunctionInfo], List[PoolEntry]]:
+        self._walk_body(self.module.tree.body, prefix="", class_id=None,
+                        nested=False)
+        # Module-level pool registrations (rare but legal).
+        self._collect_pool_entries(self.module.tree, module_level=True)
+        return self.functions, self.pool_entries
+
+    # -- traversal ----------------------------------------------------------
+
+    def _walk_body(self, body: List[ast.stmt], prefix: str,
+                   class_id: Optional[DefId], nested: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(stmt, prefix, class_id, nested)
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{prefix}{stmt.name}"
+                cid = def_id(self.module.name, qual) if not nested else None
+                self._walk_body(stmt.body, prefix=f"{qual}.",
+                                class_id=cid, nested=nested)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With)):
+                # Conditionally defined functions still exist.
+                sub: List[ast.stmt] = list(getattr(stmt, "body", []))
+                sub += list(getattr(stmt, "orelse", []))
+                sub += list(getattr(stmt, "finalbody", []))
+                for handler in getattr(stmt, "handlers", []):
+                    sub += list(handler.body)
+                self._walk_body(sub, prefix, class_id, nested)
+
+    def _function(self, func: ast.AST, prefix: str,
+                  class_id: Optional[DefId], nested: bool) -> None:
+        qualname = f"{prefix}{func.name}"
+        info = FunctionInfo(
+            module=self.module.name, qualname=qualname,
+            lineno=func.lineno,
+            end_lineno=getattr(func, "end_lineno", func.lineno),
+            col=func.col_offset,
+            is_async=isinstance(func, ast.AsyncFunctionDef),
+            is_nested=nested, class_id=class_id,
+            params=[arg.arg for arg in _all_args(func.args)],
+            node=func,
+        )
+        types = local_types(func, self.module.name, class_id,
+                            self.resolver)
+        scope = _FunctionScope(func)
+        own = list(own_statements(func))
+        nested_names = {
+            node.name for node in own
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+        globals_seen: Set[Tuple[str, str, int, int, bool, bool]] = set()
+        for node in own:
+            if isinstance(node, ast.Call):
+                site = self.resolve_call(node, class_id, types,
+                                         parent_qual=qualname,
+                                         nested=nested_names)
+                info.calls.append(site)
+                if site.external is not None:
+                    if catalog.is_blocking(site.external):
+                        info.blocking.append(
+                            (node.lineno, node.col_offset, site.external))
+                    label = catalog.source_label(site.external)
+                    if label is not None:
+                        info.sources.append((node.lineno, node.col_offset,
+                                             site.external, label))
+                self._collect_pool_entry(node)
+            self._collect_global_use(scope, node, globals_seen)
+        info.global_uses = [
+            GlobalUse(module=m, name=n, line=ln, col=c, store=st,
+                      mutate=mu)
+            for (m, n, ln, c, st, mu) in sorted(globals_seen)]
+        self.functions.append(info)
+        # Nested defs become their own records.
+        for node in ast.walk(func):
+            if node is func:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._is_direct_child_scope(func, node):
+                    self._function(node, f"{qualname}.", None, True)
+
+    @staticmethod
+    def _is_direct_child_scope(parent: ast.AST, child: ast.AST) -> bool:
+        """True when *child* is nested in *parent* with no def between."""
+        for node in own_statements(parent):
+            if node is child:
+                return True
+        return False
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve_call(self, call: ast.Call, class_id: Optional[DefId],
+                     types: Dict[str, DefId],
+                     parent_qual: str = "",
+                     nested: Optional[Set[str]] = None) -> CallSite:
+        parts = dotted_name(call.func)
+        site = CallSite(line=call.lineno, col=call.col_offset,
+                        text=".".join(parts) if parts else "")
+        if not parts:
+            return site
+        if nested and len(parts) == 1 and parts[0] in nested:
+            # A call to a helper defined inside this very function.
+            site.target = def_id(self.module.name,
+                                 f"{parent_qual}.{parts[0]}")
+            return site
+        target, instance = self.resolve_parts(parts, class_id, types)
+        if target is not None:
+            site.target = target
+            site.instance_call = instance
+            return site
+        # External: resolve the head through the import map.
+        imported = self.symbols.imports.get(parts[0])
+        if imported is not None:
+            site.external = ".".join([imported] + parts[1:])
+        elif parts[0] in ("open",):
+            site.external = parts[0]
+        return site
+
+    def resolve_parts(self, parts: List[str], class_id: Optional[DefId],
+                      types: Dict[str, DefId]
+                      ) -> Tuple[Optional[DefId], bool]:
+        """(resolved target, receiver-is-an-instance) for a dotted call."""
+        head = parts[0]
+        if head == "self" and class_id is not None:
+            if len(parts) == 2:
+                return (self.resolver.resolve_method(class_id, parts[1]),
+                        True)
+            if len(parts) == 3:
+                attr_cls = self.resolver.attr_type(class_id, parts[1])
+                if attr_cls is not None:
+                    return (self.resolver.resolve_method(attr_cls,
+                                                         parts[2]), True)
+            return (None, False)
+        if head in types and len(parts) == 2:
+            return (self.resolver.resolve_method(types[head], parts[1]),
+                    True)
+        return (self.resolver.resolve_in_module(self.module.name, parts),
+                False)
+
+    # -- pool entry points --------------------------------------------------
+
+    def _collect_pool_entries(self, tree: ast.AST,
+                              module_level: bool) -> None:
+        body = tree.body if module_level else [tree]
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self._collect_pool_entry(node)
+
+    def _collect_pool_entry(self, call: ast.Call) -> None:
+        func_parts = dotted_name(call.func) or []
+        tail = func_parts[-1] if func_parts else ""
+        for keyword in call.keywords:
+            if keyword.arg in ("initializer", "target"):
+                target = self._entry_target(keyword.value)
+                if target is not None:
+                    via = ("initializer" if keyword.arg == "initializer"
+                           else "process-target")
+                    self.pool_entries.append(
+                        PoolEntry(target=target, line=call.lineno,
+                                  via=via))
+        if tail in POOL_DISPATCH and call.args:
+            target = self._entry_target(call.args[0])
+            if target is not None:
+                self.pool_entries.append(
+                    PoolEntry(target=target, line=call.lineno,
+                              via="dispatch"))
+
+    def _entry_target(self, node: ast.AST) -> Optional[DefId]:
+        parts = dotted_name(node)
+        if not parts:
+            return None
+        return self.resolver.resolve_in_module(self.module.name, parts)
+
+    # -- global state uses --------------------------------------------------
+
+    def _collect_global_use(self, scope: "_FunctionScope", node: ast.AST,
+                            seen: Set[Tuple]) -> None:
+        """Record interesting uses of module-level state.
+
+        Interesting means: any use of a lock or open handle, any
+        in-place mutation of a mutable container, and any rebinding
+        through ``global``.  Plain reads of plain constants are noise
+        and deliberately not recorded.
+        """
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                if node.id in scope.locals:
+                    return  # a local shadows the global
+                owner = self._global_owner(node.id)
+                if owner is not None and owner[2] in ("lock", "handle"):
+                    seen.add((owner[0], owner[1], node.lineno,
+                              node.col_offset, False, False))
+            elif node.id in scope.declared_global:
+                owner = self._global_owner(node.id)
+                if owner is not None:
+                    seen.add((owner[0], owner[1], node.lineno,
+                              node.col_offset, True, False))
+        elif isinstance(node, ast.Call):
+            parts = dotted_name(node.func)
+            if parts and len(parts) == 2 and parts[-1] in MUTATORS \
+                    and parts[0] not in scope.locals:
+                owner = self._global_owner(parts[0])
+                if owner is not None and owner[2] == "mutable":
+                    seen.add((owner[0], owner[1], node.lineno,
+                              node.col_offset, False, True))
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id not in scope.locals:
+            owner = self._global_owner(node.value.id)
+            if owner is not None and owner[2] == "mutable":
+                seen.add((owner[0], owner[1], node.lineno,
+                          node.col_offset, False, True))
+
+    def _global_owner(self, name: str) -> Optional[Tuple[str, str, str]]:
+        """(owning module, global name, kind) for *name*, if it is one."""
+        kind = self.symbols.global_kinds.get(name)
+        if kind is not None:
+            return (self.module.name, name, kind)
+        imported = self.symbols.imports.get(name)
+        if imported is None:
+            return None
+        # A from-import of a module-level *variable* of an in-tree
+        # module: resolve the module prefix and look the kind up there.
+        module, _, symbol = imported.rpartition(".")
+        other = self.resolver.symbols.get(module)
+        if other is None or not symbol:
+            return None
+        kind = other.global_kinds.get(symbol)
+        if kind is None:
+            return None
+        return (module, symbol, kind)
+
+
+class _FunctionScope:
+    """Names that are local to one function body (shadow the globals)."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.declared_global: Set[str] = set()
+        self.locals: Set[str] = {arg.arg for arg in _all_args(func.args)}
+        for node in own_statements(func):
+            if isinstance(node, ast.Global):
+                self.declared_global.update(node.names)
+            elif isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Store):
+                self.locals.add(node.id)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                self.locals.add(node.name)  # a nested def binds locally
+        self.locals -= self.declared_global
+
+
+def _all_args(args: ast.arguments) -> List[ast.arg]:
+    out = list(args.posonlyargs) + list(args.args)
+    if args.vararg:
+        out.append(args.vararg)
+    out += list(args.kwonlyargs)
+    if args.kwarg:
+        out.append(args.kwarg)
+    return out
+
+
+def local_types(func: ast.AST, module_name: str,
+                class_id: Optional[DefId],
+                resolver: Resolver) -> Dict[str, DefId]:
+    """Flow-insensitive local variable types for call/sink resolution.
+
+    Parameter annotations and ``x = ClassName(...)`` assignments that
+    resolve to in-tree classes; nothing else.
+    """
+    from repro.devtools.simlint.dataflow.symbols import _unwrap_optional
+    types: Dict[str, DefId] = {}
+
+    def resolve_annotation(annotation: ast.AST) -> Optional[DefId]:
+        parts = dotted_name(_unwrap_optional(annotation))
+        if not parts:
+            return None
+        resolved = resolver.resolve_in_module(module_name, parts)
+        if resolved is not None and resolver.class_info(resolved):
+            return resolved
+        return None
+
+    for arg in _all_args(func.args):
+        if arg.annotation is not None:
+            resolved = resolve_annotation(arg.annotation)
+            if resolved is not None:
+                types[arg.arg] = resolved
+    for node in own_statements(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Call):
+            parts = dotted_name(node.value.func)
+            if parts:
+                resolved = resolver.resolve_in_module(module_name, parts)
+                if resolved is not None and resolver.class_info(resolved):
+                    types[node.targets[0].id] = resolved
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            resolved = resolve_annotation(node.annotation)
+            if resolved is not None:
+                types[node.target.id] = resolved
+    return types

@@ -1,0 +1,83 @@
+"""Canonical catalogues of nondeterminism sources and blocking calls.
+
+These sets used to live inline in the SL001/SL009 rule modules; the
+dataflow engine needs them too (taint sources, transitive-blocking
+targets), and rules import from *here* so the engine never has to
+import a rule module (which would cycle through the registry).
+
+Labels are the taint lattice's alphabet: a value is tainted by the set
+of labels of the sources it (transitively) came from.
+"""
+
+from __future__ import annotations
+
+#: Taint labels.
+WALLCLOCK = "wall-clock"
+RANDOM = "randomness"
+
+#: Exact qualified callables whose *return value* is a wall-clock read.
+WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Exact qualified callables whose return value is ambient entropy.
+RANDOM_CALLS = frozenset({
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "random.SystemRandom",
+})
+
+#: Prefixes banned wholesale as entropy: module-level ``random.*``
+#: draws from the shared unseeded generator, and everything in
+#: ``secrets`` is entropy by definition.
+RANDOM_PREFIXES = ("random.", "secrets.")
+
+#: The allowed exceptions under the random prefixes (seeded generators
+#: are the sanctioned pattern).
+RANDOM_ALLOWED = frozenset({"random.Random"})
+
+
+def source_label(qualified: str) -> str | None:
+    """The taint label *qualified* produces, or None if untainted."""
+    if qualified in WALLCLOCK_CALLS:
+        return WALLCLOCK
+    if qualified in RANDOM_CALLS:
+        return RANDOM
+    if qualified in RANDOM_ALLOWED:
+        return None
+    if qualified.startswith(RANDOM_PREFIXES):
+        return RANDOM
+    return None
+
+
+#: Exact qualified calls that block the calling thread (SL009/SL011).
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "urllib.request.urlopen",
+})
+
+#: Qualified-name prefixes whose every call is a blocking primitive.
+BLOCKING_PREFIXES = (
+    "subprocess.",
+    "socket.",
+    "http.client.",
+)
+
+
+def is_blocking(qualified: str) -> bool:
+    return qualified in BLOCKING_CALLS \
+        or qualified.startswith(BLOCKING_PREFIXES)
+
+
+#: Modules whose functions block *by design* and are exempt from the
+#: transitive-blocking walk (SL011): fault injection exists to stall
+#: the pipeline on purpose, guarded by its own enable flag.
+BLOCKING_EXEMPT_MODULES = frozenset({
+    "repro.experiments.faults",
+})

@@ -1,0 +1,268 @@
+"""Intraprocedural control-flow graph over function statements.
+
+One :class:`CFG` node per simple statement (statement-level granularity
+is plenty at lint scale and keeps dominance arguments readable).
+Compound statements contribute their headers as nodes and their bodies
+as subgraphs; ``try`` bodies additionally get conservative exception
+edges — *every* statement inside a ``try`` may jump to every handler,
+and the jump happens *before* the statement's effect, which is exactly
+the pessimism a must-pass analysis needs.
+
+Two consumers:
+
+* :func:`must_pass` — the forward "all paths from entry pass through a
+  marked statement first" analysis behind SL013 (a journal fsync must
+  dominate the 202 send on every path), and
+* :func:`iterate_forward` — a generic worklist driver the taint
+  propagation uses with its own transfer function and join.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+#: Virtual node ids for function entry/exit.
+ENTRY = -1
+EXIT = -2
+
+
+@dataclass
+class Node:
+    """One statement in the CFG."""
+
+    index: int
+    stmt: ast.stmt
+    succs: Set[int] = field(default_factory=set)
+    preds: Set[int] = field(default_factory=set)
+
+
+class CFG:
+    """Statement-level CFG of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, Node] = {}
+        self._entry_succs: Set[int] = set()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, func: ast.FunctionDef) -> "CFG":
+        cfg = cls()
+        builder = _Builder(cfg)
+        tails = builder.block(func.body, frozenset([ENTRY]))
+        builder.connect(tails, EXIT)
+        return cfg
+
+    def add(self, stmt: ast.stmt) -> int:
+        index = len(self.nodes)
+        self.nodes[index] = Node(index=index, stmt=stmt)
+        return index
+
+    def edge(self, src: int, dst: int) -> None:
+        if src == ENTRY:
+            if dst >= 0:
+                self._entry_succs.add(dst)
+            return
+        if src < 0 or dst == EXIT:
+            return
+        self.nodes[src].succs.add(dst)
+        self.nodes[dst].preds.add(src)
+
+    @property
+    def entry_succs(self) -> Set[int]:
+        return set(self._entry_succs)
+
+    def statements(self) -> Iterable[Tuple[int, ast.stmt]]:
+        for index, node in self.nodes.items():
+            yield index, node.stmt
+
+
+class _Builder:
+    """Recursive-descent CFG construction.
+
+    ``block`` threads a frozenset of *dangling* predecessor ids through
+    the statement list and returns the tails that fall off the end.
+    ``break``/``continue``/``return``/``raise`` terminate their path
+    (break/continue edges resolve against the innermost loop).
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._loop_stack: List[Dict[str, object]] = []
+        #: Handler entry nodes of the innermost enclosing ``try``
+        #: blocks; every statement inside gets edges to them.
+        self._handler_stack: List[List[int]] = []
+
+    def connect(self, sources: Iterable[int], target: int) -> None:
+        for src in sources:
+            self.cfg.edge(src, target)
+
+    def block(self, body: List[ast.stmt],
+              preds: frozenset) -> frozenset:
+        current = preds
+        for stmt in body:
+            if not current:
+                break  # unreachable code after return/raise/break
+            current = self.statement(stmt, current)
+        return current
+
+    def statement(self, stmt: ast.stmt,
+                  preds: frozenset) -> frozenset:
+        node = self.cfg.add(stmt)
+        self.connect(preds, node)
+        # Conservative exception edges: control may leave for a handler
+        # before this statement's effect lands.
+        for handlers in self._handler_stack:
+            for handler in handlers:
+                self.cfg.edge(node, handler)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return frozenset([node])  # a definition, not control flow
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            return frozenset()
+        if isinstance(stmt, ast.Break):
+            frame = self._innermost_loop()
+            if frame is not None:
+                frame["breaks"].append(node)  # type: ignore[union-attr]
+            return frozenset()
+        if isinstance(stmt, ast.Continue):
+            frame = self._innermost_loop()
+            if frame is not None:
+                self.cfg.edge(node, frame["head"])  # type: ignore[arg-type]
+            return frozenset()
+        if isinstance(stmt, ast.If):
+            then_tails = self.block(stmt.body, frozenset([node]))
+            else_tails = self.block(stmt.orelse, frozenset([node])) \
+                if stmt.orelse else frozenset([node])
+            return then_tails | else_tails
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, node)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, node)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.block(stmt.body, frozenset([node]))
+        if isinstance(stmt, ast.Match):
+            tails: frozenset = frozenset()
+            exhaustive = False
+            for case in stmt.cases:
+                tails |= self.block(case.body, frozenset([node]))
+                if isinstance(case.pattern, ast.MatchAs) \
+                        and case.pattern.pattern is None:
+                    exhaustive = True  # a bare wildcard arm
+            if not exhaustive:
+                tails |= frozenset([node])
+            return tails
+        return frozenset([node])
+
+    def _loop(self, stmt: ast.stmt, head: int) -> frozenset:
+        frame: Dict[str, object] = {"head": head, "breaks": []}
+        self._loop_stack.append(frame)
+        body_tails = self.block(
+            stmt.body, frozenset([head]))  # type: ignore[attr-defined]
+        self._loop_stack.pop()
+        self.connect(body_tails, head)  # back edge
+        exits = frozenset([head]) | frozenset(frame["breaks"])
+        orelse = getattr(stmt, "orelse", None)
+        if orelse:
+            else_tails = self.block(orelse, frozenset([head]))
+            exits = frozenset(frame["breaks"]) | else_tails
+        return exits
+
+    def _try(self, stmt: ast.Try, head: int) -> frozenset:
+        handler_heads: List[int] = []
+        handler_tails: frozenset = frozenset()
+        # Materialise handler entry nodes first so body statements can
+        # point at them; a handler body is a block of its own.
+        pending: List[Tuple[ast.ExceptHandler, int]] = []
+        for handler in stmt.handlers:
+            entry = self.cfg.add(handler)
+            handler_heads.append(entry)
+            pending.append((handler, entry))
+        self._handler_stack.append(handler_heads)
+        body_tails = self.block(stmt.body, frozenset([head]))
+        self._handler_stack.pop()
+        # The head itself may raise (e.g. the `try` line's context); be
+        # conservative and let it reach the handlers too.
+        for entry in handler_heads:
+            self.cfg.edge(head, entry)
+        for handler, entry in pending:
+            handler_tails |= self.block(handler.body, frozenset([entry]))
+        else_tails = self.block(stmt.orelse, body_tails) \
+            if stmt.orelse else body_tails
+        merged = else_tails | handler_tails
+        if stmt.finalbody:
+            return self.block(stmt.finalbody, merged or frozenset([head]))
+        return merged
+
+    def _innermost_loop(self) -> Optional[Dict[str, object]]:
+        return self._loop_stack[-1] if self._loop_stack else None
+
+
+def must_pass(cfg: CFG, marked: Set[int]) -> Dict[int, bool]:
+    """For each node: do *all* entry paths pass a marked node first?
+
+    Forward must-analysis with intersection at joins.  A marked node
+    protects its successors, not itself — the mark lands *after* the
+    statement executes, matching "the fsync happened before the send".
+    Entry starts unprotected; conservative exception edges out of a
+    ``try`` body carry the pre-statement state automatically because
+    protection is only added on the *out* state of a marked node.
+    """
+    protected_in: Dict[int, bool] = {index: True for index in cfg.nodes}
+    entry_succs = cfg.entry_succs
+    changed = True
+    while changed:
+        changed = False
+        for index in sorted(cfg.nodes):
+            node = cfg.nodes[index]
+            incoming: List[bool] = []
+            if index in entry_succs:
+                incoming.append(False)  # the raw path from entry
+            for pred in node.preds:
+                incoming.append(protected_in[pred] or pred in marked)
+            # A node with no incoming edges at all is unreachable;
+            # vacuously protected (nothing flows through it).
+            new_in = all(incoming) if incoming else True
+            if new_in != protected_in[index]:
+                protected_in[index] = new_in
+                changed = True
+    return protected_in
+
+
+def iterate_forward(cfg: CFG,
+                    transfer: Callable[[int, ast.stmt, dict], dict],
+                    join: Callable[[List[dict]], dict],
+                    initial: dict,
+                    max_rounds: int = 50) -> Dict[int, dict]:
+    """Generic forward worklist analysis; returns each node's IN state.
+
+    ``transfer(index, stmt, state)`` must return a *new* state dict;
+    ``join`` merges predecessor OUT states.  Convergence is bounded by
+    ``max_rounds`` sweeps — taint lattices here are tiny finite sets,
+    so the bound is a backstop, not a tuning knob.
+    """
+    in_states: Dict[int, dict] = {}
+    out_states: Dict[int, dict] = {}
+    order = sorted(cfg.nodes)
+    entry_succs = cfg.entry_succs
+    for _ in range(max_rounds):
+        changed = False
+        for index in order:
+            node = cfg.nodes[index]
+            incoming = [out_states[pred] for pred in node.preds
+                        if pred in out_states]
+            if index in entry_succs or not node.preds:
+                incoming.append(initial)
+            state = join(incoming) if incoming else dict(initial)
+            if in_states.get(index) != state:
+                in_states[index] = state
+                changed = True
+            out = transfer(index, node.stmt, dict(state))
+            if out_states.get(index) != out:
+                out_states[index] = out
+                changed = True
+        if not changed:
+            break
+    return in_states

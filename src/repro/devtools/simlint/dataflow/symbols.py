@@ -1,0 +1,380 @@
+"""Symbol tables and cross-module name resolution.
+
+Everything here answers one question for the rest of the engine: *what
+does this name refer to, project-wide?*  The answer is an in-tree
+definition id — ``"repro.service.jobs:JobManager"`` for a class,
+``"repro.service.jobs:JobManager.submit"`` for a function — or an
+external dotted name (``"time.sleep"``) when the chain leaves the tree.
+
+Resolution deliberately follows the two idioms this repo actually
+uses:
+
+* import aliases, including package re-exports (``from repro.service
+  import JobManager`` resolves through ``repro/service/__init__.py``'s
+  own ``from repro.service.jobs import JobManager``), and
+* attribute types inferred from ``__init__`` bodies — ``self.journal =
+  journal`` where the parameter is annotated ``journal: JobJournal``
+  types the attribute, which is how ``self.manager.submit(...)``
+  resolves to a method of an in-tree class.
+
+No general type inference is attempted; an unresolvable name simply
+resolves to ``None`` and the dataflow stays conservative about it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.devtools.simlint.astutil import dotted_name, import_map
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.devtools.simlint.engine import Project, SourceModule
+
+#: ``module:qualname`` definition id (function, method or class).
+DefId = str
+
+
+def def_id(module: str, qualname: str) -> DefId:
+    return f"{module}:{qualname}"
+
+
+def split_def_id(def_: DefId) -> tuple:
+    module, _, qualname = def_.partition(":")
+    return module, qualname
+
+
+@dataclass
+class ClassInfo:
+    """One in-tree class: bases, methods, inferred attribute types."""
+
+    name: str
+    module: str
+    lineno: int = 0
+    #: Base classes as written (resolved to in-tree ids where possible).
+    bases: List[str] = field(default_factory=list)
+    #: Directly defined method names.
+    methods: List[str] = field(default_factory=list)
+    #: ``attr -> DefId of an in-tree class`` inferred from ``__init__``.
+    attr_types: Dict[str, DefId] = field(default_factory=dict)
+
+    @property
+    def id(self) -> DefId:
+        return def_id(self.module, self.name)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "module": self.module,
+                "lineno": self.lineno, "bases": list(self.bases),
+                "methods": list(self.methods),
+                "attr_types": dict(self.attr_types)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ClassInfo":
+        return cls(name=payload["name"], module=payload["module"],
+                   lineno=payload.get("lineno", 0),
+                   bases=list(payload.get("bases", [])),
+                   methods=list(payload.get("methods", [])),
+                   attr_types=dict(payload.get("attr_types", {})))
+
+
+#: Constructors whose module-level result is a synchronisation object.
+_LOCK_CONSTRUCTORS = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Event", "Barrier",
+})
+
+#: Constructors whose module-level result is an open OS handle.
+_HANDLE_CONSTRUCTORS = frozenset({
+    "open", "socket", "socketpair", "TemporaryFile",
+    "NamedTemporaryFile", "popen",
+})
+
+#: Constructors/displays whose result is a mutable container.
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "bytearray", "defaultdict", "deque",
+    "Counter", "OrderedDict",
+})
+
+
+@dataclass
+class ModuleSymbols:
+    """Top-level bindings of one module, for cross-module lookup."""
+
+    name: str
+    #: Locally bound name -> qualified import target (``import_map``).
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: Top-level function names defined here.
+    functions: List[str] = field(default_factory=list)
+    #: Top-level classes defined here.
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level variable -> ``lock`` / ``handle`` / ``mutable`` /
+    #: ``plain``, for the fork-safety analysis (SL012).
+    global_kinds: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "imports": dict(self.imports),
+                "functions": list(self.functions),
+                "classes": {name: info.to_dict()
+                            for name, info in self.classes.items()},
+                "global_kinds": dict(self.global_kinds)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ModuleSymbols":
+        return cls(name=payload["name"],
+                   imports=dict(payload.get("imports", {})),
+                   functions=list(payload.get("functions", [])),
+                   classes={name: ClassInfo.from_dict(item)
+                            for name, item
+                            in payload.get("classes", {}).items()},
+                   global_kinds=dict(payload.get("global_kinds", {})))
+
+
+def classify_global(value: Optional[ast.expr]) -> str:
+    """``lock`` / ``handle`` / ``mutable`` / ``plain`` for a module-level
+    binding's value expression."""
+    if value is None:
+        return "plain"
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return "mutable"
+    if isinstance(value, ast.Call):
+        parts = dotted_name(value.func) or []
+        tail = parts[-1] if parts else ""
+        if tail in _LOCK_CONSTRUCTORS:
+            return "lock"
+        if tail in _HANDLE_CONSTRUCTORS:
+            return "handle"
+        if tail in _MUTABLE_CONSTRUCTORS:
+            return "mutable"
+    return "plain"
+
+
+def module_symbols(module: "SourceModule",
+                   project: "Project") -> ModuleSymbols:
+    """Extract the top-level symbol table of *module*."""
+    symbols = ModuleSymbols(name=module.name,
+                            imports=import_map(module.tree))
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbols.functions.append(stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            symbols.classes[stmt.name] = _class_info(
+                stmt, module.name, symbols.imports)
+        elif isinstance(stmt, ast.Assign):
+            kind = classify_global(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    symbols.global_kinds[target.id] = kind
+        elif isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name):
+            symbols.global_kinds[stmt.target.id] = \
+                classify_global(stmt.value)
+    return symbols
+
+
+def _class_info(cls: ast.ClassDef, module_name: str,
+                imports: Dict[str, str]) -> ClassInfo:
+    info = ClassInfo(name=cls.name, module=module_name, lineno=cls.lineno)
+    for base in cls.bases:
+        parts = dotted_name(base)
+        if parts:
+            info.bases.append(".".join(parts))
+    init: Optional[ast.FunctionDef] = None
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods.append(stmt.name)
+            if stmt.name == "__init__":
+                init = stmt
+    if init is not None:
+        info.attr_types = _init_attr_types(init)
+    return info
+
+
+def _init_attr_types(init: ast.FunctionDef) -> Dict[str, str]:
+    """``self.attr`` types readable straight off an ``__init__`` body.
+
+    Two shapes are recognised: ``self.x = param`` where the parameter
+    carries an annotation, and ``self.x = ClassName(...)``.  The values
+    recorded here are *raw* dotted names; the resolver turns them into
+    in-tree ids lazily, once every module's symbols exist.
+    """
+    param_annotations: Dict[str, str] = {}
+    args = list(init.args.posonlyargs) + list(init.args.args) \
+        + list(init.args.kwonlyargs)
+    for arg in args:
+        if arg.annotation is not None:
+            parts = dotted_name(_unwrap_optional(arg.annotation))
+            if parts:
+                param_annotations[arg.arg] = ".".join(parts)
+    types: Dict[str, str] = {}
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            continue
+        value = node.value
+        if isinstance(value, ast.Name) and value.id in param_annotations:
+            types[target.attr] = param_annotations[value.id]
+        elif isinstance(value, ast.Call):
+            parts = dotted_name(value.func)
+            if parts:
+                types[target.attr] = ".".join(parts)
+    return types
+
+
+def _unwrap_optional(annotation: ast.AST) -> ast.AST:
+    """``Optional[X]`` / ``X | None`` -> ``X`` (one level)."""
+    if isinstance(annotation, ast.Subscript):
+        base = dotted_name(annotation.value)
+        if base and base[-1] == "Optional":
+            return annotation.slice
+    if isinstance(annotation, ast.BinOp) \
+            and isinstance(annotation.op, ast.BitOr):
+        for side in (annotation.left, annotation.right):
+            if not (isinstance(side, ast.Constant) and side.value is None):
+                return side
+    return annotation
+
+
+class Resolver:
+    """Project-wide name resolution over every module's symbols."""
+
+    #: Re-export chains longer than this are cycles, not code.
+    MAX_HOPS = 8
+
+    def __init__(self, symbols: Dict[str, ModuleSymbols]) -> None:
+        self.symbols = symbols
+
+    # -- dotted-name resolution ---------------------------------------------
+
+    def resolve_qualified(self, qualified: str) -> Optional[DefId]:
+        """An absolute dotted name -> in-tree definition id, if any.
+
+        ``repro.service.jobs.JobManager.submit`` splits into the longest
+        module prefix present in the project plus a symbol path, and
+        import aliases / package re-exports are followed (bounded).
+        """
+        seen = 0
+        while qualified is not None and seen < self.MAX_HOPS:
+            seen += 1
+            module, symbol_path = self._split(qualified)
+            if module is None:
+                return None
+            symbols = self.symbols[module]
+            if not symbol_path:
+                return None  # a bare module, not a definition
+            head = symbol_path[0]
+            if head in symbols.classes:
+                if len(symbol_path) == 1:
+                    return def_id(module, head)
+                if len(symbol_path) == 2 \
+                        and symbol_path[1] in symbols.classes[head].methods:
+                    return def_id(module, f"{head}.{symbol_path[1]}")
+                return None
+            if head in symbols.functions and len(symbol_path) == 1:
+                return def_id(module, head)
+            if head in symbols.imports:
+                # A re-export: follow the alias with the tail appended.
+                qualified = ".".join([symbols.imports[head]]
+                                     + symbol_path[1:])
+                continue
+            return None
+        return None
+
+    def resolve_in_module(self, module_name: str,
+                          dotted: List[str]) -> Optional[DefId]:
+        """A dotted reference *as written in module_name* -> definition.
+
+        The head is looked up first among the module's own top-level
+        definitions, then through its imports.
+        """
+        symbols = self.symbols.get(module_name)
+        if symbols is None or not dotted:
+            return None
+        head = dotted[0]
+        if head in symbols.functions and len(dotted) == 1:
+            return def_id(module_name, head)
+        if head in symbols.classes:
+            if len(dotted) == 1:
+                return def_id(module_name, head)
+            if len(dotted) == 2 \
+                    and dotted[1] in symbols.classes[head].methods:
+                return def_id(module_name, f"{head}.{dotted[1]}")
+            return None
+        if head in symbols.imports:
+            return self.resolve_qualified(
+                ".".join([symbols.imports[head]] + dotted[1:]))
+        return None
+
+    def resolve_class(self, module_name: str,
+                      dotted_or_raw: str) -> Optional[ClassInfo]:
+        """A class reference (raw dotted text) -> its :class:`ClassInfo`."""
+        resolved = self.resolve_in_module(module_name,
+                                          dotted_or_raw.split("."))
+        if resolved is None:
+            return None
+        return self.class_info(resolved)
+
+    # -- class helpers ------------------------------------------------------
+
+    def class_info(self, class_id: DefId) -> Optional[ClassInfo]:
+        module, qualname = split_def_id(class_id)
+        symbols = self.symbols.get(module)
+        if symbols is None:
+            return None
+        return symbols.classes.get(qualname)
+
+    def resolve_method(self, class_id: DefId,
+                       method: str) -> Optional[DefId]:
+        """``class_id.method`` with a single-inheritance MRO walk."""
+        seen = 0
+        current: Optional[DefId] = class_id
+        while current is not None and seen < self.MAX_HOPS:
+            seen += 1
+            info = self.class_info(current)
+            if info is None:
+                return None
+            if method in info.methods:
+                return def_id(info.module, f"{info.name}.{method}")
+            current = None
+            for base in info.bases:
+                resolved = self.resolve_in_module(info.module,
+                                                  base.split("."))
+                if resolved is not None and self.class_info(resolved):
+                    current = resolved
+                    break
+        return None
+
+    def attr_type(self, class_id: DefId, attr: str) -> Optional[DefId]:
+        """Inferred in-tree type of ``<class_id instance>.attr``."""
+        info = self.class_info(class_id)
+        if info is None:
+            return None
+        raw = info.attr_types.get(attr)
+        if raw is None:
+            return None
+        resolved = self.resolve_in_module(info.module, raw.split("."))
+        if resolved is not None and self.class_info(resolved) is not None:
+            return resolved
+        return None
+
+    # -- internals ----------------------------------------------------------
+
+    def _split(self, qualified: str) -> tuple:
+        """Longest in-project module prefix + remaining symbol path."""
+        parts = qualified.split(".")
+        for cut in range(len(parts), 0, -1):
+            module = ".".join(parts[:cut])
+            if module in self.symbols:
+                return module, parts[cut:]
+        return None, []
+
+
+def build_symbols(project: "Project") -> Dict[str, ModuleSymbols]:
+    """Symbol tables for every module in *project*."""
+    return {module.name: module_symbols(module, project)
+            for module in project.modules}

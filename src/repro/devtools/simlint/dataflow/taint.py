@@ -1,0 +1,439 @@
+"""Taint propagation: nondeterminism labels through values and calls.
+
+The lattice element for one local is a set of labels.  Concrete labels
+come from :mod:`~repro.devtools.simlint.dataflow.catalog` (wall-clock,
+randomness); the synthetic ``param:<i>`` tokens track which parameters
+a value derives from, which is what makes the analysis compositional:
+
+* a function's :class:`TaintSummary` says which labels its return
+  value carries (``returns``), which parameters flow into the return
+  value (``param_flows``), and which parameters reach a sink inside it
+  or below it (``param_sinks``),
+* callers substitute argument taint into those summaries, so a
+  wall-clock read two helper hops away still lands in the right
+  ``SimStats`` field — and the finding is reported at the call that
+  passed the tainted value, which is the line a human needs to see.
+
+Propagation through expressions is deliberately conservative: any
+operator, f-string, container display or *unresolved* call forwards
+the union of its operands' taint.  ``str(time.time())`` is still a
+wall-clock value; laundering through formatting must not clear it.
+
+Sinks (SL010): stores into ``SimStats`` / ``SimCell`` / ``TraceEvent``
+attributes, arguments to those constructors, and arguments to
+``cell_key``.  Sink objects are recognised by their *bare in-tree
+class/function name* so fixture trees that mirror the package layout
+behave exactly like the real one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.devtools.simlint.dataflow import catalog
+from repro.devtools.simlint.dataflow.callgraph import CallSite, FunctionInfo
+from repro.devtools.simlint.dataflow.cfg import CFG, iterate_forward
+from repro.devtools.simlint.dataflow.symbols import (DefId, Resolver,
+                                                     split_def_id)
+
+#: Classes whose instances are determinism-critical: storing a tainted
+#: value into them (attribute or constructor argument) is the sink.
+SINK_CLASSES: Dict[str, str] = {
+    "SimStats": "a SimStats field",
+    "SimCell": "a SimCell (cell-key) input",
+    "TraceEvent": "a trace-event payload",
+}
+
+#: Functions whose arguments are determinism-critical.
+SINK_FUNCTIONS: Dict[str, str] = {
+    "cell_key": "a cell_key input",
+}
+
+_PARAM_PREFIX = "param:"
+
+Labels = FrozenSet[str]
+_EMPTY: Labels = frozenset()
+
+
+def param_token(index: int) -> str:
+    return f"{_PARAM_PREFIX}{index}"
+
+
+def _split_labels(labels: Labels) -> Tuple[Set[str], Set[int]]:
+    """(concrete labels, parameter indices) in one taint set."""
+    concrete: Set[str] = set()
+    params: Set[int] = set()
+    for label in labels:
+        if label.startswith(_PARAM_PREFIX):
+            params.add(int(label[len(_PARAM_PREFIX):]))
+        else:
+            concrete.add(label)
+    return concrete, params
+
+
+@dataclass
+class TaintSummary:
+    """Compositional taint behaviour of one function."""
+
+    #: Concrete labels the return value always carries.
+    returns: Set[str] = field(default_factory=set)
+    #: Parameter indices that flow into the return value.
+    param_flows: Set[int] = field(default_factory=set)
+    #: Parameter index -> sink description it (transitively) reaches.
+    param_sinks: Dict[int, str] = field(default_factory=dict)
+
+    def merge(self, other: "TaintSummary") -> bool:
+        """Union *other* in; True when anything grew (monotone)."""
+        grew = (not other.returns <= self.returns
+                or not other.param_flows <= self.param_flows
+                or not set(other.param_sinks) <= set(self.param_sinks))
+        self.returns |= other.returns
+        self.param_flows |= other.param_flows
+        for index, sink in other.param_sinks.items():
+            self.param_sinks.setdefault(index, sink)
+        return grew
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"returns": sorted(self.returns),
+                "param_flows": sorted(self.param_flows),
+                "param_sinks": {str(k): v
+                                for k, v in self.param_sinks.items()}}
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict]) -> "TaintSummary":
+        if not payload:
+            return cls()
+        return cls(returns=set(payload.get("returns", [])),
+                   param_flows=set(payload.get("param_flows", [])),
+                   param_sinks={int(k): v for k, v
+                                in payload.get("param_sinks", {}).items()})
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """One SL010 hit, serialisable into FunctionInfo records."""
+
+    line: int
+    col: int
+    label: str
+    sink: str
+    detail: str = ""
+
+    def message(self) -> str:
+        via = f" {self.detail}" if self.detail else ""
+        return (f"{self.label} value flows into {self.sink}{via}; "
+                f"derive it from the simulation seed/clock instead")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col, "label": self.label,
+                "sink": self.sink, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TaintFinding":
+        return cls(line=payload["line"], col=payload["col"],
+                   label=payload["label"], sink=payload["sink"],
+                   detail=payload.get("detail", ""))
+
+
+def analyze_function(info: FunctionInfo, resolver: Resolver,
+                     types: Dict[str, DefId],
+                     summaries: Dict[DefId, TaintSummary],
+                     functions: Dict[DefId, FunctionInfo],
+                     ) -> Tuple[TaintSummary, List[TaintFinding]]:
+    """One intraprocedural pass with the current callee summaries.
+
+    Runs the worklist to a per-function fixed point, then one recording
+    sweep over the final states to extract the summary and the sink
+    findings.  Monotone in ``summaries``, so the interprocedural
+    driver can iterate this to a global fixed point.
+    """
+    if info.node is None:
+        return TaintSummary.from_dict(info.summary), []
+    analyzer = _FunctionTaint(info, resolver, types, summaries, functions)
+    return analyzer.run()
+
+
+class _FunctionTaint:
+    def __init__(self, info: FunctionInfo, resolver: Resolver,
+                 types: Dict[str, DefId],
+                 summaries: Dict[DefId, TaintSummary],
+                 functions: Dict[DefId, FunctionInfo]) -> None:
+        self.info = info
+        self.resolver = resolver
+        self.types = types
+        self.summaries = summaries
+        self.functions = functions
+        #: (line, col) -> resolved call site, from the extraction pass.
+        self.sites: Dict[Tuple[int, int], CallSite] = {
+            (site.line, site.col): site for site in info.calls}
+        self.returns: Labels = _EMPTY
+        self.param_sinks: Dict[int, str] = {}
+        self.findings: Set[TaintFinding] = set()
+        self._record = False
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> Tuple[TaintSummary, List[TaintFinding]]:
+        cfg = CFG.build(self.info.node)
+        initial = {name: frozenset([param_token(index)])
+                   for index, name in enumerate(self.info.params)}
+        in_states = iterate_forward(cfg, self._transfer, _join_envs,
+                                    initial)
+        self._record = True
+        for index, stmt in cfg.statements():
+            env = dict(in_states.get(index, initial))
+            self._transfer(index, stmt, env)
+        self._record = False
+        concrete, params = _split_labels(self.returns)
+        summary = TaintSummary(returns=concrete, param_flows=params,
+                               param_sinks=dict(self.param_sinks))
+        return summary, sorted(self.findings,
+                               key=lambda f: (f.line, f.col, f.sink))
+
+    # -- transfer ------------------------------------------------------------
+
+    def _transfer(self, index: int, stmt: ast.stmt,
+                  env: Dict[str, Labels]) -> Dict[str, Labels]:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, self._eval(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value, env) \
+                | self._load(stmt.target, env)
+            self._assign(stmt.target, value, env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._assign(stmt.target, self._eval(stmt.iter, env), env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, value, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env)
+                if self._record:
+                    self.returns |= value
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                env[stmt.name] = _EMPTY
+        return env
+
+    def _assign(self, target: ast.AST, value: Labels,
+                env: Dict[str, Labels]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, value, env)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, value, env)
+        elif isinstance(target, ast.Attribute):
+            if self._record:
+                self._check_attr_sink(target, value)
+            key = self._attr_key(target)
+            if key is not None:
+                env[key] = value
+        elif isinstance(target, ast.Subscript) \
+                and isinstance(target.value, ast.Name):
+            name = target.value.id
+            env[name] = env.get(name, _EMPTY) | value
+
+    def _load(self, target: ast.AST, env: Dict[str, Labels]) -> Labels:
+        if isinstance(target, ast.Name):
+            return env.get(target.id, _EMPTY)
+        if isinstance(target, ast.Attribute):
+            key = self._attr_key(target)
+            if key is not None:
+                return env.get(key, _EMPTY)
+        return _EMPTY
+
+    @staticmethod
+    def _attr_key(attr: ast.Attribute) -> Optional[str]:
+        """A stable env key for one-level attribute chains."""
+        if isinstance(attr.value, ast.Name):
+            return f"{attr.value.id}.{attr.attr}"
+        return None
+
+    # -- expression taint ----------------------------------------------------
+
+    def _eval(self, node: ast.AST, env: Dict[str, Labels]) -> Labels:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _EMPTY)
+        if isinstance(node, ast.Attribute):
+            key = self._attr_key(node)
+            if key is not None and key in env:
+                return env[key]
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, (ast.Constant, ast.Lambda)):
+            return _EMPTY
+        out = _EMPTY
+        for child in ast.iter_child_nodes(node):
+            out |= self._eval(child, env)
+        return out
+
+    def _eval_call(self, call: ast.Call, env: Dict[str, Labels]) -> Labels:
+        arg_taints = [self._eval(arg, env) for arg in call.args]
+        kw_taints = [(kw.arg, self._eval(kw.value, env))
+                     for kw in call.keywords]
+        site = self.sites.get((call.lineno, call.col_offset))
+        func_taint = _EMPTY
+        if not isinstance(call.func, (ast.Name, ast.Attribute)):
+            func_taint = self._eval(call.func, env)
+        everything = func_taint
+        for taint in arg_taints:
+            everything |= taint
+        for _, taint in kw_taints:
+            everything |= taint
+        if site is None:
+            return everything  # unresolvable shape: stay conservative
+        self._check_call_sinks(call, site, arg_taints, kw_taints)
+        if site.external is not None:
+            label = catalog.source_label(site.external)
+            if label is not None:
+                return frozenset([label])
+            return everything  # str()/round()/json.dumps() launder nothing
+        if site.target is None:
+            return everything
+        if self.resolver.class_info(site.target) is not None:
+            return _EMPTY  # a constructed object; arg sinks checked above
+        summary = self.summaries.get(site.target)
+        if summary is None:
+            return everything
+        out: Labels = frozenset(summary.returns)
+        offset = 1 if site.instance_call else 0
+        callee_params = self._callee_params(site.target)
+        for position, taint in enumerate(arg_taints):
+            index = position + offset
+            if index in summary.param_flows:
+                out |= taint
+            self._apply_param_sink(summary, index, taint, call, site)
+        for name, taint in kw_taints:
+            if name is None or callee_params is None:
+                if taint:
+                    out |= taint  # **kwargs: conservative
+                continue
+            try:
+                index = callee_params.index(name)
+            except ValueError:
+                continue
+            if index in summary.param_flows:
+                out |= taint
+            self._apply_param_sink(summary, index, taint, call, site)
+        return out
+
+    def _callee_params(self, target: DefId) -> Optional[List[str]]:
+        info = self.functions.get(target)
+        return info.params if info is not None else None
+
+    # -- sinks ---------------------------------------------------------------
+
+    def _apply_param_sink(self, summary: TaintSummary, index: int,
+                          taint: Labels, call: ast.Call,
+                          site: CallSite) -> None:
+        sink = summary.param_sinks.get(index)
+        if sink is None or not taint:
+            return
+        concrete, params = _split_labels(taint)
+        detail = f"via {site.text}()" if site.text else ""
+        if self._record:
+            for label in sorted(concrete):
+                self.findings.add(TaintFinding(
+                    line=call.lineno, col=call.col_offset, label=label,
+                    sink=sink, detail=detail))
+        for param in params:
+            self.param_sinks.setdefault(param, sink)
+
+    def _check_call_sinks(self, call: ast.Call, site: CallSite,
+                          arg_taints: List[Labels],
+                          kw_taints: List[Tuple[Optional[str], Labels]],
+                          ) -> None:
+        """Arguments to sink constructors/functions may not be tainted."""
+        sink = self._sink_of(site)
+        if sink is None:
+            return
+        for taint in arg_taints:
+            self._sink_hit(call, taint, sink)
+        for _, taint in kw_taints:
+            self._sink_hit(call, taint, sink)
+
+    def _sink_of(self, site: CallSite) -> Optional[str]:
+        name = ""
+        if site.target is not None:
+            _, qualname = split_def_id(site.target)
+            name = qualname.rsplit(".", 1)[-1]
+        elif site.text:
+            name = site.text.rsplit(".", 1)[-1]
+        if name in SINK_CLASSES:
+            return SINK_CLASSES[name]
+        if name in SINK_FUNCTIONS:
+            return SINK_FUNCTIONS[name]
+        return None
+
+    def _sink_hit(self, call: ast.Call, taint: Labels,
+                  sink: str) -> None:
+        if not taint:
+            return
+        concrete, params = _split_labels(taint)
+        if self._record:
+            for label in sorted(concrete):
+                self.findings.add(TaintFinding(
+                    line=call.lineno, col=call.col_offset,
+                    label=label, sink=sink))
+        for param in params:
+            self.param_sinks.setdefault(param, sink)
+
+    def _check_attr_sink(self, target: ast.Attribute,
+                         value: Labels) -> None:
+        """``obj.field = tainted`` where obj is a sink-class instance."""
+        if not value:
+            return
+        cls_id = self._receiver_class(target.value)
+        if cls_id is None:
+            return
+        _, qualname = split_def_id(cls_id)
+        sink = SINK_CLASSES.get(qualname.rsplit(".", 1)[-1])
+        if sink is None:
+            return
+        concrete, params = _split_labels(value)
+        for label in sorted(concrete):
+            self.findings.add(TaintFinding(
+                line=target.lineno, col=target.col_offset,
+                label=label, sink=sink))
+        for param in params:
+            self.param_sinks.setdefault(param, sink)
+
+    def _receiver_class(self, base: ast.AST) -> Optional[DefId]:
+        if isinstance(base, ast.Name):
+            if base.id == "self" and self.info.class_id is not None:
+                return self.info.class_id
+            return self.types.get(base.id)
+        if isinstance(base, ast.Attribute) \
+                and isinstance(base.value, ast.Name) \
+                and base.value.id == "self" \
+                and self.info.class_id is not None:
+            return self.resolver.attr_type(self.info.class_id, base.attr)
+        return None
+
+
+def _join_envs(envs: List[Dict[str, Labels]]) -> Dict[str, Labels]:
+    if len(envs) == 1:
+        return dict(envs[0])
+    out: Dict[str, Labels] = {}
+    for env in envs:
+        for name, labels in env.items():
+            out[name] = out.get(name, _EMPTY) | labels
+    return out

@@ -35,13 +35,24 @@ _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``end_line`` is the last physical line of the reported statement
+    (defaults to ``line``); suppression directives anywhere within
+    that span apply, so a disable comment on the closing line of a
+    multi-line call works.
+    """
 
     code: str
     message: str
     path: str
     line: int
     col: int = 0
+    end_line: int = 0
+
+    @property
+    def span_end(self) -> int:
+        return max(self.end_line, self.line)
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}: " \
@@ -85,16 +96,24 @@ class SourceModule:
                 return True
         return False
 
-    def suppressed_codes(self, line: int) -> frozenset:
-        """Codes disabled on physical *line* (1-based) by a directive."""
-        if not 1 <= line <= len(self.lines):
-            return frozenset()
-        match = _SUPPRESS_RE.search(self.lines[line - 1])
-        if not match:
-            return frozenset()
-        return frozenset(
-            token.strip() for token in match.group(1).split(",")
-            if token.strip())
+    def suppressed_codes(self, line: int,
+                         end_line: Optional[int] = None) -> frozenset:
+        """Codes disabled by a directive within lines [*line*, *end_line*].
+
+        A multi-line statement is suppressible from any of its physical
+        lines — in particular the closing line, which is where a
+        directive naturally lands on a wrapped call.
+        """
+        last = max(end_line or line, line)
+        codes: set = set()
+        for current in range(max(line, 1),
+                             min(last, len(self.lines)) + 1):
+            match = _SUPPRESS_RE.search(self.lines[current - 1])
+            if match:
+                codes.update(token.strip()
+                             for token in match.group(1).split(",")
+                             if token.strip())
+        return frozenset(codes)
 
 
 class Project:
@@ -104,9 +123,14 @@ class Project:
         self.modules: List[SourceModule] = list(modules)
         self._by_name: Dict[str, SourceModule] = {
             module.name: module for module in self.modules}
+        self._by_rel: Dict[str, SourceModule] = {
+            module.rel: module for module in self.modules}
 
     def module(self, name: str) -> Optional[SourceModule]:
         return self._by_name.get(name)
+
+    def module_for_rel(self, rel: str) -> Optional[SourceModule]:
+        return self._by_rel.get(rel)
 
     def in_package(self, *prefixes: str) -> Iterator[SourceModule]:
         for module in self.modules:
@@ -213,9 +237,11 @@ class Rule:
 
     def finding(self, module: SourceModule, node: ast.AST,
                 message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
         return Finding(code=self.code, message=message, path=module.rel,
-                       line=getattr(node, "lineno", 1),
-                       col=getattr(node, "col_offset", 0))
+                       line=line,
+                       col=getattr(node, "col_offset", 0),
+                       end_line=getattr(node, "end_lineno", line) or line)
 
 
 #: ``code -> rule class`` for every registered rule.
@@ -261,9 +287,10 @@ def run_rules(project: Project,
         if wanted is not None and rule.code not in wanted:
             continue
         for finding in rule.check(project):
-            module = _module_for(project, finding.path)
+            module = project.module_for_rel(finding.path)
             if module is not None:
-                disabled = module.suppressed_codes(finding.line)
+                disabled = module.suppressed_codes(finding.line,
+                                                   finding.span_end)
                 if finding.code in disabled or "all" in disabled:
                     continue
             findings.append(finding)
@@ -271,14 +298,17 @@ def run_rules(project: Project,
     return findings
 
 
-def _module_for(project: Project, rel: str) -> Optional[SourceModule]:
-    for module in project.modules:
-        if module.rel == rel:
-            return module
-    return None
-
-
 def lint_paths(paths: Sequence[Path], root: Optional[Path] = None,
-               select: Optional[Iterable[str]] = None) -> List[Finding]:
-    """Convenience wrapper: load *paths* and run the rules."""
-    return run_rules(load_modules(paths, root=root), select=select)
+               select: Optional[Iterable[str]] = None,
+               cache: Optional[object] = None) -> List[Finding]:
+    """Convenience wrapper: load *paths* and run the rules.
+
+    *cache*, when given, is an
+    :class:`~repro.devtools.simlint.dataflow.cache.AnalysisCache` the
+    dataflow rules pick up for incremental re-analysis; library calls
+    default to uncached (hermetic) runs.
+    """
+    project = load_modules(paths, root=root)
+    if cache is not None:
+        project.analysis_cache = cache
+    return run_rules(project, select=select)

@@ -1,4 +1,4 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF for CI."""
 
 from __future__ import annotations
 
@@ -32,5 +32,57 @@ def render_json(findings: List[Finding]) -> str:
         },
         "findings": [finding.as_dict() for finding in findings],
         "total": len(findings),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_sarif(findings: List[Finding]) -> str:
+    """SARIF 2.1.0 log, suitable for GitHub code-scanning upload.
+
+    The full rule catalogue is always embedded (code scanning uses it
+    to render rule help even for rules with zero results); result
+    locations use forward-slash repo-relative URIs.
+    """
+    rules = all_rules()
+    rule_index = {rule.code: index for index, rule in enumerate(rules)}
+    driver = {
+        "name": "simlint",
+        "informationUri":
+            "https://github.com/paper-repro/macro-op-scheduling",
+        "rules": [
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {"level": "error"},
+            }
+            for rule in rules
+        ],
+    }
+    results = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.code,
+            "ruleIndex": rule_index.get(finding.code, -1),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                        "endLine": finding.span_end,
+                    },
+                },
+            }],
+        })
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{"tool": {"driver": driver}, "results": results}],
     }
     return json.dumps(document, indent=2, sort_keys=True)

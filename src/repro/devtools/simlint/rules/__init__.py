@@ -22,17 +22,35 @@ SL008     numpy confinement — numpy imports only inside
           dependency-free)
 SL009     no blocking calls (time.sleep, sync subprocess,
           socket/HTTP ops) inside repro.service coroutines
+SL010     taint determinism — wall-clock/random values may not
+          *flow* into SimStats, cell keys or trace payloads,
+          through any number of helper calls (dataflow)
+SL011     transitive blocking — service coroutines may not reach
+          a blocking primitive through the call graph (dataflow)
+SL012     fork safety — pool worker entry points may not capture
+          module-level locks/handles or mutate module globals
+          (dataflow)
+SL013     ack-implies-journal — every path sending 202 passes a
+          journal fsync first (CFG dominance, dataflow)
 ========  =====================================================
+
+The SL010-SL013 modules share one project-wide analysis
+(:mod:`repro.devtools.simlint.dataflow`), computed on first use and
+memoized per project.
 """
 
 from repro.devtools.simlint.rules import (  # noqa: F401
+    ack_ordering,
     blocking,
     cache_key,
     determinism,
     exceptions,
+    fork_safety,
     layering,
     numpy_confinement,
     picklability,
     stats_schema,
+    taint_determinism,
     timing,
+    transitive_blocking,
 )

@@ -1,0 +1,65 @@
+"""SL013 — a 202 acknowledgement implies the job was journalled first.
+
+The job service's crash-recovery contract (the reason the journal
+exists): once a client has seen ``202 Accepted``, a restart must
+replay the job.  That is only true if the journal record is fsynced
+*before* the acknowledgement leaves the process — on **every** control
+-flow path, including early returns and exception handlers.  A branch
+that acks first and journals after (or never) is exactly the
+regression that silently voids recovery while every happy-path test
+stays green.
+
+The check is a CFG dominance argument, per function in
+:mod:`repro.service`:
+
+* **sends** are statements returning a ``(202, ...)`` response tuple
+  or calling a ``*send*``-named callee with a literal ``202``;
+* **journal writes** are calls whose resolved callee transitively
+  reaches ``os.fsync`` (the call graph knows ``manager.submit ->
+  journal.accept -> _append -> os.fsync``), plus a conservative
+  lexical fallback for untyped ``*.journal.*(...)`` receivers;
+* the engine's must-pass analysis then asks: does every path from
+  function entry to the send pass through a journal write first?
+  Exception edges out of a ``try`` body carry the *pre-statement*
+  state, so a journal call inside ``try`` does not protect the
+  handler path that acks anyway.
+
+Any send statement not dominated by a journal write is a finding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.simlint.dataflow.analysis import get_analysis
+from repro.devtools.simlint.engine import Finding, Project, Rule, register
+
+#: Only the service layer makes acknowledgement promises.
+SCOPE = ("repro.service",)
+
+
+@register
+class AckOrderingRule(Rule):
+    code = "SL013"
+    name = "ack-implies-journal"
+    description = (
+        "every control-flow path in repro.service that sends a 202 "
+        "acknowledgement must pass a journal write (transitive "
+        "os.fsync) first; ack-before-journal voids crash recovery"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        analysis = get_analysis(project)
+        for module in project.in_package(*SCOPE):
+            for info, payload in analysis.ack_findings(module.name):
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"in {info.qualname}: {payload['what']} is "
+                        f"reachable without a preceding journal write "
+                        f"on some path; fsync the journal record "
+                        f"before acknowledging"),
+                    path=module.rel,
+                    line=payload["line"],
+                    col=payload["col"],
+                )

@@ -33,6 +33,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.devtools.simlint.dataflow import catalog
 from repro.devtools.simlint.engine import (Finding, Project, Rule,
                                            SourceModule, register)
 from repro.devtools.simlint.rules.common import import_map, resolve_qualified
@@ -40,18 +41,13 @@ from repro.devtools.simlint.rules.common import import_map, resolve_qualified
 #: The async service layer this rule polices.
 SCOPE = ("repro.service",)
 
-#: Exact qualified calls that block the calling thread.
-BANNED_CALLS = frozenset({
-    "time.sleep",
-    "urllib.request.urlopen",
-})
+#: Exact qualified calls that block the calling thread.  Shared with
+#: the dataflow engine so SL011's transitive walk bans exactly what
+#: this rule bans directly.
+BANNED_CALLS = catalog.BLOCKING_CALLS
 
 #: Qualified-name prefixes whose every call is a blocking primitive.
-BANNED_PREFIXES = (
-    "subprocess.",
-    "socket.",
-    "http.client.",
-)
+BANNED_PREFIXES = catalog.BLOCKING_PREFIXES
 
 #: What to suggest instead, keyed by the offending root.
 _HINTS = {

@@ -20,6 +20,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.devtools.simlint.dataflow import catalog
 from repro.devtools.simlint.engine import (Finding, Project, Rule,
                                            SourceModule, register)
 from repro.devtools.simlint.rules.common import import_map, resolve_qualified
@@ -27,28 +28,20 @@ from repro.devtools.simlint.rules.common import import_map, resolve_qualified
 #: Packages that must stay deterministic.
 SCOPE = ("repro.core", "repro.mop", "repro.memory")
 
-#: Exact qualified callables that read wall-clock or entropy.
-BANNED = frozenset({
-    "time.time", "time.time_ns",
-    "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns",
-    "time.process_time", "time.process_time_ns",
-    "time.clock_gettime", "time.clock_gettime_ns",
-    "time.sleep",
-    "os.urandom", "os.getrandom",
-    "uuid.uuid1", "uuid.uuid4",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.datetime.today", "datetime.date.today",
-    "random.SystemRandom",
-})
+#: Exact qualified callables that read wall-clock or entropy.  The
+#: catalogue is shared with the dataflow engine (SL010 taints the same
+#: sources this rule bans textually); ``time.sleep`` rides along here
+#: because a sleeping core is as schedule-dependent as a clock read.
+BANNED = catalog.WALLCLOCK_CALLS | catalog.RANDOM_CALLS \
+    | frozenset({"time.sleep"})
 
 #: Prefixes banned wholesale: the module-level ``random.*`` functions all
 #: draw from the shared, unseeded global generator, and everything in
 #: ``secrets`` is entropy by definition.
-BANNED_PREFIXES = ("random.", "secrets.")
+BANNED_PREFIXES = catalog.RANDOM_PREFIXES
 
 #: The allowed exceptions under the banned prefixes.
-ALLOWED = frozenset({"random.Random"})
+ALLOWED = catalog.RANDOM_ALLOWED
 
 
 @register

@@ -1,0 +1,111 @@
+"""SL012 — pool worker entry points may not capture host process state.
+
+Functions handed to a worker pool (``initializer=...``, ``Process(
+target=...)``, or dispatched via ``apply_async``/``map``/``submit``)
+execute in a child process.  Under ``fork`` they inherit a snapshot of
+the host's module globals — a held lock forks *held* and deadlocks the
+child; an open handle forks into a shared file offset; a mutated cache
+diverges silently from the parent's.  Under ``spawn`` the globals are
+re-imported fresh and any mutation made by the host is simply gone.
+Either way, a worker that touches module-level mutable state, locks or
+open handles depends on which start method it got.
+
+This rule finds every pool entry point in the project, walks its call
+closure through the call graph, and reports:
+
+* any use of a module-level lock/synchronisation object,
+* any use of a module-level open handle,
+* any in-place mutation of a module-level mutable container,
+* any rebinding of a module global (``global x; x = ...``).
+
+Workers must receive state through their arguments (that is what the
+``initializer`` arguments are for) or rebuild it per-process — the
+pattern :mod:`repro.experiments.executor` already follows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Set
+
+from repro.devtools.simlint.dataflow.analysis import get_analysis
+from repro.devtools.simlint.dataflow.symbols import DefId
+from repro.devtools.simlint.engine import Finding, Project, Rule, register
+
+
+@register
+class ForkSafetyRule(Rule):
+    code = "SL012"
+    name = "fork-safety"
+    description = (
+        "pool worker entry points (initializer=, Process target=, "
+        "apply_async/map/submit callees) may not use module-level "
+        "locks, open handles, or mutate module-level state anywhere "
+        "in their call closure"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        analysis = get_analysis(project)
+        reported: Set[tuple] = set()
+        for _, entry in analysis.pool_entries:
+            for fid in _closure(analysis, entry.target):
+                info = analysis.functions.get(fid)
+                if info is None:
+                    continue
+                owner = project.module(info.module)
+                if owner is None:
+                    continue
+                for use in info.global_uses:
+                    symbols = analysis.symbols.get(use.module)
+                    kind = symbols.global_kinds.get(use.name, "plain") \
+                        if symbols is not None else "plain"
+                    what = _violation(kind, use.store, use.mutate)
+                    if what is None:
+                        continue
+                    key = (fid, use.module, use.name, use.line, use.col)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"pool worker '{info.qualname}' (entry via "
+                            f"{entry.via}) {what} module-level "
+                            f"{_noun(kind)} '{use.name}'; pass state "
+                            f"through worker arguments or rebuild it "
+                            f"per-process"),
+                        path=owner.rel,
+                        line=use.line,
+                        col=use.col,
+                    )
+
+
+def _closure(analysis, root: DefId) -> Iterator[DefId]:
+    seen: Set[DefId] = {root}
+    queue: deque = deque([root])
+    while queue:
+        fid = queue.popleft()
+        yield fid
+        info = analysis.functions.get(fid)
+        if info is None:
+            continue
+        for site in info.calls:
+            if site.target is not None and site.target not in seen:
+                seen.add(site.target)
+                queue.append(site.target)
+
+
+def _violation(kind: str, store: bool, mutate: bool):
+    """What the worker did wrong, or None when the use is benign."""
+    if kind in ("lock", "handle"):
+        return "captures"
+    if store:
+        return "rebinds"
+    if kind == "mutable" and mutate:
+        return "mutates"
+    return None
+
+
+def _noun(kind: str) -> str:
+    return {"lock": "lock", "handle": "open handle",
+            "mutable": "mutable state"}.get(kind, "state")

@@ -1,0 +1,57 @@
+"""SL010 — nondeterminism may not *flow* into determinism-critical data.
+
+SL001 bans wall-clock and entropy reads textually inside the core
+packages; it is blind to a value that takes one helper hop.  This rule
+runs the project-wide taint analysis instead: every value produced by
+a wall-clock or ambient-randomness source is labelled, the label is
+propagated through assignments, returns and cross-module calls (via
+function summaries), and a finding fires when a labelled value reaches
+one of the determinism-critical sinks, no matter how many functions it
+passed through on the way:
+
+* a ``SimStats`` field (attribute store or constructor argument) —
+  stats must replay bit-identically across runs and processes,
+* a ``cell_key`` input / ``SimCell`` field — a timestamp in the cache
+  key silently splits the result cache,
+* a ``TraceEvent`` payload — traces are diffed byte-for-byte.
+
+The historical bug class: a "how long did this take" measurement
+assigned into a stats counter via a helper, invisible to SL001 because
+the ``time.perf_counter()`` sat in ``repro.perf`` where SL007 allows
+it.  Timing belongs in the executor's wall-time fields, never in
+simulated state.
+
+Findings are reported at the statement where the tainted value meets
+the sink — the line a human must edit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.simlint.dataflow.analysis import get_analysis
+from repro.devtools.simlint.engine import Finding, Project, Rule, register
+
+
+@register
+class TaintDeterminismRule(Rule):
+    code = "SL010"
+    name = "taint-determinism"
+    description = (
+        "wall-clock/randomness-tainted values may not flow into "
+        "SimStats fields, cell keys (SimCell/cell_key) or trace-event "
+        "payloads, regardless of how many helper calls they pass "
+        "through"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        analysis = get_analysis(project)
+        for module in project.modules:
+            for info, taint in analysis.taint_findings(module.name):
+                yield Finding(
+                    code=self.code,
+                    message=f"in {info.qualname}: {taint.message()}",
+                    path=module.rel,
+                    line=taint.line,
+                    col=taint.col,
+                )

@@ -1,0 +1,70 @@
+"""SL011 — service coroutines may not block *transitively* either.
+
+SL009 catches ``time.sleep`` written directly inside an ``async def``
+of :mod:`repro.service`; it is documented as lexical and blind to a
+coroutine calling a sync helper that blocks.  This rule closes that
+gap: starting from every coroutine in the service layer it walks the
+project call graph (plain calls, ``self.method``, attribute calls
+through inferred types, cross-module helpers) and reports the
+coroutine if any reachable in-tree callee invokes a blocking primitive
+from the same catalogue SL009 uses.
+
+The finding points at the *call inside the coroutine* that starts the
+chain, and the message spells out the witness path down to the
+primitive, so the fix (``run_in_executor`` or an async equivalent) is
+obvious at the right line.
+
+Deliberate scope cuts:
+
+* Direct blocking calls are SL009's findings; this rule only reports
+  chains with at least one hop, so a single bug never double-reports.
+* :mod:`repro.experiments.faults` is exempt as a callee — fault
+  injection stalls the pipeline *on purpose*, behind its own enable
+  flag; flagging it would just teach people to sprinkle suppressions.
+* Nested plain ``def``s keep their sanctioned ``run_in_executor``
+  role: handing one to an executor creates no call edge, while
+  *calling* it directly from the coroutine does — and is then
+  correctly reported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.simlint.dataflow.analysis import get_analysis
+from repro.devtools.simlint.engine import Finding, Project, Rule, register
+
+#: The async service layer this rule polices (same scope as SL009).
+SCOPE = ("repro.service",)
+
+
+@register
+class TransitiveBlockingRule(Rule):
+    code = "SL011"
+    name = "transitive-blocking"
+    description = (
+        "repro.service coroutines may not reach a blocking primitive "
+        "through any chain of in-tree calls (closes SL009's "
+        "direct-call-only gap)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        analysis = get_analysis(project)
+        for module in project.in_package(*SCOPE):
+            for info in analysis.functions_by_module.get(module.name, []):
+                if not info.is_async:
+                    continue
+                chain = analysis.blocking_chain.get(info.id)
+                if chain is None or chain.callee is None:
+                    continue  # clean, or direct (SL009 reports those)
+                path = " -> ".join(analysis.blocking_path(info.id))
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"coroutine '{info.qualname}' blocks the event "
+                        f"loop transitively: {path}; run the helper in "
+                        f"an executor or use an async equivalent"),
+                    path=module.rel,
+                    line=chain.line,
+                    col=chain.col,
+                )

@@ -1,0 +1,13 @@
+# Sink class for the SL010 fixture tree; mirrors the real SimStats
+# shape (every counter surfaced) so SL004 stays quiet.
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    cycles: int = 0
+    wall_seconds: float = 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"cycles": self.cycles, "wall_seconds": self.wall_seconds}

@@ -1,0 +1,19 @@
+# Bad fixture for SL010: wall-clock values flow across a module
+# boundary into SimStats.  SL001 never fires here (repro.experiments is
+# outside its scope and the source lives in repro.perf), so only the
+# transitive taint walk can catch these.
+from repro.core.stats import SimStats
+from repro.perf.wallclock import sample_now
+
+
+def stamp(stats: SimStats) -> None:
+    started = sample_now()
+    stats.wall_seconds = started  # finding: two-hop wall-clock taint
+
+
+def record(stats: SimStats, value: float) -> None:
+    stats.cycles = value  # param sink: callers feeding taint are flagged
+
+
+def snapshot(stats: SimStats) -> None:
+    record(stats, sample_now())  # finding: taint through record()'s param

@@ -1,0 +1,7 @@
+# Hop 1 of the transitive taint: a perf-layer helper (where wall-clock
+# reads are sanctioned) whose return value carries the taint out.
+import time
+
+
+def sample_now() -> float:
+    return time.time()

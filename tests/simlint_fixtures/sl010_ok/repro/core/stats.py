@@ -1,0 +1,12 @@
+# Sink class for the SL010 clean tree (same shape as the bad tree).
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    cycles: int = 0
+    wall_seconds: float = 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"cycles": self.cycles, "wall_seconds": self.wall_seconds}

@@ -1,0 +1,18 @@
+# Clean fixture for SL010: measured durations arrive as *data* (caller
+# computed them in the measurement layer), and the tainted helper's
+# return value never reaches a stats field.
+from repro.core.stats import SimStats
+from repro.perf.wallclock import sample_now
+
+
+def stamp(stats: SimStats, elapsed: float) -> None:
+    stats.wall_seconds = elapsed
+
+
+def advance(stats: SimStats, cycles: int) -> None:
+    stats.cycles = stats.cycles + cycles
+
+
+def log_sample() -> float:
+    # Tainted, but flows to the perf log — not into SimStats.
+    return sample_now()

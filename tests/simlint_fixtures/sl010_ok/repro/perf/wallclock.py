@@ -1,0 +1,7 @@
+# Wall-clock reads are sanctioned in the perf layer; the clean tree
+# keeps the tainted value out of the stats sink entirely.
+import time
+
+
+def sample_now() -> float:
+    return time.time()

@@ -1,0 +1,8 @@
+# A synchronous helper that blocks.  Legal where it lives (plain
+# function outside the service's coroutines) — the hazard is a service
+# coroutine reaching it.
+import time
+
+
+def backoff(seconds: float) -> None:
+    time.sleep(seconds)

@@ -1,0 +1,9 @@
+# Bad fixture for SL011: the coroutine itself contains no blocking
+# call (SL009 stays quiet) but transitively reaches time.sleep through
+# a cross-module helper, stalling the event loop.
+from repro.experiments.retry import backoff
+
+
+async def poll(conn):
+    backoff(0.05)
+    return conn

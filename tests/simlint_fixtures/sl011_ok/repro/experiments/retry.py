@@ -1,0 +1,7 @@
+# Same blocking helper as the bad tree; the clean tree dispatches it
+# off the event loop.
+import time
+
+
+def backoff(seconds: float) -> None:
+    time.sleep(seconds)

@@ -1,0 +1,16 @@
+# Clean fixture for SL011: the blocking helper runs in the executor.
+# The nested plain def is never *called* by the coroutine — only handed
+# to run_in_executor — so no blocking chain starts at poll().
+import asyncio
+
+from repro.experiments.retry import backoff
+
+
+async def poll(conn):
+    loop = asyncio.get_running_loop()
+
+    def work() -> None:
+        backoff(0.05)
+
+    await loop.run_in_executor(None, work)
+    return conn

@@ -1,0 +1,23 @@
+# Bad fixture for SL012: the pool initializer mutates module-level
+# mutable state and the dispatched worker enters a module-level lock.
+# Under spawn the children get fresh copies (the mutation is lost); a
+# forked lock can be copied in the held state and deadlock the worker.
+import threading
+from multiprocessing import Pool
+
+_LOCK = threading.Lock()
+_CACHE: dict = {}
+
+
+def _init_worker() -> None:
+    _CACHE["ready"] = True
+
+
+def _work(item: int) -> int:
+    with _LOCK:
+        return item * 2
+
+
+def run(items):
+    with Pool(initializer=_init_worker) as pool:
+        return pool.map(_work, items)

@@ -1,0 +1,23 @@
+# Clean fixture for SL012: workers operate on their arguments only.
+# The module-level lock is used by the host-side API, which never runs
+# inside a pool child — the reachability walk must not blame it.
+import threading
+from multiprocessing import Pool
+
+_LOCK = threading.Lock()
+
+
+def host_side(value: int) -> int:
+    with _LOCK:
+        return value + 1
+
+
+def _work(item: int) -> int:
+    scratch = {"item": item}
+    scratch["doubled"] = item * 2
+    return scratch["doubled"]
+
+
+def run(items):
+    with Pool() as pool:
+        return pool.map(_work, items)

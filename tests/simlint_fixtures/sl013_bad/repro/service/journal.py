@@ -1,0 +1,14 @@
+# Durable journal for the SL013 fixture trees: accept() fsyncs the
+# record before returning, so passing through it makes an ack safe.
+import os
+
+
+class JobJournal:
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def accept(self, job_id: str, payload) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(f"{job_id}:{payload}\n")
+            handle.flush()
+            os.fsync(handle.fileno())

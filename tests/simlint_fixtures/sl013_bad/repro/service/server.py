@@ -1,0 +1,15 @@
+# Bad fixture for SL013: the fast path acks 202 without journalling,
+# so a crash after that ack loses an accepted job.  The slow path is
+# properly dominated by the fsync and must not be reported.
+from repro.service.journal import JobJournal
+
+
+class JobServer:
+    def __init__(self, journal: JobJournal) -> None:
+        self.journal = journal
+
+    async def submit(self, body, fast: bool):
+        if fast:
+            return 202, {"queued": True}  # finding: ack before journal
+        self.journal.accept("job", body)
+        return 202, {"queued": True}

@@ -1,0 +1,13 @@
+# Same journal as the bad tree.
+import os
+
+
+class JobJournal:
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def accept(self, job_id: str, payload) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(f"{job_id}:{payload}\n")
+            handle.flush()
+            os.fsync(handle.fileno())

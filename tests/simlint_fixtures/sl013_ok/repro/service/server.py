@@ -1,0 +1,17 @@
+# Clean fixture for SL013: every path that acks 202 first passes
+# through the journal's fsync — including the early-validation branch,
+# which rejects with a non-202 status and is therefore exempt.
+from repro.service.journal import JobJournal
+
+
+class JobServer:
+    def __init__(self, journal: JobJournal) -> None:
+        self.journal = journal
+
+    async def submit(self, body, fast: bool):
+        if body is None:
+            return 400, {"error": "empty body"}
+        self.journal.accept("job", body)
+        if fast:
+            return 202, {"queued": True, "fast": True}
+        return 202, {"queued": True}

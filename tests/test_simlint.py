@@ -1,21 +1,27 @@
-"""Tests for the simlint invariant checker (SL001–SL009).
+"""Tests for the simlint invariant checker (SL001–SL013).
 
 Each rule gets a positive test (a known-bad fixture it must flag) and a
 negative test (the sanctioned variant it must pass).  Fixtures live in
 ``tests/simlint_fixtures/`` and are planted into a temporary tree that
 mirrors the package layout — ``lint_paths(root=...)`` then scopes their
 dotted names exactly like the real ``src/repro`` tree, which is how the
-layer- and module-scoped rules see them.
+layer- and module-scoped rules see them.  The per-module rules use
+single-file fixtures; the dataflow rules (SL010–SL013) use fixture
+*trees*, since their whole point is cross-module reasoning.
 """
 
 import json
 import pickle
+import shutil
+import subprocess
 from pathlib import Path
 
 import pytest
 
 from repro.devtools.simlint import SourceError, lint_paths
 from repro.devtools.simlint.cli import main as simlint_main
+from repro.devtools.simlint.dataflow import AnalysisCache, get_analysis
+from repro.devtools.simlint.engine import load_modules
 from repro.cli import main as repro_main
 
 FIXTURES = Path(__file__).parent / "simlint_fixtures"
@@ -42,6 +48,21 @@ RULE_CASES = [
 ]
 
 
+#: (bad tree, clean tree, code, [(rel path, line) expected findings])
+TREE_CASES = [
+    ("sl010_bad", "sl010_ok", "SL010",
+     [("repro/experiments/collect.py", 11),
+      ("repro/experiments/collect.py", 19)]),
+    ("sl011_bad", "sl011_ok", "SL011",
+     [("repro/service/poller.py", 8)]),
+    ("sl012_bad", "sl012_ok", "SL012",
+     [("repro/experiments/pool_worker.py", 13),
+      ("repro/experiments/pool_worker.py", 17)]),
+    ("sl013_bad", "sl013_ok", "SL013",
+     [("repro/service/server.py", 13)]),
+]
+
+
 def plant(tmp_path, fixture, dest_rel):
     """Copy *fixture* to *dest_rel* inside a fake package tree."""
     dest = tmp_path / dest_rel
@@ -49,6 +70,12 @@ def plant(tmp_path, fixture, dest_rel):
     dest.write_text((FIXTURES / fixture).read_text(encoding="utf-8"),
                     encoding="utf-8")
     return dest
+
+
+def plant_tree(tmp_path, tree):
+    """Copy a multi-file fixture tree wholesale into *tmp_path*."""
+    shutil.copytree(FIXTURES / tree, tmp_path, dirs_exist_ok=True)
+    return tmp_path
 
 
 class TestRuleFixtures:
@@ -163,7 +190,123 @@ class TestRuleFixtures:
         assert lint_paths([tmp_path], root=tmp_path) == []
 
 
+class TestDataflowRules:
+    """SL010–SL013: cross-module findings on multi-file fixture trees."""
+
+    @pytest.mark.parametrize(
+        "bad,ok,code,expected", TREE_CASES,
+        ids=[case[2] for case in TREE_CASES])
+    def test_bad_tree_produces_exact_findings(self, tmp_path, bad, ok,
+                                              code, expected):
+        plant_tree(tmp_path, bad)
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert {f.code for f in findings} == {code}
+        located = sorted(
+            (Path(f.path).relative_to(tmp_path).as_posix(), f.line)
+            for f in findings)
+        assert located == sorted(expected)
+
+    @pytest.mark.parametrize(
+        "bad,ok,code,expected", TREE_CASES,
+        ids=[case[2] for case in TREE_CASES])
+    def test_clean_tree_passes(self, tmp_path, bad, ok, code, expected):
+        plant_tree(tmp_path, ok)
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
+    def test_sl001_misses_the_transitive_taint(self, tmp_path):
+        # The two-hop flow SL010 flags is invisible to the per-module
+        # determinism rule: the source sits in repro.perf (outside
+        # SL001's layers) and the sink module never calls time.* itself.
+        plant_tree(tmp_path, "sl010_bad")
+        assert lint_paths([tmp_path], root=tmp_path,
+                          select=["SL001"]) == []
+
+    def test_sl009_misses_the_transitive_blocking(self, tmp_path):
+        # The coroutine contains no blocking call of its own, so the
+        # direct-only SL009 stays quiet; only the call-graph walk sees
+        # the time.sleep two edges away.
+        plant_tree(tmp_path, "sl011_bad")
+        assert lint_paths([tmp_path], root=tmp_path,
+                          select=["SL009"]) == []
+
+    def test_sl010_message_names_label_and_sink(self, tmp_path):
+        plant_tree(tmp_path, "sl010_bad")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert all("wall-clock" in f.message and "SimStats" in f.message
+                   for f in findings)
+
+    def test_sl011_message_names_the_witness_chain(self, tmp_path):
+        plant_tree(tmp_path, "sl011_bad")
+        [finding] = lint_paths([tmp_path], root=tmp_path)
+        assert "backoff" in finding.message
+        assert "time.sleep" in finding.message
+
+    def test_sl013_reports_only_the_unjournalled_branch(self, tmp_path):
+        plant_tree(tmp_path, "sl013_bad")
+        [finding] = lint_paths([tmp_path], root=tmp_path)
+        assert finding.line == 13  # the fast path; the slow ack is safe
+
+
+class TestIncrementalCache:
+    def _analysis(self, tmp_path, cache):
+        project = load_modules([tmp_path], root=tmp_path)
+        project.analysis_cache = cache
+        return get_analysis(project)
+
+    def test_warm_run_reanalyzes_nothing(self, tmp_path):
+        plant_tree(tmp_path, "sl010_bad")
+        cache = AnalysisCache(tmp_path / "cache.json")
+        cold = self._analysis(tmp_path, cache)
+        assert cold.reanalyzed == {"repro.core.stats",
+                                   "repro.experiments.collect",
+                                   "repro.perf.wallclock"}
+        warm = self._analysis(tmp_path, cache)
+        assert warm.reanalyzed == set()
+
+    def test_touch_invalidates_module_and_dependents(self, tmp_path):
+        plant_tree(tmp_path, "sl010_bad")
+        cache = AnalysisCache(tmp_path / "cache.json")
+        self._analysis(tmp_path, cache)
+        target = tmp_path / "repro" / "perf" / "wallclock.py"
+        target.write_text(target.read_text(encoding="utf-8")
+                          + "\n# touched\n", encoding="utf-8")
+        warm = self._analysis(tmp_path, cache)
+        # The touched module plus its importer — but not the sibling
+        # sink-class module, which never depends on either.
+        assert warm.reanalyzed == {"repro.perf.wallclock",
+                                   "repro.experiments.collect"}
+
+    def test_warm_findings_match_cold(self, tmp_path):
+        plant_tree(tmp_path, "sl010_bad")
+        cache = AnalysisCache(tmp_path / "cache.json")
+        cold = lint_paths([tmp_path], root=tmp_path, cache=cache)
+        warm = lint_paths([tmp_path], root=tmp_path, cache=cache)
+        assert [(f.code, f.path, f.line) for f in warm] \
+            == [(f.code, f.path, f.line) for f in cold]
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        plant_tree(tmp_path, "sl013_bad")
+        path = tmp_path / "cache.json"
+        path.write_text("{definitely not json", encoding="utf-8")
+        findings = lint_paths([tmp_path], root=tmp_path,
+                              cache=AnalysisCache(path))
+        assert {f.code for f in findings} == {"SL013"}
+
+
 class TestSuppressions:
+    def test_directive_anywhere_in_a_multiline_statement(self, tmp_path):
+        dest = tmp_path / "repro" / "core" / "clock.py"
+        dest.parent.mkdir(parents=True)
+        dest.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def now():\n"
+            "    return time.time(\n"
+            "    )  # simlint: disable=SL001\n",
+            encoding="utf-8")
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
     def test_directive_silences_its_code(self, tmp_path):
         source = (
             "import time\n"
@@ -271,15 +414,78 @@ class TestCli:
         assert document["total"] == len(document["findings"]) > 0
         assert set(document["rules"]) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
-            "SL007", "SL008", "SL009"}
+            "SL007", "SL008", "SL009", "SL010", "SL011", "SL012",
+            "SL013"}
         capsys.readouterr()
 
     def test_list_rules(self, capsys):
         assert simlint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("SL001", "SL002", "SL003", "SL004", "SL005",
-                     "SL006", "SL007", "SL008", "SL009"):
+                     "SL006", "SL007", "SL008", "SL009", "SL010",
+                     "SL011", "SL012", "SL013"):
             assert code in out
+
+    def test_sarif_format(self, tmp_path, capsys):
+        plant(tmp_path, "sl001_bad.py", "repro/core/clock.py")
+        code = simlint_main([str(tmp_path), "--root", str(tmp_path),
+                             "--format", "sarif", "--no-cache"])
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"SL001", "SL010", "SL011", "SL012", "SL013"} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "SL001"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(
+            "repro/core/clock.py")
+        assert location["region"]["startLine"] >= 1
+
+    def test_sarif_companion_file(self, tmp_path, capsys):
+        plant(tmp_path, "sl001_bad.py", "repro/core/clock.py")
+        sarif = tmp_path / "report" / "simlint.sarif"
+        code = simlint_main([str(tmp_path), "--root", str(tmp_path),
+                             "--sarif", str(sarif), "--no-cache"])
+        assert code == 1
+        log = json.loads(sarif.read_text(encoding="utf-8"))
+        results = log["runs"][0]["results"]
+        assert results and {r["ruleId"] for r in results} == {"SL001"}
+        assert "SL001" in capsys.readouterr().out  # text gate unchanged
+
+    def test_changed_requires_a_git_checkout(self, tmp_path, monkeypatch,
+                                             capsys):
+        monkeypatch.chdir(tmp_path)
+        plant(tmp_path, "sl001_bad.py", "repro/core/clock.py")
+        code = simlint_main([str(tmp_path), "--root", str(tmp_path),
+                             "--changed", "--no-cache"])
+        assert code == 2
+        assert "--changed" in capsys.readouterr().err
+
+    def test_changed_filters_to_touched_files(self, tmp_path, monkeypatch,
+                                              capsys):
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        plant(tmp_path, "sl001_bad.py", "repro/core/clock.py")
+        subprocess.run(["git", "add", "."], cwd=tmp_path, check=True)
+        subprocess.run(["git", "-c", "user.email=ci@local",
+                        "-c", "user.name=ci", "commit", "-qm", "seed"],
+                       cwd=tmp_path, check=True)
+        # Committed finding: real, but not changed vs HEAD — filtered.
+        code = simlint_main([str(tmp_path), "--root", str(tmp_path),
+                             "--changed", "--no-cache"])
+        assert code == 0
+        capsys.readouterr()
+        # A new untracked offender is reported; the old one stays out.
+        plant(tmp_path, "sl009_bad.py", "repro/service/handlers.py")
+        code = simlint_main([str(tmp_path), "--root", str(tmp_path),
+                             "--changed", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SL009" in out
+        assert "SL001" not in out
 
     def test_repro_lint_subcommand_forwards(self, tmp_path, capsys):
         plant(tmp_path, "sl006_bad.py", "repro/experiments/pool.py")
@@ -294,4 +500,14 @@ class TestCli:
                            "--root", str(tmp_path),
                            "--select", "SL001"])
         assert code == 0
+        capsys.readouterr()
+
+    def test_repro_lint_subcommand_forwards_sarif(self, tmp_path, capsys):
+        plant(tmp_path, "sl001_bad.py", "repro/core/clock.py")
+        sarif = tmp_path / "simlint.sarif"
+        code = repro_main(["lint", str(tmp_path), "--root", str(tmp_path),
+                           "--no-cache", "--sarif", str(sarif)])
+        assert code == 1
+        assert json.loads(sarif.read_text(encoding="utf-8"))["version"] \
+            == "2.1.0"
         capsys.readouterr()
